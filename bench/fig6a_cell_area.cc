@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Figure 6(a): storage-cell size of the compared schemes at
+ * the same 130 nm process, normalized to the 16T SRAM-based TCAM cell.
+ * Expected shape: CA-RAM's ternary cell is over 12x smaller than the
+ * 16T SRAM TCAM cell and ~4.8x smaller than the 6T dynamic TCAM cell.
+ */
+
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "tech/cell_library.h"
+
+using namespace caram;
+using namespace caram::tech;
+
+int
+main()
+{
+    std::cout << "=== Figure 6(a): cell size of different schemes "
+                 "(130nm) ===\n\n";
+
+    const CellType types[] = {CellType::SramTcam16T, CellType::DynTcam8T,
+                              CellType::DynTcam6T, CellType::CaRamTernary};
+    const double caram_cell = cellSpec(CellType::CaRamTernary).areaUm2;
+
+    TextTable t({"scheme", "cell um^2", "vs 16T TCAM", "vs CA-RAM",
+                 "bar"});
+    const double base = cellSpec(CellType::SramTcam16T).areaUm2;
+    for (CellType type : types) {
+        const CellSpec &s = cellSpec(type);
+        const unsigned bar =
+            static_cast<unsigned>(s.areaUm2 / base * 50 + 0.5);
+        t.addRow({s.name, fixed(s.areaUm2, 3),
+                  fixed(s.areaUm2 / base, 3),
+                  strprintf("%.1fx", s.areaUm2 / caram_cell),
+                  std::string(bar == 0 ? 1 : bar, '#')});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper: CA-RAM cell over 12x smaller than 16T SRAM "
+                 "TCAM, 4.8x smaller than 6T dynamic TCAM.\n";
+    std::cout << "Measured: "
+              << fixed(cellSpec(CellType::SramTcam16T).areaUm2 /
+                           caram_cell, 2)
+              << "x and "
+              << fixed(cellSpec(CellType::DynTcam6T).areaUm2 /
+                           caram_cell, 2)
+              << "x.\n";
+    std::cout << "\nSources: " << cellSpec(CellType::SramTcam16T).source
+              << "; " << cellSpec(CellType::DynTcam6T).source << ";\n  "
+              << cellSpec(CellType::EdramBit).source
+              << "; CA-RAM = 2 eDRAM bits/ternary symbol + "
+              << percent(matchProcessorOverhead, 0)
+              << " match-processor overhead.\n";
+    return 0;
+}

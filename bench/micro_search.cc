@@ -1,0 +1,180 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional models: CA-RAM
+ * search (IP and trigram), the TCAM scan model, the trie reference and
+ * the software hash baselines.  These measure the *simulator's* speed,
+ * not the modeled hardware; the modeled costs are in the table/figure
+ * benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/chained_hash.h"
+#include "cam/tcam.h"
+#include "common/random.h"
+#include "hash/djb.h"
+#include "hash/folding.h"
+#include "ip/ip_caram.h"
+#include "ip/lpm_reference.h"
+#include "ip/synthetic_bgp.h"
+#include "ip/traffic.h"
+#include "speech/trigram_caram.h"
+
+using namespace caram;
+
+namespace {
+
+const ip::RoutingTable &
+benchTable()
+{
+    static const ip::RoutingTable table = [] {
+        ip::SyntheticBgpConfig cfg;
+        cfg.prefixCount = 20000;
+        for (auto &c : cfg.shortCounts)
+            c = static_cast<unsigned>(c * 20000.0 / 186760.0 + 0.5);
+        return ip::generateSyntheticBgpTable(cfg);
+    }();
+    return table;
+}
+
+std::vector<uint32_t>
+benchAddresses(std::size_t n)
+{
+    ip::IpTrafficGenerator traffic(benchTable(), {}, 123);
+    std::vector<uint32_t> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(traffic.next());
+    return out;
+}
+
+void
+BM_CaRamIpSearch(benchmark::State &state)
+{
+    ip::IpCaRamMapper mapper(benchTable());
+    ip::IpDesignSpec spec{"bm", 10, 32, 4,
+                          core::Arrangement::Horizontal};
+    auto mapped = mapper.map(spec);
+    const auto addrs = benchAddresses(4096);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto r =
+            mapped.db->search(Key::fromUint(addrs[i++ & 4095], 32));
+        benchmark::DoNotOptimize(r.data);
+    }
+}
+BENCHMARK(BM_CaRamIpSearch);
+
+void
+BM_TrieIpLookup(benchmark::State &state)
+{
+    ip::LpmTrie trie;
+    trie.insertAll(benchTable());
+    const auto addrs = benchAddresses(4096);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        auto r = trie.lookup(addrs[i++ & 4095]);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_TrieIpLookup);
+
+void
+BM_TcamModelSearch(benchmark::State &state)
+{
+    // The O(w) full-scan TCAM model; kept small on purpose.
+    cam::Tcam tcam(32, 4096);
+    Rng rng(7);
+    for (int i = 0; i < 4000; ++i)
+        tcam.insert(Key::fromUint(rng.next64() & 0xffffffff, 32), i, 0);
+    const auto addrs = benchAddresses(4096);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto r = tcam.search(Key::fromUint(addrs[i++ & 4095], 32));
+        benchmark::DoNotOptimize(r.hit);
+    }
+}
+BENCHMARK(BM_TcamModelSearch);
+
+void
+BM_CaRamTrigramSearch(benchmark::State &state)
+{
+    speech::SyntheticTrigramConfig cfg;
+    cfg.entryCount = 30000;
+    cfg.vocabularySize = 2000;
+    static const speech::SyntheticTrigramDb db(cfg);
+    speech::TrigramCaRamMapper mapper(db);
+    speech::TrigramDesignSpec spec;
+    spec.label = "bm";
+    spec.indexBitsPerSlice = 7;
+    spec.slotsPerSlice = 96;
+    spec.slices = 4;
+    auto mapped = mapper.map(spec);
+    std::vector<Key> keys;
+    for (std::size_t i = 0; i < 4096; ++i)
+        keys.push_back(db.key(i % db.size()));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto r = mapped.db->search(keys[i++ & 4095]);
+        benchmark::DoNotOptimize(r.data);
+    }
+}
+BENCHMARK(BM_CaRamTrigramSearch);
+
+void
+BM_ChainedHashFind(benchmark::State &state)
+{
+    speech::SyntheticTrigramConfig cfg;
+    cfg.entryCount = 30000;
+    cfg.vocabularySize = 2000;
+    static const speech::SyntheticTrigramDb db(cfg);
+    baseline::ChainedHashTable table(
+        std::make_unique<hash::DjbIndex>(9));
+    for (std::size_t i = 0; i < db.size(); ++i)
+        table.insert(db.key(i), db.score(i));
+    std::vector<Key> keys;
+    for (std::size_t i = 0; i < 4096; ++i)
+        keys.push_back(db.key(i % db.size()));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        auto r = table.find(keys[i++ & 4095]);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ChainedHashFind);
+
+void
+BM_CaRamInsert(benchmark::State &state)
+{
+    core::DatabaseConfig cfg;
+    cfg.name = "ins";
+    cfg.sliceShape.indexBits = 12;
+    cfg.sliceShape.logicalKeyBits = 64;
+    cfg.sliceShape.slotsPerBucket = 16;
+    cfg.sliceShape.dataBits = 32;
+    cfg.sliceShape.maxProbeDistance = 255;
+    cfg.indexFactory = [](const core::SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        return std::make_unique<hash::XorFoldIndex>(eff.indexBits);
+    };
+    core::Database db(cfg);
+    Rng rng(9);
+    uint64_t inserted = 0;
+    for (auto _ : state) {
+        if (inserted > 48000) { // stay below capacity
+            state.PauseTiming();
+            db.clear();
+            inserted = 0;
+            state.ResumeTiming();
+        }
+        const bool ok =
+            db.insert(core::Record{Key::fromUint(rng.next64(), 64), 1});
+        benchmark::DoNotOptimize(ok);
+        ++inserted;
+    }
+}
+BENCHMARK(BM_CaRamInsert);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces Table 1 of the paper: cell count, area and delay for each
+ * stage of match processing, synthesized against the 0.16 um library at
+ * C = 1600 with configurable key sizes, plus the worst-case dynamic
+ * power quoted in section 3.3.  Also prints the model's scaling across
+ * row widths and an application-specific (fixed-key) variant.
+ */
+
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "tech/synthesis_model.h"
+
+using namespace caram;
+using namespace caram::tech;
+
+namespace {
+
+void
+printEstimate(const char *title, const SynthesisEstimate &est)
+{
+    std::cout << title << "\n";
+    TextTable t({"Step", "# cells", "Area, um^2", "Delay, ns"});
+    for (const auto &s : est.stages) {
+        t.addRow({s.name, withCommas(s.cells),
+                  withCommas(static_cast<uint64_t>(s.areaUm2 + 0.5)),
+                  s.overlappedWithMemory
+                      ? strprintf("(%.2f)", s.delayNs)
+                      : fixed(s.delayNs, 2)});
+    }
+    t.addRow({"Total", withCommas(est.totalCells()),
+              withCommas(static_cast<uint64_t>(est.totalAreaUm2() + 0.5)),
+              fixed(est.criticalPathNs(), 2)});
+    t.print(std::cout);
+    std::cout << "  worst-case dynamic power: "
+              << fixed(est.dynamicPowerMw, 1)
+              << " mW (VDD=1.8V, a=0.5, Tclk=6ns)\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Table 1: match processor synthesis "
+                 "(0.16um std cells, C = 1600) ===\n\n";
+
+    printEstimate("Measured (this model):",
+                  estimateMatchProcessor(SynthesisConfig{}));
+
+    std::cout << "Paper reports:\n"
+              << "  expand 3,804 / 66,228 / (0.89); match 5,252 / 10,591 "
+                 "/ 0.95;\n"
+              << "  decode 899 / 1,970 / 1.91; extract 6,037 / 21,775 / "
+                 "1.99;\n"
+              << "  total 15,992 cells, 100,564 um^2, 4.85 ns, 60.8 mW\n\n";
+
+    // Model extrapolations beyond the published point.
+    std::cout << "--- scaling with row width C (variable-key design) "
+                 "---\n";
+    TextTable scale({"C (bits)", "cells", "area um^2", "critical ns",
+                     "power mW"});
+    for (unsigned c : {512u, 1024u, 1600u, 2048u, 4096u, 12288u}) {
+        SynthesisConfig cfg;
+        cfg.rowBits = c;
+        const auto est = estimateMatchProcessor(cfg);
+        scale.addRow({withCommas(c), withCommas(est.totalCells()),
+                      withCommas(static_cast<uint64_t>(
+                          est.totalAreaUm2() + 0.5)),
+                      fixed(est.criticalPathNs(), 2),
+                      fixed(est.dynamicPowerMw, 1)});
+    }
+    scale.print(std::cout);
+
+    std::cout << "\n--- application-specific (fixed key size) designs, "
+                 "C = 1600 ---\n";
+    TextTable fixed_tbl({"design", "cells", "area um^2", "critical ns"});
+    for (bool variable : {true, false}) {
+        SynthesisConfig cfg;
+        cfg.variableKeySize = variable;
+        const auto est = estimateMatchProcessor(cfg);
+        fixed_tbl.addRow({variable ? "variable keys (prototype)"
+                                   : "fixed key (app-specific)",
+                          withCommas(est.totalCells()),
+                          withCommas(static_cast<uint64_t>(
+                              est.totalAreaUm2() + 0.5)),
+                          fixed(est.criticalPathNs(), 2)});
+    }
+    fixed_tbl.print(std::cout);
+
+    std::cout << "\n--- scaled to the 130nm comparison node ---\n";
+    SynthesisConfig nm130;
+    nm130.node = ProcessNode::nm130();
+    const auto est130 = estimateMatchProcessor(nm130);
+    std::cout << "  area "
+              << withCommas(
+                     static_cast<uint64_t>(est130.totalAreaUm2() + 0.5))
+              << " um^2, critical path "
+              << fixed(est130.criticalPathNs(), 2) << " ns\n";
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Trigram lookup for a speech recognizer's language model (paper
+ * section 4.2): a CA-RAM holds the 13..16-character partition of a
+ * Sphinx-style trigram database; a decoding loop issues bursts of
+ * trigram probes (most hit, some miss, as a beam search would) and the
+ * same workload runs against a software chained hash for contrast.
+ *
+ * Usage: speech_trigram [entries] [probes]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/chained_hash.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "hash/djb.h"
+#include "speech/trigram_caram.h"
+
+using namespace caram;
+using namespace caram::speech;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::size_t entries = 500000;
+    std::size_t probes = 100000;
+    if (argc > 1)
+        entries = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2)
+        probes = std::strtoull(argv[2], nullptr, 10);
+
+    std::cout << "[speech] generating synthetic trigram database ("
+              << withCommas(entries) << " entries)\n";
+    SyntheticTrigramConfig cfg;
+    cfg.entryCount = entries;
+    const SyntheticTrigramDb db(cfg);
+
+    // Size the CA-RAM for the paper's alpha ~ 0.86.
+    unsigned index_bits = 6;
+    while ((uint64_t{4} * 96 << index_bits) <
+           static_cast<uint64_t>(entries / 0.86))
+        ++index_bits;
+    TrigramCaRamMapper mapper(db);
+    TrigramDesignSpec spec;
+    spec.label = "A";
+    spec.indexBitsPerSlice = index_bits;
+    spec.slotsPerSlice = 96;
+    spec.slices = 4;
+    spec.arrangement = core::Arrangement::Vertical;
+    std::cout << "[speech] mapping onto CA-RAM design A-style geometry "
+                 "(R=" << index_bits << ", 4 slices vertical)\n";
+    auto engine = mapper.map(spec);
+    std::cout << "  alpha " << fixed(engine.loadFactor, 2) << ", AMAL "
+              << fixed(engine.amal, 3) << ", overflowing buckets "
+              << percent(engine.overflowingBucketFraction) << "\n";
+
+    // Software baseline with the same DJB hash.
+    baseline::ChainedHashTable chained(std::make_unique<hash::DjbIndex>(
+        static_cast<unsigned>(index_bits + 2)));
+    for (std::size_t i = 0; i < db.size(); ++i)
+        chained.insert(db.key(i), db.score(i));
+
+    std::cout << "[speech] issuing " << withCommas(probes)
+              << " language-model probes (80% present)\n";
+    Rng rng(13);
+    uint64_t hits = 0;
+    uint64_t accesses = 0;
+    uint64_t score_sum = 0;
+    for (std::size_t i = 0; i < probes; ++i) {
+        Key key;
+        bool present = rng.chance(0.8);
+        std::size_t idx = rng.below(db.size());
+        if (present) {
+            key = db.key(idx);
+        } else {
+            // A trigram the model has never seen.
+            key = Key::fromString(
+                strprintf("zq%llu xj yq",
+                          static_cast<unsigned long long>(i)),
+                trigramKeyBits);
+        }
+        const auto r = engine.db->search(key);
+        accesses += r.bucketsAccessed;
+        const auto sw = chained.find(key);
+        if (r.hit != sw.has_value() ||
+            (r.hit && r.data != *sw)) {
+            std::cerr << "MISMATCH vs software hash at probe " << i
+                      << "\n";
+            return 1;
+        }
+        if (r.hit) {
+            ++hits;
+            score_sum += r.data;
+        }
+    }
+    std::cout << "  hits " << withCommas(hits) << " ("
+              << percent(static_cast<double>(hits) /
+                         static_cast<double>(probes))
+              << "), CA-RAM accesses/probe "
+              << fixed(static_cast<double>(accesses) /
+                           static_cast<double>(probes),
+                       3)
+              << ", software hash accesses/probe "
+              << fixed(chained.meanAccessesPerFind(), 1) << "\n";
+    std::cout << "  (checksum " << (score_sum & 0xffff) << ")\n";
+    std::cout << "[speech] modeled area "
+              << fixed(engine.db->areaUm2() / 1e6, 1)
+              << " mm^2, energy/search "
+              << fixed(engine.db->searchEnergyNj(), 2) << " nJ\n";
+    std::cout << "[speech] OK\n";
+    return 0;
+}

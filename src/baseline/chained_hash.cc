@@ -1,0 +1,81 @@
+#include "baseline/chained_hash.h"
+
+#include "common/logging.h"
+
+namespace caram::baseline {
+
+ChainedHashTable::ChainedHashTable(
+    std::unique_ptr<hash::IndexGenerator> index_gen)
+    : idxGen(std::move(index_gen))
+{
+    if (!idxGen)
+        fatal("chained hash table needs an index generator");
+    chains.resize(idxGen->rowCount());
+}
+
+uint64_t
+ChainedHashTable::bucketOf(const Key &key) const
+{
+    return idxGen->index(key.valueWords(), key.bits());
+}
+
+void
+ChainedHashTable::insert(const Key &key, uint64_t data)
+{
+    if (!key.fullySpecified())
+        fatal("software hash table requires fully specified keys");
+    auto &chain = chains[bucketOf(key)];
+    for (Node &node : chain) {
+        if (node.key == key) {
+            node.data = data;
+            return;
+        }
+    }
+    chain.push_back(Node{key, data});
+    ++count;
+}
+
+std::optional<uint64_t>
+ChainedHashTable::find(const Key &key)
+{
+    ++findCount;
+    const auto &chain = chains[bucketOf(key)];
+    for (const Node &node : chain) {
+        ++accesses;
+        if (node.key == key)
+            return node.data;
+    }
+    return std::nullopt;
+}
+
+bool
+ChainedHashTable::erase(const Key &key)
+{
+    auto &chain = chains[bucketOf(key)];
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i].key == key) {
+            chain.erase(chain.begin() + static_cast<long>(i));
+            --count;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+ChainedHashTable::meanAccessesPerFind() const
+{
+    return findCount == 0
+        ? 0.0
+        : static_cast<double>(accesses) / static_cast<double>(findCount);
+}
+
+double
+ChainedHashTable::loadFactor() const
+{
+    return chains.empty()
+        ? 0.0
+        : static_cast<double>(count) / static_cast<double>(chains.size());
+}
+
+} // namespace caram::baseline

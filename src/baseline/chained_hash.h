@@ -1,0 +1,69 @@
+#ifndef CARAM_BASELINE_CHAINED_HASH_H_
+#define CARAM_BASELINE_CHAINED_HASH_H_
+
+/**
+ * @file
+ * Software hash table with chaining -- the conventional technique CA-RAM
+ * hardens into hardware (paper section 2.1).  Every record touched
+ * during a lookup counts as one memory access, making the
+ * pointer-chasing cost visible next to CA-RAM's single-row accesses.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/key.h"
+#include "hash/index_generator.h"
+
+namespace caram::baseline {
+
+/** Chained software hash table over fully specified keys. */
+class ChainedHashTable
+{
+  public:
+    /**
+     * @param index_gen hash over key bits; its indexBits() sets the
+     *                  bucket count
+     */
+    explicit ChainedHashTable(
+        std::unique_ptr<hash::IndexGenerator> index_gen);
+
+    /** Insert or overwrite. */
+    void insert(const Key &key, uint64_t data);
+
+    /** Find; counts chain nodes touched. */
+    std::optional<uint64_t> find(const Key &key);
+
+    bool erase(const Key &key);
+
+    std::size_t size() const { return count; }
+    uint64_t buckets() const { return chains.size(); }
+
+    uint64_t memoryAccesses() const { return accesses; }
+    uint64_t finds() const { return findCount; }
+    double meanAccessesPerFind() const;
+
+    /** Load factor: records per bucket. */
+    double loadFactor() const;
+
+  private:
+    struct Node
+    {
+        Key key;
+        uint64_t data;
+    };
+
+    uint64_t bucketOf(const Key &key) const;
+
+    std::unique_ptr<hash::IndexGenerator> idxGen;
+    std::vector<std::vector<Node>> chains;
+    std::size_t count = 0;
+    uint64_t accesses = 0;
+    uint64_t findCount = 0;
+};
+
+} // namespace caram::baseline
+
+#endif // CARAM_BASELINE_CHAINED_HASH_H_

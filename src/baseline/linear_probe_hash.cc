@@ -1,0 +1,91 @@
+#include "baseline/linear_probe_hash.h"
+
+#include "common/logging.h"
+
+namespace caram::baseline {
+
+LinearProbeHashTable::LinearProbeHashTable(
+    std::unique_ptr<hash::IndexGenerator> index_gen)
+    : idxGen(std::move(index_gen))
+{
+    if (!idxGen)
+        fatal("linear-probe hash table needs an index generator");
+    slots.resize(idxGen->rowCount());
+}
+
+bool
+LinearProbeHashTable::insert(const Key &key, uint64_t data)
+{
+    if (!key.fullySpecified())
+        fatal("software hash table requires fully specified keys");
+    const uint64_t n = slots.size();
+    const uint64_t home = idxGen->index(key.valueWords(), key.bits());
+    for (uint64_t d = 0; d < n; ++d) {
+        Slot &slot = slots[(home + d) % n];
+        if (slot.state == State::Full && slot.key == key) {
+            slot.data = data;
+            return true;
+        }
+        if (slot.state != State::Full) {
+            slot.key = key;
+            slot.data = data;
+            slot.state = State::Full;
+            ++count;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<uint64_t>
+LinearProbeHashTable::find(const Key &key)
+{
+    ++findCount;
+    const uint64_t n = slots.size();
+    const uint64_t home = idxGen->index(key.valueWords(), key.bits());
+    for (uint64_t d = 0; d < n; ++d) {
+        const Slot &slot = slots[(home + d) % n];
+        ++accesses;
+        if (slot.state == State::Empty)
+            return std::nullopt;
+        if (slot.state == State::Full && slot.key == key)
+            return slot.data;
+    }
+    return std::nullopt;
+}
+
+bool
+LinearProbeHashTable::erase(const Key &key)
+{
+    const uint64_t n = slots.size();
+    const uint64_t home = idxGen->index(key.valueWords(), key.bits());
+    for (uint64_t d = 0; d < n; ++d) {
+        Slot &slot = slots[(home + d) % n];
+        if (slot.state == State::Empty)
+            return false;
+        if (slot.state == State::Full && slot.key == key) {
+            slot.state = State::Tombstone;
+            --count;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+LinearProbeHashTable::loadFactor() const
+{
+    return slots.empty()
+        ? 0.0
+        : static_cast<double>(count) / static_cast<double>(slots.size());
+}
+
+double
+LinearProbeHashTable::meanAccessesPerFind() const
+{
+    return findCount == 0
+        ? 0.0
+        : static_cast<double>(accesses) / static_cast<double>(findCount);
+}
+
+} // namespace caram::baseline

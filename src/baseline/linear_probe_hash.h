@@ -1,0 +1,65 @@
+#ifndef CARAM_BASELINE_LINEAR_PROBE_HASH_H_
+#define CARAM_BASELINE_LINEAR_PROBE_HASH_H_
+
+/**
+ * @file
+ * Open-addressing software hash table with one record per slot and
+ * linear probing -- the S = 1 degenerate case of a CA-RAM bucket.
+ * Contrast with CA-RAM's wide buckets: the same load factor costs far
+ * more probes when each probe retrieves a single record.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/key.h"
+#include "hash/index_generator.h"
+
+namespace caram::baseline {
+
+/** Open-addressing hash table (linear probing, no deletion tombstone
+ *  compaction). */
+class LinearProbeHashTable
+{
+  public:
+    explicit LinearProbeHashTable(
+        std::unique_ptr<hash::IndexGenerator> index_gen);
+
+    /** Insert; returns false when the table is full. */
+    bool insert(const Key &key, uint64_t data);
+
+    /** Find; every probed slot counts as a memory access. */
+    std::optional<uint64_t> find(const Key &key);
+
+    bool erase(const Key &key);
+
+    std::size_t size() const { return count; }
+    uint64_t capacity() const { return slots.size(); }
+    double loadFactor() const;
+
+    uint64_t memoryAccesses() const { return accesses; }
+    uint64_t finds() const { return findCount; }
+    double meanAccessesPerFind() const;
+
+  private:
+    enum class State : uint8_t { Empty, Full, Tombstone };
+
+    struct Slot
+    {
+        Key key;
+        uint64_t data = 0;
+        State state = State::Empty;
+    };
+
+    std::unique_ptr<hash::IndexGenerator> idxGen;
+    std::vector<Slot> slots;
+    std::size_t count = 0;
+    uint64_t accesses = 0;
+    uint64_t findCount = 0;
+};
+
+} // namespace caram::baseline
+
+#endif // CARAM_BASELINE_LINEAR_PROBE_HASH_H_

@@ -1,0 +1,77 @@
+#include "baseline/sorted_array.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace caram::baseline {
+
+bool
+keyLess(const Key &a, const Key &b)
+{
+    if (a.bits() != b.bits())
+        return a.bits() < b.bits();
+    const auto wa = a.valueWords();
+    const auto wb = b.valueWords();
+    for (std::size_t i = wa.size(); i-- > 0;) {
+        if (wa[i] != wb[i])
+            return wa[i] < wb[i];
+    }
+    return false;
+}
+
+void
+SortedArray::add(const Key &key, uint64_t data)
+{
+    if (frozen)
+        fatal("cannot add to a frozen sorted array");
+    if (!key.fullySpecified())
+        fatal("sorted array requires fully specified keys");
+    entries.push_back(Entry{key, data});
+}
+
+void
+SortedArray::freeze()
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return keyLess(a.key, b.key);
+              });
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [](const Entry &a, const Entry &b) {
+                                  return a.key == b.key;
+                              }),
+                  entries.end());
+    frozen = true;
+}
+
+std::optional<uint64_t>
+SortedArray::find(const Key &key)
+{
+    if (!frozen)
+        fatal("find() before freeze()");
+    ++findCount;
+    std::size_t lo = 0;
+    std::size_t hi = entries.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        ++accesses;
+        if (entries[mid].key == key)
+            return entries[mid].data;
+        if (keyLess(entries[mid].key, key))
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return std::nullopt;
+}
+
+double
+SortedArray::meanAccessesPerFind() const
+{
+    return findCount == 0
+        ? 0.0
+        : static_cast<double>(accesses) / static_cast<double>(findCount);
+}
+
+} // namespace caram::baseline

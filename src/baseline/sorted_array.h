@@ -1,0 +1,55 @@
+#ifndef CARAM_BASELINE_SORTED_ARRAY_H_
+#define CARAM_BASELINE_SORTED_ARRAY_H_
+
+/**
+ * @file
+ * Ordered-table binary search (paper section 2.1 lists it among the
+ * software techniques CA-RAM replaces).  Every comparison touches one
+ * record and counts as a memory access: O(log N) per lookup.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/key.h"
+
+namespace caram::baseline {
+
+/** Total order over fully specified keys (value words, MSB first). */
+bool keyLess(const Key &a, const Key &b);
+
+/** Immutable-after-build sorted array with binary search. */
+class SortedArray
+{
+  public:
+    /** Add a record (before freeze()). */
+    void add(const Key &key, uint64_t data);
+
+    /** Sort and deduplicate; must be called before find(). */
+    void freeze();
+
+    /** Binary search; counts one access per comparison. */
+    std::optional<uint64_t> find(const Key &key);
+
+    std::size_t size() const { return entries.size(); }
+    uint64_t memoryAccesses() const { return accesses; }
+    uint64_t finds() const { return findCount; }
+    double meanAccessesPerFind() const;
+
+  private:
+    struct Entry
+    {
+        Key key;
+        uint64_t data;
+    };
+
+    std::vector<Entry> entries;
+    bool frozen = false;
+    uint64_t accesses = 0;
+    uint64_t findCount = 0;
+};
+
+} // namespace caram::baseline
+
+#endif // CARAM_BASELINE_SORTED_ARRAY_H_

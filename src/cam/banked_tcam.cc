@@ -1,0 +1,134 @@
+#include "cam/banked_tcam.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace caram::cam {
+
+BankedTcam::BankedTcam(unsigned key_bits, std::size_t total_capacity,
+                       std::unique_ptr<hash::IndexGenerator> selector,
+                       tech::CellType cell)
+    : keyWidth(key_bits), selector_(std::move(selector)), cell_(cell)
+{
+    if (!selector_)
+        fatal("banked TCAM needs a partition selector");
+    const uint64_t nbanks = selector_->rowCount();
+    if (nbanks < 2)
+        fatal("banked TCAM needs at least two partitions");
+    if (total_capacity < nbanks)
+        fatal("banked TCAM capacity below one entry per partition");
+    const std::size_t per_bank =
+        (total_capacity + nbanks - 1) / nbanks;
+    banks.reserve(nbanks);
+    for (uint64_t b = 0; b < nbanks; ++b)
+        banks.emplace_back(key_bits, per_bank, cell);
+}
+
+std::size_t
+BankedTcam::capacity() const
+{
+    std::size_t total = 0;
+    for (const Tcam &bank : banks)
+        total += bank.capacity();
+    return total;
+}
+
+std::size_t
+BankedTcam::size() const
+{
+    std::size_t total = 0;
+    for (const Tcam &bank : banks)
+        total += bank.size();
+    return total;
+}
+
+std::vector<uint64_t>
+BankedTcam::partitionsOf(const Key &key) const
+{
+    if (key.bits() != keyWidth)
+        fatal("banked TCAM key width mismatch");
+    std::vector<uint64_t> out;
+    selector_->candidateIndices(key.valueWords(), key.careWords(),
+                                key.bits(), out);
+    return out;
+}
+
+bool
+BankedTcam::insert(const Key &key, uint64_t data, int priority)
+{
+    const auto targets = partitionsOf(key);
+    // All-or-nothing across the duplicated copies.
+    for (uint64_t b : targets) {
+        if (banks[b].full()) {
+            return false;
+        }
+    }
+    for (uint64_t b : targets)
+        banks[b].insert(key, data, priority);
+    return true;
+}
+
+CamSearchResult
+BankedTcam::search(const Key &search_key)
+{
+    ++searches;
+    CamSearchResult best;
+    for (uint64_t b : partitionsOf(search_key)) {
+        ++activations;
+        const CamSearchResult r = banks[b].search(search_key);
+        if (!r.hit)
+            continue;
+        // Across partitions the higher-priority (longer-prefix) entry
+        // wins; Tcam keeps priority order internally, so compare by
+        // the stored keys' specificity.
+        if (!best.hit ||
+            r.key.carePopcount() > best.key.carePopcount()) {
+            const bool had_hit = best.hit;
+            best = r;
+            best.multipleMatch = best.multipleMatch || had_hit;
+        } else {
+            best.multipleMatch = true;
+        }
+    }
+    return best;
+}
+
+unsigned
+BankedTcam::erase(const Key &key)
+{
+    unsigned removed = 0;
+    for (uint64_t b : partitionsOf(key))
+        removed += banks[b].erase(key) ? 1 : 0;
+    return removed;
+}
+
+double
+BankedTcam::searchEnergyNj() const
+{
+    // One partition's worth of full-parallel search activity.
+    return banks.front().searchEnergyNj();
+}
+
+double
+BankedTcam::areaUm2() const
+{
+    double total = 0.0;
+    for (const Tcam &bank : banks)
+        total += bank.areaUm2();
+    return total;
+}
+
+double
+BankedTcam::worstPartitionLoad() const
+{
+    double worst = 0.0;
+    for (const Tcam &bank : banks) {
+        worst = std::max(worst,
+                         static_cast<double>(bank.size()) /
+                             static_cast<double>(bank.capacity()));
+    }
+    return worst;
+}
+
+} // namespace caram::cam

@@ -1,0 +1,92 @@
+#ifndef CARAM_CAM_BANKED_TCAM_H_
+#define CARAM_CAM_BANKED_TCAM_H_
+
+/**
+ * @file
+ * Banked TCAM baseline after Zane et al. [32] (CoolCAMs), discussed in
+ * paper section 5.2: "a two-phase lookup scheme where the first lookup
+ * is used to select a TCAM partition in the second, main table lookup
+ * phase.  This bank selection strategy reduces overall power
+ * consumption in proportion to the number of partitions."
+ *
+ * The partition selector here is the same bit-selection hash a CA-RAM
+ * uses -- the paper's observation is precisely that "the hash function
+ * used in CA-RAM replaces the more expensive first-phase lookup table
+ * in the banked CAM scheme", and that CA-RAM does "even better" by
+ * activating a single memory row instead of a whole partition.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "cam/tcam.h"
+#include "hash/index_generator.h"
+
+namespace caram::cam {
+
+/** A partitioned TCAM with hash-based bank selection. */
+class BankedTcam
+{
+  public:
+    /**
+     * @param key_bits        logical key width
+     * @param total_capacity  entries across all partitions
+     * @param selector        hash choosing the partition; its rowCount()
+     *                        sets the number of partitions
+     * @param cell            storage cell for the cost model
+     */
+    BankedTcam(unsigned key_bits, std::size_t total_capacity,
+               std::unique_ptr<hash::IndexGenerator> selector,
+               tech::CellType cell = tech::CellType::DynTcam6T);
+
+    unsigned keyBits() const { return keyWidth; }
+    std::size_t partitions() const { return banks.size(); }
+    std::size_t capacity() const;
+    std::size_t size() const;
+
+    /**
+     * Insert in priority order.  Keys with don't-care bits in selector
+     * positions are duplicated into every matching partition, exactly
+     * like CA-RAM's bucket duplication.  Fails when any target
+     * partition is full (no cross-partition spill).
+     */
+    bool insert(const Key &key, uint64_t data, int priority);
+
+    /** Two-phase search: select partition(s), search only those. */
+    CamSearchResult search(const Key &search_key);
+
+    /** Remove every copy of @p key; returns copies removed. */
+    unsigned erase(const Key &key);
+
+    /// @name Cost model
+    /// @{
+    /** Per-search energy: one partition active instead of the array. */
+    double searchEnergyNj() const;
+
+    /** Array area; the selector hash adds negligible area (vs the
+     *  CoolCAMs first-phase TCAM it replaces). */
+    double areaUm2() const;
+    /// @}
+
+    /** Heaviest partition occupancy over capacity (imbalance). */
+    double worstPartitionLoad() const;
+
+    /** Partitions activated by searches so far (>= searches when
+     *  search keys carry don't-care selector bits). */
+    uint64_t partitionsSearched() const { return activations; }
+    uint64_t searchCount() const { return searches; }
+
+  private:
+    std::vector<uint64_t> partitionsOf(const Key &key) const;
+
+    unsigned keyWidth;
+    std::unique_ptr<hash::IndexGenerator> selector_;
+    tech::CellType cell_;
+    std::vector<Tcam> banks;
+    uint64_t searches = 0;
+    uint64_t activations = 0;
+};
+
+} // namespace caram::cam
+
+#endif // CARAM_CAM_BANKED_TCAM_H_

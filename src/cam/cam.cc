@@ -1,0 +1,20 @@
+#include "cam/cam.h"
+
+#include "common/logging.h"
+
+namespace caram::cam {
+
+Cam::Cam(unsigned key_bits, std::size_t capacity, tech::CellType cell)
+    : Tcam(key_bits, capacity, cell)
+{
+}
+
+bool
+Cam::insert(const Key &key, uint64_t data)
+{
+    if (!key.fullySpecified())
+        fatal("binary CAM requires fully specified keys");
+    return Tcam::insert(key, data, 0);
+}
+
+} // namespace caram::cam

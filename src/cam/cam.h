@@ -1,0 +1,28 @@
+#ifndef CARAM_CAM_CAM_H_
+#define CARAM_CAM_CAM_H_
+
+/**
+ * @file
+ * Binary CAM baseline: a TCAM restricted to fully specified keys, with a
+ * binary (1-bit-per-symbol) storage cell for the cost model.  Used for
+ * the trigram application comparison against Yamagata et al. [31].
+ */
+
+#include "cam/tcam.h"
+
+namespace caram::cam {
+
+/** A binary (exact-match) CAM. */
+class Cam : public Tcam
+{
+  public:
+    Cam(unsigned key_bits, std::size_t capacity,
+        tech::CellType cell = tech::CellType::DynCamScaled);
+
+    /** Insert with implicit FIFO priority; key must be fully specified. */
+    bool insert(const Key &key, uint64_t data);
+};
+
+} // namespace caram::cam
+
+#endif // CARAM_CAM_CAM_H_

@@ -1,0 +1,56 @@
+#include "cam/priority_encoder.h"
+
+#include <bit>
+
+namespace caram::cam {
+
+EncodeResult
+priorityEncode(const std::vector<bool> &match_vector)
+{
+    EncodeResult r;
+    for (std::size_t i = 0; i < match_vector.size(); ++i) {
+        if (!match_vector[i])
+            continue;
+        if (!r.anyMatch) {
+            r.anyMatch = true;
+            r.index = i;
+        } else {
+            r.multipleMatch = true;
+            break;
+        }
+    }
+    return r;
+}
+
+EncodeResult
+priorityEncode(const std::vector<uint64_t> &packed, std::size_t lines)
+{
+    EncodeResult r;
+    std::size_t matches = 0;
+    for (std::size_t w = 0; w < packed.size(); ++w) {
+        uint64_t word = packed[w];
+        // Mask out bits beyond the line count in the last word.
+        if ((w + 1) * 64 > lines) {
+            const unsigned keep = static_cast<unsigned>(lines - w * 64);
+            if (keep == 0)
+                break;
+            if (keep < 64)
+                word &= (uint64_t{1} << keep) - 1;
+        }
+        if (word == 0)
+            continue;
+        if (!r.anyMatch) {
+            r.anyMatch = true;
+            r.index = w * 64 +
+                      static_cast<std::size_t>(std::countr_zero(word));
+        }
+        matches += static_cast<std::size_t>(std::popcount(word));
+        if (matches > 1) {
+            r.multipleMatch = true;
+            break;
+        }
+    }
+    return r;
+}
+
+} // namespace caram::cam

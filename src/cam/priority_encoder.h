@@ -1,0 +1,34 @@
+#ifndef CARAM_CAM_PRIORITY_ENCODER_H_
+#define CARAM_CAM_PRIORITY_ENCODER_H_
+
+/**
+ * @file
+ * The priority encoder shared by CAM/TCAM and by the CA-RAM match
+ * processor's decode stage: "When there are multiple entries that match
+ * the search key, a priority encoder will choose the highest-priority
+ * entry" (paper section 2.2).  The highest priority is the lowest index.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace caram::cam {
+
+/** Result of priority encoding a match vector. */
+struct EncodeResult
+{
+    bool anyMatch = false;      ///< at least one line set
+    bool multipleMatch = false; ///< more than one line set
+    std::size_t index = 0;      ///< lowest set line when anyMatch
+};
+
+/** Encode a boolean match vector. */
+EncodeResult priorityEncode(const std::vector<bool> &match_vector);
+
+/** Encode a packed 64-bit-word match vector of @p lines lines. */
+EncodeResult priorityEncode(const std::vector<uint64_t> &packed,
+                            std::size_t lines);
+
+} // namespace caram::cam
+
+#endif // CARAM_CAM_PRIORITY_ENCODER_H_

@@ -1,0 +1,81 @@
+#include "cam/tcam.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tech/area_model.h"
+#include "tech/power_model.h"
+
+namespace caram::cam {
+
+Tcam::Tcam(unsigned key_bits, std::size_t capacity, tech::CellType cell)
+    : keyWidth(key_bits), cap(capacity), cell_(cell)
+{
+    if (key_bits == 0)
+        fatal("TCAM key width must be nonzero");
+    if (capacity == 0)
+        fatal("TCAM capacity must be nonzero");
+    slots.reserve(capacity);
+}
+
+bool
+Tcam::insert(const Key &key, uint64_t data, int priority)
+{
+    if (key.bits() != keyWidth)
+        fatal("TCAM key width mismatch");
+    if (full())
+        return false;
+    // Keep descending priority; stable for equal priorities.
+    auto it = std::upper_bound(
+        slots.begin(), slots.end(), priority,
+        [](int p, const Slot &s) { return p > s.priority; });
+    slots.insert(it, Slot{key, data, priority});
+    return true;
+}
+
+CamSearchResult
+Tcam::search(const Key &search_key) const
+{
+    ++searches;
+    CamSearchResult r;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i].key.matches(search_key))
+            continue;
+        if (!r.hit) {
+            r.hit = true;
+            r.index = i;
+            r.data = slots[i].data;
+            r.key = slots[i].key;
+        } else {
+            r.multipleMatch = true;
+            break;
+        }
+    }
+    return r;
+}
+
+bool
+Tcam::erase(const Key &key)
+{
+    auto it = std::find_if(slots.begin(), slots.end(),
+                           [&](const Slot &s) { return s.key == key; });
+    if (it == slots.end())
+        return false;
+    slots.erase(it);
+    return true;
+}
+
+double
+Tcam::areaUm2() const
+{
+    return tech::camArrayUm2(cap, keyWidth, cell_);
+}
+
+double
+Tcam::searchEnergyNj(double activation_factor) const
+{
+    return tech::camSearchEnergyNj(cap, keyWidth, cell_,
+                                   activation_factor);
+}
+
+} // namespace caram::cam

@@ -1,0 +1,110 @@
+#ifndef CARAM_CAM_TCAM_H_
+#define CARAM_CAM_TCAM_H_
+
+/**
+ * @file
+ * Ternary CAM baseline model (paper section 2.2).
+ *
+ * Entries are held in priority order: the lowest index is the highest
+ * priority, as produced by the hardware priority encoder.  For longest
+ * prefix match, insert prefixes with priority = prefix length so that
+ * "the priority encoder in TCAM can be used to perform LPM when prefixes
+ * in TCAM are sorted on prefix length" [29].
+ *
+ * This is a functional + cost model: search is a full-array scan (O(w)),
+ * exactly what the hardware does in parallel, with per-search energy and
+ * area reported through the tech models.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/key.h"
+#include "tech/cell_library.h"
+
+namespace caram::cam {
+
+/** Result of one TCAM search. */
+struct CamSearchResult
+{
+    bool hit = false;
+    bool multipleMatch = false; ///< more than one stored entry matched
+    std::size_t index = 0;      ///< winning entry index (priority order)
+    uint64_t data = 0;          ///< associated data of the winner
+    Key key;                    ///< stored key of the winner
+};
+
+/** A fixed-capacity ternary CAM with priority-ordered storage. */
+class Tcam
+{
+  public:
+    /**
+     * @param key_bits logical key width (ternary symbols per entry)
+     * @param capacity number of entries
+     * @param cell     storage cell implementation for the cost model
+     */
+    Tcam(unsigned key_bits, std::size_t capacity,
+         tech::CellType cell = tech::CellType::DynTcam6T);
+
+    virtual ~Tcam() = default;
+
+    unsigned keyBits() const { return keyWidth; }
+    std::size_t capacity() const { return cap; }
+    std::size_t size() const { return slots.size(); }
+    bool full() const { return slots.size() >= cap; }
+
+    /**
+     * Insert a key in priority order (higher @p priority wins a
+     * multi-match; ties break toward earlier insertion).
+     * Returns false when the TCAM is full.
+     */
+    bool insert(const Key &key, uint64_t data, int priority);
+
+    /** Search; the highest-priority matching entry wins. */
+    CamSearchResult search(const Key &search_key) const;
+
+    /** Remove the first entry exactly equal to @p key (value and mask). */
+    bool erase(const Key &key);
+
+    /** Remove everything. */
+    void clear() { slots.clear(); }
+
+    /** Total searches performed (for energy accounting). */
+    uint64_t searchCount() const { return searches; }
+
+    /// @name Cost model
+    /// @{
+    /** Array area in um^2 at 130 nm. */
+    double areaUm2() const;
+
+    /** Energy of one search, nJ; see tech::camSearchEnergyNj. */
+    double searchEnergyNj(double activation_factor = 1.0) const;
+
+    /** Paper section 3.4: B_CAM = f_CAM_clk (one search per cycle,
+     *  pipelined). */
+    double searchBandwidthMsps() const { return tech::tcamClockMhz; }
+    /// @}
+
+    tech::CellType cellType() const { return cell_; }
+
+  protected:
+    struct Slot
+    {
+        Key key;
+        uint64_t data;
+        int priority;
+    };
+
+    const std::vector<Slot> &entries() const { return slots; }
+
+  private:
+    unsigned keyWidth;
+    std::size_t cap;
+    tech::CellType cell_;
+    std::vector<Slot> slots; ///< sorted by descending priority, stable
+    mutable uint64_t searches = 0;
+};
+
+} // namespace caram::cam
+
+#endif // CARAM_CAM_TCAM_H_

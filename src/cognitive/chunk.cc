@@ -1,0 +1,105 @@
+#include "cognitive/chunk.h"
+
+namespace caram::cognitive {
+
+namespace {
+
+/** Write @p bits bits of @p value at MSB position @p pos, fully cared. */
+void
+putField(Key &key, unsigned pos, unsigned bits, uint64_t value)
+{
+    for (unsigned b = 0; b < bits; ++b) {
+        const bool bit = (value >> (bits - 1 - b)) & 1u;
+        key.setBitAt(pos + b, bit, true);
+    }
+}
+
+/** Mark @p bits bits at MSB position @p pos don't care. */
+void
+putWildcard(Key &key, unsigned pos, unsigned bits)
+{
+    for (unsigned b = 0; b < bits; ++b)
+        key.setBitAt(pos + b, false, false);
+}
+
+/** Read @p bits bits at MSB position @p pos. */
+uint64_t
+getField(const Key &key, unsigned pos, unsigned bits)
+{
+    uint64_t out = 0;
+    for (unsigned b = 0; b < bits; ++b)
+        out = (out << 1) | (key.valueBitAt(pos + b) ? 1u : 0u);
+    return out;
+}
+
+} // namespace
+
+Key
+Chunk::toKey() const
+{
+    Key key(kChunkKeyBits);
+    putField(key, 0, kTypeBits, type);
+    for (unsigned s = 0; s < kMaxSlots; ++s)
+        putField(key, kTypeBits + s * kSlotBits, kSlotBits, slots[s]);
+    return key;
+}
+
+Chunk
+Chunk::fromKey(const Key &key, uint32_t id)
+{
+    Chunk chunk;
+    chunk.type = static_cast<uint8_t>(getField(key, 0, kTypeBits));
+    for (unsigned s = 0; s < kMaxSlots; ++s) {
+        chunk.slots[s] = static_cast<uint16_t>(
+            getField(key, kTypeBits + s * kSlotBits, kSlotBits));
+    }
+    chunk.id = id;
+    return chunk;
+}
+
+bool
+Chunk::operator==(const Chunk &other) const
+{
+    return type == other.type && slots == other.slots && id == other.id;
+}
+
+Key
+RetrievalPattern::toKey() const
+{
+    Key key(kChunkKeyBits);
+    if (type)
+        putField(key, 0, kTypeBits, *type);
+    else
+        putWildcard(key, 0, kTypeBits);
+    for (unsigned s = 0; s < kMaxSlots; ++s) {
+        const unsigned pos = kTypeBits + s * kSlotBits;
+        if (slots[s])
+            putField(key, pos, kSlotBits, *slots[s]);
+        else
+            putWildcard(key, pos, kSlotBits);
+    }
+    return key;
+}
+
+bool
+RetrievalPattern::matches(const Chunk &chunk) const
+{
+    if (type && *type != chunk.type)
+        return false;
+    for (unsigned s = 0; s < kMaxSlots; ++s) {
+        if (slots[s] && *slots[s] != chunk.slots[s])
+            return false;
+    }
+    return true;
+}
+
+unsigned
+RetrievalPattern::constrainedSlots() const
+{
+    unsigned n = 0;
+    for (const auto &slot : slots)
+        n += slot ? 1 : 0;
+    return n;
+}
+
+} // namespace caram::cognitive

@@ -1,0 +1,70 @@
+#ifndef CARAM_COGNITIVE_CHUNK_H_
+#define CARAM_COGNITIVE_CHUNK_H_
+
+/**
+ * @file
+ * ACT-R-style declarative chunks, the paper's stated future direction:
+ * "a large-scale system implementing a cognitive model such as ACT-R
+ * will benefit from employing CA-RAM, as it requires much search and
+ * data evaluation capabilities" (section 6).
+ *
+ * A chunk is a typed record with a fixed number of symbolic slots.  A
+ * retrieval request specifies some slots and leaves the rest
+ * unconstrained -- exactly a ternary search: specified slots become
+ * cared key bits, unconstrained slots become don't-care runs.
+ */
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/key.h"
+
+namespace caram::cognitive {
+
+/** Slots per chunk (ACT-R models typically use a handful). */
+constexpr unsigned kMaxSlots = 6;
+/** Bits per slot symbol. */
+constexpr unsigned kSlotBits = 16;
+/** Bits for the chunk type. */
+constexpr unsigned kTypeBits = 8;
+/** Key width: type followed by the slot symbols. */
+constexpr unsigned kChunkKeyBits = kTypeBits + kMaxSlots * kSlotBits;
+
+/** A declarative-memory chunk. */
+struct Chunk
+{
+    uint8_t type = 0;
+    /** Slot symbols; 0 plays ACT-R's "nil". */
+    std::array<uint16_t, kMaxSlots> slots{};
+    /** Chunk handle, returned by retrievals. */
+    uint32_t id = 0;
+
+    /** Fully specified key: [type][slot 0]...[slot K-1], MSB first. */
+    Key toKey() const;
+
+    /** Rebuild a chunk (minus id) from a stored key. */
+    static Chunk fromKey(const Key &key, uint32_t id);
+
+    bool operator==(const Chunk &other) const;
+};
+
+/** A retrieval request: constraints on the type and on some slots. */
+struct RetrievalPattern
+{
+    std::optional<uint8_t> type;
+    std::array<std::optional<uint16_t>, kMaxSlots> slots{};
+
+    /** Ternary key: unconstrained fields are don't-care runs. */
+    Key toKey() const;
+
+    /** True when the chunk satisfies every constraint. */
+    bool matches(const Chunk &chunk) const;
+
+    /** Number of constrained slots (not counting the type). */
+    unsigned constrainedSlots() const;
+};
+
+} // namespace caram::cognitive
+
+#endif // CARAM_COGNITIVE_CHUNK_H_

@@ -1,0 +1,96 @@
+#include "cognitive/declarative_memory.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "hash/bit_select.h"
+
+namespace caram::cognitive {
+
+core::DatabaseConfig
+DeclarativeMemory::makeConfig(const Config &config)
+{
+    core::DatabaseConfig cfg;
+    cfg.name = "declarative-memory";
+    cfg.sliceShape.indexBits = config.indexBits;
+    cfg.sliceShape.logicalKeyBits = kChunkKeyBits;
+    cfg.sliceShape.ternary = true;
+    cfg.sliceShape.slotsPerBucket = config.slotsPerBucket;
+    cfg.sliceShape.dataBits = 32; // the chunk id
+    cfg.sliceShape.probe = core::ProbePolicy::Linear;
+    cfg.sliceShape.maxProbeDistance =
+        static_cast<unsigned>(cfg.sliceShape.rows() - 1);
+    cfg.physicalSlices = config.physicalSlices;
+    cfg.arrangement = config.arrangement;
+    if (config.indexBits > 12 || config.indexBits > kSlotBits) {
+        // Retrievals that leave slot 0 unconstrained fan out to
+        // 2^indexBits buckets; keep that under the duplication cap.
+        fatal("declarative memory index width limited to 12 bits");
+    }
+    cfg.indexFactory = [](const core::SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        // Hash the low bits of slot 0 (the retrieval cue): symbol ids
+        // are small integers, so their low bits carry the entropy --
+        // the same reasoning that picks the *last* R of the first 16
+        // IP address bits in the paper.  The type is left out: its
+        // cardinality is tiny and would waste index space.
+        std::vector<unsigned> positions;
+        for (unsigned p = kTypeBits + kSlotBits - eff.indexBits;
+             p < kTypeBits + kSlotBits; ++p)
+            positions.push_back(p);
+        return std::make_unique<hash::BitSelectIndex>(
+            kChunkKeyBits, std::move(positions));
+    };
+    return cfg;
+}
+
+DeclarativeMemory::DeclarativeMemory() : DeclarativeMemory(Config{})
+{
+}
+
+DeclarativeMemory::DeclarativeMemory(const Config &config)
+    : db(makeConfig(config))
+{
+}
+
+bool
+DeclarativeMemory::learn(const Chunk &chunk, int activation)
+{
+    return db.insert(core::Record{chunk.toKey(), chunk.id}, activation);
+}
+
+void
+DeclarativeMemory::learnAll(std::span<const RatedChunk> chunks)
+{
+    std::vector<const RatedChunk *> order;
+    order.reserve(chunks.size());
+    for (const RatedChunk &rc : chunks)
+        order.push_back(&rc);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const RatedChunk *a, const RatedChunk *b) {
+                         return a->activation > b->activation;
+                     });
+    for (const RatedChunk *rc : order) {
+        if (!learn(rc->chunk, rc->activation))
+            warn("declarative memory full; chunk dropped");
+    }
+}
+
+std::optional<Chunk>
+DeclarativeMemory::retrieve(const RetrievalPattern &pattern)
+{
+    ++retrievalCount;
+    const auto r = db.search(pattern.toKey());
+    accesses += r.bucketsAccessed;
+    if (!r.hit)
+        return std::nullopt;
+    return Chunk::fromKey(r.key, static_cast<uint32_t>(r.data));
+}
+
+bool
+DeclarativeMemory::forget(const Chunk &chunk)
+{
+    return db.erase(chunk.toKey()) > 0;
+}
+
+} // namespace caram::cognitive

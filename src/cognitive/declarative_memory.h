@@ -1,0 +1,85 @@
+#ifndef CARAM_COGNITIVE_DECLARATIVE_MEMORY_H_
+#define CARAM_COGNITIVE_DECLARATIVE_MEMORY_H_
+
+/**
+ * @file
+ * A CA-RAM-backed ACT-R-style declarative memory.
+ *
+ * Chunks live in a ternary CA-RAM database hashed on the type and the
+ * first slot (the retrieval cue); a retrieval request is one ternary
+ * search.  Chunks are placed in descending activation order so the
+ * priority encoder returns the most active matching chunk -- the same
+ * placement trick the paper uses for hot IP prefixes.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cognitive/chunk.h"
+#include "core/database.h"
+
+namespace caram::cognitive {
+
+/** A chunk with its activation, for sorted bulk loading. */
+struct RatedChunk
+{
+    Chunk chunk;
+    int activation = 0; ///< quantized activation (higher retrieves first)
+};
+
+/** Declarative memory on CA-RAM. */
+class DeclarativeMemory
+{
+  public:
+    /** Geometry knobs. */
+    struct Config
+    {
+        unsigned indexBits = 12;
+        unsigned slotsPerBucket = 32;
+        unsigned physicalSlices = 1;
+        core::Arrangement arrangement = core::Arrangement::Horizontal;
+    };
+
+    DeclarativeMemory();
+    explicit DeclarativeMemory(const Config &config);
+
+    /** Add one chunk (its id is the payload). */
+    bool learn(const Chunk &chunk, int activation = 0);
+
+    /**
+     * Bulk-load in descending activation order, so multi-match
+     * retrievals return the most active chunk.
+     */
+    void learnAll(std::span<const RatedChunk> chunks);
+
+    /**
+     * Retrieve the winning chunk for a pattern, or nullopt on
+     * retrieval failure.  Patterns leaving hashed fields unconstrained
+     * fan out to multiple buckets, exactly like ternary search keys in
+     * the paper's section 4 discussion.
+     */
+    std::optional<Chunk> retrieve(const RetrievalPattern &pattern);
+
+    /** Remove a chunk; true when it was present. */
+    bool forget(const Chunk &chunk);
+
+    uint64_t size() const { return db.size(); }
+    core::Database &database() { return db; }
+
+    /** Buckets touched by retrievals so far. */
+    uint64_t bucketsAccessed() const { return accesses; }
+    uint64_t retrievals() const { return retrievalCount; }
+
+  private:
+    static core::DatabaseConfig makeConfig(const Config &config);
+
+    core::Database db;
+    uint64_t accesses = 0;
+    uint64_t retrievalCount = 0;
+};
+
+} // namespace caram::cognitive
+
+#endif // CARAM_COGNITIVE_DECLARATIVE_MEMORY_H_

@@ -1,0 +1,94 @@
+#ifndef CARAM_COMMON_BITOPS_H_
+#define CARAM_COMMON_BITOPS_H_
+
+/**
+ * @file
+ * Small bit-manipulation helpers used across the CA-RAM model.
+ */
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace caram {
+
+/** Integer ceiling division. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** A mask with the low @p n bits set (n in [0, 64]). */
+constexpr uint64_t
+maskBits(unsigned n)
+{
+    return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+/**
+ * Extract bits [lo, lo+len) of @p v as an unsigned value
+ * (bit 0 is the least significant bit).
+ */
+constexpr uint64_t
+bits(uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & maskBits(len);
+}
+
+/**
+ * Gather the bits of @p v at the positions listed in @p positions into a
+ * packed value: positions[0] becomes the most significant result bit.
+ * This mirrors how a hard-wired bit-selection index generator taps a key
+ * bus.  Positions index from the MSB of an @p width -bit key (position 0
+ * is the key's first/most significant bit), matching the IP-prefix
+ * convention where "bit 0" is the first address bit on the wire.
+ */
+inline uint64_t
+gatherBitsMsb(uint64_t v, unsigned width, const std::vector<unsigned> &positions)
+{
+    uint64_t out = 0;
+    for (unsigned pos : positions) {
+        assert(pos < width);
+        unsigned lsb_index = width - 1 - pos;
+        out = (out << 1) | ((v >> lsb_index) & 1u);
+    }
+    return out;
+}
+
+/** Reverse the low @p n bits of @p v. */
+constexpr uint64_t
+reverseBits(uint64_t v, unsigned n)
+{
+    uint64_t out = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        out = (out << 1) | ((v >> i) & 1u);
+    }
+    return out;
+}
+
+} // namespace caram
+
+#endif // CARAM_COMMON_BITOPS_H_

@@ -1,0 +1,134 @@
+#ifndef CARAM_COMMON_KEY_H_
+#define CARAM_COMMON_KEY_H_
+
+/**
+ * @file
+ * Search keys, possibly ternary.
+ *
+ * A Key is a fixed-width bit string of up to kMaxKeyBits bits with an
+ * associated care mask: a care bit of 1 means the corresponding value bit
+ * is specified; 0 means don't care ("X").  Fully specified keys (all-ones
+ * care mask) are ordinary binary keys.
+ *
+ * Bit numbering: bit j (LSB numbering) of the key is bit (j % 64) of
+ * word (j / 64).  "MSB position p" refers to bit (width-1-p); position 0
+ * is the first bit on the wire in the networking convention.
+ *
+ * Matching follows the paper's extended single-bit comparator
+ * (Figure 4(b)): a bit position matches if either side's care bit is 0
+ * (mask inputs Mi / TMi) or the value bits agree.
+ */
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace caram {
+
+/** A ternary search/record key of up to kMaxKeyBits bits. */
+class Key
+{
+  public:
+    static constexpr unsigned kMaxKeyBits = 256;
+    static constexpr unsigned kWords = kMaxKeyBits / 64;
+
+    /** An empty (zero-width) key. */
+    Key() = default;
+
+    /** An all-zero, fully specified key of @p bits bits. */
+    explicit Key(unsigned bits);
+
+    /** A fully specified key from the low @p bits bits of @p value. */
+    static Key fromUint(uint64_t value, unsigned bits);
+
+    /**
+     * A ternary key from value/care words (64-bit granularity);
+     * value bits outside the care mask are normalized to zero.
+     */
+    static Key ternary(uint64_t value, uint64_t care, unsigned bits);
+
+    /**
+     * A fully specified key from a byte string: byte i occupies bits
+     * [8i, 8i+8).  @p bits must be a multiple of 8 covering the string;
+     * missing bytes are zero padding.
+     */
+    static Key fromBytes(std::span<const unsigned char> bytes,
+                         unsigned bits);
+
+    /** Convenience for ASCII string keys. */
+    static Key fromString(const std::string &s, unsigned bits);
+
+    /**
+     * An IPv4-style prefix: the top @p prefix_len MSB positions of
+     * @p value are specified, the rest are don't care.  @p bits is the
+     * full key width (32 for IPv4).
+     */
+    static Key prefix(uint64_t value, unsigned prefix_len, unsigned bits);
+
+    /**
+     * A wide prefix from a big-endian byte string (e.g. a 16-byte IPv6
+     * address): the top @p prefix_len MSB positions are specified, the
+     * rest don't care.  @p bits must be a multiple of 8 covering the
+     * bytes.
+     */
+    static Key prefixFromBytes(std::span<const unsigned char> bytes,
+                               unsigned prefix_len, unsigned bits);
+
+    unsigned bits() const { return width; }
+
+    std::span<const uint64_t> valueWords() const;
+    std::span<const uint64_t> careWords() const;
+
+    /** The low 64 bits of the value. */
+    uint64_t low64() const { return value[0]; }
+
+    /** The low 64 bits of the care mask. */
+    uint64_t careLow64() const { return care[0]; }
+
+    /** Value bit at MSB position @p p. */
+    bool valueBitAt(unsigned p) const;
+
+    /** Care bit at MSB position @p p (true = specified). */
+    bool careBitAt(unsigned p) const;
+
+    /** Set value/care at MSB position @p p. */
+    void setBitAt(unsigned p, bool value_bit, bool care_bit = true);
+
+    /** True when every bit is specified. */
+    bool fullySpecified() const;
+
+    /** Number of specified bits. */
+    unsigned carePopcount() const;
+
+    /**
+     * Ternary match between this (stored) key and a @p search key:
+     * every bit position either agrees or is don't care on at least one
+     * side (the paper's Mi / TMi extension).
+     */
+    bool matches(const Key &search) const;
+
+    /** Exact equality of width, value and care mask. */
+    bool operator==(const Key &other) const;
+    bool operator!=(const Key &other) const { return !(*this == other); }
+
+    /** Bit-string rendering, MSB first, 'X' for don't care. */
+    std::string toString() const;
+
+    /** Hash functor for unordered containers. */
+    struct Hasher
+    {
+        std::size_t operator()(const Key &k) const;
+    };
+
+  private:
+    void normalize();
+
+    std::array<uint64_t, kWords> value{};
+    std::array<uint64_t, kWords> care{};
+    unsigned width = 0;
+};
+
+} // namespace caram
+
+#endif // CARAM_COMMON_KEY_H_

@@ -1,0 +1,46 @@
+#ifndef CARAM_COMMON_LOGGING_H_
+#define CARAM_COMMON_LOGGING_H_
+
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * fatal()  -- the condition is the *user's* fault (bad configuration,
+ *             invalid arguments).  Throws caram::FatalError so that a host
+ *             application (or a test) can recover.
+ * panic()  -- the condition is a library bug that should never happen
+ *             regardless of user input.  Aborts.
+ * warn()   -- something is suspicious but execution can continue.
+ * inform() -- plain status output.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace caram {
+
+/** Exception thrown by fatal() for unrecoverable user/configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Report an unrecoverable user error; throws FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal library bug; prints the message and aborts. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Globally silence warn()/inform() (benchmarks use this). */
+void setQuiet(bool quiet);
+
+} // namespace caram
+
+#endif // CARAM_COMMON_LOGGING_H_

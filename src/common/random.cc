@@ -1,0 +1,105 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace caram {
+
+namespace {
+
+/** SplitMix64 step, used only to expand the seed. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &word : s)
+        word = splitmix64(x);
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = std::rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = std::rotl(s[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    assert(bound != 0);
+    // Rejection sampling to remove modulo bias.
+    const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % bound);
+    uint64_t draw;
+    do {
+        draw = next64();
+    } while (draw >= limit);
+    return draw % bound;
+}
+
+uint64_t
+Rng::inRange(uint64_t lo, uint64_t hi)
+{
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+{
+    assert(n > 0);
+    cdf.resize(n);
+    double total = 0.0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+        total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+        cdf[rank] = total;
+    }
+    for (auto &v : cdf)
+        v /= total;
+    cdf.back() = 1.0;
+}
+
+std::size_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::size_t>(it - cdf.begin());
+}
+
+double
+ZipfSampler::pmf(std::size_t rank) const
+{
+    assert(rank < cdf.size());
+    return rank == 0 ? cdf[0] : cdf[rank] - cdf[rank - 1];
+}
+
+} // namespace caram

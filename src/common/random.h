@@ -1,0 +1,77 @@
+#ifndef CARAM_COMMON_RANDOM_H_
+#define CARAM_COMMON_RANDOM_H_
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation and a Zipf sampler.
+ *
+ * Every stochastic component in this repository draws from Rng seeded
+ * explicitly so that tests, tables and figures are reproducible run to run.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace caram {
+
+/**
+ * xoshiro256** PRNG with a SplitMix64 seeding sequence.  Small, fast and
+ * deterministic across platforms (unlike std::mt19937 distributions).
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next64();
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t inRange(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    uint64_t s[4];
+};
+
+/**
+ * Zipf(s) sampler over ranks {0, 1, ..., n-1} using a precomputed CDF and
+ * binary search.  Rank 0 is the most popular item.  Suitable for the
+ * vocabulary and traffic-skew sizes used in this repository (up to a few
+ * million ranks).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n        number of ranks
+     * @param exponent Zipf exponent s (1.0 is the classic harmonic law)
+     */
+    ZipfSampler(std::size_t n, double exponent);
+
+    /** Draw a rank according to the Zipf law. */
+    std::size_t operator()(Rng &rng) const;
+
+    /** Probability mass of a given rank. */
+    double pmf(std::size_t rank) const;
+
+    std::size_t size() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace caram
+
+#endif // CARAM_COMMON_RANDOM_H_

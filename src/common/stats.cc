@@ -1,0 +1,187 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace caram {
+
+void
+Summary::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x;
+    totalSq += x * x;
+}
+
+double
+Summary::mean() const
+{
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double
+Summary::min() const
+{
+    return n == 0 ? 0.0 : lo;
+}
+
+double
+Summary::max() const
+{
+    return n == 0 ? 0.0 : hi;
+}
+
+double
+Summary::stddev() const
+{
+    if (n == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = totalSq / static_cast<double>(n) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Histogram::add(uint64_t v, uint64_t weight)
+{
+    if (v >= counts.size())
+        counts.resize(v + 1, 0);
+    counts[v] += weight;
+    total += weight;
+}
+
+void
+Histogram::remove(uint64_t v, uint64_t weight)
+{
+    if (v >= counts.size() || counts[v] < weight || total < weight)
+        panic("histogram remove of nonexistent observation");
+    counts[v] -= weight;
+    total -= weight;
+}
+
+uint64_t
+Histogram::at(uint64_t v) const
+{
+    return v < counts.size() ? counts[v] : 0;
+}
+
+uint64_t
+Histogram::maxValue() const
+{
+    for (std::size_t i = counts.size(); i-- > 0;) {
+        if (counts[i] != 0)
+            return i;
+    }
+    return 0;
+}
+
+double
+Histogram::mean() const
+{
+    if (total == 0)
+        return 0.0;
+    double weighted = 0.0;
+    for (std::size_t v = 0; v < counts.size(); ++v)
+        weighted += static_cast<double>(v) * static_cast<double>(counts[v]);
+    return weighted / static_cast<double>(total);
+}
+
+double
+Histogram::fractionAbove(uint64_t v) const
+{
+    if (total == 0)
+        return 0.0;
+    uint64_t above = 0;
+    for (std::size_t i = v + 1; i < counts.size(); ++i)
+        above += counts[i];
+    return static_cast<double>(above) / static_cast<double>(total);
+}
+
+uint64_t
+Histogram::excessAbove(uint64_t v) const
+{
+    uint64_t excess = 0;
+    for (std::size_t i = v + 1; i < counts.size(); ++i)
+        excess += (i - v) * counts[i];
+    return excess;
+}
+
+void
+Histogram::printAscii(std::ostream &os, uint64_t bin_width,
+                      unsigned max_bar) const
+{
+    assert(bin_width > 0);
+    if (counts.empty()) {
+        os << "(empty histogram)\n";
+        return;
+    }
+    // Group values into bins of bin_width.
+    const uint64_t max_v = maxValue();
+    const uint64_t nbins = max_v / bin_width + 1;
+    std::vector<uint64_t> grouped(nbins, 0);
+    for (std::size_t v = 0; v < counts.size(); ++v)
+        grouped[v / bin_width] += counts[v];
+    const uint64_t peak = *std::max_element(grouped.begin(), grouped.end());
+    for (uint64_t b = 0; b < nbins; ++b) {
+        const uint64_t lo = b * bin_width;
+        const uint64_t hi = lo + bin_width - 1;
+        const unsigned bar = peak == 0
+            ? 0
+            : static_cast<unsigned>(grouped[b] * max_bar / peak);
+        os << "  [";
+        if (bin_width == 1)
+            os << lo;
+        else
+            os << lo << "-" << hi;
+        os << "]\t" << grouped[b] << "\t" << std::string(bar, '#') << "\n";
+    }
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != rows.front().size())
+        panic("TextTable row arity mismatch");
+    rows.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(rows.front().size(), 0);
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        os << "  ";
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            os << rows[r][c]
+               << std::string(width[c] - rows[r][c].size() + 2, ' ');
+        }
+        os << "\n";
+        if (r == 0) {
+            std::size_t line = 2;
+            for (auto w : width)
+                line += w + 2;
+            os << "  " << std::string(line - 2, '-') << "\n";
+        }
+    }
+}
+
+} // namespace caram

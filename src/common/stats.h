@@ -1,0 +1,107 @@
+#ifndef CARAM_COMMON_STATS_H_
+#define CARAM_COMMON_STATS_H_
+
+/**
+ * @file
+ * Lightweight statistics containers used by the simulator, the evaluation
+ * tables and the figures: a running summary, an integer histogram, and a
+ * column-aligned table printer for bench output.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace caram {
+
+/** Running mean / min / max / stddev over a stream of samples. */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    uint64_t count() const { return n; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    /** Population standard deviation. */
+    double stddev() const;
+    double sum() const { return total; }
+
+  private:
+    uint64_t n = 0;
+    double total = 0.0;
+    double totalSq = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Histogram over small non-negative integer values (e.g., bucket
+ * occupancies).  Bins grow on demand.
+ */
+class Histogram
+{
+  public:
+    /** Record one observation of value @p v. */
+    void add(uint64_t v, uint64_t weight = 1);
+
+    /** Remove @p weight observations of value @p v (must exist). */
+    void remove(uint64_t v, uint64_t weight = 1);
+
+    /** Number of observations of exactly @p v. */
+    uint64_t at(uint64_t v) const;
+
+    /** Largest value observed (0 if empty). */
+    uint64_t maxValue() const;
+
+    /** Total number of observations. */
+    uint64_t totalCount() const { return total; }
+
+    /** Mean of the observed values. */
+    double mean() const;
+
+    /** Fraction of observations strictly greater than @p v. */
+    double fractionAbove(uint64_t v) const;
+
+    /** Sum over all observations of max(value - v, 0). */
+    uint64_t excessAbove(uint64_t v) const;
+
+    const std::vector<uint64_t> &bins() const { return counts; }
+
+    /**
+     * Render an ASCII bar chart, one row per group of @p bin_width values,
+     * to @p os.  Used to "draw" the paper's distribution figures in text.
+     */
+    void printAscii(std::ostream &os, uint64_t bin_width = 1,
+                    unsigned max_bar = 60) const;
+
+  private:
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+};
+
+/**
+ * Column-aligned text table, used by every bench binary to print the
+ * paper's tables next to our measured values.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Print with padded columns. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace caram
+
+#endif // CARAM_COMMON_STATS_H_

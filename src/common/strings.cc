@@ -1,0 +1,51 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace caram {
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    const int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(static_cast<std::size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+std::string
+withCommas(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    const std::size_t n = digits.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(digits[i]);
+        const std::size_t remaining = n - 1 - i;
+        if (remaining != 0 && remaining % 3 == 0)
+            out.push_back(',');
+    }
+    return out;
+}
+
+std::string
+fixed(double v, int decimals)
+{
+    return strprintf("%.*f", decimals, v);
+}
+
+std::string
+percent(double fraction, int decimals)
+{
+    return strprintf("%.*f%%", decimals, fraction * 100.0);
+}
+
+} // namespace caram

@@ -1,0 +1,29 @@
+#ifndef CARAM_COMMON_STRINGS_H_
+#define CARAM_COMMON_STRINGS_H_
+
+/**
+ * @file
+ * printf-style string formatting helpers (libstdc++ in this toolchain
+ * predates std::format).
+ */
+
+#include <string>
+
+namespace caram {
+
+/** printf into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format with thousands separators, e.g. 186760 -> "186,760". */
+std::string withCommas(uint64_t v);
+
+/** Format a double with @p decimals digits after the point. */
+std::string fixed(double v, int decimals);
+
+/** Format a ratio as a percentage string with @p decimals digits. */
+std::string percent(double fraction, int decimals = 2);
+
+} // namespace caram
+
+#endif // CARAM_COMMON_STRINGS_H_

@@ -1,0 +1,68 @@
+#include "core/config.h"
+
+#include "common/bitops.h"
+#include "common/key.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace caram::core {
+
+void
+SliceConfig::validate() const
+{
+    if (indexBits == 0 || indexBits > 40)
+        fatal("index bits must be in 1..40");
+    if (logicalKeyBits == 0 || logicalKeyBits > Key::kMaxKeyBits)
+        fatal(strprintf("logical key width must be 1..%u bits",
+                        Key::kMaxKeyBits));
+    if (ternary && logicalKeyBits > Key::kMaxKeyBits / 2)
+        fatal("ternary keys limited to half the maximum key width");
+    if (slotsPerBucket == 0 || slotsPerBucket > 4096)
+        fatal("slots per bucket must be in 1..4096");
+    if (dataBits > 64)
+        fatal("at most 64 data bits per slot");
+    if (probe != ProbePolicy::None && maxProbeDistance == 0)
+        fatal("probing enabled but max probe distance is zero");
+    if (maxProbeDistance >= rows())
+        fatal("max probe distance must be below the row count");
+    if (probe == ProbePolicy::SecondHash && !isPow2(rows()))
+        fatal("second-hash probing requires a power-of-two row count");
+    if (rowOverride != 0 && rowOverride > (uint64_t{1} << 40))
+        fatal("row override too large");
+}
+
+SliceConfig
+SliceConfig::arranged(unsigned count, Arrangement how) const
+{
+    if (count == 0)
+        fatal("arrangement needs at least one slice");
+    SliceConfig out = *this;
+    if (count == 1)
+        return out;
+    switch (how) {
+      case Arrangement::Horizontal:
+        out.slotsPerBucket = slotsPerBucket * count;
+        break;
+      case Arrangement::Vertical:
+        if (isPow2(count) && rowOverride == 0) {
+            out.indexBits = indexBits + floorLog2(count);
+        } else {
+            // Non-power-of-two row space: the index generator reduces
+            // modulo the row count (e.g. Table 3's design B).
+            out.rowOverride = rows() * count;
+            out.indexBits = ceilLog2(out.rowOverride);
+        }
+        break;
+    }
+    out.validate();
+    return out;
+}
+
+SliceConfig
+SliceConfig::arrangedGrid(unsigned vertical, unsigned horizontal) const
+{
+    return arranged(horizontal, Arrangement::Horizontal)
+        .arranged(vertical, Arrangement::Vertical);
+}
+
+} // namespace caram::core

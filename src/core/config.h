@@ -1,0 +1,165 @@
+#ifndef CARAM_CORE_CONFIG_H_
+#define CARAM_CORE_CONFIG_H_
+
+/**
+ * @file
+ * Configuration of a CA-RAM slice and of multi-slice arrangements
+ * (paper sections 3.1 and 3.2).
+ *
+ * Naming follows the paper: R index bits select one of 2^R rows
+ * (buckets); each bucket holds S key slots; the nominal row width C is
+ * S * N where N is the *stored* key width (a ternary key stores 2 bits
+ * per symbol, so an IPv4 prefix is N = 64).
+ *
+ * The storage layout adds, on top of the paper's nominal C, one valid
+ * bit per slot, optional data bits per slot ("storing data along with
+ * its key in CA-RAM"), and the per-row auxiliary field that tracks
+ * occupancy and "how far the extended search effort should reach".
+ */
+
+#include <cstdint>
+
+namespace caram::core {
+
+/** How bucket overflows find an alternative bucket (section 2.1). */
+enum class ProbePolicy
+{
+    None,       ///< no overflow handling: inserts fail when the bucket is full
+    Linear,     ///< linear probing over consecutive buckets
+    SecondHash, ///< fixed odd stride derived from a second hash of the key
+};
+
+/** How multiple physical slices form one logical database (section 3.2). */
+enum class Arrangement
+{
+    Horizontal, ///< wider buckets (more slots per bucket)
+    Vertical,   ///< more rows (more index bits)
+};
+
+/** Static configuration of one (logical) CA-RAM slice. */
+struct SliceConfig
+{
+    /** Index width R: the slice has 2^R rows (unless rowOverride). */
+    unsigned indexBits = 10;
+
+    /**
+     * Non-power-of-two row count (0 = use 2^indexBits).  Vertical
+     * arrangements of a non-power-of-two slice count (e.g. Table 3's
+     * design B: five 2^14-row slices) produce such configurations; the
+     * index generator then reduces modulo this row count.
+     */
+    uint64_t rowOverride = 0;
+
+    /** Logical key width in bits (32 for IPv4, 128 for 16-char strings). */
+    unsigned logicalKeyBits = 32;
+
+    /**
+     * Ternary storage: each stored key carries a care mask, doubling the
+     * stored key width, exactly as the paper halves capacity when "the
+     * ternary search capability is enabled".
+     */
+    bool ternary = false;
+
+    /** Key slots per bucket (the paper's S). */
+    unsigned slotsPerBucket = 32;
+
+    /** Data bits stored with each key (0 = key-only CA-RAM). */
+    unsigned dataBits = 0;
+
+    /** Overflow policy. */
+    ProbePolicy probe = ProbePolicy::Linear;
+
+    /** Maximum probe distance before an insert fails. */
+    unsigned maxProbeDistance = 64;
+
+    /**
+     * Longest-prefix-match mode: searches examine every bucket within
+     * the home bucket's overflow reach and return the match with the
+     * most specified key bits, instead of stopping at the first hit.
+     */
+    bool lpm = false;
+
+    /** Auxiliary field width per row: used count (16) + reach (16). */
+    static constexpr unsigned auxBits = 32;
+
+    /// @name Derived quantities
+    /// @{
+    uint64_t
+    rows() const
+    {
+        return rowOverride != 0 ? rowOverride : uint64_t{1} << indexBits;
+    }
+
+    /** Stored key width N (doubled when ternary). */
+    unsigned storedKeyBits() const
+    {
+        return logicalKeyBits * (ternary ? 2u : 1u);
+    }
+
+    /** Bits per slot including data and the valid bit. */
+    unsigned slotBits() const { return storedKeyBits() + dataBits + 1; }
+
+    /** The paper's nominal C: keys only. */
+    unsigned nominalRowBits() const
+    {
+        return slotsPerBucket * storedKeyBits();
+    }
+
+    /** Actual bits per stored row. */
+    unsigned storageRowBits() const
+    {
+        return auxBits + slotsPerBucket * slotBits();
+    }
+
+    /** Total key slots in the slice. */
+    uint64_t capacity() const { return rows() * slotsPerBucket; }
+    /// @}
+
+    /** Throws FatalError when inconsistent. */
+    void validate() const;
+
+    /**
+     * The effective logical configuration of @p count physical slices of
+     * this shape arranged @p how (horizontal: S multiplies; vertical:
+     * R gains log2(count) bits -- count must be a power of two).
+     */
+    SliceConfig arranged(unsigned count, Arrangement how) const;
+
+    /**
+     * Mixed arrangement (section 3.2: "arranged vertically ...,
+     * horizontally ..., or in a mixed way"): a grid of
+     * @p vertical x @p horizontal physical slices -- wider buckets
+     * within a row group, more rows across groups.
+     */
+    SliceConfig arrangedGrid(unsigned vertical, unsigned horizontal) const;
+};
+
+/** Physical composition of a logical slice, for cost and timing models. */
+struct PhysicalLayout
+{
+    /** Per-physical-slice configuration. */
+    SliceConfig sliceShape;
+    /** Number of physical slices. */
+    unsigned slices = 1;
+    Arrangement arrangement = Arrangement::Horizontal;
+    /** Vertical groups of a mixed (grid) arrangement; 0 = not mixed. */
+    unsigned mixedVerticalGroups = 0;
+
+    /**
+     * Independently accessible banks: vertical slices (or the vertical
+     * groups of a grid) serve different rows concurrently; horizontal
+     * slices operate in lock-step on one lookup and act as a single
+     * bank.
+     */
+    unsigned
+    independentBanks() const
+    {
+        if (mixedVerticalGroups != 0)
+            return mixedVerticalGroups;
+        return arrangement == Arrangement::Vertical ? slices : 1;
+    }
+};
+
+} // namespace caram::core
+
+#endif // CARAM_CORE_CONFIG_H_

@@ -1,0 +1,81 @@
+#include "core/match_processor.h"
+
+#include "cam/priority_encoder.h"
+#include "common/logging.h"
+
+namespace caram::core {
+
+MatchProcessor::MatchProcessor(const SliceConfig &config) : cfg(&config)
+{
+}
+
+std::vector<bool>
+MatchProcessor::matchVector(const BucketView &bucket,
+                            const Key &search) const
+{
+    if (search.bits() != cfg->logicalKeyBits)
+        fatal("search key width does not match the slice configuration");
+    std::vector<bool> mv(bucket.slots(), false);
+    for (unsigned i = 0; i < bucket.slots(); ++i) {
+        mv[i] = bucket.slotValid(i) && bucket.slotMatchesKey(i, search);
+    }
+    return mv;
+}
+
+BucketMatch
+MatchProcessor::extract(const BucketView &bucket, unsigned slot,
+                        bool multiple) const
+{
+    BucketMatch m;
+    m.hit = true;
+    m.multipleMatch = multiple;
+    m.slot = slot;
+    m.data = bucket.slotData(slot);
+    m.key = bucket.slotKey(slot);
+    return m;
+}
+
+BucketMatch
+MatchProcessor::searchBucket(const BucketView &bucket,
+                             const Key &search) const
+{
+    const auto mv = matchVector(bucket, search);
+    const auto enc = cam::priorityEncode(mv);
+    if (!enc.anyMatch)
+        return BucketMatch{};
+    return extract(bucket, static_cast<unsigned>(enc.index),
+                   enc.multipleMatch);
+}
+
+BucketMatch
+MatchProcessor::searchBucketBest(const BucketView &bucket,
+                                 const Key &search) const
+{
+    const auto mv = matchVector(bucket, search);
+    int best = -1;
+    unsigned best_pop = 0;
+    unsigned matches = 0;
+    for (unsigned i = 0; i < mv.size(); ++i) {
+        if (!mv[i])
+            continue;
+        ++matches;
+        const unsigned pop = bucket.slotKey(i).carePopcount();
+        if (best < 0 || pop > best_pop) {
+            best = static_cast<int>(i);
+            best_pop = pop;
+        }
+    }
+    if (best < 0)
+        return BucketMatch{};
+    return extract(bucket, static_cast<unsigned>(best), matches > 1);
+}
+
+bool
+MatchProcessor::slotMatches(const BucketView &bucket, unsigned slot,
+                            const Key &search, const SliceConfig &config)
+{
+    (void)config;
+    return bucket.slotMatchesKey(slot, search);
+}
+
+} // namespace caram::core

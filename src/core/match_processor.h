@@ -1,0 +1,86 @@
+#ifndef CARAM_CORE_MATCH_PROCESSOR_H_
+#define CARAM_CORE_MATCH_PROCESSOR_H_
+
+/**
+ * @file
+ * Functional model of the CA-RAM match processor (paper sections 3.1 and
+ * 3.3).  Its four steps are:
+ *
+ *   1. expand search key   -- replicate/align the key across the row
+ *                             (hidden under the memory access)
+ *   2. calculate match vector -- per-slot ternary comparison
+ *   3. decode match vector -- priority encode, detect multi/no match
+ *   4. extract result      -- multiplex out the matched record
+ *
+ * Comparison implements the extended single-bit comparator of
+ * Figure 4(b): a bit matches when the values agree or when either the
+ * search key's mask (Mi) or the stored key's mask (TMi) marks it
+ * don't care.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/key.h"
+#include "core/bucket.h"
+#include "core/config.h"
+
+namespace caram::core {
+
+/** Result of matching one bucket. */
+struct BucketMatch
+{
+    bool hit = false;
+    bool multipleMatch = false;
+    unsigned slot = 0;
+    uint64_t data = 0;
+    Key key;
+};
+
+/** The decoupled match logic shared by a slice's bucket accesses. */
+class MatchProcessor
+{
+  public:
+    explicit MatchProcessor(const SliceConfig &config);
+
+    /**
+     * Steps 1+2: the per-slot match vector.  A slot is set when it is
+     * valid and its stored key ternary-matches the search key.
+     */
+    std::vector<bool> matchVector(const BucketView &bucket,
+                                  const Key &search) const;
+
+    /**
+     * Steps 3+4 on top of the match vector: priority-encoded first
+     * match, as the hardware returns it.
+     */
+    BucketMatch searchBucket(const BucketView &bucket,
+                             const Key &search) const;
+
+    /**
+     * Longest-prefix variant: among all matching slots, extract the one
+     * with the most specified key bits (ties go to the lowest slot).
+     * With buckets sorted on descending prefix length this returns the
+     * same slot as the plain priority encoder.
+     */
+    BucketMatch searchBucketBest(const BucketView &bucket,
+                                 const Key &search) const;
+
+    /**
+     * Word-level fast path of the slot comparison (the model the
+     * hardware's parallel comparators implement); the test suite checks
+     * it against Key::matches bit by bit.
+     */
+    static bool slotMatches(const BucketView &bucket, unsigned slot,
+                            const Key &search, const SliceConfig &config);
+
+  private:
+    BucketMatch extract(const BucketView &bucket, unsigned slot,
+                        bool multiple) const;
+
+    const SliceConfig *cfg;
+};
+
+} // namespace caram::core
+
+#endif // CARAM_CORE_MATCH_PROCESSOR_H_

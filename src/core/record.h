@@ -1,0 +1,46 @@
+#ifndef CARAM_CORE_RECORD_H_
+#define CARAM_CORE_RECORD_H_
+
+/**
+ * @file
+ * Records and the results of CA-RAM CAM-mode operations.
+ */
+
+#include <cstdint>
+
+#include "common/key.h"
+
+namespace caram::core {
+
+/** A searchable record: key plus associated data (section 2.1). */
+struct Record
+{
+    Key key;
+    uint64_t data = 0;
+};
+
+/** Outcome of a CAM-mode insert. */
+struct InsertResult
+{
+    bool ok = false;       ///< false: no space within the probe limit
+    uint64_t homeRow = 0;  ///< bucket selected by the index generator
+    uint64_t placedRow = 0;///< bucket the record actually landed in
+    unsigned slot = 0;     ///< slot within the placed bucket
+    unsigned distance = 0; ///< probe distance (0 = home bucket)
+};
+
+/** Outcome of a CAM-mode search. */
+struct SearchResult
+{
+    bool hit = false;
+    bool multipleMatch = false; ///< >1 match in the winning bucket
+    uint64_t row = 0;           ///< bucket of the winning record
+    unsigned slot = 0;          ///< slot of the winning record
+    uint64_t data = 0;          ///< stored data of the winner
+    Key key;                    ///< stored key of the winner
+    unsigned bucketsAccessed = 0; ///< memory accesses this lookup took
+};
+
+} // namespace caram::core
+
+#endif // CARAM_CORE_RECORD_H_

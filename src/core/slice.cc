@@ -1,0 +1,429 @@
+#include "core/slice.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace caram::core {
+
+CaRamSlice::CaRamSlice(const SliceConfig &config,
+                       std::unique_ptr<hash::IndexGenerator> index_gen)
+    : cfg(config),
+      idxGen(std::move(index_gen)),
+      array_(config.rows(), config.storageRowBits()),
+      matcher(cfg)
+{
+    cfg.validate();
+    if (!idxGen)
+        fatal("slice requires an index generator");
+    if (idxGen->rowCount() != cfg.rows())
+        fatal(strprintf("index generator addresses %llu rows but the "
+                        "slice has %llu",
+                        (unsigned long long)idxGen->rowCount(),
+                        (unsigned long long)cfg.rows()));
+    homeDemandPerBucket.assign(cfg.rows(), 0);
+}
+
+uint64_t
+CaRamSlice::homeRow(const Key &key) const
+{
+    if (key.bits() != cfg.logicalKeyBits)
+        fatal("key width does not match the slice configuration");
+    return idxGen->index(key.valueWords(), key.bits());
+}
+
+std::vector<uint64_t>
+CaRamSlice::homeRows(const Key &key) const
+{
+    if (key.bits() != cfg.logicalKeyBits)
+        fatal("key width does not match the slice configuration");
+    std::vector<uint64_t> homes;
+    idxGen->candidateIndices(key.valueWords(), key.careWords(), key.bits(),
+                             homes);
+    return homes;
+}
+
+uint64_t
+CaRamSlice::probeRow(uint64_t home, unsigned d, const Key &key) const
+{
+    if (d == 0)
+        return home;
+    const uint64_t rows = cfg.rows();
+    switch (cfg.probe) {
+      case ProbePolicy::None:
+        panic("probing disabled but a nonzero distance was requested");
+      case ProbePolicy::Linear:
+        return (home + d) % rows;
+      case ProbePolicy::SecondHash: {
+        // A fixed odd stride derived from a second (xor-fold) hash of
+        // the key; odd strides cycle through the power-of-two row space
+        // (validate() rejects SecondHash on non-power-of-two rows).
+        uint64_t h = 0;
+        for (uint64_t w : key.valueWords())
+            h ^= w;
+        h ^= h >> cfg.indexBits;
+        const uint64_t step = (h & (rows - 1)) | 1;
+        return (home + d * step) & (rows - 1);
+      }
+    }
+    panic("unreachable probe policy");
+}
+
+InsertResult
+CaRamSlice::insertAt(uint64_t home_row, const Record &record)
+{
+    InsertResult result;
+    result.homeRow = home_row;
+    const unsigned max_d =
+        cfg.probe == ProbePolicy::None ? 0 : cfg.maxProbeDistance;
+    for (unsigned d = 0; d <= max_d; ++d) {
+        const uint64_t row = probeRow(home_row, d, record.key);
+        BucketView b = bucket(row);
+        // Fast path: with insert-only workloads slots fill in order, so
+        // the aux used count points at the first free slot.
+        int slot = -1;
+        const unsigned used = b.usedCount();
+        if (used < cfg.slotsPerBucket && !b.slotValid(used))
+            slot = static_cast<int>(used);
+        else
+            slot = b.firstFreeSlot();
+        if (slot < 0)
+            continue;
+        b.writeSlot(static_cast<unsigned>(slot), record.key, record.data);
+        b.setUsedCount(b.usedCount() + 1);
+        BucketView home = bucket(home_row);
+        home.setReach(std::max(home.reach(), d));
+        ++homeDemandPerBucket[home_row];
+        distanceHist.add(d);
+        ++recordCount;
+        if (d > 0)
+            ++spilledCount;
+        result.ok = true;
+        result.placedRow = row;
+        result.slot = static_cast<unsigned>(slot);
+        result.distance = d;
+        return result;
+    }
+    return result; // ok == false: no space within the probe limit
+}
+
+void
+CaRamSlice::removePlacement(const InsertResult &placement)
+{
+    if (!placement.ok)
+        panic("cannot remove a failed placement");
+    BucketView b = bucket(placement.placedRow);
+    if (!b.slotValid(placement.slot))
+        panic("placement slot is no longer valid");
+    b.clearSlot(placement.slot);
+    b.setUsedCount(b.usedCount() - 1);
+    --homeDemandPerBucket[placement.homeRow];
+    distanceHist.remove(placement.distance);
+    --recordCount;
+    if (placement.distance > 0)
+        --spilledCount;
+}
+
+InsertSummary
+CaRamSlice::insert(const Record &record)
+{
+    InsertSummary summary;
+    const auto homes = homeRows(record.key);
+    summary.copies = static_cast<unsigned>(homes.size());
+    for (uint64_t home : homes) {
+        InsertResult r = insertAt(home, record);
+        if (!r.ok) {
+            // All-or-nothing: roll back exactly the copies this call
+            // placed (an identical pre-existing record is untouched).
+            for (const InsertResult &placed : summary.placements)
+                removePlacement(placed);
+            summary.ok = false;
+            summary.placements.clear();
+            return summary;
+        }
+        summary.maxDistance = std::max(summary.maxDistance, r.distance);
+        summary.placements.push_back(r);
+    }
+    summary.ok = true;
+    return summary;
+}
+
+bool
+CaRamSlice::searchChain(uint64_t home, const Key &search_key,
+                        SearchResult &best, std::vector<uint64_t> *trace)
+{
+    const unsigned reach = bucket(home).reach();
+    for (unsigned d = 0; d <= reach; ++d) {
+        const uint64_t row = probeRow(home, d, search_key);
+        ++best.bucketsAccessed;
+        if (trace)
+            trace->push_back(row);
+        BucketView b = bucket(row);
+        const BucketMatch m = cfg.lpm ? matcher.searchBucketBest(b, search_key)
+                                      : matcher.searchBucket(b, search_key);
+        if (!m.hit)
+            continue;
+        if (!cfg.lpm) {
+            best.hit = true;
+            best.multipleMatch = m.multipleMatch;
+            best.row = row;
+            best.slot = m.slot;
+            best.data = m.data;
+            best.key = m.key;
+            return true;
+        }
+        // LPM: keep the match with the most specified bits across the
+        // whole probe chain (spilled entries are the lower-priority
+        // ones, but a spilled long prefix must still win).
+        const unsigned pop = m.key.carePopcount();
+        if (!best.hit || pop > best.key.carePopcount()) {
+            best.hit = true;
+            best.multipleMatch = m.multipleMatch;
+            best.row = row;
+            best.slot = m.slot;
+            best.data = m.data;
+            best.key = m.key;
+        }
+    }
+    return false;
+}
+
+SearchResult
+CaRamSlice::search(const Key &search_key)
+{
+    ++searchCount;
+    SearchResult best;
+    // A search key with don't-care bits in hash positions must access
+    // every candidate bucket (section 4, "Discussions").
+    const auto homes = homeRows(search_key);
+    for (uint64_t home : homes) {
+        if (searchChain(home, search_key, best, nullptr))
+            break; // non-LPM first hit
+    }
+    accessCount += best.bucketsAccessed;
+    return best;
+}
+
+SearchResult
+CaRamSlice::searchTraced(const Key &search_key,
+                         std::vector<uint64_t> &rows_accessed)
+{
+    ++searchCount;
+    SearchResult best;
+    for (uint64_t home : homeRows(search_key)) {
+        if (searchChain(home, search_key, best, &rows_accessed))
+            break;
+    }
+    accessCount += best.bucketsAccessed;
+    return best;
+}
+
+bool
+CaRamSlice::eraseAt(uint64_t home, const Key &key)
+{
+    const unsigned reach = bucket(home).reach();
+    for (unsigned d = 0; d <= reach; ++d) {
+        const uint64_t row = probeRow(home, d, key);
+        BucketView b = bucket(row);
+        for (unsigned i = 0; i < b.slots(); ++i) {
+            if (!b.slotValid(i) || b.slotKey(i) != key)
+                continue;
+            b.clearSlot(i);
+            b.setUsedCount(b.usedCount() - 1);
+            // The home bucket's reach is left unchanged (a conservative
+            // over-approximation); adoptRamContents() tightens it.
+            --homeDemandPerBucket[home];
+            distanceHist.remove(d);
+            --recordCount;
+            if (d > 0)
+                --spilledCount;
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+CaRamSlice::erase(const Key &key)
+{
+    unsigned removed = 0;
+    for (uint64_t home : homeRows(key))
+        removed += eraseAt(home, key) ? 1 : 0;
+    return removed;
+}
+
+uint64_t
+CaRamSlice::countMatching(const Key &pattern)
+{
+    if (pattern.bits() != cfg.logicalKeyBits)
+        fatal("pattern width does not match the slice configuration");
+    uint64_t matched = 0;
+    for (uint64_t row = 0; row < cfg.rows(); ++row) {
+        ++accessCount;
+        BucketView b = bucket(row);
+        for (bool m : matcher.matchVector(b, pattern))
+            matched += m ? 1 : 0;
+    }
+    return matched;
+}
+
+uint64_t
+CaRamSlice::updateMatching(const Key &pattern, uint64_t new_data)
+{
+    if (pattern.bits() != cfg.logicalKeyBits)
+        fatal("pattern width does not match the slice configuration");
+    if (cfg.dataBits == 0)
+        fatal("slice stores no data field to update");
+    uint64_t updated = 0;
+    for (uint64_t row = 0; row < cfg.rows(); ++row) {
+        ++accessCount;
+        BucketView b = bucket(row);
+        const auto mv = matcher.matchVector(b, pattern);
+        for (unsigned i = 0; i < mv.size(); ++i) {
+            if (!mv[i])
+                continue;
+            b.writeSlot(i, b.slotKey(i), new_data);
+            ++updated;
+        }
+    }
+    return updated;
+}
+
+uint64_t
+CaRamSlice::ramLoad(uint64_t word_addr) const
+{
+    return array_.loadWord(word_addr);
+}
+
+void
+CaRamSlice::ramStore(uint64_t word_addr, uint64_t value)
+{
+    array_.storeWord(word_addr, value);
+}
+
+void
+CaRamSlice::adoptRamContents()
+{
+    homeDemandPerBucket.assign(cfg.rows(), 0);
+    distanceHist = Histogram();
+    recordCount = 0;
+    spilledCount = 0;
+
+    // First pass: fix every row's used count and clear its reach.
+    for (uint64_t row = 0; row < cfg.rows(); ++row) {
+        BucketView b = bucket(row);
+        b.setUsedCount(b.recountUsed());
+        b.setReach(0);
+    }
+    // Second pass: recompute demand, distances and reach from the keys.
+    const uint64_t rows = cfg.rows();
+    const auto wrap_dist = [rows](uint64_t row, uint64_t home) {
+        return static_cast<unsigned>((row + rows - home) % rows);
+    };
+    for (uint64_t row = 0; row < cfg.rows(); ++row) {
+        BucketView b = bucket(row);
+        for (unsigned i = 0; i < b.slots(); ++i) {
+            if (!b.slotValid(i))
+                continue;
+            const Key key = b.slotKey(i);
+            uint64_t home = row;
+            unsigned dist = 0;
+            if (key.fullySpecified() || !cfg.ternary) {
+                home = homeRow(key);
+                dist = wrap_dist(row, home);
+                if (dist > cfg.maxProbeDistance) {
+                    warn(strprintf("adopted record at row %llu is beyond "
+                                   "the probe limit; treating it as local",
+                                   (unsigned long long)row));
+                    home = row;
+                    dist = 0;
+                }
+            } else {
+                // A duplicated ternary copy: its own row is one of its
+                // candidate homes (possibly after probing); attribute it
+                // to the nearest candidate.
+                unsigned best = cfg.maxProbeDistance + 1;
+                for (uint64_t cand : homeRows(key)) {
+                    const auto d = wrap_dist(row, cand);
+                    if (d < best) {
+                        best = d;
+                        home = cand;
+                    }
+                }
+                dist = best <= cfg.maxProbeDistance ? best : 0;
+            }
+            ++homeDemandPerBucket[home];
+            distanceHist.add(dist);
+            ++recordCount;
+            if (dist > 0)
+                ++spilledCount;
+            BucketView home_bucket = bucket(home);
+            home_bucket.setReach(std::max(home_bucket.reach(), dist));
+        }
+    }
+}
+
+LoadStats
+CaRamSlice::loadStats() const
+{
+    LoadStats s;
+    s.buckets = cfg.rows();
+    s.slotsPerBucket = cfg.slotsPerBucket;
+    s.records = recordCount;
+    s.spilledRecords = spilledCount;
+    s.distance = distanceHist;
+    for (uint32_t demand : homeDemandPerBucket) {
+        s.homeDemand.add(demand);
+        if (demand > cfg.slotsPerBucket)
+            ++s.overflowingBuckets;
+    }
+    return s;
+}
+
+Histogram
+CaRamSlice::occupancyHistogram() const
+{
+    // The aux used count lives just past the slots in each row;
+    // checkIntegrity() verifies it against the raw array.
+    const uint64_t aux_lo =
+        static_cast<uint64_t>(cfg.slotsPerBucket) * cfg.slotBits();
+    Histogram h;
+    for (uint64_t row = 0; row < cfg.rows(); ++row)
+        h.add(array_.readBits(row, aux_lo, 16));
+    return h;
+}
+
+void
+CaRamSlice::clear()
+{
+    array_.clearAll();
+    homeDemandPerBucket.assign(cfg.rows(), 0);
+    distanceHist = Histogram();
+    recordCount = 0;
+    spilledCount = 0;
+    searchCount = 0;
+    accessCount = 0;
+}
+
+void
+CaRamSlice::checkIntegrity()
+{
+    uint64_t total = 0;
+    for (uint64_t row = 0; row < cfg.rows(); ++row) {
+        BucketView b = bucket(row);
+        const unsigned recount = b.recountUsed();
+        if (recount != b.usedCount())
+            panic(strprintf("row %llu: aux used count %u != recount %u",
+                            (unsigned long long)row, b.usedCount(),
+                            recount));
+        total += recount;
+    }
+    if (total != recordCount)
+        panic(strprintf("stored records %llu != tracked count %llu",
+                        (unsigned long long)total,
+                        (unsigned long long)recordCount));
+}
+
+} // namespace caram::core

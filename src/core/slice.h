@@ -1,0 +1,191 @@
+#ifndef CARAM_CORE_SLICE_H_
+#define CARAM_CORE_SLICE_H_
+
+/**
+ * @file
+ * A CA-RAM slice (paper Figure 3): index generator + dense memory array
+ * + match processors, with CAM-mode search/insert/delete, RAM-mode
+ * load/store, overflow probing driven by the per-row auxiliary field,
+ * and placement statistics.
+ *
+ * A "slice" here is a *logical* slice: multi-slice horizontal/vertical
+ * arrangements (section 3.2) are expressed as one logical slice with the
+ * effective R and S (see SliceConfig::arranged), while the physical
+ * composition is carried separately for the cost and timing models.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/bucket.h"
+#include "core/config.h"
+#include "core/load_stats.h"
+#include "core/match_processor.h"
+#include "core/record.h"
+#include "hash/index_generator.h"
+#include "mem/memory_array.h"
+
+namespace caram::core {
+
+/** Aggregate outcome of inserting a (possibly duplicated) record. */
+struct InsertSummary
+{
+    bool ok = false;          ///< every required copy was placed
+    unsigned copies = 0;      ///< buckets the record was duplicated into
+    unsigned maxDistance = 0; ///< worst probe distance among copies
+    std::vector<InsertResult> placements;
+};
+
+/** One CA-RAM slice. */
+class CaRamSlice
+{
+  public:
+    /**
+     * @param config    validated slice configuration
+     * @param index_gen index generator; its indexBits() must equal
+     *                  config.indexBits
+     */
+    CaRamSlice(const SliceConfig &config,
+               std::unique_ptr<hash::IndexGenerator> index_gen);
+
+    const SliceConfig &config() const { return cfg; }
+    const hash::IndexGenerator &indexGenerator() const { return *idxGen; }
+
+    /** Home bucket of a key (value bits only). */
+    uint64_t homeRow(const Key &key) const;
+
+    /** All home buckets of a possibly-ternary key (duplication). */
+    std::vector<uint64_t> homeRows(const Key &key) const;
+
+    /// @name CAM-mode operations (section 3.2)
+    /// @{
+    /**
+     * Insert a record, duplicating it into every bucket it can hash to
+     * when it has don't-care bits in hash positions.  All-or-nothing: on
+     * failure, already-placed copies are rolled back.
+     */
+    InsertSummary insert(const Record &record);
+
+    /** Insert one copy with an explicit home bucket. */
+    InsertResult insertAt(uint64_t home_row, const Record &record);
+
+    /**
+     * Undo one placement returned by insertAt()/insert() -- clears
+     * exactly that slot and its bookkeeping.  Unlike erase(), this can
+     * never disturb a different record with an identical key.
+     */
+    void removePlacement(const InsertResult &placement);
+
+    /**
+     * Look up a search key (which may itself contain don't-care bits,
+     * including in hash positions -- then multiple buckets are
+     * accessed).  Honors the configuration's probing policy, the home
+     * buckets' overflow reach and LPM mode.
+     */
+    SearchResult search(const Key &search_key);
+
+    /** Remove every stored copy whose stored key equals @p key exactly.
+     *  Returns the number of copies removed. */
+    unsigned erase(const Key &key);
+
+    /**
+     * search() variant that also reports the rows accessed, in order --
+     * the timing engine uses this to route accesses to banks.
+     */
+    SearchResult searchTraced(const Key &search_key,
+                              std::vector<uint64_t> &rows_accessed);
+
+    /**
+     * Massive data evaluation (paper section 1: the "decoupled match
+     * logic can be easily extended to implement more advanced
+     * functionality such as massive data evaluation and modification"):
+     * stream every row through the match processors and count the
+     * records matching @p pattern.  Costs one access per row.
+     */
+    uint64_t countMatching(const Key &pattern);
+
+    /**
+     * Massive data modification: overwrite the data field of every
+     * record matching @p pattern with @p new_data.  Returns the number
+     * of records updated; costs one access per row.
+     */
+    uint64_t updateMatching(const Key &pattern, uint64_t new_data);
+    /// @}
+
+    /// @name RAM-mode operations (section 3.2)
+    /// @{
+    uint64_t ramLoad(uint64_t word_addr) const;
+    void ramStore(uint64_t word_addr, uint64_t value);
+    uint64_t ramWords() const { return array_.wordCount(); }
+
+    /**
+     * Rebuild the auxiliary fields and placement statistics by scanning
+     * the array -- used after a database was constructed through RAM
+     * mode (memory copy / DMA).
+     *
+     * Exact for fully specified keys (and for ternary keys without
+     * don't-care bits in hash positions).  A *spilled* duplicated
+     * ternary copy cannot be re-attributed to its true home from the
+     * raw array alone; such copies are attributed to the nearest
+     * candidate home, which can under-set the true home's overflow
+     * reach.  Construct such databases through CAM-mode insert()
+     * instead.
+     */
+    void adoptRamContents();
+    /// @}
+
+    /** Direct bucket access (tests, mapping layers). */
+    BucketView bucket(uint64_t row) { return {array_, cfg, row}; }
+
+    /** Placement statistics (Tables 2 and 3 inputs). */
+    LoadStats loadStats() const;
+
+    /** Per-bucket occupancy (valid slots), for Figure 7. */
+    Histogram occupancyHistogram() const;
+
+    /** Number of records currently stored (incl. duplicates). */
+    uint64_t size() const { return recordCount; }
+
+    /** Wipe the database and statistics. */
+    void clear();
+
+    /** Total buckets accessed by search() calls (AMAL measurement). */
+    uint64_t searchAccesses() const { return accessCount; }
+    uint64_t searchesPerformed() const { return searchCount; }
+
+    /** Verify aux fields against the raw array; panics on corruption. */
+    void checkIntegrity();
+
+    const mem::MemoryArray &array() const { return array_; }
+
+  private:
+    /** Row probed at distance @p d from @p home for @p key. */
+    uint64_t probeRow(uint64_t home, unsigned d, const Key &key) const;
+
+    /** Search one home bucket chain; updates @p best under LPM. */
+    bool searchChain(uint64_t home, const Key &search_key,
+                     SearchResult &best, std::vector<uint64_t> *trace);
+
+    /** Remove one copy homed at @p home; returns true when found. */
+    bool eraseAt(uint64_t home, const Key &key);
+
+    SliceConfig cfg;
+    std::unique_ptr<hash::IndexGenerator> idxGen;
+    mem::MemoryArray array_;
+    MatchProcessor matcher;
+
+    // Placement statistics.
+    std::vector<uint32_t> homeDemandPerBucket;
+    Histogram distanceHist;
+    uint64_t recordCount = 0;
+    uint64_t spilledCount = 0;
+
+    // Search accounting.
+    uint64_t searchCount = 0;
+    uint64_t accessCount = 0;
+};
+
+} // namespace caram::core
+
+#endif // CARAM_CORE_SLICE_H_

@@ -1,0 +1,76 @@
+#ifndef CARAM_CORE_TIMING_ENGINE_H_
+#define CARAM_CORE_TIMING_ENGINE_H_
+
+/**
+ * @file
+ * Cycle-level timing model of a CA-RAM database's search pipeline, used
+ * for the section 3.4 bandwidth/latency experiments:
+ *
+ *   B_CA-RAM = N_slice / n_mem * f_clk
+ *
+ * The model: an input controller issues at most one request per clock
+ * cycle from the request queue; each memory access occupies its bank for
+ * n_mem cycles (mem::BankTimer); probing chains accesses serially; the
+ * match stages are pipelined with the memory and add a fixed latency to
+ * each lookup.  Vertical slices are independent banks selected by the
+ * high row bits; a horizontal arrangement operates in lock-step as a
+ * single bank.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/database.h"
+#include "mem/timing.h"
+#include "sim/event_queue.h"
+#include "sim/probes.h"
+
+namespace caram::core {
+
+/** Timing-run configuration. */
+struct TimingConfig
+{
+    mem::MemTiming timing = mem::MemTiming::embeddedDram();
+    /** Cycles of match-pipeline latency added after the last access
+     *  (match vector + decode + extract at one stage per cycle). */
+    unsigned matchCycles = 3;
+    /** Offered load: requests per second; 0 = saturating (back to back). */
+    double offeredMsps = 0.0;
+};
+
+/** Result of a timing run. */
+struct TimingRunResult
+{
+    sim::LatencyProbe probe;
+    uint64_t lookups = 0;
+    uint64_t memoryAccesses = 0;
+    double achievedMsps = 0.0;
+    double meanLatencyNs = 0.0;
+};
+
+/** Drives timed lookups against one database. */
+class TimingEngine
+{
+  public:
+    TimingEngine(Database &db, const TimingConfig &config);
+
+    /** Run the given search keys through the pipeline. */
+    TimingRunResult run(std::span<const Key> keys);
+
+    /** The paper's analytic bandwidth bound, Msps. */
+    double analyticBandwidthMsps() const;
+
+  private:
+    unsigned bankOf(uint64_t row) const;
+
+    Database *db_;
+    TimingConfig cfg;
+    sim::Clock clock;
+    std::vector<mem::BankTimer> banks;
+    uint64_t rowsPerBank;
+};
+
+} // namespace caram::core
+
+#endif // CARAM_CORE_TIMING_ENGINE_H_

@@ -1,0 +1,125 @@
+#include "hash/bit_select.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace caram::hash {
+
+BitSelectIndex::BitSelectIndex(unsigned key_bits,
+                               std::vector<unsigned> msb_positions)
+    : keyWidth(key_bits), msbPositions(std::move(msb_positions))
+{
+    if (msbPositions.empty())
+        fatal("bit selection needs at least one position");
+    if (msbPositions.size() > 63)
+        fatal("bit selection limited to 63 index bits");
+    for (unsigned p : msbPositions) {
+        if (p >= keyWidth)
+            fatal(strprintf("bit position %u out of key width %u", p,
+                            keyWidth));
+    }
+}
+
+unsigned
+BitSelectIndex::indexBits() const
+{
+    return static_cast<unsigned>(msbPositions.size());
+}
+
+uint64_t
+BitSelectIndex::index(std::span<const uint64_t> key_words,
+                      unsigned key_bits) const
+{
+    if (key_bits != keyWidth)
+        fatal("key width mismatch in bit selection");
+    uint64_t out = 0;
+    for (unsigned p : msbPositions) {
+        const unsigned lsb = keyWidth - 1 - p;
+        out = (out << 1) | keyBit(key_words, lsb);
+    }
+    return out;
+}
+
+void
+BitSelectIndex::candidateIndices(std::span<const uint64_t> key_words,
+                                 std::span<const uint64_t> care_words,
+                                 unsigned key_bits,
+                                 std::vector<uint64_t> &out) const
+{
+    if (key_bits != keyWidth)
+        fatal("key width mismatch in bit selection");
+    // Gather the base index and note which index bits are wildcards.
+    uint64_t base = 0;
+    std::vector<unsigned> wild; // index-bit numbers (LSB numbering)
+    const unsigned k = indexBits();
+    for (unsigned i = 0; i < k; ++i) {
+        const unsigned lsb = keyWidth - 1 - msbPositions[i];
+        base <<= 1;
+        if (keyBit(care_words, lsb)) {
+            base |= keyBit(key_words, lsb);
+        } else {
+            wild.push_back(k - 1 - i);
+        }
+    }
+    if (wild.size() >= 32 ||
+        (uint64_t{1} << wild.size()) > kMaxDuplication) {
+        fatal("too many don't-care bits in hash positions");
+    }
+    const uint64_t copies = uint64_t{1} << wild.size();
+    for (uint64_t combo = 0; combo < copies; ++combo) {
+        uint64_t idx = base;
+        for (std::size_t b = 0; b < wild.size(); ++b) {
+            if ((combo >> b) & 1u)
+                idx |= uint64_t{1} << wild[b];
+        }
+        out.push_back(idx);
+    }
+}
+
+std::string
+BitSelectIndex::name() const
+{
+    std::string positions;
+    for (std::size_t i = 0; i < msbPositions.size(); ++i) {
+        if (i != 0)
+            positions += ",";
+        positions += std::to_string(msbPositions[i]);
+    }
+    return strprintf("bit-select{%s}", positions.c_str());
+}
+
+BitSelectIndex
+BitSelectIndex::lastBitsOfFirst16(unsigned key_bits, unsigned r)
+{
+    if (r == 0 || r > 16)
+        fatal("lastBitsOfFirst16 expects 1 <= R <= 16");
+    std::vector<unsigned> positions;
+    for (unsigned p = 16 - r; p < 16; ++p)
+        positions.push_back(p);
+    return BitSelectIndex(key_bits, std::move(positions));
+}
+
+LowBitsIndex::LowBitsIndex(unsigned key_bits, unsigned r)
+    : keyWidth(key_bits), r_(r)
+{
+    if (r == 0 || r > 63 || r > key_bits)
+        fatal("invalid low-bits index width");
+}
+
+uint64_t
+LowBitsIndex::index(std::span<const uint64_t> key_words,
+                    unsigned key_bits) const
+{
+    if (key_bits != keyWidth)
+        fatal("key width mismatch in low-bits selection");
+    return key_words[0] & maskBits(r_);
+}
+
+std::string
+LowBitsIndex::name() const
+{
+    return strprintf("low-bits{%u}", r_);
+}
+
+} // namespace caram::hash

@@ -1,0 +1,71 @@
+#ifndef CARAM_HASH_BIT_SELECT_H_
+#define CARAM_HASH_BIT_SELECT_H_
+
+/**
+ * @file
+ * Bit-selection index generation (Zane et al. [32]): the index is formed
+ * by tapping a fixed set of key bit positions.  This is the hash the
+ * paper uses for the IP address lookup study, restricted to the first 16
+ * bits of the address.
+ */
+
+#include <vector>
+
+#include "hash/index_generator.h"
+
+namespace caram::hash {
+
+/** Index generator that concatenates selected key bits. */
+class BitSelectIndex : public IndexGenerator
+{
+  public:
+    /**
+     * @param key_bits      width of the keys this generator accepts
+     * @param msb_positions bit positions counted from the key MSB
+     *                      (position 0 = first bit); msb_positions[0]
+     *                      becomes the most significant index bit
+     */
+    BitSelectIndex(unsigned key_bits, std::vector<unsigned> msb_positions);
+
+    unsigned indexBits() const override;
+    uint64_t index(std::span<const uint64_t> key_words,
+                   unsigned key_bits) const override;
+    void candidateIndices(std::span<const uint64_t> key_words,
+                          std::span<const uint64_t> care_words,
+                          unsigned key_bits,
+                          std::vector<uint64_t> &out) const override;
+    std::string name() const override;
+
+    const std::vector<unsigned> &positions() const { return msbPositions; }
+
+    /**
+     * The paper's final choice for IP lookup: "choosing the last R bits
+     * in the first 16 bits results in the best outcome", i.e., MSB
+     * positions [16-R, 16).
+     */
+    static BitSelectIndex lastBitsOfFirst16(unsigned key_bits, unsigned r);
+
+  private:
+    unsigned keyWidth;
+    std::vector<unsigned> msbPositions;
+};
+
+/** Trivial generator: the low R bits of the key (LSB selection). */
+class LowBitsIndex : public IndexGenerator
+{
+  public:
+    LowBitsIndex(unsigned key_bits, unsigned r);
+
+    unsigned indexBits() const override { return r_; }
+    uint64_t index(std::span<const uint64_t> key_words,
+                   unsigned key_bits) const override;
+    std::string name() const override;
+
+  private:
+    unsigned keyWidth;
+    unsigned r_;
+};
+
+} // namespace caram::hash
+
+#endif // CARAM_HASH_BIT_SELECT_H_

@@ -1,0 +1,157 @@
+#include "hash/bit_selection_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace caram::hash {
+
+namespace {
+
+/**
+ * Accumulate the bucket loads of @p keys under the bit set @p positions
+ * into @p loads (size 2^positions.size()).  Keys with don't-care bits in
+ * selected positions are counted once per duplicated bucket.
+ * Returns the number of duplicate (extra) entries.
+ */
+uint64_t
+accumulateLoads(std::span<const WindowKey> keys,
+                const std::vector<unsigned> &positions, unsigned window_bits,
+                std::vector<uint64_t> &loads)
+{
+    const unsigned k = static_cast<unsigned>(positions.size());
+    uint64_t duplicates = 0;
+    for (const WindowKey &key : keys) {
+        // Build the base index and find wildcard positions.
+        uint32_t base = 0;
+        unsigned wild[32];
+        unsigned nwild = 0;
+        for (unsigned i = 0; i < k; ++i) {
+            const unsigned shift = window_bits - 1 - positions[i];
+            const uint32_t care = (key.care >> shift) & 1u;
+            const uint32_t bit = (key.value >> shift) & 1u;
+            base <<= 1;
+            if (care) {
+                base |= bit;
+            } else {
+                wild[nwild++] = k - 1 - i; // index-bit position of wildcard
+            }
+        }
+        const uint64_t copies = uint64_t{1} << nwild;
+        duplicates += copies - 1;
+        for (uint64_t combo = 0; combo < copies; ++combo) {
+            uint32_t idx = base;
+            for (unsigned b = 0; b < nwild; ++b) {
+                if ((combo >> b) & 1u)
+                    idx |= 1u << wild[b];
+            }
+            ++loads[idx];
+        }
+    }
+    return duplicates;
+}
+
+} // namespace
+
+BitSelectionOptimizer::BitSelectionOptimizer(unsigned window_bits)
+    : windowBits(window_bits)
+{
+    if (window_bits == 0 || window_bits > 32)
+        fatal("selection window must be 1..32 bits");
+}
+
+double
+BitSelectionOptimizer::objective(std::span<const WindowKey> keys,
+                                 const std::vector<unsigned> &positions) const
+{
+    std::vector<uint64_t> loads(std::size_t{1} << positions.size(), 0);
+    accumulateLoads(keys, positions, windowBits, loads);
+    double ss = 0.0;
+    for (uint64_t load : loads) {
+        const double l = static_cast<double>(load);
+        ss += l * l;
+    }
+    return ss;
+}
+
+SelectionQuality
+BitSelectionOptimizer::evaluate(std::span<const WindowKey> keys,
+                                std::span<const unsigned> positions) const
+{
+    std::vector<unsigned> pos(positions.begin(), positions.end());
+    std::vector<uint64_t> loads(std::size_t{1} << pos.size(), 0);
+    SelectionQuality q{};
+    q.duplicates = accumulateLoads(keys, pos, windowBits, loads);
+    q.maxLoad = 0;
+    q.sumSquares = 0.0;
+    for (uint64_t load : loads) {
+        q.maxLoad = std::max(q.maxLoad, load);
+        const double l = static_cast<double>(load);
+        q.sumSquares += l * l;
+    }
+    return q;
+}
+
+std::vector<unsigned>
+BitSelectionOptimizer::choose(std::span<const WindowKey> keys,
+                              unsigned r) const
+{
+    if (r == 0 || r > windowBits)
+        fatal("cannot select that many hash bits from the window");
+
+    std::vector<unsigned> chosen;
+    std::vector<bool> used(windowBits, false);
+
+    // Greedy growth: at each step add the position whose inclusion
+    // minimizes the sum of squared bucket loads (with duplication).
+    for (unsigned step = 0; step < r; ++step) {
+        double best = -1.0;
+        unsigned best_pos = windowBits;
+        for (unsigned cand = 0; cand < windowBits; ++cand) {
+            if (used[cand])
+                continue;
+            std::vector<unsigned> trial = chosen;
+            trial.push_back(cand);
+            std::sort(trial.begin(), trial.end());
+            const double score = objective(keys, trial);
+            if (best_pos == windowBits || score < best) {
+                best = score;
+                best_pos = cand;
+            }
+        }
+        assert(best_pos < windowBits);
+        used[best_pos] = true;
+        chosen.push_back(best_pos);
+        std::sort(chosen.begin(), chosen.end());
+    }
+
+    // One swap-refinement pass: try replacing each chosen position with
+    // each unused one; keep improvements.
+    bool improved = true;
+    double current = objective(keys, chosen);
+    while (improved) {
+        improved = false;
+        for (unsigned i = 0; i < chosen.size() && !improved; ++i) {
+            for (unsigned cand = 0; cand < windowBits; ++cand) {
+                if (used[cand])
+                    continue;
+                std::vector<unsigned> trial = chosen;
+                trial[i] = cand;
+                std::sort(trial.begin(), trial.end());
+                const double score = objective(keys, trial);
+                if (score < current) {
+                    used[chosen[i]] = false;
+                    used[cand] = true;
+                    chosen = trial;
+                    current = score;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    return chosen;
+}
+
+} // namespace caram::hash

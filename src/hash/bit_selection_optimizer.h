@@ -1,0 +1,69 @@
+#ifndef CARAM_HASH_BIT_SELECTION_OPTIMIZER_H_
+#define CARAM_HASH_BIT_SELECTION_OPTIMIZER_H_
+
+/**
+ * @file
+ * Hash-bit selection for IP address lookup, after Zane et al. [32]:
+ * "we apply the algorithm in [32] to find the best set of R bits which
+ * distributes the prefixes most evenly to buckets" (paper section 4.1).
+ *
+ * The optimizer works over a fixed window of key bits (the first 16 bits
+ * of an IPv4 address in the paper).  Keys may have don't-care (wildcard)
+ * bits inside the window; such keys count toward every bucket they would
+ * be duplicated into, exactly as the CA-RAM data mapping duplicates them.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace caram::hash {
+
+/**
+ * One key restricted to the selection window.  Bits use MSB-position
+ * numbering relative to the window: position p of the window is stored
+ * at bit (window_bits-1-p) of @c value / @c care.  A @c care bit of 1
+ * means the key specifies that position; 0 means don't care.
+ */
+struct WindowKey
+{
+    uint32_t value;
+    uint32_t care;
+};
+
+/** Quality metrics of a candidate bit set over a key population. */
+struct SelectionQuality
+{
+    uint64_t maxLoad;      ///< heaviest bucket (with duplication)
+    double sumSquares;     ///< sum of squared bucket loads
+    uint64_t duplicates;   ///< extra entries created by don't-care bits
+};
+
+/** Greedy bit-selection optimizer with one swap-refinement pass. */
+class BitSelectionOptimizer
+{
+  public:
+    /** @param window_bits width of the selection window (<= 32). */
+    explicit BitSelectionOptimizer(unsigned window_bits);
+
+    /**
+     * Choose @p r window positions (MSB numbering, ascending) that
+     * distribute @p keys most evenly.
+     */
+    std::vector<unsigned> choose(std::span<const WindowKey> keys,
+                                 unsigned r) const;
+
+    /** Evaluate a specific set of window positions. */
+    SelectionQuality evaluate(std::span<const WindowKey> keys,
+                              std::span<const unsigned> positions) const;
+
+  private:
+    double objective(std::span<const WindowKey> keys,
+                     const std::vector<unsigned> &positions) const;
+
+    unsigned windowBits;
+};
+
+} // namespace caram::hash
+
+#endif // CARAM_HASH_BIT_SELECTION_OPTIMIZER_H_

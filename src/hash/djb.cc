@@ -1,0 +1,65 @@
+#include "hash/djb.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace caram::hash {
+
+DjbIndex::DjbIndex(unsigned r) : buckets_(uint64_t{1} << r)
+{
+    if (r == 0 || r > 40)
+        fatal("invalid DJB index width");
+}
+
+DjbIndex::DjbIndex(uint64_t buckets, bool) : buckets_(buckets)
+{
+    if (buckets == 0 || buckets > (uint64_t{1} << 40))
+        fatal("invalid DJB bucket count");
+}
+
+DjbIndex
+DjbIndex::withBuckets(uint64_t buckets)
+{
+    return DjbIndex(buckets, true);
+}
+
+unsigned
+DjbIndex::indexBits() const
+{
+    return ceilLog2(buckets_);
+}
+
+uint64_t
+DjbIndex::raw(const unsigned char *bytes, std::size_t len)
+{
+    uint64_t h = 5381;
+    for (std::size_t i = 0; i < len; ++i)
+        h = (h << 5) + h + bytes[i];
+    return h;
+}
+
+uint64_t
+DjbIndex::index(std::span<const uint64_t> key_words, unsigned key_bits) const
+{
+    const unsigned nbytes = key_bits / 8;
+    uint64_t h = 5381;
+    for (unsigned i = 0; i < nbytes; ++i) {
+        const unsigned lo = i * 8;
+        const auto byte = static_cast<unsigned char>(
+            (key_words[lo / 64] >> (lo % 64)) & 0xff);
+        if (byte == 0)
+            continue; // skip padding of fixed-width string keys
+        h = (h << 5) + h + byte;
+    }
+    return h % buckets_;
+}
+
+std::string
+DjbIndex::name() const
+{
+    return strprintf("djb{%llu buckets}",
+                     static_cast<unsigned long long>(buckets_));
+}
+
+} // namespace caram::hash

@@ -1,0 +1,48 @@
+#ifndef CARAM_HASH_DJB_H_
+#define CARAM_HASH_DJB_H_
+
+/**
+ * @file
+ * The DJB string hash used by the paper's trigram lookup study
+ * (section 4.2) and by the CMU-Sphinx software hash:
+ *
+ *     hash(i) = (hash(i-1) << 5) + hash(i-1) + str[i]
+ *
+ * The key's bytes are taken in storage order (byte i at bits
+ * [8i, 8i+8)); trailing NUL bytes of fixed-width string keys are skipped
+ * so that the hardware hash matches the software string hash.
+ */
+
+#include "hash/index_generator.h"
+
+namespace caram::hash {
+
+/** DJB (Bernstein) string hash reduced to a bucket index. */
+class DjbIndex : public IndexGenerator
+{
+  public:
+    /** Hash into 2^r buckets. */
+    explicit DjbIndex(unsigned r);
+
+    /** Hash into an arbitrary (possibly non-power-of-two) bucket
+     *  count, e.g. five vertically arranged 2^14-row slices. */
+    static DjbIndex withBuckets(uint64_t buckets);
+
+    unsigned indexBits() const override;
+    uint64_t rowCount() const override { return buckets_; }
+    uint64_t index(std::span<const uint64_t> key_words,
+                   unsigned key_bits) const override;
+    std::string name() const override;
+
+    /** The raw 64-bit DJB hash of a byte string. */
+    static uint64_t raw(const unsigned char *bytes, std::size_t len);
+
+  private:
+    explicit DjbIndex(uint64_t buckets, bool);
+
+    uint64_t buckets_;
+};
+
+} // namespace caram::hash
+
+#endif // CARAM_HASH_DJB_H_

@@ -1,0 +1,47 @@
+#ifndef CARAM_HASH_FOLDING_H_
+#define CARAM_HASH_FOLDING_H_
+
+/**
+ * @file
+ * Folding index generators: "simple arithmetic functions, such as
+ * addition or subtraction" (paper section 3.1).  The key is cut into
+ * R-bit chunks that are combined with XOR or modular addition.
+ */
+
+#include "hash/index_generator.h"
+
+namespace caram::hash {
+
+/** XOR-fold the whole key down to R bits. */
+class XorFoldIndex : public IndexGenerator
+{
+  public:
+    explicit XorFoldIndex(unsigned r);
+
+    unsigned indexBits() const override { return r_; }
+    uint64_t index(std::span<const uint64_t> key_words,
+                   unsigned key_bits) const override;
+    std::string name() const override;
+
+  private:
+    unsigned r_;
+};
+
+/** Add-fold the key's R-bit chunks modulo 2^R. */
+class AddFoldIndex : public IndexGenerator
+{
+  public:
+    explicit AddFoldIndex(unsigned r);
+
+    unsigned indexBits() const override { return r_; }
+    uint64_t index(std::span<const uint64_t> key_words,
+                   unsigned key_bits) const override;
+    std::string name() const override;
+
+  private:
+    unsigned r_;
+};
+
+} // namespace caram::hash
+
+#endif // CARAM_HASH_FOLDING_H_

@@ -1,0 +1,38 @@
+#include "hash/index_generator.h"
+
+#include "common/logging.h"
+
+
+namespace caram::hash {
+
+uint64_t
+IndexGenerator::keyBit(std::span<const uint64_t> words, unsigned bit)
+{
+    const unsigned word = bit / 64;
+    if (word >= words.size())
+        panic("key bit index out of range");
+    return (words[word] >> (bit % 64)) & 1u;
+}
+
+void
+IndexGenerator::candidateIndices(std::span<const uint64_t> key_words,
+                                 std::span<const uint64_t> care_words,
+                                 unsigned key_bits,
+                                 std::vector<uint64_t> &out) const
+{
+    // A folding/whole-key hash cannot enumerate the buckets a
+    // partially specified key may land in -- every bit affects the
+    // index.  Accept fully specified keys; reject ternary ones instead
+    // of silently mis-placing them (bit-selection generators override
+    // this with proper duplication).
+    for (unsigned bit = 0; bit < key_bits; ++bit) {
+        if (((care_words[bit / 64] >> (bit % 64)) & 1u) == 0) {
+            fatal("this index generator cannot enumerate candidate "
+                  "buckets for keys with don't-care bits; use bit "
+                  "selection for ternary databases");
+        }
+    }
+    out.push_back(index(key_words, key_bits));
+}
+
+} // namespace caram::hash

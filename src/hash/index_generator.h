@@ -1,0 +1,74 @@
+#ifndef CARAM_HASH_INDEX_GENERATOR_H_
+#define CARAM_HASH_INDEX_GENERATOR_H_
+
+/**
+ * @file
+ * The CA-RAM index generator (paper section 3.1): creates an R-bit row
+ * index from an N-bit search key.  "In many applications, index
+ * generation is as simple as bit selection ... In other cases, simple
+ * arithmetic functions, such as addition or subtraction, may be
+ * necessary."
+ *
+ * Key bit numbering convention used across this repository: keys are
+ * stored as little-endian packed 64-bit words -- bit j (LSB numbering)
+ * is word[j/64] bit (j%64).  "MSB position p" refers to bit
+ * (key_bits-1-p), matching the networking convention where position 0 is
+ * the first bit on the wire (the top bit of an IPv4 address).
+ */
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace caram::hash {
+
+/** Abstract index generator: N-bit key -> R-bit row index. */
+class IndexGenerator
+{
+  public:
+    virtual ~IndexGenerator() = default;
+
+    /** Number of index bits produced (the paper's R). */
+    virtual unsigned indexBits() const = 0;
+
+    /**
+     * Compute the row index for a key of @p key_bits bits packed in
+     * @p key_words (little-endian, as described above).
+     */
+    virtual uint64_t index(std::span<const uint64_t> key_words,
+                           unsigned key_bits) const = 0;
+
+    /**
+     * All row indices a ternary key can hash to.  When the key has
+     * don't-care bits in positions the hash taps, "it must be duplicated
+     * and placed in 2^n buckets" (paper section 4.1); conversely a search
+     * key with don't-care hash bits must access all candidate buckets.
+     *
+     * The default assumes the hash ignores the care mask (correct for
+     * folding hashes over fully specified keys); generators that tap
+     * individual bits override it.  @p care_words uses 1 = specified.
+     */
+    virtual void candidateIndices(std::span<const uint64_t> key_words,
+                                  std::span<const uint64_t> care_words,
+                                  unsigned key_bits,
+                                  std::vector<uint64_t> &out) const;
+
+    /** Cap on the duplication fan-out accepted by candidateIndices. */
+    static constexpr unsigned kMaxDuplication = 1u << 12;
+
+    /** Human-readable description for reports. */
+    virtual std::string name() const = 0;
+
+    /** Number of rows this generator can address; 2^indexBits() unless
+     *  the generator reduces modulo a non-power-of-two row count. */
+    virtual uint64_t rowCount() const { return uint64_t{1} << indexBits(); }
+
+  protected:
+    /** Bounds-check helper for subclasses. */
+    static uint64_t keyBit(std::span<const uint64_t> words, unsigned bit);
+};
+
+} // namespace caram::hash
+
+#endif // CARAM_HASH_INDEX_GENERATOR_H_

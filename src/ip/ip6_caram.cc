@@ -1,0 +1,94 @@
+#include "ip/ip6_caram.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "hash/bit_select.h"
+
+namespace caram::ip {
+
+Ip6CaRamMapper::Ip6CaRamMapper(const RoutingTable6 &table)
+    : table_(&table)
+{
+}
+
+Ip6MappingResult
+Ip6CaRamMapper::map(const Ip6DesignSpec &spec) const
+{
+    core::SliceConfig shape;
+    shape.indexBits = spec.indexBitsPerSlice;
+    shape.logicalKeyBits = 128;
+    shape.ternary = true;
+    shape.slotsPerBucket = spec.slotsPerSlice;
+    shape.dataBits = spec.dataBits;
+    shape.probe = core::ProbePolicy::Linear;
+    shape.lpm = true;
+
+    core::DatabaseConfig db_cfg;
+    db_cfg.name = "ip6-" + spec.label;
+    db_cfg.sliceShape = shape;
+    db_cfg.physicalSlices = spec.slices;
+    db_cfg.arrangement = spec.arrangement;
+    db_cfg.indexFactory = [](const core::SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        // The last R bits of the first 32 address bits (the /32
+        // provider-allocation boundary plays IPv4's /16 role).
+        if (eff.indexBits > 32)
+            fatal("IPv6 hash window limited to the first 32 bits");
+        std::vector<unsigned> positions;
+        for (unsigned p = 32 - eff.indexBits; p < 32; ++p)
+            positions.push_back(p);
+        return std::make_unique<hash::BitSelectIndex>(
+            128, std::move(positions));
+    };
+
+    Ip6MappingResult out;
+    out.label = spec.label;
+    {
+        const uint64_t shape_rows = shape.rows();
+        const uint64_t eff_rows =
+            db_cfg.effectiveConfig().rows();
+        db_cfg.sliceShape.maxProbeDistance = static_cast<unsigned>(
+            std::min<uint64_t>(shape_rows - 1, eff_rows - 1));
+    }
+    out.effective = db_cfg.effectiveConfig();
+    out.db = std::make_unique<core::Database>(db_cfg);
+    out.prefixes = table_->size();
+
+    // Length-descending build order for LPM.
+    const auto &prefixes = table_->prefixes();
+    std::vector<std::size_t> order(prefixes.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return prefixes[a].length > prefixes[b].length;
+                     });
+
+    double cost = 0.0;
+    uint64_t ok = 0;
+    for (std::size_t idx : order) {
+        const Prefix6 &p = prefixes[idx];
+        const auto det = out.db->insertDetailed(
+            core::Record{p.toKey(), p.nextHop}, p.length);
+        if (!det.ok) {
+            ++out.failedPrefixes;
+            continue;
+        }
+        ++ok;
+        out.duplicates += det.copies + det.tcamCopies - 1;
+        cost += det.meanAccessCost;
+    }
+
+    out.stats = out.db->loadStats();
+    out.loadFactorNominal =
+        static_cast<double>(out.prefixes) /
+        static_cast<double>(out.effective.capacity());
+    out.overflowingBucketFraction = out.stats.overflowingBucketFraction();
+    out.spilledRecordFraction = out.stats.spilledRecordFraction();
+    out.amalUniform =
+        ok == 0 ? 0.0 : cost / static_cast<double>(ok);
+    return out;
+}
+
+} // namespace caram::ip

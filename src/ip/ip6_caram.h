@@ -1,0 +1,70 @@
+#ifndef CARAM_IP_IP6_CARAM_H_
+#define CARAM_IP_IP6_CARAM_H_
+
+/**
+ * @file
+ * CA-RAM data mapping for IPv6 address lookup -- the paper's "the size
+ * of a routing table will even quadruple as we adopt IPv6" scenario.
+ *
+ * Keys are 128-bit ternary prefixes (stored N = 256 bits); the hash is
+ * bit selection over the last R bits of the first 32 address bits
+ * (nearly all prefixes are at least /32, the provider-allocation
+ * boundary, just as nearly all IPv4 prefixes are at least /16);
+ * shorter prefixes are duplicated exactly as in the IPv4 mapping.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "ip/synthetic_bgp6.h"
+
+namespace caram::ip {
+
+/** An IPv6 CA-RAM design point. */
+struct Ip6DesignSpec
+{
+    std::string label;
+    unsigned indexBitsPerSlice = 14;
+    unsigned slotsPerSlice = 16; ///< 256-bit stored keys: fewer per row
+    unsigned slices = 4;
+    core::Arrangement arrangement = core::Arrangement::Horizontal;
+    unsigned dataBits = 16;
+};
+
+/** Measured results for one IPv6 design. */
+struct Ip6MappingResult
+{
+    std::string label;
+    core::SliceConfig effective;
+    std::unique_ptr<core::Database> db;
+
+    uint64_t prefixes = 0;
+    uint64_t duplicates = 0;
+    uint64_t failedPrefixes = 0;
+    double loadFactorNominal = 0.0;
+    double overflowingBucketFraction = 0.0;
+    double spilledRecordFraction = 0.0;
+    double amalUniform = 0.0;
+
+    core::LoadStats stats;
+};
+
+/** Maps an IPv6 table onto CA-RAM design points. */
+class Ip6CaRamMapper
+{
+  public:
+    explicit Ip6CaRamMapper(const RoutingTable6 &table);
+
+    Ip6MappingResult map(const Ip6DesignSpec &spec) const;
+
+    const RoutingTable6 &table() const { return *table_; }
+
+  private:
+    const RoutingTable6 *table_;
+};
+
+} // namespace caram::ip
+
+#endif // CARAM_IP_IP6_CARAM_H_

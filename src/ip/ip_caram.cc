@@ -1,0 +1,182 @@
+#include "ip/ip_caram.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "hash/bit_select.h"
+#include "hash/bit_selection_optimizer.h"
+
+namespace caram::ip {
+
+IpCaRamMapper::IpCaRamMapper(const RoutingTable &table, uint64_t seed,
+                             double skew)
+    : table_(&table)
+{
+    // Skewed access pattern: Zipf popularity over a random permutation
+    // of the prefixes (the paper's AMALs column; "although the skewed
+    // access pattern we use is an artifact...").
+    const std::size_t n = table.size();
+    weights.assign(n, 1.0);
+    if (n == 0)
+        return;
+    caram::Rng rng(seed);
+    std::vector<std::size_t> ranks(n);
+    std::iota(ranks.begin(), ranks.end(), 0);
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(ranks[i - 1], ranks[rng.below(i)]);
+    caram::ZipfSampler zipf(n, skew);
+    for (std::size_t i = 0; i < n; ++i)
+        weights[i] = zipf.pmf(ranks[i]);
+}
+
+IpMappingResult
+IpCaRamMapper::map(const IpDesignSpec &spec) const
+{
+    core::SliceConfig shape;
+    shape.indexBits = spec.indexBitsPerSlice;
+    shape.logicalKeyBits = 32;
+    shape.ternary = true;
+    shape.slotsPerBucket = spec.slotsPerSlice;
+    shape.dataBits = spec.dataBits;
+    shape.probe = core::ProbePolicy::Linear;
+    shape.lpm = true;
+
+    core::DatabaseConfig db_cfg;
+    db_cfg.name = "ip-" + spec.label;
+    db_cfg.sliceShape = shape;
+    db_cfg.physicalSlices = spec.slices;
+    db_cfg.arrangement = spec.arrangement;
+    db_cfg.overflow = spec.overflow;
+    db_cfg.overflowCapacity = spec.overflowCapacity;
+
+    // The hash function: bit selection over the first 16 address bits.
+    std::vector<unsigned> positions;
+    if (spec.optimizeHashBits) {
+        std::vector<hash::WindowKey> window_keys;
+        window_keys.reserve(table_->size());
+        for (const Prefix &p : table_->prefixes()) {
+            hash::WindowKey wk;
+            wk.value = (p.address >> 16) & 0xffff;
+            wk.care = p.length >= 16
+                ? 0xffffu
+                : static_cast<uint32_t>(maskBits(p.length))
+                      << (16 - p.length);
+            window_keys.push_back(wk);
+        }
+        const unsigned eff_r =
+            db_cfg.effectiveConfig().indexBits;
+        hash::BitSelectionOptimizer opt(16);
+        positions = opt.choose(window_keys, eff_r);
+    }
+    db_cfg.indexFactory =
+        [positions](const core::SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        if (!positions.empty()) {
+            return std::make_unique<hash::BitSelectIndex>(32, positions);
+        }
+        // The paper's final choice: the last R bits of the first 16.
+        return std::make_unique<hash::BitSelectIndex>(
+            hash::BitSelectIndex::lastBitsOfFirst16(32, eff.indexBits));
+    };
+
+    IpMappingResult out;
+    out.label = spec.label;
+    out.effective = db_cfg.effectiveConfig();
+    // The probe window: the whole row space (the paper's linear probing
+    // is unbounded).
+    db_cfg.sliceShape.maxProbeDistance = 0; // set on effective below
+    {
+        // maxProbeDistance applies to the effective config; push it into
+        // the shape so arranged() keeps it valid for every arrangement.
+        const uint64_t eff_rows = out.effective.rows();
+        const uint64_t shape_rows = shape.rows();
+        const unsigned max_probe = static_cast<unsigned>(
+            std::min<uint64_t>(shape_rows - 1, eff_rows - 1));
+        db_cfg.sliceShape.maxProbeDistance = max_probe;
+        out.effective = db_cfg.effectiveConfig();
+    }
+    out.db = std::make_unique<core::Database>(db_cfg);
+    out.prefixes = table_->size();
+
+    // Build order: prefix length descending (LPM via the priority
+    // encoder), then access frequency descending (hot prefixes stay in
+    // their home bucket).
+    std::vector<std::size_t> order(table_->size());
+    std::iota(order.begin(), order.end(), 0);
+    const auto &prefixes = table_->prefixes();
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (prefixes[a].length != prefixes[b].length)
+                      return prefixes[a].length > prefixes[b].length;
+                  return weights[a] > weights[b];
+              });
+
+    // Populate a database following @p build_order; returns
+    // {AMALu, AMALs} and updates failure/duplicate counters when
+    // @p primary.
+    const auto populate = [&](core::Database &db,
+                              const std::vector<std::size_t> &build_order,
+                              bool primary) {
+        double cost_uniform = 0.0;
+        double cost_skewed = 0.0;
+        double weight_total = 0.0;
+        uint64_t ok_prefixes = 0;
+        for (std::size_t idx : build_order) {
+            const Prefix &p = prefixes[idx];
+            core::Record rec{p.toKey(), p.nextHop};
+            const auto det = db.insertDetailed(rec, p.length);
+            if (!det.ok) {
+                if (primary)
+                    ++out.failedPrefixes;
+                continue;
+            }
+            ++ok_prefixes;
+            if (primary)
+                out.duplicates += det.copies + det.tcamCopies - 1;
+            cost_uniform += det.meanAccessCost;
+            cost_skewed += weights[idx] * det.meanAccessCost;
+            weight_total += weights[idx];
+        }
+        const double amal_u = ok_prefixes == 0
+            ? 0.0
+            : cost_uniform / static_cast<double>(ok_prefixes);
+        const double amal_s =
+            weight_total == 0.0 ? 0.0 : cost_skewed / weight_total;
+        return std::pair<double, double>(amal_u, amal_s);
+    };
+
+    const auto [amal_u, amal_s] = populate(*out.db, order, true);
+
+    // Frequency-blind reference placement: same length ordering, but
+    // ties broken by table position instead of access frequency.
+    {
+        std::vector<std::size_t> blind(table_->size());
+        std::iota(blind.begin(), blind.end(), 0);
+        std::stable_sort(blind.begin(), blind.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return prefixes[a].length >
+                                    prefixes[b].length;
+                         });
+        core::Database reference(db_cfg);
+        const auto [ref_u, ref_s] = populate(reference, blind, false);
+        (void)ref_u;
+        out.amalSkewedBlind = ref_s;
+    }
+
+    out.stats = out.db->loadStats();
+    out.placedRecords = out.stats.records;
+    out.overflowEntries = out.db->overflowEntries();
+    out.loadFactorNominal =
+        static_cast<double>(out.prefixes) /
+        static_cast<double>(out.effective.capacity());
+    out.overflowingBucketFraction = out.stats.overflowingBucketFraction();
+    out.spilledRecordFraction = out.stats.spilledRecordFraction();
+    out.amalUniform = amal_u;
+    out.amalSkewed = amal_s;
+    return out;
+}
+
+} // namespace caram::ip

@@ -1,0 +1,101 @@
+#ifndef CARAM_IP_IP_CARAM_H_
+#define CARAM_IP_IP_CARAM_H_
+
+/**
+ * @file
+ * CA-RAM data mapping for IP address lookup (paper section 4.1).
+ *
+ * Keys are 32-bit ternary prefixes (stored N = 64 bits); the hash is
+ * bit selection restricted to the first 16 address bits; prefixes with
+ * don't-care bits in hash positions are duplicated; buckets are built
+ * in (prefix length desc, access frequency desc) order so that the
+ * priority encoder performs LPM and hot prefixes avoid spilling; bucket
+ * overflows use linear probing or a victim TCAM searched in parallel.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "ip/routing_table.h"
+
+namespace caram::ip {
+
+/** One row of the paper's Table 2: a CA-RAM design point. */
+struct IpDesignSpec
+{
+    std::string label;           ///< "A".."F"
+    unsigned indexBitsPerSlice;  ///< R of each physical slice
+    unsigned slotsPerSlice;      ///< keys per bucket of each slice
+    unsigned slices;             ///< number of physical slices
+    core::Arrangement arrangement = core::Arrangement::Horizontal;
+    core::OverflowPolicy overflow = core::OverflowPolicy::Probing;
+    std::size_t overflowCapacity = 0; ///< for ParallelTcam designs
+    unsigned dataBits = 16;      ///< next-hop field stored with the key
+
+    /**
+     * Use hash bits chosen by the Zane-style optimizer instead of the
+     * paper's final pick (the last R bits of the first 16).
+     */
+    bool optimizeHashBits = false;
+};
+
+/** Everything Table 2 reports about one design, measured. */
+struct IpMappingResult
+{
+    std::string label;
+    core::SliceConfig effective;
+    std::unique_ptr<core::Database> db;
+
+    uint64_t prefixes = 0;        ///< original table size
+    uint64_t placedRecords = 0;   ///< CA-RAM copies placed
+    uint64_t duplicates = 0;      ///< extra copies due to don't-care bits
+    uint64_t overflowEntries = 0; ///< victim-TCAM entries
+    uint64_t failedPrefixes = 0;  ///< prefixes that could not be placed
+
+    double loadFactorNominal = 0.0; ///< paper's alpha: prefixes/(M*S)
+    double overflowingBucketFraction = 0.0;
+    double spilledRecordFraction = 0.0;
+    double amalUniform = 0.0; ///< AMALu
+    double amalSkewed = 0.0;  ///< AMALs (frequency-aware placement)
+    /**
+     * Weighted AMAL when placement ignores access frequency (sorted on
+     * length only).  amalSkewed <= amalSkewedBlind shows the paper's
+     * point that "access patterns can be taken into account in CA-RAM
+     * design to improve the lookup latency".
+     */
+    double amalSkewedBlind = 0.0;
+
+    core::LoadStats stats;
+};
+
+/** Maps a routing table onto CA-RAM design points. */
+class IpCaRamMapper
+{
+  public:
+    /**
+     * @param table the routing table to map
+     * @param seed  seed for the skewed access-weight assignment
+     * @param skew  Zipf exponent of the skewed access pattern
+     *              (Narlikar-Zane-style [22])
+     */
+    explicit IpCaRamMapper(const RoutingTable &table,
+                           uint64_t seed = 0xacce55ull, double skew = 0.7);
+
+    /** Build one design and measure it. */
+    IpMappingResult map(const IpDesignSpec &spec) const;
+
+    /** Per-prefix access weights (parallel to table().prefixes()). */
+    const std::vector<double> &accessWeights() const { return weights; }
+
+    const RoutingTable &table() const { return *table_; }
+
+  private:
+    const RoutingTable *table_;
+    std::vector<double> weights;
+};
+
+} // namespace caram::ip
+
+#endif // CARAM_IP_IP_CARAM_H_

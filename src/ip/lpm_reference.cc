@@ -1,0 +1,80 @@
+#include "ip/lpm_reference.h"
+
+namespace caram::ip {
+
+struct LpmTrie::Node
+{
+    std::unique_ptr<Node> child[2];
+    std::optional<Prefix> entry;
+};
+
+LpmTrie::LpmTrie() : root(std::make_unique<Node>())
+{
+}
+
+LpmTrie::~LpmTrie() = default;
+
+void
+LpmTrie::insert(const Prefix &prefix)
+{
+    Node *node = root.get();
+    for (unsigned depth = 0; depth < prefix.length; ++depth) {
+        const unsigned bit = (prefix.address >> (31 - depth)) & 1u;
+        if (!node->child[bit])
+            node->child[bit] = std::make_unique<Node>();
+        node = node->child[bit].get();
+    }
+    if (!node->entry)
+        ++count;
+    node->entry = prefix;
+}
+
+void
+LpmTrie::insertAll(const RoutingTable &table)
+{
+    for (const Prefix &p : table.prefixes())
+        insert(p);
+}
+
+std::optional<Prefix>
+LpmTrie::lookup(uint32_t address) const
+{
+    ++lookupCount;
+    const Node *node = root.get();
+    std::optional<Prefix> best = node->entry;
+    for (unsigned depth = 0; depth < 32 && node; ++depth) {
+        const unsigned bit = (address >> (31 - depth)) & 1u;
+        node = node->child[bit].get();
+        if (!node)
+            break;
+        ++visits;
+        if (node->entry)
+            best = node->entry;
+    }
+    return best;
+}
+
+bool
+LpmTrie::erase(const Prefix &prefix)
+{
+    Node *node = root.get();
+    for (unsigned depth = 0; depth < prefix.length && node; ++depth) {
+        const unsigned bit = (prefix.address >> (31 - depth)) & 1u;
+        node = node->child[bit].get();
+    }
+    if (!node || !node->entry || !node->entry->samePrefix(prefix))
+        return false;
+    node->entry.reset();
+    --count;
+    return true;
+}
+
+double
+LpmTrie::meanAccessesPerLookup() const
+{
+    return lookupCount == 0
+        ? 0.0
+        : static_cast<double>(visits) / static_cast<double>(lookupCount);
+}
+
+} // namespace caram::ip

@@ -1,0 +1,62 @@
+#ifndef CARAM_IP_LPM_REFERENCE_H_
+#define CARAM_IP_LPM_REFERENCE_H_
+
+/**
+ * @file
+ * Software longest-prefix-match reference: a binary trie, used both as
+ * the correctness oracle for the CA-RAM/TCAM forwarding engines and as
+ * the "software-based scheme" baseline the paper contrasts against
+ * ("usually require at least 4 to 6 memory accesses for forwarding one
+ * packet").  Node visits are counted to expose that cost.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "ip/prefix.h"
+#include "ip/routing_table.h"
+
+namespace caram::ip {
+
+/** Binary (unibit) trie over IPv4 prefixes. */
+class LpmTrie
+{
+  public:
+    LpmTrie();
+    ~LpmTrie();
+    LpmTrie(const LpmTrie &) = delete;
+    LpmTrie &operator=(const LpmTrie &) = delete;
+
+    /** Insert or overwrite a prefix. */
+    void insert(const Prefix &prefix);
+
+    /** Insert a whole table. */
+    void insertAll(const RoutingTable &table);
+
+    /** Longest-prefix match; nullopt on default-route miss. */
+    std::optional<Prefix> lookup(uint32_t address) const;
+
+    /** Remove a prefix; true when it was present. */
+    bool erase(const Prefix &prefix);
+
+    std::size_t size() const { return count; }
+
+    /** Trie nodes visited by lookups (memory-access proxy). */
+    uint64_t nodesVisited() const { return visits; }
+    uint64_t lookups() const { return lookupCount; }
+
+    /** Mean trie depth walked per lookup so far. */
+    double meanAccessesPerLookup() const;
+
+  private:
+    struct Node;
+    std::unique_ptr<Node> root;
+    std::size_t count = 0;
+    mutable uint64_t visits = 0;
+    mutable uint64_t lookupCount = 0;
+};
+
+} // namespace caram::ip
+
+#endif // CARAM_IP_LPM_REFERENCE_H_

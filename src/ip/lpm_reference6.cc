@@ -1,0 +1,77 @@
+#include "ip/lpm_reference6.h"
+
+namespace caram::ip {
+
+struct LpmTrie6::Node
+{
+    std::unique_ptr<Node> child[2];
+    std::optional<Prefix6> entry;
+};
+
+LpmTrie6::LpmTrie6() : root(std::make_unique<Node>())
+{
+}
+
+LpmTrie6::~LpmTrie6() = default;
+
+bool
+LpmTrie6::addrBit(uint64_t hi, uint64_t lo, unsigned pos)
+{
+    return pos < 64 ? (hi >> (63 - pos)) & 1u
+                    : (lo >> (127 - pos)) & 1u;
+}
+
+void
+LpmTrie6::insert(const Prefix6 &prefix)
+{
+    Node *node = root.get();
+    for (unsigned depth = 0; depth < prefix.length; ++depth) {
+        const unsigned bit = addrBit(prefix.hi, prefix.lo, depth);
+        if (!node->child[bit])
+            node->child[bit] = std::make_unique<Node>();
+        node = node->child[bit].get();
+    }
+    if (!node->entry)
+        ++count;
+    node->entry = prefix;
+}
+
+void
+LpmTrie6::insertAll(const RoutingTable6 &table)
+{
+    for (const Prefix6 &p : table.prefixes())
+        insert(p);
+}
+
+std::optional<Prefix6>
+LpmTrie6::lookup(uint64_t hi, uint64_t lo) const
+{
+    const Node *node = root.get();
+    std::optional<Prefix6> best = node->entry;
+    for (unsigned depth = 0; depth < 128 && node; ++depth) {
+        const unsigned bit = addrBit(hi, lo, depth);
+        node = node->child[bit].get();
+        if (!node)
+            break;
+        if (node->entry)
+            best = node->entry;
+    }
+    return best;
+}
+
+bool
+LpmTrie6::erase(const Prefix6 &prefix)
+{
+    Node *node = root.get();
+    for (unsigned depth = 0; depth < prefix.length && node; ++depth) {
+        const unsigned bit = addrBit(prefix.hi, prefix.lo, depth);
+        node = node->child[bit].get();
+    }
+    if (!node || !node->entry || !node->entry->samePrefix(prefix))
+        return false;
+    node->entry.reset();
+    --count;
+    return true;
+}
+
+} // namespace caram::ip

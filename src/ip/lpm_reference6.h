@@ -1,0 +1,47 @@
+#ifndef CARAM_IP_LPM_REFERENCE6_H_
+#define CARAM_IP_LPM_REFERENCE6_H_
+
+/**
+ * @file
+ * IPv6 longest-prefix-match reference: a 128-level binary trie, the
+ * correctness oracle for the IPv6 CA-RAM forwarding engine.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "ip/prefix6.h"
+#include "ip/synthetic_bgp6.h"
+
+namespace caram::ip {
+
+/** Binary trie over IPv6 prefixes. */
+class LpmTrie6
+{
+  public:
+    LpmTrie6();
+    ~LpmTrie6();
+    LpmTrie6(const LpmTrie6 &) = delete;
+    LpmTrie6 &operator=(const LpmTrie6 &) = delete;
+
+    void insert(const Prefix6 &prefix);
+    void insertAll(const RoutingTable6 &table);
+
+    /** Longest-prefix match of (hi, lo); nullopt on miss. */
+    std::optional<Prefix6> lookup(uint64_t hi, uint64_t lo) const;
+
+    bool erase(const Prefix6 &prefix);
+    std::size_t size() const { return count; }
+
+  private:
+    struct Node;
+    static bool addrBit(uint64_t hi, uint64_t lo, unsigned pos);
+
+    std::unique_ptr<Node> root;
+    std::size_t count = 0;
+};
+
+} // namespace caram::ip
+
+#endif // CARAM_IP_LPM_REFERENCE6_H_

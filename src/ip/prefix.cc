@@ -1,0 +1,52 @@
+#include "ip/prefix.h"
+
+#include <cstdio>
+
+#include "common/bitops.h"
+#include "common/strings.h"
+
+namespace caram::ip {
+
+Key
+Prefix::toKey() const
+{
+    return Key::prefix(address, length, 32);
+}
+
+bool
+Prefix::matchesAddress(uint32_t addr) const
+{
+    if (length == 0)
+        return true;
+    const uint32_t mask = static_cast<uint32_t>(maskBits(length))
+                          << (32 - length);
+    return ((addr ^ address) & mask) == 0;
+}
+
+std::string
+Prefix::toString() const
+{
+    return strprintf("%u.%u.%u.%u/%u", (address >> 24) & 0xff,
+                     (address >> 16) & 0xff, (address >> 8) & 0xff,
+                     address & 0xff, length);
+}
+
+std::optional<Prefix>
+Prefix::parse(const std::string &text)
+{
+    unsigned a, b, c, d, len;
+    if (std::sscanf(text.c_str(), "%u.%u.%u.%u/%u", &a, &b, &c, &d, &len) !=
+        5)
+        return std::nullopt;
+    if (a > 255 || b > 255 || c > 255 || d > 255 || len > 32)
+        return std::nullopt;
+    Prefix p;
+    p.address = (a << 24) | (b << 16) | (c << 8) | d;
+    p.length = static_cast<uint8_t>(len);
+    // Canonicalize: zero the bits below the prefix length.
+    if (len < 32)
+        p.address &= ~static_cast<uint32_t>(maskBits(32 - len));
+    return p;
+}
+
+} // namespace caram::ip

@@ -1,0 +1,54 @@
+#ifndef CARAM_IP_PREFIX_H_
+#define CARAM_IP_PREFIX_H_
+
+/**
+ * @file
+ * IPv4 prefixes for the IP address lookup application (paper section
+ * 4.1).  "An entry in the forwarding table is called a prefix, a binary
+ * string of a certain length (also called prefix length), followed by a
+ * number of don't care bits."
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/key.h"
+
+namespace caram::ip {
+
+/** One forwarding-table entry. */
+struct Prefix
+{
+    uint32_t address = 0; ///< network-order value; bits below length are 0
+    uint8_t length = 0;   ///< prefix length, 0..32
+    uint32_t nextHop = 0; ///< forwarding data
+
+    /** Ternary 32-bit key: top @c length bits specified, rest X. */
+    Key toKey() const;
+
+    /** True when @p addr falls under this prefix. */
+    bool matchesAddress(uint32_t addr) const;
+
+    /** Identity ignores the next hop. */
+    bool samePrefix(const Prefix &other) const
+    {
+        return address == other.address && length == other.length;
+    }
+
+    /** "a.b.c.d/len". */
+    std::string toString() const;
+
+    /** Parse "a.b.c.d/len"; nullopt on malformed input. */
+    static std::optional<Prefix> parse(const std::string &text);
+
+    /** Canonical 64-bit id (address << 8 | length) for sets/maps. */
+    uint64_t id() const
+    {
+        return (static_cast<uint64_t>(address) << 8) | length;
+    }
+};
+
+} // namespace caram::ip
+
+#endif // CARAM_IP_PREFIX_H_

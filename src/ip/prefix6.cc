@@ -1,0 +1,161 @@
+#include "ip/prefix6.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/strings.h"
+
+namespace caram::ip {
+
+namespace {
+
+/** The 16 big-endian bytes of (hi, lo). */
+void
+toBytes(uint64_t hi, uint64_t lo, unsigned char out[16])
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        out[i] = static_cast<unsigned char>(hi >> (56 - 8 * i));
+        out[8 + i] = static_cast<unsigned char>(lo >> (56 - 8 * i));
+    }
+}
+
+} // namespace
+
+Key
+Prefix6::toKey() const
+{
+    unsigned char bytes[16];
+    toBytes(hi, lo, bytes);
+    return Key::prefixFromBytes(bytes, length, 128);
+}
+
+bool
+Prefix6::matchesAddress(uint64_t addr_hi, uint64_t addr_lo) const
+{
+    if (length == 0)
+        return true;
+    if (length <= 64) {
+        const uint64_t mask = maskBits(length) << (64 - length);
+        return ((addr_hi ^ hi) & mask) == 0;
+    }
+    if (addr_hi != hi)
+        return false;
+    const unsigned low_len = length - 64;
+    const uint64_t mask = maskBits(low_len) << (64 - low_len);
+    return ((addr_lo ^ lo) & mask) == 0;
+}
+
+void
+Prefix6::canonicalize()
+{
+    if (length == 0) {
+        hi = lo = 0;
+    } else if (length <= 64) {
+        hi &= length == 64 ? ~uint64_t{0}
+                           : ~maskBits(64 - length);
+        lo = 0;
+    } else if (length < 128) {
+        lo &= ~maskBits(128 - length);
+    }
+}
+
+std::string
+Prefix6::toString() const
+{
+    std::string out;
+    for (unsigned g = 0; g < 8; ++g) {
+        const uint64_t word = g < 4 ? hi : lo;
+        const unsigned shift = 48 - 16 * (g % 4);
+        out += strprintf("%04x", static_cast<unsigned>(
+                                     (word >> shift) & 0xffff));
+        if (g != 7)
+            out.push_back(':');
+    }
+    out += strprintf("/%u", length);
+    return out;
+}
+
+std::optional<Prefix6>
+Prefix6::parse(const std::string &text)
+{
+    const auto slash = text.find('/');
+    if (slash == std::string::npos)
+        return std::nullopt;
+    unsigned len = 0;
+    if (std::sscanf(text.c_str() + slash + 1, "%u", &len) != 1 ||
+        len > 128)
+        return std::nullopt;
+    const std::string addr = text.substr(0, slash);
+
+    // Split on ':' keeping an optional single '::' elision.
+    std::vector<std::string> head, tail;
+    const auto elide = addr.find("::");
+    auto split = [](const std::string &s) {
+        std::vector<std::string> parts;
+        std::size_t start = 0;
+        while (start <= s.size()) {
+            const auto colon = s.find(':', start);
+            if (colon == std::string::npos) {
+                if (start < s.size())
+                    parts.push_back(s.substr(start));
+                break;
+            }
+            if (colon > start)
+                parts.push_back(s.substr(start, colon - start));
+            start = colon + 1;
+        }
+        return parts;
+    };
+    if (elide != std::string::npos) {
+        if (addr.find("::", elide + 1) != std::string::npos)
+            return std::nullopt; // two elisions
+        head = split(addr.substr(0, elide));
+        tail = split(addr.substr(elide + 2));
+    } else {
+        head = split(addr);
+        if (head.size() != 8)
+            return std::nullopt;
+    }
+    if (head.size() + tail.size() > 8)
+        return std::nullopt;
+
+    uint16_t groups[8] = {0};
+    auto parse_group = [](const std::string &g, uint16_t &out) {
+        if (g.empty() || g.size() > 4)
+            return false;
+        unsigned v = 0;
+        for (char c : g) {
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return false;
+        }
+        out = static_cast<uint16_t>(v);
+        return true;
+    };
+    for (std::size_t i = 0; i < head.size(); ++i) {
+        if (!parse_group(head[i], groups[i]))
+            return std::nullopt;
+    }
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+        if (!parse_group(tail[i], groups[8 - tail.size() + i]))
+            return std::nullopt;
+    }
+
+    Prefix6 p;
+    for (unsigned g = 0; g < 4; ++g)
+        p.hi |= static_cast<uint64_t>(groups[g]) << (48 - 16 * g);
+    for (unsigned g = 0; g < 4; ++g)
+        p.lo |= static_cast<uint64_t>(groups[4 + g]) << (48 - 16 * g);
+    p.length = static_cast<uint8_t>(len);
+    p.canonicalize();
+    return p;
+}
+
+} // namespace caram::ip

@@ -1,0 +1,56 @@
+#ifndef CARAM_IP_PREFIX6_H_
+#define CARAM_IP_PREFIX6_H_
+
+/**
+ * @file
+ * IPv6 prefixes.  The paper motivates them directly: "The size of a
+ * routing table will even quadruple as we adopt IPv6" (section 4.1).
+ * A prefix is held as a canonical 128-bit address (host bits zero) and
+ * a length; the CA-RAM key is a 128-bit ternary key (stored N = 256).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/key.h"
+
+namespace caram::ip {
+
+/** One IPv6 forwarding-table entry. */
+struct Prefix6
+{
+    uint64_t hi = 0;      ///< address bits 0..63 (big-endian order)
+    uint64_t lo = 0;      ///< address bits 64..127
+    uint8_t length = 0;   ///< prefix length, 0..128
+    uint32_t nextHop = 0;
+
+    /** Ternary 128-bit key: top @c length bits specified, rest X. */
+    Key toKey() const;
+
+    /** True when the address (hi/lo pair) falls under this prefix. */
+    bool matchesAddress(uint64_t addr_hi, uint64_t addr_lo) const;
+
+    /** Identity ignores the next hop. */
+    bool
+    samePrefix(const Prefix6 &other) const
+    {
+        return hi == other.hi && lo == other.lo && length == other.length;
+    }
+
+    /** Zero the bits below the prefix length. */
+    void canonicalize();
+
+    /** Full-form "xxxx:xxxx:...:xxxx/len" (no :: compression). */
+    std::string toString() const;
+
+    /**
+     * Parse "group:group:...::/len"; supports one "::" elision and
+     * 1-4 hex digits per group.  nullopt on malformed input.
+     */
+    static std::optional<Prefix6> parse(const std::string &text);
+};
+
+} // namespace caram::ip
+
+#endif // CARAM_IP_PREFIX6_H_

@@ -1,0 +1,85 @@
+#include "ip/routing_table.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace caram::ip {
+
+bool
+RoutingTable::add(const Prefix &prefix)
+{
+    if (!ids_.insert(prefix.id()).second)
+        return false;
+    prefixes_.push_back(prefix);
+    return true;
+}
+
+bool
+RoutingTable::contains(const Prefix &prefix) const
+{
+    return ids_.find(prefix.id()) != ids_.end();
+}
+
+Histogram
+RoutingTable::lengthHistogram() const
+{
+    Histogram h;
+    for (const Prefix &p : prefixes_)
+        h.add(p.length);
+    return h;
+}
+
+double
+RoutingTable::fractionAtLeast(unsigned len) const
+{
+    if (prefixes_.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (const Prefix &p : prefixes_)
+        n += p.length >= len ? 1 : 0;
+    return static_cast<double>(n) / static_cast<double>(prefixes_.size());
+}
+
+unsigned
+RoutingTable::minLength() const
+{
+    unsigned best = 0;
+    bool first = true;
+    for (const Prefix &p : prefixes_) {
+        if (first || p.length < best) {
+            best = p.length;
+            first = false;
+        }
+    }
+    return best;
+}
+
+void
+RoutingTable::save(std::ostream &os) const
+{
+    for (const Prefix &p : prefixes_)
+        os << p.toString() << " " << p.nextHop << "\n";
+}
+
+std::size_t
+RoutingTable::load(std::istream &is)
+{
+    std::size_t loaded = 0;
+    std::string token;
+    while (is >> token) {
+        uint64_t hop = 0;
+        if (!(is >> hop))
+            break;
+        auto p = Prefix::parse(token);
+        if (!p)
+            continue;
+        p->nextHop = static_cast<uint32_t>(hop);
+        if (add(*p))
+            ++loaded;
+    }
+    return loaded;
+}
+
+} // namespace caram::ip

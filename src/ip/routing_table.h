@@ -1,0 +1,56 @@
+#ifndef CARAM_IP_ROUTING_TABLE_H_
+#define CARAM_IP_ROUTING_TABLE_H_
+
+/**
+ * @file
+ * A forwarding/routing table: a deduplicated set of prefixes with the
+ * summary statistics the paper's data mapping depends on (prefix count,
+ * length histogram, fraction of prefixes at least 16 bits long).
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.h"
+#include "ip/prefix.h"
+
+namespace caram::ip {
+
+/** An in-memory routing table. */
+class RoutingTable
+{
+  public:
+    /** Add a prefix; returns false (no-op) when it already exists. */
+    bool add(const Prefix &prefix);
+
+    std::size_t size() const { return prefixes_.size(); }
+    const std::vector<Prefix> &prefixes() const { return prefixes_; }
+
+    /** True when (address, length) is present. */
+    bool contains(const Prefix &prefix) const;
+
+    /** Histogram of prefix lengths. */
+    Histogram lengthHistogram() const;
+
+    /** Fraction of prefixes with length >= @p len. */
+    double fractionAtLeast(unsigned len) const;
+
+    /** Shortest prefix length in the table (0 when empty). */
+    unsigned minLength() const;
+
+    /** Serialize as one "a.b.c.d/len nexthop" line per prefix. */
+    void save(std::ostream &os) const;
+
+    /** Parse the save() format; returns prefixes loaded. */
+    std::size_t load(std::istream &is);
+
+  private:
+    std::vector<Prefix> prefixes_;
+    std::unordered_set<uint64_t> ids_; ///< for dedup/contains
+};
+
+} // namespace caram::ip
+
+#endif // CARAM_IP_ROUTING_TABLE_H_

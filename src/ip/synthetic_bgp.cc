@@ -1,0 +1,198 @@
+#include "ip/synthetic_bgp.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace caram::ip {
+
+namespace {
+
+/**
+ * 2006-era distribution of prefix lengths 16..32 (fractions; normalized
+ * at use).  The mass peaks at /24, matching published BGP table
+ * analyses (Huston [10]).
+ */
+constexpr double longLengthWeights[17] = {
+    0.075, // 16
+    0.025, // 17
+    0.040, // 18
+    0.080, // 19
+    0.050, // 20
+    0.050, // 21
+    0.060, // 22
+    0.055, // 23
+    0.535, // 24
+    0.004, // 25
+    0.005, // 26
+    0.003, // 27
+    0.003, // 28
+    0.004, // 29
+    0.005, // 30
+    0.0005, // 31
+    0.0055, // 32
+};
+
+/** An address-allocation cluster. */
+struct Region
+{
+    uint32_t base;
+    unsigned length;
+};
+
+/** First-octet ranges with era-plausible weights. */
+struct OctetRange
+{
+    unsigned lo, hi;
+    double weight;
+};
+
+constexpr OctetRange octetRanges[] = {
+    {24, 62, 2.0},    // legacy class A/B space in active use
+    {63, 99, 1.5},
+    {128, 172, 1.8},  // class B space
+    {189, 223, 2.2},  // class C space, densest allocations
+};
+
+unsigned
+sampleFirstOctet(caram::Rng &rng)
+{
+    double total = 0.0;
+    for (const auto &r : octetRanges)
+        total += r.weight * (r.hi - r.lo + 1);
+    double pick = rng.uniform() * total;
+    for (const auto &r : octetRanges) {
+        const double mass = r.weight * (r.hi - r.lo + 1);
+        if (pick < mass) {
+            return r.lo +
+                   static_cast<unsigned>(pick / r.weight);
+        }
+        pick -= mass;
+    }
+    return octetRanges[0].lo;
+}
+
+} // namespace
+
+RoutingTable
+generateSyntheticBgpTable(const SyntheticBgpConfig &config)
+{
+    if (config.prefixCount == 0)
+        fatal("synthetic BGP table needs a nonzero prefix count");
+    caram::Rng rng(config.seed);
+
+    auto make_region = [&rng](unsigned len_min, unsigned len_max) {
+        Region region;
+        region.length =
+            static_cast<unsigned>(rng.inRange(len_min, len_max));
+        const uint32_t octet = sampleFirstOctet(rng);
+        uint32_t base = octet << 24;
+        if (region.length > 8) {
+            const unsigned extra = region.length - 8;
+            const auto bits = static_cast<uint32_t>(rng.below(
+                uint64_t{1} << extra));
+            base |= bits << (24 - extra);
+        }
+        region.base = base;
+        return region;
+    };
+
+    // Shallow allocation regions with mild Zipf popularity.
+    std::vector<Region> regions(config.regions);
+    for (auto &region : regions)
+        region = make_region(config.regionLenMin, config.regionLenMax);
+    caram::ZipfSampler region_pick(regions.size(), config.regionSkew);
+
+    // Deep hot regions: equally weighted dense allocations.
+    std::vector<Region> hot(config.hotRegions);
+    for (auto &region : hot)
+        region = make_region(config.hotRegionLenMin,
+                             config.hotRegionLenMax);
+
+    RoutingTable table;
+
+    auto random_hop = [&rng]() {
+        return static_cast<uint32_t>(rng.inRange(1, 0xffff));
+    };
+
+    // Exact short-prefix population (lengths 8..15).
+    for (unsigned len = 8; len <= 15; ++len) {
+        const unsigned want = config.shortCounts[len - 8];
+        unsigned made = 0;
+        while (made < want) {
+            Prefix p;
+            p.length = static_cast<uint8_t>(len);
+            const uint32_t octet = sampleFirstOctet(rng);
+            uint32_t addr = octet << 24;
+            if (len > 8) {
+                const unsigned extra = len - 8;
+                const auto bits = static_cast<uint32_t>(
+                    rng.below(uint64_t{1} << extra));
+                addr |= bits << (24 - extra);
+            }
+            p.address = addr;
+            p.nextHop = random_hop();
+            if (table.add(p))
+                ++made;
+        }
+    }
+
+    // Long prefixes, clustered into regions.
+    std::vector<double> cdf(17);
+    double total = 0.0;
+    for (unsigned i = 0; i < 17; ++i) {
+        total += longLengthWeights[i];
+        cdf[i] = total;
+    }
+    auto sample_length = [&]() {
+        const double u = rng.uniform() * total;
+        for (unsigned i = 0; i < 17; ++i) {
+            if (u < cdf[i])
+                return 16u + i;
+        }
+        return 32u;
+    };
+
+    while (table.size() < config.prefixCount) {
+        const bool from_hot =
+            !hot.empty() && rng.chance(config.hotFraction);
+        const Region &region =
+            from_hot ? hot[rng.below(hot.size())]
+                     : regions[region_pick(rng)];
+        const unsigned len = sample_length();
+        Prefix p;
+        p.length = static_cast<uint8_t>(len);
+        // Region top bits, then random bits down to the prefix length.
+        uint32_t addr =
+            region.base &
+            ~static_cast<uint32_t>(maskBits(32 - region.length));
+        if (len > region.length) {
+            const unsigned extra = len - region.length;
+            const auto bits = static_cast<uint32_t>(
+                rng.below(uint64_t{1} << extra));
+            addr |= bits << (32 - region.length - extra);
+        }
+        if (len < 32)
+            addr &= ~static_cast<uint32_t>(maskBits(32 - len));
+        p.address = addr;
+        p.nextHop = random_hop();
+        table.add(p); // duplicates are simply retried
+    }
+    return table;
+}
+
+uint64_t
+expectedDuplicates(const RoutingTable &table)
+{
+    uint64_t extra = 0;
+    for (const Prefix &p : table.prefixes()) {
+        if (p.length < 16)
+            extra += (uint64_t{1} << (16 - p.length)) - 1;
+    }
+    return extra;
+}
+
+} // namespace caram::ip

@@ -1,0 +1,83 @@
+#ifndef CARAM_IP_SYNTHETIC_BGP_H_
+#define CARAM_IP_SYNTHETIC_BGP_H_
+
+/**
+ * @file
+ * Deterministic synthetic BGP routing-table generator.
+ *
+ * The paper uses the AS1103 table from RIPE's routing information
+ * service (186,760 prefixes).  That table is not redistributable here,
+ * so this generator reproduces its *published structural statistics*
+ * (see DESIGN.md for the substitution argument):
+ *
+ *  - prefix count (186,760 by default);
+ *  - minimum prefix length 8;
+ *  - over 98% of prefixes at least 16 bits long (Huston [10]);
+ *  - a 2006-era prefix-length histogram peaking at /24;
+ *  - the short-prefix counts are set so that duplication into a CA-RAM
+ *    whose hash bits cover positions [16-R, 16) (R >= 8) creates about
+ *    +6.4% entries, the figure the paper reports;
+ *  - clustered address allocation: prefixes concentrate in Zipf-weighted
+ *    allocation regions, so bit-selection hashing sees realistic
+ *    non-uniformity in the first 16 address bits.
+ */
+
+#include <cstdint>
+
+#include "ip/routing_table.h"
+
+namespace caram::ip {
+
+/** Generator knobs. */
+struct SyntheticBgpConfig
+{
+    /** Total prefixes to generate. */
+    std::size_t prefixCount = 186760;
+
+    /** Deterministic seed. */
+    uint64_t seed = 0x5eed'b67bull;
+
+    /**
+     * Shallow allocation regions (the /8-/10 aggregates that hold most
+     * of the table); their popularity is mildly Zipf-skewed.
+     */
+    unsigned regions = 900;
+
+    /** Zipf exponent of shallow-region popularity. */
+    double regionSkew = 0.6;
+
+    /** Shallow region prefix lengths (inclusive range). */
+    unsigned regionLenMin = 8;
+    unsigned regionLenMax = 10;
+
+    /**
+     * Deep "hot" regions: dense allocations (e.g. busy /12-/14 blocks)
+     * that produce the isolated overflowing bucket clusters the paper's
+     * Table 2 shows under bit-selection hashing.
+     */
+    unsigned hotRegions = 70;
+    unsigned hotRegionLenMin = 12;
+    unsigned hotRegionLenMax = 15;
+
+    /** Fraction of long prefixes drawn from hot regions. */
+    double hotFraction = 0.32;
+
+    /** Exact counts for the short prefixes (lengths 8..15).  These are
+     *  chosen so the CA-RAM duplication overhead lands near the paper's
+     *  +6.4% (12,035 extra entries on 186,760 prefixes). */
+    unsigned shortCounts[8] = {8, 15, 30, 60, 120, 240, 250, 300};
+};
+
+/** Generate a synthetic table. */
+RoutingTable generateSyntheticBgpTable(const SyntheticBgpConfig &config);
+
+/**
+ * Extra CA-RAM entries that don't-care hash bits create for this table,
+ * assuming hash bits cover positions [16-R, 16) with R >= 8:
+ * sum over prefixes shorter than 16 of (2^(16-len) - 1).
+ */
+uint64_t expectedDuplicates(const RoutingTable &table);
+
+} // namespace caram::ip
+
+#endif // CARAM_IP_SYNTHETIC_BGP_H_

@@ -1,0 +1,196 @@
+#include "ip/synthetic_bgp6.h"
+
+#include <unordered_set>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace caram::ip {
+
+namespace {
+
+/** Global-unicast RIR roots (top-16-bit value, weight). */
+struct Root
+{
+    uint16_t top;
+    unsigned length;
+    double weight;
+};
+
+constexpr Root roots[] = {
+    {0x2001, 16, 3.0}, {0x2002, 16, 0.5}, {0x2003, 16, 0.4},
+    {0x2400, 12, 1.5}, {0x2600, 12, 1.5}, {0x2800, 12, 0.7},
+    {0x2a00, 12, 1.8}, {0x2c00, 12, 0.4},
+};
+
+/** Prefix-length histogram (length, weight), early-IPv6 shaped. */
+struct LenBin
+{
+    unsigned length;
+    double weight;
+};
+
+// Minimum length 28: shorter super-aggregates barely occur, which
+// keeps the CA-RAM duplication modest (the IPv4 table's min length 8
+// against a 16-bit hash window plays the same role).
+constexpr LenBin lenBins[] = {
+    {28, 0.0008}, {29, 0.0008}, {30, 0.0015}, {31, 0.002}, {32, 0.23},
+    {33, 0.01},   {34, 0.012},  {35, 0.012},  {36, 0.015}, {38, 0.012},
+    {40, 0.035},  {42, 0.012},  {44, 0.025},  {46, 0.015}, {48, 0.44},
+    {52, 0.008},  {56, 0.015},  {60, 0.008},  {64, 0.06},  {128, 0.004},
+};
+
+/** Set bit @p pos (MSB numbering over 128 bits) of (hi, lo). */
+void
+setAddrBit(uint64_t &hi, uint64_t &lo, unsigned pos)
+{
+    if (pos < 64)
+        hi |= uint64_t{1} << (63 - pos);
+    else
+        lo |= uint64_t{1} << (127 - pos);
+}
+
+} // namespace
+
+std::size_t
+RoutingTable6::IdHash::operator()(const Id &id) const
+{
+    uint64_t h = id.hi * 0x9e3779b97f4a7c15ull;
+    h ^= id.lo + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= id.len + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+}
+
+bool
+RoutingTable6::add(const Prefix6 &prefix)
+{
+    if (!dedup.insert(Id{prefix.hi, prefix.lo, prefix.length}).second)
+        return false;
+    prefixes_.push_back(prefix);
+    return true;
+}
+
+bool
+RoutingTable6::contains(const Prefix6 &prefix) const
+{
+    return dedup.find(Id{prefix.hi, prefix.lo, prefix.length}) !=
+           dedup.end();
+}
+
+unsigned
+RoutingTable6::minLength() const
+{
+    unsigned best = 0;
+    bool first = true;
+    for (const Prefix6 &p : prefixes_) {
+        if (first || p.length < best) {
+            best = p.length;
+            first = false;
+        }
+    }
+    return best;
+}
+
+double
+RoutingTable6::fractionAtLeast(unsigned len) const
+{
+    if (prefixes_.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (const Prefix6 &p : prefixes_)
+        n += p.length >= len ? 1 : 0;
+    return static_cast<double>(n) / static_cast<double>(prefixes_.size());
+}
+
+RoutingTable6
+generateSyntheticBgp6Table(const SyntheticBgp6Config &config)
+{
+    if (config.prefixCount == 0)
+        fatal("synthetic IPv6 table needs a nonzero prefix count");
+    caram::Rng rng(config.seed);
+
+    // Root sampling table.
+    double root_total = 0.0;
+    double root_cdf[std::size(roots)];
+    for (std::size_t i = 0; i < std::size(roots); ++i) {
+        root_total += roots[i].weight;
+        root_cdf[i] = root_total;
+    }
+    auto pick_root = [&]() -> const Root & {
+        const double u = rng.uniform() * root_total;
+        for (std::size_t i = 0; i < std::size(roots); ++i) {
+            if (u < root_cdf[i])
+                return roots[i];
+        }
+        return roots[0];
+    };
+
+    // Length sampling table.
+    double len_total = 0.0;
+    double len_cdf[std::size(lenBins)];
+    for (std::size_t i = 0; i < std::size(lenBins); ++i) {
+        len_total += lenBins[i].weight;
+        len_cdf[i] = len_total;
+    }
+    auto pick_length = [&]() {
+        const double u = rng.uniform() * len_total;
+        for (std::size_t i = 0; i < std::size(lenBins); ++i) {
+            if (u < len_cdf[i])
+                return lenBins[i].length;
+        }
+        return 48u;
+    };
+
+    // Allocation regions.
+    struct Region
+    {
+        uint64_t hi;
+        unsigned length;
+    };
+    auto make_region = [&](unsigned len_lo, unsigned len_hi) {
+        const Root &root = pick_root();
+        Region region;
+        region.length =
+            static_cast<unsigned>(rng.inRange(len_lo, len_hi));
+        region.hi = static_cast<uint64_t>(root.top) << 48;
+        for (unsigned p = root.length; p < region.length; ++p) {
+            if (rng.chance(0.5))
+                region.hi |= uint64_t{1} << (63 - p);
+        }
+        return region;
+    };
+    std::vector<Region> regions(config.regions);
+    for (auto &region : regions)
+        region = make_region(20, 32);
+    std::vector<Region> hot(config.hotRegions);
+    for (auto &region : hot)
+        region = make_region(36, 44);
+    caram::ZipfSampler region_pick(regions.size(), config.regionSkew);
+
+    RoutingTable6 table;
+    while (table.size() < config.prefixCount) {
+        const bool from_hot =
+            !hot.empty() && rng.chance(config.hotFraction);
+        const Region &region = from_hot
+            ? hot[rng.below(hot.size())]
+            : regions[region_pick(rng)];
+        unsigned len = pick_length();
+        if (len < region.length)
+            len = region.length; // site routes live inside allocations
+        Prefix6 p;
+        p.hi = region.hi;
+        p.lo = 0;
+        p.length = static_cast<uint8_t>(len);
+        for (unsigned pos = region.length; pos < len; ++pos) {
+            if (rng.chance(0.5))
+                setAddrBit(p.hi, p.lo, pos);
+        }
+        p.nextHop = static_cast<uint32_t>(rng.inRange(1, 0xffff));
+        p.canonicalize();
+        table.add(p);
+    }
+    return table;
+}
+
+} // namespace caram::ip

@@ -1,0 +1,74 @@
+#ifndef CARAM_IP_SYNTHETIC_BGP6_H_
+#define CARAM_IP_SYNTHETIC_BGP6_H_
+
+/**
+ * @file
+ * Deterministic synthetic IPv6 routing-table generator, for the paper's
+ * forward-looking remark that "the size of a routing table will even
+ * quadruple as we adopt IPv6".
+ *
+ * Structure: prefixes concentrate under the global-unicast RIR roots
+ * (2001::/16 and friends); allocation regions of /20../32 hold the
+ * mass; the length histogram peaks at /32 (provider allocations) and
+ * /48 (site routes) with a /64 shoulder, the published early-IPv6
+ * shape.
+ */
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "ip/prefix6.h"
+
+namespace caram::ip {
+
+/** An in-memory IPv6 routing table (deduplicated). */
+class RoutingTable6
+{
+  public:
+    bool add(const Prefix6 &prefix);
+    std::size_t size() const { return prefixes_.size(); }
+    const std::vector<Prefix6> &prefixes() const { return prefixes_; }
+    bool contains(const Prefix6 &prefix) const;
+    unsigned minLength() const;
+    double fractionAtLeast(unsigned len) const;
+
+  private:
+    struct Id
+    {
+        uint64_t hi, lo;
+        uint8_t len;
+        bool operator==(const Id &) const = default;
+    };
+    struct IdHash
+    {
+        std::size_t operator()(const Id &id) const;
+    };
+
+    std::vector<Prefix6> prefixes_;
+    std::unordered_set<Id, IdHash> dedup;
+};
+
+/** Generator knobs. */
+struct SyntheticBgp6Config
+{
+    /** "will even quadruple": 4 x the AS1103 IPv4 table by default. */
+    std::size_t prefixCount = 4 * 186760;
+
+    uint64_t seed = 0x6b6b6bull;
+
+    /** Allocation regions under the RIR roots. */
+    unsigned regions = 2500;
+    double regionSkew = 0.6;
+
+    /** Hot dense regions (as in the IPv4 generator). */
+    unsigned hotRegions = 150;
+    double hotFraction = 0.25;
+};
+
+/** Generate a synthetic IPv6 table. */
+RoutingTable6 generateSyntheticBgp6Table(const SyntheticBgp6Config &config);
+
+} // namespace caram::ip
+
+#endif // CARAM_IP_SYNTHETIC_BGP6_H_

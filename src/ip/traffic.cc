@@ -1,0 +1,100 @@
+#include "ip/traffic.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace caram::ip {
+
+IpTrafficGenerator::IpTrafficGenerator(const RoutingTable &table,
+                                       std::vector<double> weights,
+                                       uint64_t seed)
+    : table_(&table), rng(seed)
+{
+    if (table.size() == 0)
+        fatal("traffic generator needs a nonempty routing table");
+    if (weights.empty())
+        weights.assign(table.size(), 1.0);
+    if (weights.size() != table.size())
+        fatal("traffic weights must match the table size");
+    cdf.resize(weights.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        total += weights[i];
+        cdf[i] = total;
+    }
+    for (auto &v : cdf)
+        v /= total;
+    cdf.back() = 1.0;
+}
+
+uint32_t
+IpTrafficGenerator::next()
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    lastIndex = static_cast<std::size_t>(it - cdf.begin());
+    const Prefix &p = table_->prefixes()[lastIndex];
+    uint32_t addr = p.address;
+    if (p.length < 32) {
+        const unsigned host_bits = 32 - p.length;
+        addr |= static_cast<uint32_t>(rng.below(uint64_t{1} << host_bits));
+    }
+    return addr;
+}
+
+Ip6TrafficGenerator::Ip6TrafficGenerator(const RoutingTable6 &table,
+                                         std::vector<double> weights,
+                                         uint64_t seed)
+    : table_(&table), rng(seed)
+{
+    if (table.size() == 0)
+        fatal("traffic generator needs a nonempty routing table");
+    if (weights.empty())
+        weights.assign(table.size(), 1.0);
+    if (weights.size() != table.size())
+        fatal("traffic weights must match the table size");
+    cdf.resize(weights.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        total += weights[i];
+        cdf[i] = total;
+    }
+    for (auto &v : cdf)
+        v /= total;
+    cdf.back() = 1.0;
+}
+
+std::pair<uint64_t, uint64_t>
+Ip6TrafficGenerator::next()
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    lastIndex = static_cast<std::size_t>(it - cdf.begin());
+    const Prefix6 &p = table_->prefixes()[lastIndex];
+    lastHi = p.hi;
+    lastLo = p.lo;
+    for (unsigned pos = p.length; pos < 128; ++pos) {
+        if (rng.chance(0.5)) {
+            if (pos < 64)
+                lastHi |= uint64_t{1} << (63 - pos);
+            else
+                lastLo |= uint64_t{1} << (127 - pos);
+        }
+    }
+    return {lastHi, lastLo};
+}
+
+Key
+Ip6TrafficGenerator::lastKey() const
+{
+    Key addr(128);
+    for (unsigned b = 0; b < 64; ++b) {
+        addr.setBitAt(b, (lastHi >> (63 - b)) & 1u);
+        addr.setBitAt(64 + b, (lastLo >> (63 - b)) & 1u);
+    }
+    return addr;
+}
+
+} // namespace caram::ip

@@ -1,0 +1,80 @@
+#ifndef CARAM_IP_TRAFFIC_H_
+#define CARAM_IP_TRAFFIC_H_
+
+/**
+ * @file
+ * Lookup traffic for the IP application: addresses drawn from the
+ * routing table's prefixes, under a uniform or skewed (Zipf) access
+ * pattern, with random host bits.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "ip/routing_table.h"
+#include "ip/synthetic_bgp6.h"
+
+namespace caram::ip {
+
+/** Generates destination addresses covered by a routing table. */
+class IpTrafficGenerator
+{
+  public:
+    /**
+     * @param table   routing table the traffic must hit
+     * @param weights per-prefix weights (empty = uniform); need not be
+     *                normalized
+     * @param seed    deterministic stream seed
+     */
+    IpTrafficGenerator(const RoutingTable &table,
+                       std::vector<double> weights = {},
+                       uint64_t seed = 0x7aff1cull);
+
+    /** Next destination address. */
+    uint32_t next();
+
+    /** The prefix index the last next() drew from. */
+    std::size_t lastPrefixIndex() const { return lastIndex; }
+
+  private:
+    const RoutingTable *table_;
+    std::vector<double> cdf;
+    caram::Rng rng;
+    std::size_t lastIndex = 0;
+};
+
+/** Generates IPv6 destination addresses covered by a routing table. */
+class Ip6TrafficGenerator
+{
+  public:
+    /**
+     * @param table   IPv6 routing table the traffic must hit
+     * @param weights per-prefix weights (empty = uniform)
+     * @param seed    deterministic stream seed
+     */
+    Ip6TrafficGenerator(const RoutingTable6 &table,
+                        std::vector<double> weights = {},
+                        uint64_t seed = 0x7aff6ull);
+
+    /** Next destination address as (hi, lo) and a 128-bit key. */
+    std::pair<uint64_t, uint64_t> next();
+
+    /** The 128-bit search key of the last next(). */
+    Key lastKey() const;
+
+    /** The prefix index the last next() drew from. */
+    std::size_t lastPrefixIndex() const { return lastIndex; }
+
+  private:
+    const RoutingTable6 *table_;
+    std::vector<double> cdf;
+    caram::Rng rng;
+    std::size_t lastIndex = 0;
+    uint64_t lastHi = 0;
+    uint64_t lastLo = 0;
+};
+
+} // namespace caram::ip
+
+#endif // CARAM_IP_TRAFFIC_H_

@@ -1,0 +1,76 @@
+#ifndef CARAM_MEM_MEMORY_ARRAY_H_
+#define CARAM_MEM_MEMORY_ARRAY_H_
+
+/**
+ * @file
+ * The dense conventional memory array at the heart of a CA-RAM slice
+ * (paper section 3.1): 2^R rows of C bits each, with no per-row match
+ * logic.  The same array also backs the RAM-mode linear address space
+ * (section 3.2).
+ *
+ * Bit addressing convention: within a row, bit 0 is the least significant
+ * bit of the first 64-bit word.  Fields (keys, data, auxiliary bits) are
+ * located by a [low_bit, width) range.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace caram::mem {
+
+/** A 2-D bit array: rows x row_bits, stored packed in 64-bit words. */
+class MemoryArray
+{
+  public:
+    /**
+     * @param rows     number of rows (buckets)
+     * @param row_bits bits per row (the paper's C)
+     */
+    MemoryArray(uint64_t rows, uint64_t row_bits);
+
+    uint64_t rows() const { return numRows; }
+    uint64_t rowBits() const { return bitsPerRow; }
+    uint64_t totalBits() const { return numRows * bitsPerRow; }
+    uint64_t wordsPerRow() const { return rowWords; }
+
+    /** Read up to 64 bits at [lo, lo+len) of @p row. */
+    uint64_t readBits(uint64_t row, uint64_t lo, unsigned len) const;
+
+    /** Write the low @p len bits of @p value at [lo, lo+len) of @p row. */
+    void writeBits(uint64_t row, uint64_t lo, unsigned len, uint64_t value);
+
+    /** Zero an entire row. */
+    void clearRow(uint64_t row);
+
+    /** Zero the whole array. */
+    void clearAll();
+
+    /** Read-only view of the packed words of @p row. */
+    std::span<const uint64_t> rowSpan(uint64_t row) const;
+
+    /** Copy @p src (rowWords words) into @p row. */
+    void writeRow(uint64_t row, std::span<const uint64_t> src);
+
+    /**
+     * RAM-mode linear access: the array viewed as rows*rowWords 64-bit
+     * words in row-major order.  @p word_addr indexes that linear space.
+     */
+    uint64_t loadWord(uint64_t word_addr) const;
+    void storeWord(uint64_t word_addr, uint64_t value);
+
+    /** Number of 64-bit words in the RAM-mode linear space. */
+    uint64_t wordCount() const { return numRows * rowWords; }
+
+  private:
+    void checkRow(uint64_t row) const;
+
+    uint64_t numRows;
+    uint64_t bitsPerRow;
+    uint64_t rowWords;
+    std::vector<uint64_t> storage;
+};
+
+} // namespace caram::mem
+
+#endif // CARAM_MEM_MEMORY_ARRAY_H_

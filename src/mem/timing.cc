@@ -1,0 +1,71 @@
+#include "mem/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace caram::mem {
+
+double
+MemTiming::accessNs() const
+{
+    return accessCycles * 1e3 / clockMhz;
+}
+
+MemTiming
+MemTiming::sram(double mhz)
+{
+    MemTiming t;
+    t.tech = MemTech::Sram;
+    t.clockMhz = mhz;
+    t.accessCycles = 1;
+    t.minCycleGap = 1;
+    return t;
+}
+
+MemTiming
+MemTiming::embeddedDram(double mhz, unsigned cycles)
+{
+    MemTiming t;
+    t.tech = MemTech::Dram;
+    t.clockMhz = mhz;
+    t.accessCycles = cycles;
+    t.minCycleGap = cycles;
+    return t;
+}
+
+MemTiming
+MemTiming::morishitaEdram312()
+{
+    // 312 MHz random-cycle: a new access can start every cycle within a
+    // bank thanks to the macro's pipelined random-cycle design; the row
+    // latency is still multiple cycles.
+    MemTiming t;
+    t.tech = MemTech::Dram;
+    t.clockMhz = 312.0;
+    t.accessCycles = 4;
+    t.minCycleGap = 1;
+    return t;
+}
+
+BankTimer::BankTimer(const MemTiming &timing) : cfg(timing)
+{
+    if (cfg.clockMhz <= 0.0)
+        fatal("bank clock must be positive");
+    period = static_cast<sim::Tick>(std::llround(1e6 / cfg.clockMhz));
+    if (cfg.minCycleGap == 0)
+        fatal("n_mem must be at least 1");
+}
+
+sim::Tick
+BankTimer::access(sim::Tick ready_tick)
+{
+    const sim::Tick start = std::max(ready_tick, freeAt);
+    stalled += start - ready_tick;
+    freeAt = start + cfg.minCycleGap * period;
+    ++count;
+    return start + cfg.accessCycles * period;
+}
+
+} // namespace caram::mem

@@ -1,0 +1,88 @@
+#ifndef CARAM_MEM_TIMING_H_
+#define CARAM_MEM_TIMING_H_
+
+/**
+ * @file
+ * Memory timing models for the CA-RAM performance analysis of paper
+ * section 3.4: access latency T_mem, the minimum number of cycles between
+ * two back-to-back accesses (n_mem), and banked access arbitration.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace caram::mem {
+
+/** Memory technology used for a CA-RAM array. */
+enum class MemTech { Sram, Dram };
+
+/**
+ * Timing parameters of one memory macro.  The defaults and presets encode
+ * the data points the paper relies on: a 312 MHz random-cycle embedded
+ * DRAM (Morishita et al. [20]), conservatively operated at 200 MHz with a
+ * >= 6-cycle access in the application study, and a single-cycle SRAM.
+ */
+struct MemTiming
+{
+    MemTech tech = MemTech::Sram;
+    /** Clock of the memory/matching pipeline, MHz. */
+    double clockMhz = 200.0;
+    /** Cycles from request to row data available (T_mem). */
+    unsigned accessCycles = 1;
+    /** Minimum cycles between two back-to-back accesses to one bank
+     *  (the paper's n_mem). */
+    unsigned minCycleGap = 1;
+
+    /** Access latency in nanoseconds. */
+    double accessNs() const;
+
+    /** Single-cycle on-chip SRAM at @p mhz. */
+    static MemTiming sram(double mhz = 500.0);
+
+    /**
+     * Embedded DRAM per the paper's application study: 200 MHz operation,
+     * >= 6-cycle access, random-cycle capable bank (n_mem = 6 when not
+     * pipelined).
+     */
+    static MemTiming embeddedDram(double mhz = 200.0, unsigned cycles = 6);
+
+    /** Morishita et al. [20]: 16-Mb random-cycle eDRAM macro, 312 MHz. */
+    static MemTiming morishitaEdram312();
+};
+
+/**
+ * Busy-until bookkeeping for one memory bank: serializes accesses that
+ * arrive closer together than n_mem cycles.
+ */
+class BankTimer
+{
+  public:
+    explicit BankTimer(const MemTiming &timing);
+
+    /**
+     * Issue an access that is ready at @p ready_tick.  Returns the tick at
+     * which the row data is available; the bank stays occupied for
+     * n_mem cycles from the (possibly delayed) start.
+     */
+    sim::Tick access(sim::Tick ready_tick);
+
+    /** Earliest tick a new access could start now. */
+    sim::Tick nextFree() const { return freeAt; }
+
+    uint64_t accesses() const { return count; }
+    uint64_t stallTicks() const { return stalled; }
+
+  private:
+    MemTiming cfg;
+    sim::Tick period;
+    sim::Tick freeAt = 0;
+    uint64_t count = 0;
+    uint64_t stalled = 0;
+};
+
+} // namespace caram::mem
+
+#endif // CARAM_MEM_TIMING_H_

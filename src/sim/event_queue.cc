@@ -1,0 +1,57 @@
+#include "sim/event_queue.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace caram::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now)
+        panic("event scheduled in the past");
+    events.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+Tick
+EventQueue::run()
+{
+    return runUntil(maxTick);
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!events.empty() && events.top().when <= limit) {
+        // priority_queue::top() returns const&; move the callback out via
+        // a copy of the event before popping.
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        now = ev.when;
+        ++processed;
+        ev.cb();
+    }
+    if (events.empty() && now < limit && limit != maxTick)
+        now = limit;
+    return now;
+}
+
+Clock::Clock(double mhz) : mhz_(mhz)
+{
+    if (mhz <= 0.0)
+        fatal("clock frequency must be positive");
+    periodTicks = static_cast<Tick>(
+        std::llround(1e6 / mhz)); // 1 MHz -> 1e6 ps period
+    if (periodTicks == 0)
+        fatal("clock frequency too high for 1 ps tick resolution");
+}
+
+Tick
+Clock::nextEdge(Tick t) const
+{
+    const Tick rem = t % periodTicks;
+    return rem == 0 ? t : t + (periodTicks - rem);
+}
+
+} // namespace caram::sim

@@ -1,0 +1,102 @@
+#ifndef CARAM_SIM_EVENT_QUEUE_H_
+#define CARAM_SIM_EVENT_QUEUE_H_
+
+/**
+ * @file
+ * A minimal discrete-event simulation kernel.
+ *
+ * Events are closures scheduled at absolute ticks.  Events scheduled for
+ * the same tick fire in scheduling order (FIFO), which gives deterministic
+ * component interleaving.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace caram::sim {
+
+/** The event-driven simulation kernel. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick curTick() const { return now; }
+
+    /** Schedule @p cb to run at absolute tick @p when (>= curTick()). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback cb) { schedule(now + delay, std::move(cb)); }
+
+    /** Run until the queue drains; returns the final tick. */
+    Tick run();
+
+    /** Run events up to and including tick @p limit. */
+    Tick runUntil(Tick limit);
+
+    /** Number of events processed so far. */
+    uint64_t eventsProcessed() const { return processed; }
+
+    /** True when no events are pending. */
+    bool empty() const { return events.empty(); }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick now = 0;
+    uint64_t nextSeq = 0;
+    uint64_t processed = 0;
+};
+
+/**
+ * A clock domain: converts between cycles of a component clock and kernel
+ * ticks (1 tick = 1 ps).
+ */
+class Clock
+{
+  public:
+    /** @param mhz clock frequency in MHz. */
+    explicit Clock(double mhz);
+
+    /** Tick duration of one cycle. */
+    Tick period() const { return periodTicks; }
+
+    double frequencyMhz() const { return mhz_; }
+
+    /** The tick at the start of cycle @p cycle. */
+    Tick cycleToTick(uint64_t cycle) const { return cycle * periodTicks; }
+
+    /** The cycle containing tick @p t. */
+    uint64_t tickToCycle(Tick t) const { return t / periodTicks; }
+
+    /** First tick at or after @p t that is aligned to a clock edge. */
+    Tick nextEdge(Tick t) const;
+
+  private:
+    double mhz_;
+    Tick periodTicks;
+};
+
+} // namespace caram::sim
+
+#endif // CARAM_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,29 @@
+#include "sim/probes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace caram::sim {
+
+void
+LatencyProbe::record(Tick start, Tick end)
+{
+    if (end < start)
+        panic("probe recorded negative latency");
+    latency.add(static_cast<double>(end - start));
+    firstStart = std::min(firstStart, start);
+    lastEnd = std::max(lastEnd, end);
+}
+
+double
+LatencyProbe::throughputMsps() const
+{
+    if (latency.count() == 0 || lastEnd <= firstStart)
+        return 0.0;
+    const double seconds = static_cast<double>(lastEnd - firstStart) /
+                           static_cast<double>(ticksPerSecond);
+    return static_cast<double>(latency.count()) / seconds / 1e6;
+}
+
+} // namespace caram::sim

@@ -1,0 +1,51 @@
+#ifndef CARAM_SIM_PROBES_H_
+#define CARAM_SIM_PROBES_H_
+
+/**
+ * @file
+ * Measurement probes for the timing experiments: per-request latency and
+ * aggregate bandwidth.
+ */
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "sim/types.h"
+
+namespace caram::sim {
+
+/** Collects request latencies and computes throughput over a window. */
+class LatencyProbe
+{
+  public:
+    /** Record one completed request that entered at @p start and finished
+     *  at @p end. */
+    void record(Tick start, Tick end);
+
+    uint64_t completed() const { return latency.count(); }
+
+    /** Mean latency in ticks. */
+    double meanLatencyTicks() const { return latency.mean(); }
+
+    /** Mean latency in nanoseconds. */
+    double meanLatencyNs() const { return latency.mean() / 1000.0; }
+
+    double maxLatencyNs() const { return latency.max() / 1000.0; }
+
+    /**
+     * Achieved throughput in million searches per second over the span
+     * from the first recorded start to the last recorded end.
+     */
+    double throughputMsps() const;
+
+    const caram::Summary &latencySummary() const { return latency; }
+
+  private:
+    caram::Summary latency;
+    Tick firstStart = maxTick;
+    Tick lastEnd = 0;
+};
+
+} // namespace caram::sim
+
+#endif // CARAM_SIM_PROBES_H_

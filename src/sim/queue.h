@@ -1,0 +1,84 @@
+#ifndef CARAM_SIM_QUEUE_H_
+#define CARAM_SIM_QUEUE_H_
+
+/**
+ * @file
+ * Bounded FIFO used for the CA-RAM subsystem's request and result queues
+ * (paper section 3.2: "Requests and results are both queued for achieving
+ * maximum bandwidth without interruptions").
+ */
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace caram::sim {
+
+/** A bounded FIFO with occupancy statistics. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : cap(capacity)
+    {
+        if (capacity == 0)
+            fatal("queue capacity must be nonzero");
+    }
+
+    bool full() const { return items.size() >= cap; }
+    bool empty() const { return items.empty(); }
+    std::size_t size() const { return items.size(); }
+    std::size_t capacity() const { return cap; }
+
+    /** Push if space is available; returns false (and counts a stall)
+     *  when full. */
+    bool
+    tryPush(T item)
+    {
+        if (full()) {
+            ++stalls;
+            return false;
+        }
+        items.push_back(std::move(item));
+        ++pushes;
+        peak = std::max(peak, items.size());
+        return true;
+    }
+
+    /** Pop the head if present. */
+    std::optional<T>
+    tryPop()
+    {
+        if (items.empty())
+            return std::nullopt;
+        T out = std::move(items.front());
+        items.pop_front();
+        return out;
+    }
+
+    /** Peek at the head; queue must not be empty. */
+    const T &
+    front() const
+    {
+        if (items.empty())
+            panic("front() on empty queue");
+        return items.front();
+    }
+
+    uint64_t totalPushes() const { return pushes; }
+    uint64_t totalStalls() const { return stalls; }
+    std::size_t peakOccupancy() const { return peak; }
+
+  private:
+    std::deque<T> items;
+    std::size_t cap;
+    uint64_t pushes = 0;
+    uint64_t stalls = 0;
+    std::size_t peak = 0;
+};
+
+} // namespace caram::sim
+
+#endif // CARAM_SIM_QUEUE_H_

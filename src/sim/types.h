@@ -1,0 +1,26 @@
+#ifndef CARAM_SIM_TYPES_H_
+#define CARAM_SIM_TYPES_H_
+
+/**
+ * @file
+ * Basic simulation time types.  The kernel counts abstract ticks; clocked
+ * components interpret ticks as cycles of their own clock domain via
+ * caram::sim::Clock.
+ */
+
+#include <cstdint>
+
+namespace caram::sim {
+
+/** Simulated time, in ticks (1 tick = 1 ps by convention). */
+using Tick = uint64_t;
+
+/** Ticks per second under the 1-tick-=-1-ps convention. */
+constexpr Tick ticksPerSecond = 1'000'000'000'000ull;
+
+/** Invalid/unset tick sentinel. */
+constexpr Tick maxTick = ~Tick{0};
+
+} // namespace caram::sim
+
+#endif // CARAM_SIM_TYPES_H_

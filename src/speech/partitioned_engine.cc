@@ -1,0 +1,117 @@
+#include "speech/partitioned_engine.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "hash/djb.h"
+
+namespace caram::speech {
+
+PartitionedTrigramEngine::PartitionedTrigramEngine(
+    std::vector<TrigramPartitionSpec> partitions)
+    : specs(std::move(partitions))
+{
+    if (specs.empty())
+        fatal("partitioned engine needs at least one partition");
+    unsigned prev = 0;
+    for (const TrigramPartitionSpec &spec : specs) {
+        if (spec.maxChars <= prev)
+            fatal("partition bounds must be strictly ascending");
+        if (spec.maxChars * 8 > Key::kMaxKeyBits)
+            fatal("partition key width exceeds the maximum key width");
+        prev = spec.maxChars;
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const TrigramPartitionSpec &spec = specs[i];
+        core::DatabaseConfig cfg;
+        cfg.name = strprintf("trigram<=%u", spec.maxChars);
+        cfg.sliceShape.indexBits = spec.indexBits;
+        cfg.sliceShape.logicalKeyBits = keyBitsOf(i);
+        cfg.sliceShape.ternary = false;
+        cfg.sliceShape.slotsPerBucket = spec.slotsPerBucket;
+        cfg.sliceShape.dataBits = 32;
+        cfg.sliceShape.probe = core::ProbePolicy::Linear;
+        cfg.sliceShape.maxProbeDistance =
+            static_cast<unsigned>(cfg.sliceShape.rows() - 1);
+        cfg.physicalSlices = spec.physicalSlices;
+        cfg.arrangement = spec.arrangement;
+        cfg.indexFactory = [](const core::SliceConfig &eff)
+            -> std::unique_ptr<hash::IndexGenerator> {
+            return std::make_unique<hash::DjbIndex>(
+                hash::DjbIndex::withBuckets(eff.rows()));
+        };
+        subsystem.addDatabase(cfg);
+    }
+}
+
+unsigned
+PartitionedTrigramEngine::keyBitsOf(std::size_t index) const
+{
+    return specs[index].maxChars * 8;
+}
+
+std::size_t
+PartitionedTrigramEngine::partitionOf(std::size_t chars) const
+{
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (chars <= specs[i].maxChars)
+            return i;
+    }
+    fatal(strprintf("entry of %zu characters exceeds the longest "
+                    "partition (%u)",
+                    chars, specs.back().maxChars));
+}
+
+core::Database &
+PartitionedTrigramEngine::partition(std::size_t index)
+{
+    return subsystem.database(static_cast<unsigned>(index));
+}
+
+bool
+PartitionedTrigramEngine::insert(const std::string &text, uint32_t score)
+{
+    const std::size_t p = partitionOf(text.size());
+    return partition(p).insert(
+        core::Record{Key::fromString(text, keyBitsOf(p)), score});
+}
+
+std::optional<uint32_t>
+PartitionedTrigramEngine::lookup(const std::string &text)
+{
+    const std::size_t p = partitionOf(text.size());
+    const auto r =
+        partition(p).search(Key::fromString(text, keyBitsOf(p)));
+    if (!r.hit)
+        return std::nullopt;
+    return static_cast<uint32_t>(r.data);
+}
+
+bool
+PartitionedTrigramEngine::erase(const std::string &text)
+{
+    const std::size_t p = partitionOf(text.size());
+    return partition(p).erase(Key::fromString(text, keyBitsOf(p))) > 0;
+}
+
+std::vector<uint64_t>
+PartitionedTrigramEngine::partitionSizes() const
+{
+    std::vector<uint64_t> sizes;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        sizes.push_back(const_cast<PartitionedTrigramEngine *>(this)
+                            ->partition(i)
+                            .size());
+    }
+    return sizes;
+}
+
+uint64_t
+PartitionedTrigramEngine::size() const
+{
+    uint64_t total = 0;
+    for (uint64_t s : partitionSizes())
+        total += s;
+    return total;
+}
+
+} // namespace caram::speech

@@ -1,0 +1,85 @@
+#ifndef CARAM_SPEECH_PARTITIONED_ENGINE_H_
+#define CARAM_SPEECH_PARTITIONED_ENGINE_H_
+
+/**
+ * @file
+ * The paper's "partitioned database approach" (section 4.2) in full:
+ * the Sphinx trigram store is split by entry length into separate
+ * CA-RAM databases (the paper evaluates the 13..16-character partition,
+ * 40% of the entries).  Shorter partitions store narrower keys, so the
+ * same row width holds more keys per bucket -- the capacity advantage
+ * of partitioning.
+ *
+ * All partitions live in one CaRamSubsystem behind per-partition
+ * virtual ports ("The CA-RAM slices in the subsystem can each serve a
+ * different database").
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/subsystem.h"
+
+namespace caram::speech {
+
+/** One length partition of the trigram store. */
+struct TrigramPartitionSpec
+{
+    /** Entries up to this many characters land here (the previous
+     *  partition's bound is the lower limit). */
+    unsigned maxChars;
+    unsigned indexBits = 12;
+    unsigned slotsPerBucket = 96;
+    unsigned physicalSlices = 1;
+    core::Arrangement arrangement = core::Arrangement::Horizontal;
+};
+
+/** A length-partitioned trigram lookup engine. */
+class PartitionedTrigramEngine
+{
+  public:
+    /**
+     * @param partitions ascending maxChars bounds; the last bound is
+     *                   the longest supported entry
+     */
+    explicit PartitionedTrigramEngine(
+        std::vector<TrigramPartitionSpec> partitions);
+
+    /** Insert an entry into its length partition. */
+    bool insert(const std::string &text, uint32_t score);
+
+    /** Look an entry up (one access in one partition). */
+    std::optional<uint32_t> lookup(const std::string &text);
+
+    /** Remove an entry. */
+    bool erase(const std::string &text);
+
+    std::size_t partitionCount() const { return specs.size(); }
+
+    /** Partition index for an entry of @p chars characters. */
+    std::size_t partitionOf(std::size_t chars) const;
+
+    /** The database behind partition @p index. */
+    core::Database &partition(std::size_t index);
+
+    /** Entries per partition. */
+    std::vector<uint64_t> partitionSizes() const;
+
+    uint64_t size() const;
+
+    /** Aggregate area including all partitions. */
+    double totalAreaUm2() const { return subsystem.totalAreaUm2(); }
+
+  private:
+    /** Key width (bits) of partition @p index. */
+    unsigned keyBitsOf(std::size_t index) const;
+
+    std::vector<TrigramPartitionSpec> specs;
+    core::CaRamSubsystem subsystem;
+};
+
+} // namespace caram::speech
+
+#endif // CARAM_SPEECH_PARTITIONED_ENGINE_H_

@@ -1,0 +1,168 @@
+#include "speech/synthetic_trigrams.h"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace caram::speech {
+
+namespace {
+
+/** Word-length distribution (lengths 2..10), English-like. */
+constexpr unsigned minWordLen = 2;
+constexpr double wordLenWeights[] = {0.05, 0.12, 0.18, 0.19, 0.16,
+                                     0.12, 0.09, 0.06, 0.03};
+
+/** Letter frequencies (a..z), rough English distribution. */
+constexpr double letterWeights[26] = {
+    8.2, 1.5, 2.8, 4.3, 12.7, 2.2, 2.0, 6.1, 7.0, 0.15, 0.77, 4.0, 2.4,
+    6.7, 7.5, 1.9, 0.10, 6.0, 6.3, 9.1, 2.8, 0.98, 2.4, 0.15, 2.0, 0.074};
+
+uint64_t
+gcd64(uint64_t a, uint64_t b)
+{
+    while (b != 0) {
+        const uint64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+} // namespace
+
+SyntheticTrigramDb::SyntheticTrigramDb(const SyntheticTrigramConfig &config)
+    : cfg(config)
+{
+    if (cfg.vocabularySize < 3)
+        fatal("vocabulary too small");
+    if (cfg.minChars > cfg.maxChars || cfg.maxChars > 32)
+        fatal("trigram length window must fit 32 characters");
+
+    caram::Rng rng(cfg.seed);
+
+    // Sampling tables.
+    double len_total = 0.0;
+    double len_cdf[9];
+    for (unsigned i = 0; i < 9; ++i) {
+        len_total += wordLenWeights[i];
+        len_cdf[i] = len_total;
+    }
+    double letter_total = 0.0;
+    double letter_cdf[26];
+    for (unsigned i = 0; i < 26; ++i) {
+        letter_total += letterWeights[i];
+        letter_cdf[i] = letter_total;
+    }
+
+    // Vocabulary of distinct words.
+    std::unordered_set<std::string> seen;
+    vocab.reserve(cfg.vocabularySize);
+    while (vocab.size() < cfg.vocabularySize) {
+        const double ul = rng.uniform() * len_total;
+        unsigned len = minWordLen;
+        for (unsigned i = 0; i < 9; ++i) {
+            if (ul < len_cdf[i]) {
+                len = minWordLen + i;
+                break;
+            }
+        }
+        std::string word;
+        word.reserve(len);
+        for (unsigned c = 0; c < len; ++c) {
+            const double uc = rng.uniform() * letter_total;
+            unsigned letter = 0;
+            for (unsigned i = 0; i < 26; ++i) {
+                if (uc < letter_cdf[i]) {
+                    letter = i;
+                    break;
+                }
+            }
+            word.push_back(static_cast<char>('a' + letter));
+        }
+        if (seen.insert(word).second)
+            vocab.push_back(std::move(word));
+    }
+
+    // Bijective Weyl walk over the triple space: id = (c * step) mod V^3
+    // with gcd(step, V^3) = 1, so distinct counters give distinct
+    // triples and thus distinct space-joined strings.
+    const uint64_t v = vocab.size();
+    const uint64_t space = v * v * v;
+    uint64_t step = (0x9e3779b97f4a7c15ull ^ cfg.seed) % space;
+    if (step == 0)
+        step = 1;
+    while (gcd64(step, space) != 1)
+        ++step;
+
+    // Precompute word lengths for the cheap length filter.
+    std::vector<uint8_t> word_len(vocab.size());
+    for (std::size_t i = 0; i < vocab.size(); ++i)
+        word_len[i] = static_cast<uint8_t>(vocab[i].size());
+
+    tripleIds.reserve(cfg.entryCount);
+    uint64_t counter = 0;
+    while (tripleIds.size() < cfg.entryCount) {
+        if (counter >= space)
+            fatal("triple space exhausted before reaching the target "
+                  "entry count");
+        const uint64_t id = static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(counter) * step) % space);
+        ++counter;
+        const uint64_t w1 = id % v;
+        const uint64_t w2 = (id / v) % v;
+        const uint64_t w3 = id / (v * v);
+        const unsigned chars =
+            word_len[w1] + word_len[w2] + word_len[w3] + 2;
+        if (chars < cfg.minChars || chars > cfg.maxChars)
+            continue;
+        tripleIds.push_back(id);
+    }
+}
+
+std::string
+SyntheticTrigramDb::tripleText(uint64_t triple_id) const
+{
+    const uint64_t v = vocab.size();
+    const uint64_t w1 = triple_id % v;
+    const uint64_t w2 = (triple_id / v) % v;
+    const uint64_t w3 = triple_id / (v * v);
+    std::string out = vocab[w1];
+    out.push_back(' ');
+    out += vocab[w2];
+    out.push_back(' ');
+    out += vocab[w3];
+    return out;
+}
+
+std::string
+SyntheticTrigramDb::text(std::size_t i) const
+{
+    return tripleText(tripleIds.at(i));
+}
+
+Key
+SyntheticTrigramDb::key(std::size_t i) const
+{
+    return Key::fromString(text(i), trigramKeyBits);
+}
+
+uint32_t
+SyntheticTrigramDb::score(std::size_t i) const
+{
+    // Deterministic quantized "log probability" derived from the id.
+    uint64_t x = tripleIds.at(i) + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<uint32_t>(x >> 32);
+}
+
+TrigramEntry
+SyntheticTrigramDb::entry(std::size_t i) const
+{
+    return TrigramEntry{text(i), score(i)};
+}
+
+} // namespace caram::speech

@@ -1,0 +1,83 @@
+#ifndef CARAM_SPEECH_SYNTHETIC_TRIGRAMS_H_
+#define CARAM_SPEECH_SYNTHETIC_TRIGRAMS_H_
+
+/**
+ * @file
+ * Deterministic synthetic stand-in for the CMU-Sphinx III trigram
+ * database (paper section 4.2).  The paper's data set is the
+ * 13..16-character partition: 5,385,231 entries out of 13,459,881
+ * (about 40%).
+ *
+ * Construction (see DESIGN.md for the substitution argument): a
+ * ~60,000-word vocabulary of naturally distributed word lengths is
+ * generated once; distinct word triples are enumerated through a
+ * bijective Weyl mapping of a counter onto the triple space, keeping
+ * those whose space-joined string is 13..16 characters until the target
+ * count is reached.  Every entry is therefore distinct by construction
+ * (distinct triples give distinct space-separated strings) and the
+ * whole database is reproducible from the seed without storing the
+ * strings.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/key.h"
+#include "speech/trigram.h"
+
+namespace caram::speech {
+
+/** Generator knobs. */
+struct SyntheticTrigramConfig
+{
+    /** Entries with 13..16 characters (the paper's partition size). */
+    std::size_t entryCount = 5385231;
+
+    unsigned minChars = 13;
+    unsigned maxChars = 16;
+
+    /** Vocabulary size ("a system with a ~60,000-word vocabulary"). */
+    unsigned vocabularySize = 60000;
+
+    uint64_t seed = 0x5f33c4ull;
+};
+
+/** The synthetic trigram database; entries materialize on demand.
+ *  Entries longer than 16 characters are allowed (maxChars up to 32,
+ *  the real Sphinx store has them); key() serves only entries that fit
+ *  the 128-bit trigram key -- longer ones are handled by the
+ *  length-partitioned engine with wider keys. */
+class SyntheticTrigramDb
+{
+  public:
+    explicit SyntheticTrigramDb(const SyntheticTrigramConfig &config);
+
+    std::size_t size() const { return tripleIds.size(); }
+
+    /** Entry text (three space-separated words). */
+    std::string text(std::size_t i) const;
+
+    /** 128-bit fixed-width string key of entry @p i. */
+    Key key(std::size_t i) const;
+
+    /** Quantized log-probability payload of entry @p i. */
+    uint32_t score(std::size_t i) const;
+
+    TrigramEntry entry(std::size_t i) const;
+
+    const std::vector<std::string> &vocabulary() const { return vocab; }
+
+    const SyntheticTrigramConfig &config() const { return cfg; }
+
+  private:
+    std::string tripleText(uint64_t triple_id) const;
+
+    SyntheticTrigramConfig cfg;
+    std::vector<std::string> vocab;
+    std::vector<uint64_t> tripleIds; ///< valid triples, in stream order
+};
+
+} // namespace caram::speech
+
+#endif // CARAM_SPEECH_SYNTHETIC_TRIGRAMS_H_

@@ -1,0 +1,3 @@
+#include "speech/trigram.h"
+
+// TrigramEntry is header-only; this file anchors the library target.

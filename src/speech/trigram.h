@@ -1,0 +1,35 @@
+#ifndef CARAM_SPEECH_TRIGRAM_H_
+#define CARAM_SPEECH_TRIGRAM_H_
+
+/**
+ * @file
+ * Trigram entries for the speech-recognition language-model lookup
+ * application (paper section 4.2).  An entry is a space-separated
+ * three-word string of up to 16 characters (the paper partitions the
+ * Sphinx trigram database and studies the 13..16-character slice),
+ * keyed as a 128-bit fixed-width string key.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/key.h"
+
+namespace caram::speech {
+
+/** Key width for 16-character trigram strings: 16 * 8 = 128 bits. */
+constexpr unsigned trigramKeyBits = 128;
+
+/** One language-model entry. */
+struct TrigramEntry
+{
+    std::string text;   ///< "wordA wordB wordC", 13..16 chars
+    uint32_t score = 0; ///< quantized log-probability payload
+
+    /** 128-bit fixed-width string key (zero padded). */
+    Key toKey() const { return Key::fromString(text, trigramKeyBits); }
+};
+
+} // namespace caram::speech
+
+#endif // CARAM_SPEECH_TRIGRAM_H_

@@ -1,0 +1,62 @@
+#include "speech/trigram_caram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "hash/djb.h"
+
+namespace caram::speech {
+
+TrigramCaRamMapper::TrigramCaRamMapper(const SyntheticTrigramDb &db)
+    : db_(&db)
+{
+}
+
+TrigramMappingResult
+TrigramCaRamMapper::map(const TrigramDesignSpec &spec) const
+{
+    core::SliceConfig shape;
+    shape.indexBits = spec.indexBitsPerSlice;
+    shape.logicalKeyBits = trigramKeyBits;
+    shape.ternary = false; // "Ternary searching is not required"
+    shape.slotsPerBucket = spec.slotsPerSlice;
+    shape.dataBits = spec.dataBits;
+    shape.probe = core::ProbePolicy::Linear;
+    shape.maxProbeDistance =
+        static_cast<unsigned>(shape.rows() - 1);
+    shape.lpm = false;
+
+    core::DatabaseConfig db_cfg;
+    db_cfg.name = "trigram-" + spec.label;
+    db_cfg.sliceShape = shape;
+    db_cfg.physicalSlices = spec.slices;
+    db_cfg.arrangement = spec.arrangement;
+    db_cfg.indexFactory = [](const core::SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        // withBuckets handles the non-power-of-two row counts of
+        // odd vertical arrangements (e.g. design B's five slices).
+        return std::make_unique<hash::DjbIndex>(
+            hash::DjbIndex::withBuckets(eff.rows()));
+    };
+
+    TrigramMappingResult out;
+    out.label = spec.label;
+    out.effective = db_cfg.effectiveConfig();
+    out.db = std::make_unique<core::Database>(db_cfg);
+    out.entries = db_->size();
+
+    for (std::size_t i = 0; i < db_->size(); ++i) {
+        const core::Record rec{db_->key(i), db_->score(i)};
+        if (!out.db->insert(rec))
+            ++out.failedEntries;
+    }
+
+    out.stats = out.db->loadStats();
+    out.loadFactor = out.stats.loadFactor();
+    out.overflowingBucketFraction = out.stats.overflowingBucketFraction();
+    out.spilledRecordFraction = out.stats.spilledRecordFraction();
+    out.amal = out.stats.amalUniform();
+    return out;
+}
+
+} // namespace caram::speech

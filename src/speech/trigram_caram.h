@@ -1,0 +1,62 @@
+#ifndef CARAM_SPEECH_TRIGRAM_CARAM_H_
+#define CARAM_SPEECH_TRIGRAM_CARAM_H_
+
+/**
+ * @file
+ * CA-RAM data mapping for trigram lookup (paper section 4.2): 128-bit
+ * binary string keys, the DJB hash ("this method has been also used in
+ * the software hashing technique in Sphinx"), 96 keys per bucket, 2^14
+ * buckets per slice, linear probing for overflows.
+ */
+
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "speech/synthetic_trigrams.h"
+
+namespace caram::speech {
+
+/** One row of the paper's Table 3: a trigram design point. */
+struct TrigramDesignSpec
+{
+    std::string label;               ///< "A".."D"
+    unsigned indexBitsPerSlice = 14; ///< R (per slice, fixed to 14)
+    unsigned slotsPerSlice = 96;     ///< keys per bucket per slice
+    unsigned slices = 4;
+    core::Arrangement arrangement = core::Arrangement::Vertical;
+    unsigned dataBits = 32;          ///< quantized score payload
+};
+
+/** Measured results for one design (Table 3 columns + Figure 7). */
+struct TrigramMappingResult
+{
+    std::string label;
+    core::SliceConfig effective;
+    std::unique_ptr<core::Database> db;
+
+    uint64_t entries = 0;
+    uint64_t failedEntries = 0;
+    double loadFactor = 0.0;
+    double overflowingBucketFraction = 0.0;
+    double spilledRecordFraction = 0.0;
+    double amal = 0.0;
+
+    core::LoadStats stats; ///< stats.homeDemand is Figure 7's histogram
+};
+
+/** Maps the trigram database onto CA-RAM design points. */
+class TrigramCaRamMapper
+{
+  public:
+    explicit TrigramCaRamMapper(const SyntheticTrigramDb &db);
+
+    TrigramMappingResult map(const TrigramDesignSpec &spec) const;
+
+  private:
+    const SyntheticTrigramDb *db_;
+};
+
+} // namespace caram::speech
+
+#endif // CARAM_SPEECH_TRIGRAM_CARAM_H_

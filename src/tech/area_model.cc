@@ -1,0 +1,26 @@
+#include "tech/area_model.h"
+
+#include "common/logging.h"
+
+namespace caram::tech {
+
+double
+camArrayUm2(uint64_t entries, unsigned symbols_per_entry, CellType cell)
+{
+    if (cell == CellType::EdramBit || cell == CellType::CaRamTernary)
+        fatal("camArrayUm2 expects a CAM/TCAM cell type");
+    const CellSpec &spec = cellSpec(cell);
+    return static_cast<double>(entries) * symbols_per_entry * spec.areaUm2;
+}
+
+double
+caRamArrayUm2(uint64_t total_bits, bool include_match_overhead)
+{
+    const double bit_area = cellSpec(CellType::EdramBit).areaUm2;
+    double area = static_cast<double>(total_bits) * bit_area;
+    if (include_match_overhead)
+        area *= 1.0 + matchProcessorOverhead;
+    return area;
+}
+
+} // namespace caram::tech

@@ -1,0 +1,40 @@
+#ifndef CARAM_TECH_AREA_MODEL_H_
+#define CARAM_TECH_AREA_MODEL_H_
+
+/**
+ * @file
+ * Array-level area estimates for CAM/TCAM schemes and CA-RAM, as used in
+ * the paper's Figure 6(a) cell comparison and Figure 8 application-level
+ * comparison.
+ */
+
+#include <cstdint>
+
+#include "tech/cell_library.h"
+
+namespace caram::tech {
+
+/**
+ * Area of a CAM/TCAM array storing @p entries records of
+ * @p symbols_per_entry ternary symbols (or bits, for a binary CAM).
+ */
+double camArrayUm2(uint64_t entries, unsigned symbols_per_entry,
+                   CellType cell);
+
+/**
+ * Area of a CA-RAM memory array of @p total_bits bits of eDRAM,
+ * including the ~7% match-processor overhead when
+ * @p include_match_overhead is set.
+ */
+double caRamArrayUm2(uint64_t total_bits, bool include_match_overhead = true);
+
+/** Convenience: um^2 -> mm^2. */
+constexpr double
+um2ToMm2(double um2)
+{
+    return um2 * 1e-6;
+}
+
+} // namespace caram::tech
+
+#endif // CARAM_TECH_AREA_MODEL_H_

@@ -1,0 +1,67 @@
+#ifndef CARAM_TECH_CELL_LIBRARY_H_
+#define CARAM_TECH_CELL_LIBRARY_H_
+
+/**
+ * @file
+ * Published product-grade cell implementations that the paper's area and
+ * power comparisons rest on (sections 3.4 and 4.3).  All figures are at
+ * the same advanced 130 nm process unless noted.
+ *
+ * Sources (paper reference numbers):
+ *  [23] Noda et al., 16T SRAM-based TCAM cell and 8T dynamic TCAM cell.
+ *  [24] Noda et al., 6T dynamic TCAM cell, 143 MHz pipelined TCAM.
+ *  [20] Morishita et al., 0.35 um^2/bit embedded DRAM, 312 MHz random
+ *       cycle -- "an order of magnitude smaller than their smallest TCAM
+ *       cell ... operated at over twice the clock rate".
+ *  [31] Yamagata et al., 288-kb fully parallel CAM (0.8 um,
+ *       stacked-capacitor cell), optimistically scaled to 130 nm for the
+ *       trigram application comparison.
+ */
+
+#include <string>
+
+namespace caram::tech {
+
+/** Identifiers for the storage-cell implementations compared in Fig 6/8. */
+enum class CellType
+{
+    SramTcam16T,      ///< 16T SRAM-based TCAM cell [23]
+    DynTcam8T,        ///< 8T dynamic TCAM cell [23]
+    DynTcam6T,        ///< 6T dynamic TCAM cell [24]
+    EdramBit,         ///< embedded DRAM cell, per bit [20]
+    DynCamScaled,     ///< binary dynamic CAM cell, Yamagata [31] scaled
+    CaRamTernary,     ///< CA-RAM ternary symbol: 2 eDRAM bits + overhead
+};
+
+/** One row of the cell library. */
+struct CellSpec
+{
+    CellType type;
+    const char *name;     ///< human-readable scheme name (figure label)
+    double areaUm2;       ///< cell area in um^2 at 130 nm
+    double searchFj;      ///< search energy per cell per search (fJ),
+                          ///< full-parallel operation; 0 when not a CAM
+    const char *source;   ///< citation
+};
+
+/** Look up a cell specification. */
+const CellSpec &cellSpec(CellType type);
+
+/**
+ * Relative area overhead of adding match processors to a CA-RAM memory
+ * array (prototype result scaled to 130 nm, 16 slices of 64K cells):
+ * about 7% (section 3.4).
+ */
+constexpr double matchProcessorOverhead = 0.07;
+
+/** Bits needed to store one ternary symbol ({0,1,X}) in plain RAM. */
+constexpr unsigned bitsPerTernarySymbol = 2;
+
+/** Operating frequencies used in the application comparison (MHz). */
+constexpr double tcamClockMhz = 143.0;   ///< Noda et al. [24]
+constexpr double edramClockMhz = 312.0;  ///< Morishita et al. [20]
+constexpr double caRamAppClockMhz = 200.0; ///< paper's aggressive CA-RAM pick
+
+} // namespace caram::tech
+
+#endif // CARAM_TECH_CELL_LIBRARY_H_

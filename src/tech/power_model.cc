@@ -1,0 +1,93 @@
+#include "tech/power_model.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "tech/technology.h"
+
+namespace caram::tech {
+
+namespace {
+
+// Priority encoder energy per input line, pJ.  In a hierarchical
+// encoder the per-line cost is small next to the match-line activity.
+constexpr double encoderInputPj = 0.01;
+
+// Index generator (hash) energy per search, pJ -- bit selection or a
+// short adder chain; tiny compared to the row access.
+constexpr double hashEnergyPj = 2.0;
+
+// Row decoder energy per address bit, pJ.
+constexpr double rowDecodePjPerBit = 0.2;
+
+} // namespace
+
+double
+matchEnergyPerBitPj()
+{
+    // Prototype: 60.8 mW at Tclk = 6 ns over a 1600-bit row at 0.16 um
+    // => 364.8 pJ / 1600 bits = 0.228 pJ/bit, scaled to the 130 nm node
+    // used by all comparisons.
+    const double cal_pj_per_bit = 60.8 * 6.0 / 1600.0;
+    return cal_pj_per_bit *
+           energyScale(ProcessNode::um016(), ProcessNode::nm130());
+}
+
+double
+camSearchEnergyNj(uint64_t entries, unsigned symbols_per_entry,
+                  CellType cell, double activation_factor)
+{
+    const CellSpec &spec = cellSpec(cell);
+    if (spec.searchFj <= 0.0)
+        fatal("cell type has no CAM search energy");
+    if (activation_factor <= 0.0 || activation_factor > 1.0)
+        fatal("activation factor must be in (0, 1]");
+    const double cells =
+        static_cast<double>(entries) * symbols_per_entry;
+    const double searchline_matchline_nj =
+        cells * spec.searchFj * activation_factor * 1e-6;
+    const double encoder_nj =
+        static_cast<double>(entries) * encoderInputPj * 1e-3;
+    return searchline_matchline_nj + encoder_nj;
+}
+
+CaRamEnergyBreakdown
+caRamAccessEnergyNj(unsigned row_bits, unsigned match_bits, unsigned slots,
+                    uint64_t rows)
+{
+    if (match_bits > row_bits)
+        fatal("cannot match more bits than the row holds");
+    CaRamEnergyBreakdown e;
+    e.hashNj = hashEnergyPj * 1e-3;
+    const double decode_pj =
+        rowDecodePjPerBit * (rows > 1 ? ceilLog2(rows) : 1);
+    e.memNj = (row_bits * edramBitAccessPj + decode_pj) * 1e-3;
+    e.matchNj = match_bits * matchEnergyPerBitPj() * 1e-3;
+    e.encoderNj = slots * encoderInputPj * 1e-3;
+    return e;
+}
+
+double
+caRamPowerW(const CaRamEnergyBreakdown &access, double searches_per_sec,
+            double amal, double array_mbits, unsigned banks)
+{
+    if (amal < 1.0)
+        fatal("AMAL cannot be below 1");
+    const double dynamic_w =
+        access.totalNj() * 1e-9 * searches_per_sec * amal;
+    const double static_w = edramStaticMwPerMbit * 1e-3 * array_mbits;
+    const double idle_w = matchBankIdleMw * 1e-3 * banks;
+    return dynamic_w + static_w + idle_w;
+}
+
+double
+camPowerW(uint64_t entries, unsigned symbols_per_entry, CellType cell,
+          double searches_per_sec, double activation_factor)
+{
+    return camSearchEnergyNj(entries, symbols_per_entry, cell,
+                             activation_factor) *
+           1e-9 * searches_per_sec;
+}
+
+} // namespace caram::tech

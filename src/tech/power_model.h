@@ -1,0 +1,102 @@
+#ifndef CARAM_TECH_POWER_MODEL_H_
+#define CARAM_TECH_POWER_MODEL_H_
+
+/**
+ * @file
+ * Component-level search power model following paper section 3.4:
+ *
+ *   P_CA-RAM/search = P_hash + P_mem(w, n) + P_match(n) + P_encoder(w)
+ *   P_CAM/search    = P_searchline(w, n) + P_matchline(w, n) + P_encoder(w)
+ *
+ * CAM activates every cell of the array on every search (O(w*n)), while
+ * CA-RAM activates one memory row and a match over that row only (O(n)).
+ *
+ * Calibration: the match energy per bit is derived from the prototype's
+ * measured 60.8 mW (section 3.3) scaled to 130 nm; the per-cell CAM search
+ * energies live in cell_library.cc; the remaining constants are chosen so
+ * the model reproduces the paper's Figure 6(b) and Figure 8 ratios.
+ */
+
+#include <cstdint>
+
+#include "tech/cell_library.h"
+
+namespace caram::tech {
+
+/** Energy components of one CA-RAM search access (nanojoules). */
+struct CaRamEnergyBreakdown
+{
+    double hashNj;
+    double memNj;
+    double matchNj;
+    double encoderNj;
+
+    double
+    totalNj() const
+    {
+        return hashNj + memNj + matchNj + encoderNj;
+    }
+};
+
+/**
+ * Energy of one full-parallel CAM/TCAM search over @p entries records of
+ * @p symbols_per_entry symbols.  @p activation_factor < 1 models
+ * selective/hierarchical searching (e.g., Noda's pipelined hierarchical
+ * search or CoolCAMs-style banking), which activates only a fraction of
+ * the array.
+ */
+double camSearchEnergyNj(uint64_t entries, unsigned symbols_per_entry,
+                         CellType cell, double activation_factor = 1.0);
+
+/**
+ * Energy of one CA-RAM bucket access: activate a @p row_bits -bit row of
+ * one of @p rows rows, compare @p match_bits of it against the search
+ * key, and priority-encode @p slots match lines.
+ */
+CaRamEnergyBreakdown caRamAccessEnergyNj(unsigned row_bits,
+                                         unsigned match_bits,
+                                         unsigned slots, uint64_t rows);
+
+/**
+ * Average CA-RAM power at a sustained search rate.
+ *
+ * @param access            per-access energy breakdown
+ * @param searches_per_sec  lookups per second
+ * @param amal              average memory accesses per lookup
+ * @param array_mbits       total array capacity (static/refresh power)
+ * @param banks             number of independently accessible banks
+ *                          (idle match-processor overhead)
+ */
+double caRamPowerW(const CaRamEnergyBreakdown &access,
+                   double searches_per_sec, double amal, double array_mbits,
+                   unsigned banks);
+
+/** Average CAM/TCAM power at a sustained search rate. */
+double camPowerW(uint64_t entries, unsigned symbols_per_entry, CellType cell,
+                 double searches_per_sec, double activation_factor = 1.0);
+
+/**
+ * Activation factor of Noda et al. [24]'s pipelined hierarchical
+ * searching, used for the Figure 8 TCAM estimate.
+ */
+constexpr double nodaHierarchicalFactor = 0.30;
+
+/** eDRAM row activation energy, pJ per bit (130 nm). */
+constexpr double edramBitAccessPj = 0.15;
+
+/** eDRAM + periphery static/refresh power, mW per Mbit (130 nm). */
+constexpr double edramStaticMwPerMbit = 10.0;
+
+/** Fraction of static power remaining in the power-down data-retention
+ *  mode of the Morishita macro [20]. */
+constexpr double edramRetentionFactor = 0.25;
+
+/** Idle power per instantiated match-processor bank, mW. */
+constexpr double matchBankIdleMw = 10.0;
+
+/** Match comparison energy, pJ per bit at 130 nm (prototype-derived). */
+double matchEnergyPerBitPj();
+
+} // namespace caram::tech
+
+#endif // CARAM_TECH_POWER_MODEL_H_

@@ -1,0 +1,191 @@
+#include "tech/synthesis_model.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace caram::tech {
+
+namespace {
+
+// Calibration point: the prototype of Table 1 (C = 1600, 0.16 um,
+// variable key sizes, worst-case slot count P = C / 8 = 200).
+constexpr double calC = 1600.0;
+constexpr double calP = 200.0;
+
+// Per-stage calibration constants derived from Table 1.
+//   cells  = cellsPerUnit * unit      (unit = C bits, or P slots)
+//   area   = cells * areaPerCell      (um^2 at 0.16 um)
+//   delay  = delayCoeff * depth(unit) (ns at 0.16 um)
+struct StageCal
+{
+    const char *name;
+    double cellsPerUnit;
+    double areaPerCell;
+};
+
+// Table 1 row data: {cells, area um^2, delay ns}.
+//   expand  3,804  66,228  (0.89)   -- unit C, latency hidden
+//   match   5,252  10,591   0.95    -- unit C
+//   decode    899   1,970   1.91    -- unit P (priority encoder)
+//   extract 6,037  21,775   1.99    -- unit C (output multiplexing)
+const StageCal expandCal{"Expand search key", 3804.0 / calC, 66228.0 / 3804.0};
+const StageCal matchCal{"Calculate match vector", 5252.0 / calC,
+                        10591.0 / 5252.0};
+const StageCal decodeCal{"Decode match vector", 899.0 / calP, 1970.0 / 899.0};
+const StageCal extractCal{"Extract result", 6037.0 / calC, 21775.0 / 6037.0};
+
+// Delay model: logic depth grows with log2 of the fan-in.
+//   expand/decode/extract depth ~ log2(P); match depth ~ const + reduce
+//   tree over the widest key (128 bits).
+const double log2CalP = std::log2(calP);
+constexpr double expandDelayCal = 0.89;
+constexpr double matchDelayCal = 0.95;
+constexpr double decodeDelayCal = 1.91;
+constexpr double extractDelayCal = 1.99;
+
+// Fraction of expansion/extraction logic that a fixed-key design keeps.
+// The paper notes "in an application-specific CA-RAM design (i.e., key
+// length is fixed), much of this complexity will be removed".
+constexpr double fixedKeyCellFactor = 0.55;
+constexpr double fixedKeyDelayFactor = 0.85;
+
+// Prototype worst-case dynamic power: 60.8 mW at 1.8 V, a = 0.5,
+// Tclk = 6 ns  =>  energy per operation 364.8 pJ at the calibration point.
+constexpr double calEnergyPj = 60.8 * 6.0;
+
+// Pipelining costs: register cells per row bit per stage boundary, the
+// register cell's area (um^2 at 0.16 um), and the setup/clk-to-q
+// overhead added to each stage's delay.
+constexpr double pipeRegCellsPerBit = 0.6;
+constexpr double pipeRegAreaUm2 = 8.0;
+constexpr double pipeRegOverheadNs = 0.15;
+
+double
+logDepth(double p)
+{
+    return std::log2(std::max(2.0, p));
+}
+
+} // namespace
+
+uint64_t
+SynthesisEstimate::totalCells() const
+{
+    uint64_t total = 0;
+    for (const auto &s : stages)
+        total += s.cells;
+    return total;
+}
+
+double
+SynthesisEstimate::totalAreaUm2() const
+{
+    double total = 0.0;
+    for (const auto &s : stages)
+        total += s.areaUm2;
+    return total;
+}
+
+double
+SynthesisEstimate::criticalPathNs() const
+{
+    double total = 0.0;
+    for (const auto &s : stages) {
+        if (!s.overlappedWithMemory)
+            total += s.delayNs;
+    }
+    return total;
+}
+
+SynthesisEstimate
+estimateMatchProcessor(const SynthesisConfig &cfg)
+{
+    if (cfg.rowBits == 0 || cfg.minKeyBits == 0)
+        fatal("synthesis model: zero-sized configuration");
+    if (cfg.rowBits < cfg.minKeyBits)
+        fatal("synthesis model: row narrower than a key");
+
+    const double c_ratio = static_cast<double>(cfg.rowBits) / calC;
+    const double slots =
+        static_cast<double>(cfg.rowBits) / cfg.minKeyBits;
+    const double p_ratio = slots / calP;
+    const double a_scale = areaScale(ProcessNode::um016(), cfg.node);
+    const double d_scale = delayScale(ProcessNode::um016(), cfg.node);
+    const double depth_ratio = logDepth(slots) / log2CalP;
+
+    const double key_cells =
+        cfg.variableKeySize ? 1.0 : fixedKeyCellFactor;
+    const double key_delay =
+        cfg.variableKeySize ? 1.0 : fixedKeyDelayFactor;
+
+    SynthesisEstimate est;
+    auto add_stage = [&](const StageCal &cal, double units, double delay,
+                         bool overlapped, double cell_factor,
+                         double delay_factor) {
+        StageEstimate s;
+        s.name = cal.name;
+        s.cells = static_cast<uint64_t>(
+            std::llround(cal.cellsPerUnit * units * cell_factor));
+        s.areaUm2 = s.cells * cal.areaPerCell * a_scale;
+        s.delayNs = delay * delay_factor * d_scale;
+        s.overlappedWithMemory = overlapped;
+        est.stages.push_back(std::move(s));
+    };
+
+    // Stage 1: expand search key across the row -- replication muxes and
+    // staging latches, hidden under the memory access.
+    add_stage(expandCal, cfg.rowBits,
+              expandDelayCal * depth_ratio, true, key_cells, key_delay);
+    // Stage 2: bitwise XNOR/mask compare plus per-slot AND reduction; the
+    // bit operations are parallel, so delay is nearly flat in C.
+    add_stage(matchCal, cfg.rowBits, matchDelayCal, false, 1.0, 1.0);
+    // Stage 3: priority encode the match vector (serial in nature).
+    add_stage(decodeCal, slots,
+              decodeDelayCal * depth_ratio, false, 1.0, key_delay);
+    // Stage 4: multiplex the matched record out of the row.
+    add_stage(extractCal, cfg.rowBits,
+              extractDelayCal * depth_ratio, false, key_cells, key_delay);
+
+    // Pipelining: registers at the two internal boundaries of the
+    // non-overlapped path; cycle time becomes the slowest stage.
+    if (cfg.pipelined) {
+        const double d_scale_here =
+            delayScale(ProcessNode::um016(), cfg.node);
+        const auto reg_cells = static_cast<uint64_t>(std::llround(
+            pipeRegCellsPerBit * cfg.rowBits * 2));
+        StageEstimate regs;
+        regs.name = "Pipeline registers";
+        regs.cells = reg_cells;
+        regs.areaUm2 = reg_cells * pipeRegAreaUm2 * a_scale;
+        regs.delayNs = 0.0;
+        regs.overlappedWithMemory = true; // no combinational delay
+        est.stages.push_back(std::move(regs));
+
+        double slowest = 0.0;
+        for (const auto &s : est.stages) {
+            if (!s.overlappedWithMemory)
+                slowest = std::max(slowest, s.delayNs);
+        }
+        est.cycleTimeNs = slowest + pipeRegOverheadNs * d_scale_here;
+        est.pipelineDepth = 3;
+    } else {
+        est.cycleTimeNs = est.criticalPathNs();
+        est.pipelineDepth = 1;
+    }
+
+    // Dynamic power: energy/op scales with toggled capacitance (~cells,
+    // i.e., ~C), activity and node; power additionally with clock.
+    const double e_scale = energyScale(ProcessNode::um016(), cfg.node);
+    double energy_pj = calEnergyPj * c_ratio * key_cells *
+                       (cfg.switchingActivity / 0.5) * e_scale;
+    if (cfg.pipelined)
+        energy_pj *= 1.0 + 0.5 * pipeRegCellsPerBit; // register clocking
+    est.dynamicPowerMw = energy_pj * cfg.clockMhz * 1e-3;
+
+    (void)p_ratio;
+    return est;
+}
+
+} // namespace caram::tech

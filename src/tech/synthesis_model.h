@@ -1,0 +1,94 @@
+#ifndef CARAM_TECH_SYNTHESIS_MODEL_H_
+#define CARAM_TECH_SYNTHESIS_MODEL_H_
+
+/**
+ * @file
+ * Analytic synthesis model of the CA-RAM match processor.
+ *
+ * The paper's prototype (section 3.3) was synthesized with Synopsys
+ * Design Compiler against a 0.16 um standard-cell library at C = 1600 and
+ * configurable key sizes of {1,2,3,4,6,8,12,16} bytes, yielding the
+ * per-stage cell count / area / delay of Table 1 and a worst-case dynamic
+ * power of 60.8 mW (VDD = 1.8 V, switching activity 0.5, Tclk = 6 ns).
+ *
+ * This model is calibrated to reproduce those numbers exactly at the
+ * prototype's configuration and applies first-order scaling in C
+ * (linear cell counts), in the number of key slots (logarithmic delay for
+ * the priority encoder and output mux) and in process node.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tech/technology.h"
+
+namespace caram::tech {
+
+/** Configuration of a match processor to estimate. */
+struct SynthesisConfig
+{
+    /** Row (bucket) width in bits; the paper's C. */
+    unsigned rowBits = 1600;
+    /** Process node of the standard-cell library. */
+    ProcessNode node = ProcessNode::um016();
+    /**
+     * True for the paper's flexible design that handles key sizes of
+     * 1..16 bytes at run time; false for an application-specific design
+     * with a hard-wired key length, which removes much of the expansion
+     * and extraction complexity.
+     */
+    bool variableKeySize = true;
+    /** Smallest supported key, in bits (sets the worst-case slot count). */
+    unsigned minKeyBits = 8;
+    /** Switching activity used for the power estimate. */
+    double switchingActivity = 0.5;
+    /** Clock for the power estimate, MHz (prototype: 1/6 ns = 166.7). */
+    double clockMhz = 1000.0 / 6.0;
+    /**
+     * Pipeline the three non-overlapped stages (the prototype was not
+     * pipelined: "We did not pipeline our preliminary design").
+     * Registers between stages add cells/area; the cycle time drops to
+     * the slowest stage plus register overhead.
+     */
+    bool pipelined = false;
+};
+
+/** Estimate for a single pipeline stage of the match processor. */
+struct StageEstimate
+{
+    std::string name;
+    uint64_t cells;
+    double areaUm2;
+    double delayNs;
+    /** True when the stage latency hides under the memory access
+     *  (the paper's "expand search key" stage). */
+    bool overlappedWithMemory;
+};
+
+/** Full match-processor estimate. */
+struct SynthesisEstimate
+{
+    std::vector<StageEstimate> stages;
+    double dynamicPowerMw;
+    /** Achievable cycle time: the full combinational path when not
+     *  pipelined, the slowest stage plus register overhead when
+     *  pipelined. */
+    double cycleTimeNs = 0.0;
+    /** Lookup latency in cycles through the match logic. */
+    unsigned pipelineDepth = 1;
+
+    uint64_t totalCells() const;
+    double totalAreaUm2() const;
+    /** Sum of non-overlapped stage delays (the paper's 4.85 ns). */
+    double criticalPathNs() const;
+    /** Maximum operating frequency, MHz. */
+    double maxClockMhz() const { return 1e3 / cycleTimeNs; }
+};
+
+/** Run the model. */
+SynthesisEstimate estimateMatchProcessor(const SynthesisConfig &cfg);
+
+} // namespace caram::tech
+
+#endif // CARAM_TECH_SYNTHESIS_MODEL_H_

@@ -1,0 +1,26 @@
+#include "tech/technology.h"
+
+namespace caram::tech {
+
+double
+areaScale(const ProcessNode &from, const ProcessNode &to)
+{
+    const double r = to.featureUm / from.featureUm;
+    return r * r;
+}
+
+double
+energyScale(const ProcessNode &from, const ProcessNode &to)
+{
+    const double c = to.featureUm / from.featureUm;
+    const double v = to.vdd / from.vdd;
+    return c * v * v;
+}
+
+double
+delayScale(const ProcessNode &from, const ProcessNode &to)
+{
+    return to.featureUm / from.featureUm;
+}
+
+} // namespace caram::tech

@@ -1,0 +1,47 @@
+#ifndef CARAM_TECH_TECHNOLOGY_H_
+#define CARAM_TECH_TECHNOLOGY_H_
+
+/**
+ * @file
+ * Process technology descriptors and first-order scaling rules.
+ *
+ * The paper calibrates its match processor at a 0.16 um standard-cell
+ * node (Table 1) and performs all area/power comparisons at an advanced
+ * 130 nm node using product-grade published implementations
+ * (Noda et al. [23][24], Morishita et al. [20]).
+ */
+
+namespace caram::tech {
+
+/** A process node: drawn feature size and nominal supply. */
+struct ProcessNode
+{
+    double featureUm; ///< drawn feature size in micrometres
+    double vdd;       ///< nominal supply voltage
+
+    /** The 0.16 um standard-cell library of the paper's prototype. */
+    static ProcessNode um016() { return {0.16, 1.8}; }
+
+    /** The advanced 130 nm process of the published comparisons. */
+    static ProcessNode nm130() { return {0.13, 1.5}; }
+
+    /** Yamagata et al. [31] 288-kb CAM process (0.8 um, 5 V era). */
+    static ProcessNode um080() { return {0.80, 5.0}; }
+};
+
+/** Classical area scaling: area multiplies by (to/from)^2. */
+double areaScale(const ProcessNode &from, const ProcessNode &to);
+
+/**
+ * First-order dynamic-energy scaling between nodes:
+ * E ~ C * V^2, with capacitance proportional to feature size.
+ */
+double energyScale(const ProcessNode &from, const ProcessNode &to);
+
+/** First-order gate-delay scaling: delay roughly proportional to
+ *  feature size at constant field. */
+double delayScale(const ProcessNode &from, const ProcessNode &to);
+
+} // namespace caram::tech
+
+#endif // CARAM_TECH_TECHNOLOGY_H_

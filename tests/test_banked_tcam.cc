@@ -1,0 +1,133 @@
+/** @file Tests for the CoolCAMs-style banked TCAM baseline. */
+
+#include "cam/banked_tcam.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "hash/bit_select.h"
+
+namespace caram::cam {
+namespace {
+
+std::unique_ptr<hash::IndexGenerator>
+selector(unsigned bits)
+{
+    return std::make_unique<hash::BitSelectIndex>(
+        hash::BitSelectIndex::lastBitsOfFirst16(32, bits));
+}
+
+TEST(BankedTcam, ConstructionPartitionsCapacity)
+{
+    BankedTcam t(32, 1024, selector(3));
+    EXPECT_EQ(t.partitions(), 8u);
+    EXPECT_EQ(t.capacity(), 1024u);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(BankedTcam, RejectsBadConfigs)
+{
+    EXPECT_THROW(BankedTcam(32, 1024, nullptr), caram::FatalError);
+    EXPECT_THROW(BankedTcam(32, 4, selector(3)), caram::FatalError);
+}
+
+TEST(BankedTcam, SearchOnlyActivatesSelectedPartition)
+{
+    BankedTcam t(32, 256, selector(3));
+    const Key k = Key::fromUint(0x12345678u, 32);
+    ASSERT_TRUE(t.insert(k, 7, 0));
+    const auto r = t.search(k);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(r.data, 7u);
+    EXPECT_EQ(t.partitionsSearched(), 1u);
+    EXPECT_EQ(t.searchCount(), 1u);
+}
+
+TEST(BankedTcam, WildcardSelectorBitsDuplicate)
+{
+    BankedTcam t(32, 256, selector(3));
+    // /14 prefix: selector taps positions 13..15, leaving 2 wildcards.
+    const Key p = Key::prefix(0xabc00000u, 14, 32);
+    ASSERT_TRUE(t.insert(p, 9, 14));
+    EXPECT_EQ(t.size(), 4u); // duplicated into 4 partitions
+    // Any covered address hits, touching exactly one partition.
+    caram::Rng rng(81);
+    for (int i = 0; i < 50; ++i) {
+        const uint32_t addr =
+            0xabc00000u | static_cast<uint32_t>(rng.below(1u << 18));
+        const uint64_t before = t.partitionsSearched();
+        const auto r = t.search(Key::fromUint(addr, 32));
+        ASSERT_TRUE(r.hit);
+        EXPECT_EQ(r.data, 9u);
+        EXPECT_EQ(t.partitionsSearched() - before, 1u);
+    }
+    EXPECT_EQ(t.erase(p), 4u);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(BankedTcam, LpmAcrossPartitions)
+{
+    BankedTcam t(32, 256, selector(3));
+    // A /8 duplicated everywhere, plus a specific /24 in one partition.
+    ASSERT_TRUE(t.insert(Key::prefix(0x0a000000u, 8, 32), 8, 8));
+    ASSERT_TRUE(t.insert(Key::prefix(0x0a0b0c00u, 24, 32), 24, 24));
+    const auto covered = t.search(Key::fromUint(0x0a0b0c01u, 32));
+    ASSERT_TRUE(covered.hit);
+    EXPECT_EQ(covered.data, 24u);
+    EXPECT_TRUE(covered.multipleMatch);
+    const auto outside = t.search(Key::fromUint(0x0aff0000u, 32));
+    ASSERT_TRUE(outside.hit);
+    EXPECT_EQ(outside.data, 8u);
+}
+
+TEST(BankedTcam, InsertFailsWhenPartitionFull)
+{
+    BankedTcam t(32, 16, selector(3)); // 2 entries per partition
+    // Three keys hashing to the same partition (same bits 13..15).
+    ASSERT_TRUE(t.insert(Key::fromUint(0x00000000u, 32), 0, 0));
+    ASSERT_TRUE(t.insert(Key::fromUint(0x00000001u, 32), 1, 0));
+    EXPECT_FALSE(t.insert(Key::fromUint(0x00000002u, 32), 2, 0));
+    EXPECT_NEAR(t.worstPartitionLoad(), 1.0, 1e-12);
+}
+
+TEST(BankedTcam, EnergyScalesInverselyWithPartitions)
+{
+    // The CoolCAMs claim: power drops roughly by the partition count.
+    Tcam full(32, 1024);
+    BankedTcam banked4(32, 1024, selector(2));
+    BankedTcam banked8(32, 1024, selector(3));
+    const double e_full = full.searchEnergyNj();
+    EXPECT_NEAR(banked4.searchEnergyNj() / e_full, 0.25, 0.02);
+    EXPECT_NEAR(banked8.searchEnergyNj() / e_full, 0.125, 0.02);
+    // Same total array area either way.
+    EXPECT_NEAR(banked8.areaUm2(), full.areaUm2(), 1e-6);
+}
+
+TEST(BankedTcam, AgreesWithFlatTcamOnRandomKeys)
+{
+    Tcam flat(32, 2048);
+    BankedTcam banked(32, 4096, selector(4)); // headroom for imbalance
+    caram::Rng rng(91);
+    std::vector<Key> keys;
+    for (int i = 0; i < 1000; ++i) {
+        const Key k = Key::fromUint(rng.next64() & 0xffffffffu, 32);
+        keys.push_back(k);
+        ASSERT_TRUE(flat.insert(k, static_cast<uint64_t>(i), 0));
+        ASSERT_TRUE(banked.insert(k, static_cast<uint64_t>(i), 0));
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const Key probe = rng.chance(0.5)
+            ? keys[rng.below(keys.size())]
+            : Key::fromUint(rng.next64() & 0xffffffffu, 32);
+        const auto a = flat.search(probe);
+        const auto b = banked.search(probe);
+        ASSERT_EQ(a.hit, b.hit);
+        if (a.hit) {
+            EXPECT_EQ(a.data, b.data);
+        }
+    }
+}
+
+} // namespace
+} // namespace caram::cam

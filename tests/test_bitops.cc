@@ -1,0 +1,84 @@
+/** @file Unit tests for common/bitops.h. */
+
+#include "common/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace caram {
+namespace {
+
+TEST(CeilDiv, ExactAndInexact)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(8, 4), 2u);
+    EXPECT_EQ(ceilDiv(1, 64), 1u);
+    EXPECT_EQ(ceilDiv(64, 64), 1u);
+    EXPECT_EQ(ceilDiv(65, 64), 2u);
+}
+
+TEST(IsPow2, Basics)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(uint64_t{1} << 63));
+    EXPECT_FALSE(isPow2((uint64_t{1} << 63) + 1));
+}
+
+TEST(Log2, FloorAndCeil)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(uint64_t{1} << 40), 40u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+}
+
+TEST(MaskBits, Widths)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(16), 0xffffu);
+    EXPECT_EQ(maskBits(63), ~uint64_t{0} >> 1);
+    EXPECT_EQ(maskBits(64), ~uint64_t{0});
+    EXPECT_EQ(maskBits(99), ~uint64_t{0});
+}
+
+TEST(Bits, ExtractRanges)
+{
+    const uint64_t v = 0xdeadbeefcafebabeull;
+    EXPECT_EQ(bits(v, 0, 8), 0xbeu);
+    EXPECT_EQ(bits(v, 8, 8), 0xbau);
+    EXPECT_EQ(bits(v, 32, 32), 0xdeadbeefu);
+    EXPECT_EQ(bits(v, 60, 4), 0xdu);
+}
+
+TEST(GatherBitsMsb, SelectsFromMsbPositions)
+{
+    // 8-bit key 0b1010'0110; MSB position 0 is the leading 1.
+    const uint64_t key = 0b10100110;
+    EXPECT_EQ(gatherBitsMsb(key, 8, {0}), 1u);
+    EXPECT_EQ(gatherBitsMsb(key, 8, {1}), 0u);
+    EXPECT_EQ(gatherBitsMsb(key, 8, {0, 1, 2, 3}), 0b1010u);
+    EXPECT_EQ(gatherBitsMsb(key, 8, {4, 5, 6, 7}), 0b0110u);
+    // Order of positions defines bit significance in the output.
+    EXPECT_EQ(gatherBitsMsb(key, 8, {7, 6, 5, 4}), 0b0110u);
+}
+
+TEST(ReverseBits, RoundTrip)
+{
+    EXPECT_EQ(reverseBits(0b1011, 4), 0b1101u);
+    EXPECT_EQ(reverseBits(reverseBits(0xabcd, 16), 16), 0xabcdu);
+    EXPECT_EQ(reverseBits(1, 1), 1u);
+}
+
+} // namespace
+} // namespace caram

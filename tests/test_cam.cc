@@ -1,0 +1,193 @@
+/** @file Tests for the CAM/TCAM baseline models. */
+
+#include "cam/tcam.h"
+
+#include <gtest/gtest.h>
+
+#include "cam/cam.h"
+#include "cam/priority_encoder.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace caram::cam {
+namespace {
+
+TEST(PriorityEncoder, NoMatch)
+{
+    const auto r = priorityEncode(std::vector<bool>{false, false, false});
+    EXPECT_FALSE(r.anyMatch);
+    EXPECT_FALSE(r.multipleMatch);
+}
+
+TEST(PriorityEncoder, SingleMatch)
+{
+    const auto r = priorityEncode(std::vector<bool>{false, true, false});
+    EXPECT_TRUE(r.anyMatch);
+    EXPECT_FALSE(r.multipleMatch);
+    EXPECT_EQ(r.index, 1u);
+}
+
+TEST(PriorityEncoder, MultipleMatchPicksLowest)
+{
+    const auto r =
+        priorityEncode(std::vector<bool>{false, true, false, true});
+    EXPECT_TRUE(r.anyMatch);
+    EXPECT_TRUE(r.multipleMatch);
+    EXPECT_EQ(r.index, 1u);
+}
+
+TEST(PriorityEncoder, PackedFormAgreesWithBoolForm)
+{
+    caram::Rng rng(41);
+    for (int iter = 0; iter < 500; ++iter) {
+        const std::size_t lines = 1 + rng.below(200);
+        std::vector<bool> mv(lines);
+        std::vector<uint64_t> packed((lines + 63) / 64, 0);
+        for (std::size_t i = 0; i < lines; ++i) {
+            if (rng.chance(0.05)) {
+                mv[i] = true;
+                packed[i / 64] |= uint64_t{1} << (i % 64);
+            }
+        }
+        const auto a = priorityEncode(mv);
+        const auto b = priorityEncode(packed, lines);
+        EXPECT_EQ(a.anyMatch, b.anyMatch);
+        EXPECT_EQ(a.multipleMatch, b.multipleMatch);
+        if (a.anyMatch) {
+            EXPECT_EQ(a.index, b.index);
+        }
+    }
+}
+
+TEST(PriorityEncoder, PackedIgnoresBitsBeyondLineCount)
+{
+    std::vector<uint64_t> packed = {uint64_t{1} << 10};
+    const auto r = priorityEncode(packed, 10); // line 10 is out of range
+    EXPECT_FALSE(r.anyMatch);
+}
+
+TEST(Tcam, ExactMatch)
+{
+    Tcam t(32, 16);
+    EXPECT_TRUE(t.insert(Key::fromUint(100, 32), 7, 0));
+    const auto r = t.search(Key::fromUint(100, 32));
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.data, 7u);
+    EXPECT_FALSE(t.search(Key::fromUint(101, 32)).hit);
+}
+
+TEST(Tcam, TernaryEntryMatchesRange)
+{
+    Tcam t(32, 16);
+    t.insert(Key::prefix(0x0a000000u, 8, 32), 1, 8);
+    EXPECT_TRUE(t.search(Key::fromUint(0x0a123456u, 32)).hit);
+    EXPECT_FALSE(t.search(Key::fromUint(0x0b000000u, 32)).hit);
+}
+
+TEST(Tcam, PriorityOrderImplementsLpm)
+{
+    // Insert shorter prefix first; the /16 must still win for covered
+    // addresses because priority = prefix length.
+    Tcam t(32, 16);
+    t.insert(Key::prefix(0x0a000000u, 8, 32), 100, 8);
+    t.insert(Key::prefix(0x0a0b0000u, 16, 32), 200, 16);
+    const auto covered = t.search(Key::fromUint(0x0a0b0001u, 32));
+    EXPECT_TRUE(covered.hit);
+    EXPECT_EQ(covered.data, 200u);
+    EXPECT_TRUE(covered.multipleMatch);
+    const auto outside = t.search(Key::fromUint(0x0a0c0001u, 32));
+    EXPECT_TRUE(outside.hit);
+    EXPECT_EQ(outside.data, 100u);
+}
+
+TEST(Tcam, EqualPriorityFifo)
+{
+    Tcam t(8, 8);
+    t.insert(Key::fromUint(1, 8), 10, 5);
+    t.insert(Key::ternary(0, 0, 8), 20, 5); // matches everything
+    // The exact entry was inserted first at equal priority: it wins.
+    const auto r = t.search(Key::fromUint(1, 8));
+    EXPECT_EQ(r.data, 10u);
+}
+
+TEST(Tcam, CapacityEnforced)
+{
+    Tcam t(8, 2);
+    EXPECT_TRUE(t.insert(Key::fromUint(1, 8), 0, 0));
+    EXPECT_TRUE(t.insert(Key::fromUint(2, 8), 0, 0));
+    EXPECT_FALSE(t.insert(Key::fromUint(3, 8), 0, 0));
+    EXPECT_TRUE(t.full());
+}
+
+TEST(Tcam, EraseByExactStoredKey)
+{
+    Tcam t(8, 8);
+    const Key k = Key::ternary(0b1100, 0b1100, 8);
+    t.insert(k, 0, 0);
+    EXPECT_FALSE(t.erase(Key::fromUint(0b1100, 8))); // mask differs
+    EXPECT_TRUE(t.erase(k));
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tcam, SearchCountsForEnergyAccounting)
+{
+    Tcam t(8, 8);
+    t.insert(Key::fromUint(1, 8), 0, 0);
+    t.search(Key::fromUint(1, 8));
+    t.search(Key::fromUint(2, 8));
+    EXPECT_EQ(t.searchCount(), 2u);
+}
+
+TEST(Tcam, CostModelHooks)
+{
+    Tcam t(32, 1000, tech::CellType::DynTcam6T);
+    EXPECT_NEAR(t.areaUm2(), 1000.0 * 32 * 3.59, 1e-6);
+    EXPECT_GT(t.searchEnergyNj(), 0.0);
+    EXPECT_LT(t.searchEnergyNj(0.3), t.searchEnergyNj(1.0));
+    EXPECT_DOUBLE_EQ(t.searchBandwidthMsps(), 143.0);
+}
+
+TEST(Tcam, RejectsBadConfigs)
+{
+    EXPECT_THROW(Tcam(0, 8), caram::FatalError);
+    EXPECT_THROW(Tcam(8, 0), caram::FatalError);
+    Tcam t(8, 4);
+    EXPECT_THROW(t.insert(Key::fromUint(0, 16), 0, 0),
+                 caram::FatalError);
+}
+
+TEST(Cam, RequiresFullySpecifiedKeys)
+{
+    Cam c(32, 8);
+    EXPECT_TRUE(c.insert(Key::fromUint(5, 32), 1));
+    EXPECT_THROW(c.insert(Key::prefix(0, 8, 32), 1), caram::FatalError);
+}
+
+TEST(Cam, BinaryCellCostModel)
+{
+    Cam c(128, 100);
+    EXPECT_NEAR(c.areaUm2(),
+                100.0 * 128 *
+                    tech::cellSpec(tech::CellType::DynCamScaled).areaUm2,
+                1e-6);
+}
+
+TEST(Cam, FindsAmongMany)
+{
+    Cam c(64, 512);
+    caram::Rng rng(51);
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 512; ++i) {
+        keys.push_back(rng.next64());
+        c.insert(Key::fromUint(keys.back(), 64),
+                 static_cast<uint64_t>(i));
+    }
+    for (int i = 0; i < 512; i += 37) {
+        const auto r = c.search(Key::fromUint(keys[i], 64));
+        ASSERT_TRUE(r.hit);
+        EXPECT_EQ(r.data, static_cast<uint64_t>(i));
+    }
+}
+
+} // namespace
+} // namespace caram::cam

@@ -1,0 +1,218 @@
+/** @file Tests for the ACT-R-style declarative memory extension. */
+
+#include "cognitive/declarative_memory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace caram::cognitive {
+namespace {
+
+Chunk
+makeChunk(uint8_t type, std::initializer_list<uint16_t> slots,
+          uint32_t id)
+{
+    Chunk c;
+    c.type = type;
+    unsigned i = 0;
+    for (uint16_t s : slots)
+        c.slots[i++] = s;
+    c.id = id;
+    return c;
+}
+
+TEST(ChunkTest, KeyRoundTrip)
+{
+    const Chunk c = makeChunk(7, {100, 200, 300, 0, 42, 9}, 123);
+    const Key k = c.toKey();
+    EXPECT_EQ(k.bits(), kChunkKeyBits);
+    EXPECT_TRUE(k.fullySpecified());
+    const Chunk back = Chunk::fromKey(k, 123);
+    EXPECT_EQ(back, c);
+}
+
+TEST(ChunkTest, DistinctChunksDistinctKeys)
+{
+    const Chunk a = makeChunk(1, {5, 6}, 0);
+    const Chunk b = makeChunk(1, {5, 7}, 0);
+    const Chunk c = makeChunk(2, {5, 6}, 0);
+    EXPECT_NE(a.toKey(), b.toKey());
+    EXPECT_NE(a.toKey(), c.toKey());
+}
+
+TEST(PatternTest, KeyHasWildcardsForUnconstrained)
+{
+    RetrievalPattern p;
+    p.type = 3;
+    p.slots[1] = 77;
+    const Key k = p.toKey();
+    EXPECT_EQ(k.carePopcount(), kTypeBits + kSlotBits);
+    EXPECT_EQ(p.constrainedSlots(), 1u);
+}
+
+TEST(PatternTest, TernaryKeyMatchEqualsPatternMatch)
+{
+    Rng rng(71);
+    for (int iter = 0; iter < 500; ++iter) {
+        Chunk chunk;
+        chunk.type = static_cast<uint8_t>(rng.below(8));
+        for (auto &s : chunk.slots)
+            s = static_cast<uint16_t>(rng.below(16));
+        RetrievalPattern pattern;
+        if (rng.chance(0.8))
+            pattern.type = static_cast<uint8_t>(rng.below(8));
+        for (auto &s : pattern.slots) {
+            if (rng.chance(0.4))
+                s = static_cast<uint16_t>(rng.below(16));
+        }
+        EXPECT_EQ(pattern.toKey().matches(chunk.toKey()),
+                  pattern.matches(chunk))
+            << pattern.toKey().toString();
+    }
+}
+
+class DeclarativeMemoryTest : public ::testing::Test
+{
+  protected:
+    DeclarativeMemory::Config
+    smallConfig() const
+    {
+        DeclarativeMemory::Config cfg;
+        cfg.indexBits = 8;
+        cfg.slotsPerBucket = 8;
+        return cfg;
+    }
+};
+
+TEST(DeclarativeMemoryConfig, RejectsOverwideIndex)
+{
+    DeclarativeMemory::Config cfg;
+    cfg.indexBits = 13;
+    EXPECT_THROW(DeclarativeMemory dm(cfg), caram::FatalError);
+}
+
+TEST_F(DeclarativeMemoryTest, LearnRetrieveForget)
+{
+    DeclarativeMemory dm(smallConfig());
+    const Chunk fact = makeChunk(1, {10, 20, 30}, 99);
+    ASSERT_TRUE(dm.learn(fact));
+    EXPECT_EQ(dm.size(), 1u);
+
+    RetrievalPattern exact;
+    exact.type = 1;
+    exact.slots[0] = 10;
+    exact.slots[1] = 20;
+    exact.slots[2] = 30;
+    exact.slots[3] = 0;
+    exact.slots[4] = 0;
+    exact.slots[5] = 0;
+    const auto got = dm.retrieve(exact);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->id, 99u);
+
+    EXPECT_TRUE(dm.forget(fact));
+    EXPECT_FALSE(dm.retrieve(exact).has_value());
+}
+
+TEST_F(DeclarativeMemoryTest, PartialMatchRetrieval)
+{
+    DeclarativeMemory dm(smallConfig());
+    dm.learn(makeChunk(2, {10, 1, 1}, 1));
+    dm.learn(makeChunk(2, {10, 2, 2}, 2));
+    dm.learn(makeChunk(2, {11, 1, 3}, 3));
+
+    // Constrain type and slot 1 only.
+    RetrievalPattern p;
+    p.type = 2;
+    p.slots[1] = 2;
+    const auto got = dm.retrieve(p);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->id, 2u);
+
+    // Retrieval failure when nothing satisfies the constraints.
+    RetrievalPattern miss;
+    miss.type = 2;
+    miss.slots[1] = 9;
+    EXPECT_FALSE(dm.retrieve(miss).has_value());
+}
+
+TEST_F(DeclarativeMemoryTest, ActivationOrderBreaksTies)
+{
+    DeclarativeMemory dm(smallConfig());
+    std::vector<RatedChunk> chunks;
+    // Same cue (type + slot0): multi-match resolved by activation.
+    chunks.push_back({makeChunk(4, {10, 1}, 1), /*activation=*/10});
+    chunks.push_back({makeChunk(4, {10, 2}, 2), /*activation=*/90});
+    chunks.push_back({makeChunk(4, {10, 3}, 3), /*activation=*/50});
+    dm.learnAll(chunks);
+
+    RetrievalPattern cue;
+    cue.type = 4;
+    cue.slots[0] = 10;
+    const auto got = dm.retrieve(cue);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->id, 2u); // the most active chunk wins
+}
+
+TEST_F(DeclarativeMemoryTest, UnconstrainedCueFansOut)
+{
+    DeclarativeMemory dm(smallConfig());
+    dm.learn(makeChunk(5, {123, 7}, 42));
+    // Slot 0 (the hashed cue) unconstrained: every candidate bucket
+    // must be probed (section 4 discussion).
+    RetrievalPattern p;
+    p.type = 5;
+    p.slots[1] = 7;
+    const uint64_t before = dm.bucketsAccessed();
+    const auto got = dm.retrieve(p);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->id, 42u);
+    EXPECT_GT(dm.bucketsAccessed() - before, 1u);
+}
+
+TEST_F(DeclarativeMemoryTest, AgreesWithLinearScanReference)
+{
+    DeclarativeMemory dm(smallConfig());
+    Rng rng(73);
+    std::vector<Chunk> facts;
+    for (uint32_t i = 0; i < 400; ++i) {
+        Chunk c;
+        c.type = static_cast<uint8_t>(rng.below(6));
+        for (auto &s : c.slots)
+            s = static_cast<uint16_t>(rng.below(30));
+        c.id = i;
+        bool duplicate = false;
+        for (const Chunk &f : facts) {
+            Chunk probe = f;
+            probe.id = c.id;
+            if (probe == c)
+                duplicate = true;
+        }
+        if (duplicate)
+            continue;
+        ASSERT_TRUE(dm.learn(c));
+        facts.push_back(c);
+    }
+    for (int iter = 0; iter < 300; ++iter) {
+        RetrievalPattern p;
+        p.type = static_cast<uint8_t>(rng.below(6));
+        p.slots[0] = static_cast<uint16_t>(rng.below(30));
+        if (rng.chance(0.5))
+            p.slots[2] = static_cast<uint16_t>(rng.below(30));
+        bool any = false;
+        for (const Chunk &f : facts)
+            any |= p.matches(f);
+        const auto got = dm.retrieve(p);
+        ASSERT_EQ(got.has_value(), any) << iter;
+        if (got) {
+            EXPECT_TRUE(p.matches(*got));
+        }
+    }
+}
+
+} // namespace
+} // namespace caram::cognitive

@@ -1,0 +1,324 @@
+/** @file Tests for SliceConfig, BucketView and the MatchProcessor. */
+
+#include "core/bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/match_processor.h"
+
+namespace caram::core {
+namespace {
+
+SliceConfig
+smallConfig()
+{
+    SliceConfig cfg;
+    cfg.indexBits = 4;
+    cfg.logicalKeyBits = 32;
+    cfg.ternary = true;
+    cfg.slotsPerBucket = 8;
+    cfg.dataBits = 16;
+    cfg.maxProbeDistance = 4;
+    return cfg;
+}
+
+TEST(SliceConfig, DerivedQuantities)
+{
+    const SliceConfig cfg = smallConfig();
+    EXPECT_EQ(cfg.rows(), 16u);
+    EXPECT_EQ(cfg.storedKeyBits(), 64u);      // ternary doubles
+    EXPECT_EQ(cfg.slotBits(), 64u + 16 + 1);  // + data + valid
+    EXPECT_EQ(cfg.nominalRowBits(), 8u * 64); // the paper's C
+    EXPECT_EQ(cfg.storageRowBits(), 32u + 8 * 81);
+    EXPECT_EQ(cfg.capacity(), 16u * 8);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(SliceConfig, BinaryKeyWidths)
+{
+    SliceConfig cfg = smallConfig();
+    cfg.ternary = false;
+    cfg.logicalKeyBits = 128;
+    EXPECT_EQ(cfg.storedKeyBits(), 128u);
+}
+
+TEST(SliceConfig, ValidationCatchesBadConfigs)
+{
+    SliceConfig cfg = smallConfig();
+    cfg.indexBits = 0;
+    EXPECT_THROW(cfg.validate(), caram::FatalError);
+    cfg = smallConfig();
+    cfg.logicalKeyBits = 0;
+    EXPECT_THROW(cfg.validate(), caram::FatalError);
+    cfg = smallConfig();
+    cfg.logicalKeyBits = 200; // ternary doubling exceeds kMaxKeyBits
+    EXPECT_THROW(cfg.validate(), caram::FatalError);
+    cfg = smallConfig();
+    cfg.slotsPerBucket = 0;
+    EXPECT_THROW(cfg.validate(), caram::FatalError);
+    cfg = smallConfig();
+    cfg.dataBits = 65;
+    EXPECT_THROW(cfg.validate(), caram::FatalError);
+    cfg = smallConfig();
+    cfg.maxProbeDistance = 16; // == rows
+    EXPECT_THROW(cfg.validate(), caram::FatalError);
+}
+
+TEST(SliceConfig, HorizontalArrangementWidensBuckets)
+{
+    const SliceConfig cfg = smallConfig();
+    const SliceConfig eff = cfg.arranged(6, Arrangement::Horizontal);
+    EXPECT_EQ(eff.indexBits, cfg.indexBits);
+    EXPECT_EQ(eff.slotsPerBucket, 48u);
+    EXPECT_EQ(eff.capacity(), 6 * cfg.capacity());
+}
+
+TEST(SliceConfig, VerticalArrangementAddsRows)
+{
+    const SliceConfig cfg = smallConfig();
+    const SliceConfig eff = cfg.arranged(4, Arrangement::Vertical);
+    EXPECT_EQ(eff.indexBits, cfg.indexBits + 2);
+    EXPECT_EQ(eff.slotsPerBucket, cfg.slotsPerBucket);
+    EXPECT_EQ(eff.capacity(), 4 * cfg.capacity());
+}
+
+TEST(SliceConfig, NonPowerOfTwoVerticalArrangement)
+{
+    // Table 3's design B: five slices stacked vertically.
+    const SliceConfig cfg = smallConfig();
+    const SliceConfig eff = cfg.arranged(5, Arrangement::Vertical);
+    EXPECT_EQ(eff.rows(), 5 * cfg.rows());
+    EXPECT_EQ(eff.capacity(), 5 * cfg.capacity());
+    EXPECT_NO_THROW(eff.validate());
+    // Second-hash probing cannot cycle a non-power-of-two row space.
+    SliceConfig bad = eff;
+    bad.probe = ProbePolicy::SecondHash;
+    EXPECT_THROW(bad.validate(), caram::FatalError);
+}
+
+TEST(SliceConfig, SingleSliceArrangementIsIdentity)
+{
+    const SliceConfig cfg = smallConfig();
+    const SliceConfig eff = cfg.arranged(1, Arrangement::Vertical);
+    EXPECT_EQ(eff.indexBits, cfg.indexBits);
+    EXPECT_EQ(eff.slotsPerBucket, cfg.slotsPerBucket);
+}
+
+TEST(PhysicalLayout, IndependentBanks)
+{
+    PhysicalLayout vertical{smallConfig(), 4, Arrangement::Vertical};
+    EXPECT_EQ(vertical.independentBanks(), 4u);
+    PhysicalLayout horizontal{smallConfig(), 4, Arrangement::Horizontal};
+    EXPECT_EQ(horizontal.independentBanks(), 1u);
+}
+
+class BucketViewTest : public ::testing::Test
+{
+  protected:
+    BucketViewTest()
+        : cfg(smallConfig()), array(cfg.rows(), cfg.storageRowBits())
+    {
+    }
+
+    SliceConfig cfg;
+    mem::MemoryArray array;
+};
+
+TEST_F(BucketViewTest, FreshBucketIsEmpty)
+{
+    BucketView b(array, cfg, 0);
+    EXPECT_EQ(b.usedCount(), 0u);
+    EXPECT_EQ(b.reach(), 0u);
+    EXPECT_EQ(b.firstFreeSlot(), 0);
+    for (unsigned i = 0; i < b.slots(); ++i)
+        EXPECT_FALSE(b.slotValid(i));
+}
+
+TEST_F(BucketViewTest, WriteReadSlotRoundTrip)
+{
+    BucketView b(array, cfg, 3);
+    const Key key = Key::prefix(0xc0a80000u, 16, 32);
+    b.writeSlot(2, key, 0xbeef);
+    EXPECT_TRUE(b.slotValid(2));
+    EXPECT_EQ(b.slotKey(2), key);
+    EXPECT_EQ(b.slotData(2), 0xbeefu);
+    // Other slots untouched.
+    EXPECT_FALSE(b.slotValid(1));
+    EXPECT_FALSE(b.slotValid(3));
+}
+
+TEST_F(BucketViewTest, ClearSlotInvalidates)
+{
+    BucketView b(array, cfg, 0);
+    b.writeSlot(0, Key::fromUint(1, 32), 5);
+    b.clearSlot(0);
+    EXPECT_FALSE(b.slotValid(0));
+    EXPECT_EQ(b.firstFreeSlot(), 0);
+}
+
+TEST_F(BucketViewTest, AuxFieldRoundTrip)
+{
+    BucketView b(array, cfg, 1);
+    b.setUsedCount(5);
+    b.setReach(3);
+    EXPECT_EQ(b.usedCount(), 5u);
+    EXPECT_EQ(b.reach(), 3u);
+    // Aux does not clobber slots and vice versa.
+    b.writeSlot(7, Key::fromUint(9, 32), 1);
+    EXPECT_EQ(b.usedCount(), 5u);
+    EXPECT_EQ(b.reach(), 3u);
+    EXPECT_TRUE(b.slotValid(7));
+}
+
+TEST_F(BucketViewTest, RecountUsed)
+{
+    BucketView b(array, cfg, 0);
+    b.writeSlot(0, Key::fromUint(1, 32), 0);
+    b.writeSlot(5, Key::fromUint(2, 32), 0);
+    EXPECT_EQ(b.recountUsed(), 2u);
+}
+
+TEST_F(BucketViewTest, WidthMismatchRejected)
+{
+    BucketView b(array, cfg, 0);
+    EXPECT_THROW(b.writeSlot(0, Key::fromUint(1, 16), 0),
+                 caram::FatalError);
+}
+
+TEST_F(BucketViewTest, DataFieldOverflowRejected)
+{
+    BucketView b(array, cfg, 0);
+    EXPECT_THROW(b.writeSlot(0, Key::fromUint(1, 32), 0x10000),
+                 caram::FatalError);
+}
+
+TEST_F(BucketViewTest, TernaryKeyInBinarySliceRejected)
+{
+    SliceConfig bin = cfg;
+    bin.ternary = false;
+    mem::MemoryArray arr2(bin.rows(), bin.storageRowBits());
+    BucketView b(arr2, bin, 0);
+    EXPECT_THROW(b.writeSlot(0, Key::prefix(0, 8, 32), 0),
+                 caram::FatalError);
+}
+
+TEST_F(BucketViewTest, SlotMatchesKeyAgreesWithKeyMatches)
+{
+    caram::Rng rng(61);
+    BucketView b(array, cfg, 0);
+    for (int iter = 0; iter < 300; ++iter) {
+        const Key stored =
+            Key::ternary(rng.next64(), rng.next64(), 32);
+        const Key search =
+            Key::ternary(rng.next64(), rng.next64(), 32);
+        b.writeSlot(0, stored, 0);
+        EXPECT_EQ(b.slotMatchesKey(0, search), stored.matches(search))
+            << stored.toString() << " vs " << search.toString();
+    }
+}
+
+TEST_F(BucketViewTest, MultiWordSlotMatches)
+{
+    SliceConfig wide;
+    wide.indexBits = 2;
+    wide.logicalKeyBits = 128;
+    wide.ternary = false;
+    wide.slotsPerBucket = 4;
+    wide.dataBits = 32;
+    wide.maxProbeDistance = 2;
+    mem::MemoryArray arr2(wide.rows(), wide.storageRowBits());
+    BucketView b(arr2, wide, 1);
+    const Key k = Key::fromString("hello trigram!", 128);
+    b.writeSlot(3, k, 0xdeadbeef);
+    EXPECT_TRUE(b.slotMatchesKey(3, k));
+    EXPECT_FALSE(b.slotMatchesKey(3, Key::fromString("hello trigram?",
+                                                     128)));
+    EXPECT_EQ(b.slotKey(3), k);
+    EXPECT_EQ(b.slotData(3), 0xdeadbeefu);
+}
+
+class MatchProcessorTest : public BucketViewTest
+{
+  protected:
+    MatchProcessorTest() : mp(cfg) {}
+    MatchProcessor mp;
+};
+
+TEST_F(MatchProcessorTest, MatchVectorMarksMatchingValidSlots)
+{
+    BucketView b(array, cfg, 0);
+    b.writeSlot(1, Key::fromUint(10, 32), 0);
+    b.writeSlot(3, Key::fromUint(20, 32), 0);
+    const auto mv = b.slots() ? mp.matchVector(b, Key::fromUint(20, 32))
+                              : std::vector<bool>{};
+    ASSERT_EQ(mv.size(), 8u);
+    EXPECT_FALSE(mv[1]);
+    EXPECT_TRUE(mv[3]);
+    EXPECT_FALSE(mv[0]); // invalid slot can't match even if zeroed key
+}
+
+TEST_F(MatchProcessorTest, InvalidSlotNeverMatches)
+{
+    BucketView b(array, cfg, 0);
+    b.writeSlot(0, Key::fromUint(7, 32), 0);
+    b.clearSlot(0);
+    const auto mv = mp.matchVector(b, Key::fromUint(7, 32));
+    EXPECT_FALSE(mv[0]);
+}
+
+TEST_F(MatchProcessorTest, SearchBucketPriorityEncodes)
+{
+    BucketView b(array, cfg, 0);
+    b.writeSlot(2, Key::prefix(0x0a000000u, 8, 32), 100);
+    b.writeSlot(5, Key::prefix(0x0a000000u, 8, 32), 200);
+    const auto m = mp.searchBucket(b, Key::fromUint(0x0a010203u, 32));
+    ASSERT_TRUE(m.hit);
+    EXPECT_EQ(m.slot, 2u);
+    EXPECT_EQ(m.data, 100u);
+    EXPECT_TRUE(m.multipleMatch);
+}
+
+TEST_F(MatchProcessorTest, SearchBucketMiss)
+{
+    BucketView b(array, cfg, 0);
+    b.writeSlot(0, Key::fromUint(1, 32), 0);
+    const auto m = mp.searchBucket(b, Key::fromUint(2, 32));
+    EXPECT_FALSE(m.hit);
+}
+
+TEST_F(MatchProcessorTest, SearchBucketBestPicksLongestPrefix)
+{
+    BucketView b(array, cfg, 0);
+    // Unsorted bucket: the short prefix sits in the lower slot.
+    b.writeSlot(0, Key::prefix(0x0a000000u, 8, 32), 8);
+    b.writeSlot(1, Key::prefix(0x0a0b0000u, 16, 32), 16);
+    const Key addr = Key::fromUint(0x0a0b0c0du, 32);
+    const auto plain = mp.searchBucket(b, addr);
+    EXPECT_EQ(plain.data, 8u); // priority encoder alone picks slot 0
+    const auto best = mp.searchBucketBest(b, addr);
+    EXPECT_EQ(best.data, 16u); // LPM variant picks the /16
+    EXPECT_TRUE(best.multipleMatch);
+}
+
+TEST_F(MatchProcessorTest, SortedBucketMakesBothAgree)
+{
+    BucketView b(array, cfg, 0);
+    // Sorted on descending prefix length, as the mapper builds buckets.
+    b.writeSlot(0, Key::prefix(0x0a0b0000u, 16, 32), 16);
+    b.writeSlot(1, Key::prefix(0x0a000000u, 8, 32), 8);
+    const Key addr = Key::fromUint(0x0a0b0c0du, 32);
+    EXPECT_EQ(mp.searchBucket(b, addr).data,
+              mp.searchBucketBest(b, addr).data);
+}
+
+TEST_F(MatchProcessorTest, SearchKeyWidthChecked)
+{
+    BucketView b(array, cfg, 0);
+    EXPECT_THROW(mp.matchVector(b, Key::fromUint(0, 16)),
+                 caram::FatalError);
+}
+
+} // namespace
+} // namespace caram::core

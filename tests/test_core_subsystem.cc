@@ -1,0 +1,550 @@
+/** @file Tests for Database (incl. the victim TCAM) and CaRamSubsystem. */
+
+#include "core/subsystem.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "hash/bit_select.h"
+
+namespace caram::core {
+namespace {
+
+DatabaseConfig
+smallDbConfig(const std::string &name = "db", unsigned slices = 1,
+              Arrangement arr = Arrangement::Horizontal)
+{
+    DatabaseConfig cfg;
+    cfg.name = name;
+    cfg.sliceShape.indexBits = 4;
+    cfg.sliceShape.logicalKeyBits = 32;
+    cfg.sliceShape.ternary = false;
+    cfg.sliceShape.slotsPerBucket = 2;
+    cfg.sliceShape.dataBits = 16;
+    cfg.sliceShape.maxProbeDistance = 15;
+    cfg.physicalSlices = slices;
+    cfg.arrangement = arr;
+    cfg.indexFactory = [](const SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        return std::make_unique<hash::LowBitsIndex>(eff.logicalKeyBits,
+                                                    eff.indexBits);
+    };
+    return cfg;
+}
+
+TEST(Database, InsertSearchEraseRoundTrip)
+{
+    Database db(smallDbConfig());
+    EXPECT_TRUE(db.insert(Record{Key::fromUint(7, 32), 9}));
+    const auto r = db.search(Key::fromUint(7, 32));
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(r.data, 9u);
+    EXPECT_EQ(db.erase(Key::fromUint(7, 32)), 1u);
+    EXPECT_FALSE(db.search(Key::fromUint(7, 32)).hit);
+}
+
+TEST(Database, RequiresIndexFactory)
+{
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.indexFactory = nullptr;
+    EXPECT_THROW(Database db(cfg), caram::FatalError);
+}
+
+TEST(Database, ArrangementShapesEffectiveConfig)
+{
+    Database horizontal(smallDbConfig("h", 4, Arrangement::Horizontal));
+    EXPECT_EQ(horizontal.slice().config().slotsPerBucket, 8u);
+    EXPECT_EQ(horizontal.slice().config().indexBits, 4u);
+    EXPECT_EQ(horizontal.layout().independentBanks(), 1u);
+
+    Database vertical(smallDbConfig("v", 4, Arrangement::Vertical));
+    EXPECT_EQ(vertical.slice().config().slotsPerBucket, 2u);
+    EXPECT_EQ(vertical.slice().config().indexBits, 6u);
+    EXPECT_EQ(vertical.layout().independentBanks(), 4u);
+}
+
+TEST(Database, ParallelTcamCatchesOverflowAndAmalIsOne)
+{
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.overflow = OverflowPolicy::ParallelTcam;
+    cfg.overflowCapacity = 8;
+    Database db(cfg);
+    // Three records into bucket 3 of a 2-slot bucket: one overflows.
+    for (unsigned i = 0; i < 3; ++i) {
+        ASSERT_TRUE(
+            db.insert(Record{Key::fromUint(3 | (i << 4), 32), i}, 0));
+    }
+    EXPECT_EQ(db.overflowEntries(), 1u);
+    EXPECT_DOUBLE_EQ(db.amal(), 1.0);
+    // Every record findable, always with a single bucket access.
+    for (unsigned i = 0; i < 3; ++i) {
+        const auto r = db.search(Key::fromUint(3 | (i << 4), 32));
+        ASSERT_TRUE(r.hit) << i;
+        EXPECT_EQ(r.data, i);
+        EXPECT_LE(r.bucketsAccessed, 1u);
+    }
+}
+
+TEST(Database, ParallelTcamRequiresCapacity)
+{
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.overflow = OverflowPolicy::ParallelTcam;
+    cfg.overflowCapacity = 0;
+    EXPECT_THROW(Database db(cfg), caram::FatalError);
+}
+
+TEST(Database, InsertFailsWhenTcamExhausted)
+{
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.overflow = OverflowPolicy::ParallelTcam;
+    cfg.overflowCapacity = 1;
+    Database db(cfg);
+    for (unsigned i = 0; i < 3; ++i)
+        ASSERT_TRUE(db.insert(Record{Key::fromUint(3 | (i << 4), 32), i}));
+    // Bucket full and TCAM full: the fourth colliding record fails.
+    EXPECT_FALSE(db.insert(Record{Key::fromUint(3 | (3u << 4), 32), 3}));
+    EXPECT_EQ(db.size(), 3u);
+}
+
+TEST(Database, EraseCoversOverflowTcam)
+{
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.overflow = OverflowPolicy::ParallelTcam;
+    cfg.overflowCapacity = 4;
+    Database db(cfg);
+    std::vector<Key> keys;
+    for (unsigned i = 0; i < 3; ++i) {
+        keys.push_back(Key::fromUint(3 | (i << 4), 32));
+        db.insert(Record{keys.back(), i});
+    }
+    for (const Key &k : keys)
+        EXPECT_EQ(db.erase(k), 1u) << k.toString();
+    EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(Database, InsertDetailedReportsCosts)
+{
+    Database db(smallDbConfig());
+    // Fill bucket 3 then spill.
+    auto d0 = db.insertDetailed(Record{Key::fromUint(3, 32), 0});
+    auto d1 = db.insertDetailed(Record{Key::fromUint(3 | 16, 32), 0});
+    auto d2 = db.insertDetailed(Record{Key::fromUint(3 | 32, 32), 0});
+    EXPECT_DOUBLE_EQ(d0.meanAccessCost, 1.0);
+    EXPECT_DOUBLE_EQ(d1.meanAccessCost, 1.0);
+    EXPECT_DOUBLE_EQ(d2.meanAccessCost, 2.0); // spilled one bucket
+    EXPECT_EQ(d2.maxDistance, 1u);
+}
+
+TEST(Database, CostModelMonotonicity)
+{
+    Database small(smallDbConfig("s", 1));
+    Database large(smallDbConfig("l", 4, Arrangement::Vertical));
+    EXPECT_LT(small.areaUm2(), large.areaUm2());
+    EXPECT_GT(small.nominalStorageBits(), 0u);
+    EXPECT_EQ(large.nominalStorageBits(), 4 * small.nominalStorageBits());
+    EXPECT_GT(small.searchEnergyNj(), 0.0);
+    EXPECT_GT(small.powerW(1e6), 0.0);
+}
+
+TEST(Database, BandwidthFollowsPaperEquation)
+{
+    // B = N_slice / n_mem * f_clk.
+    Database vertical(smallDbConfig("v", 4, Arrangement::Vertical));
+    const auto timing = mem::MemTiming::embeddedDram(200.0, 6);
+    EXPECT_NEAR(vertical.searchBandwidthMsps(timing), 4.0 / 6 * 200, 1e-9);
+    Database horizontal(smallDbConfig("h", 4, Arrangement::Horizontal));
+    EXPECT_NEAR(horizontal.searchBandwidthMsps(timing), 1.0 / 6 * 200,
+                1e-9);
+}
+
+TEST(Subsystem, AddAndLookupDatabases)
+{
+    CaRamSubsystem sys;
+    sys.addDatabase(smallDbConfig("alpha"));
+    sys.addDatabase(smallDbConfig("beta"));
+    EXPECT_EQ(sys.databaseCount(), 2u);
+    EXPECT_EQ(sys.portOf("alpha"), 0u);
+    EXPECT_EQ(sys.portOf("beta"), 1u);
+    EXPECT_EQ(&sys.database("alpha"), &sys.database(0));
+    EXPECT_THROW(sys.portOf("gamma"), caram::FatalError);
+    EXPECT_THROW(sys.database(7), caram::FatalError);
+    EXPECT_THROW(sys.addDatabase(smallDbConfig("alpha")),
+                 caram::FatalError);
+}
+
+TEST(Subsystem, RequestResultProtocol)
+{
+    CaRamSubsystem sys;
+    sys.addDatabase(smallDbConfig("fw"));
+    sys.database("fw").insert(Record{Key::fromUint(5, 32), 55});
+
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(5, 32), /*tag=*/101));
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(6, 32), /*tag=*/102));
+    EXPECT_EQ(sys.process(), 2u);
+
+    auto r1 = sys.fetchResult();
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_EQ(r1->tag, 101u);
+    EXPECT_TRUE(r1->hit);
+    EXPECT_EQ(r1->data, 55u);
+
+    auto r2 = sys.fetchResult();
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_EQ(r2->tag, 102u);
+    EXPECT_FALSE(r2->hit);
+
+    EXPECT_FALSE(sys.fetchResult().has_value());
+}
+
+TEST(Subsystem, PerPortRouting)
+{
+    CaRamSubsystem sys;
+    sys.addDatabase(smallDbConfig("a"));
+    sys.addDatabase(smallDbConfig("b"));
+    sys.database("a").insert(Record{Key::fromUint(1, 32), 0xa});
+    sys.database("b").insert(Record{Key::fromUint(1, 32), 0xb});
+    sys.submit(sys.portOf("a"), Key::fromUint(1, 32), 1);
+    sys.submit(sys.portOf("b"), Key::fromUint(1, 32), 2);
+    sys.process();
+    EXPECT_EQ(sys.fetchResult()->data, 0xau);
+    EXPECT_EQ(sys.fetchResult()->data, 0xbu);
+}
+
+TEST(Subsystem, RequestQueueBackpressure)
+{
+    CaRamSubsystem sys(/*request capacity=*/2, /*result capacity=*/2);
+    sys.addDatabase(smallDbConfig("db"));
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(1, 32), 1));
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(2, 32), 2));
+    EXPECT_FALSE(sys.submit(0, Key::fromUint(3, 32), 3)); // full
+    EXPECT_EQ(sys.requestQueue().totalStalls(), 1u);
+    sys.process();
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(3, 32), 3));
+}
+
+TEST(Subsystem, ProcessStopsWhenResultQueueFull)
+{
+    CaRamSubsystem sys(8, /*result capacity=*/1);
+    sys.addDatabase(smallDbConfig("db"));
+    sys.submit(0, Key::fromUint(1, 32), 1);
+    sys.submit(0, Key::fromUint(2, 32), 2);
+    EXPECT_EQ(sys.process(), 1u); // result queue holds one
+    EXPECT_EQ(sys.fetchResult()->tag, 1u);
+    EXPECT_EQ(sys.process(), 1u);
+    EXPECT_EQ(sys.fetchResult()->tag, 2u);
+}
+
+TEST(Subsystem, ProcessHonorsMaxRequests)
+{
+    CaRamSubsystem sys;
+    sys.addDatabase(smallDbConfig("db"));
+    for (uint64_t i = 0; i < 4; ++i)
+        sys.submit(0, Key::fromUint(i, 32), i);
+    EXPECT_EQ(sys.process(3), 3u);
+    EXPECT_EQ(sys.process(), 1u);
+}
+
+TEST(Subsystem, RamModeSpansDatabases)
+{
+    CaRamSubsystem sys;
+    sys.addDatabase(smallDbConfig("a"));
+    sys.addDatabase(smallDbConfig("b"));
+    const uint64_t words_a = sys.database("a").slice().ramWords();
+    EXPECT_EQ(sys.ramWords(), 2 * words_a);
+    // A store beyond database a lands in database b.
+    sys.ramStore(words_a + 3, 0x1234u);
+    EXPECT_EQ(sys.ramLoad(words_a + 3), 0x1234u);
+    EXPECT_EQ(sys.database("b").slice().ramLoad(3), 0x1234u);
+    EXPECT_THROW(sys.ramLoad(sys.ramWords()), caram::FatalError);
+}
+
+TEST(Database, ParallelSliceCatchesOverflow)
+{
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.overflow = OverflowPolicy::ParallelSlice;
+    cfg.overflowIndexBits = 2; // a small victim CA-RAM
+    cfg.overflowSlots = 4;
+    Database db(cfg);
+    ASSERT_NE(db.overflowSlice(), nullptr);
+    EXPECT_EQ(db.overflowTcam(), nullptr);
+
+    // Three records into a 2-slot bucket: one spills to the slice.
+    for (unsigned i = 0; i < 3; ++i) {
+        ASSERT_TRUE(
+            db.insert(Record{Key::fromUint(3 | (i << 4), 32), i}));
+    }
+    EXPECT_EQ(db.overflowEntries(), 1u);
+    EXPECT_EQ(db.size(), 3u);
+    EXPECT_DOUBLE_EQ(db.amal(), 1.0); // overflow accessed in parallel
+    for (unsigned i = 0; i < 3; ++i) {
+        const auto r = db.search(Key::fromUint(3 | (i << 4), 32));
+        ASSERT_TRUE(r.hit) << i;
+        EXPECT_EQ(r.data, i);
+        EXPECT_LE(r.bucketsAccessed, 1u);
+    }
+
+    // Erase reaches the overflow slice too.
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_EQ(db.erase(Key::fromUint(3 | (i << 4), 32)), 1u);
+    EXPECT_EQ(db.size(), 0u);
+    EXPECT_EQ(db.overflowEntries(), 0u);
+}
+
+TEST(Database, ParallelSliceDenserThanVictimTcam)
+{
+    // Same overflow capacity: the CA-RAM victim area is much smaller
+    // than the TCAM victim area (the paper's density argument).
+    DatabaseConfig tcam_cfg = smallDbConfig("t");
+    tcam_cfg.overflow = OverflowPolicy::ParallelTcam;
+    tcam_cfg.overflowCapacity = 16;
+    Database with_tcam(tcam_cfg);
+
+    DatabaseConfig slice_cfg = smallDbConfig("s");
+    slice_cfg.overflow = OverflowPolicy::ParallelSlice;
+    slice_cfg.overflowIndexBits = 2;
+    slice_cfg.overflowSlots = 4; // 16 slots total
+    Database with_slice(slice_cfg);
+
+    EXPECT_LT(with_slice.areaUm2(), with_tcam.areaUm2());
+}
+
+TEST(Database, ParallelSliceRequiresShape)
+{
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.overflow = OverflowPolicy::ParallelSlice;
+    EXPECT_THROW(Database db(cfg), caram::FatalError);
+}
+
+TEST(Database, ParallelSliceFullFailsInsert)
+{
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.overflow = OverflowPolicy::ParallelSlice;
+    cfg.overflowIndexBits = 1;
+    cfg.overflowSlots = 1; // 2 slots total in the victim
+    Database db(cfg);
+    // Bucket 3 (2 slots) + victim (2 slots) = 4 colliding keys fit.
+    for (unsigned i = 0; i < 4; ++i) {
+        ASSERT_TRUE(
+            db.insert(Record{Key::fromUint(3 | (i << 4), 32), i}))
+            << i;
+    }
+    EXPECT_FALSE(db.insert(Record{Key::fromUint(3 | (4u << 4), 32), 4}));
+    EXPECT_EQ(db.size(), 4u);
+}
+
+TEST(Database, MixedGridArrangement)
+{
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.gridVertical = 4;
+    cfg.gridHorizontal = 2; // 8 physical slices in a 4x2 grid
+    Database db(cfg);
+    const SliceConfig eff = db.config().effectiveConfig();
+    EXPECT_EQ(eff.indexBits, 6u);      // 4x the rows
+    EXPECT_EQ(eff.slotsPerBucket, 4u); // 2x the slots
+    EXPECT_EQ(db.layout().slices, 8u);
+    EXPECT_EQ(db.layout().independentBanks(), 4u);
+
+    // Still a working dictionary.
+    for (uint64_t i = 0; i < 100; ++i)
+        ASSERT_TRUE(db.insert(Record{Key::fromUint(i * 131, 32), i}));
+    for (uint64_t i = 0; i < 100; ++i) {
+        const auto r = db.search(Key::fromUint(i * 131, 32));
+        ASSERT_TRUE(r.hit);
+        EXPECT_EQ(r.data, i);
+    }
+}
+
+TEST(Database, PaperSection32FiveSliceExample)
+{
+    // "For example, five slices can be allocated together with four
+    // slices used to extend the number of rows and the remaining one
+    // set aside for storing spilled records."
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.gridVertical = 4; // four slices extend the rows
+    cfg.gridHorizontal = 1;
+    cfg.overflow = OverflowPolicy::ParallelSlice; // the fifth slice
+    cfg.overflowIndexBits = cfg.sliceShape.indexBits;
+    cfg.overflowSlots = cfg.sliceShape.slotsPerBucket;
+    Database db(cfg);
+    EXPECT_EQ(db.config().effectiveConfig().rows(), 64u);
+    ASSERT_NE(db.overflowSlice(), nullptr);
+    EXPECT_EQ(db.layout().independentBanks(), 4u);
+
+    // Overflow a bucket: the spilled record lands in the fifth slice
+    // and is found in a single (parallel) access.
+    for (unsigned i = 0; i < 3; ++i) {
+        ASSERT_TRUE(
+            db.insert(Record{Key::fromUint(5 | (i << 6), 32), i}));
+    }
+    EXPECT_EQ(db.overflowEntries(), 1u);
+    for (unsigned i = 0; i < 3; ++i) {
+        const auto r = db.search(Key::fromUint(5 | (i << 6), 32));
+        ASSERT_TRUE(r.hit);
+        EXPECT_LE(r.bucketsAccessed, 1u);
+    }
+}
+
+TEST(Database, RetentionModeBlocksAccessAndCutsPower)
+{
+    Database db(smallDbConfig());
+    db.insert(Record{Key::fromUint(1, 32), 5});
+    const double active_idle = db.powerW(0.0);
+    db.setPowerState(PowerState::Retention);
+    EXPECT_THROW(db.search(Key::fromUint(1, 32)), caram::FatalError);
+    EXPECT_THROW(db.insert(Record{Key::fromUint(2, 32), 0}),
+                 caram::FatalError);
+    EXPECT_THROW(db.erase(Key::fromUint(1, 32)), caram::FatalError);
+    const double retention = db.powerW(143e6);
+    EXPECT_LT(retention, active_idle);
+    // Contents survive the retention period.
+    db.setPowerState(PowerState::Active);
+    const auto r = db.search(Key::fromUint(1, 32));
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(r.data, 5u);
+}
+
+TEST(Subsystem, SplitPortQueuesIsolateBackpressure)
+{
+    CaRamSubsystem sys(/*request capacity=*/2, /*result capacity=*/16,
+                       /*split_port_queues=*/true);
+    sys.addDatabase(smallDbConfig("a"));
+    sys.addDatabase(smallDbConfig("b"));
+    EXPECT_TRUE(sys.splitPortQueues());
+    // Fill port a's queue.
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(1, 32), 1));
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(2, 32), 2));
+    EXPECT_FALSE(sys.submit(0, Key::fromUint(3, 32), 3));
+    // Port b keeps accepting: its queue is physically separate.
+    EXPECT_TRUE(sys.submit(1, Key::fromUint(4, 32), 4));
+    EXPECT_TRUE(sys.submit(1, Key::fromUint(5, 32), 5));
+    EXPECT_EQ(sys.requestQueue(0).totalStalls(), 1u);
+    EXPECT_EQ(sys.requestQueue(1).totalStalls(), 0u);
+
+    // Round-robin processing drains both ports fairly.
+    EXPECT_EQ(sys.process(), 4u);
+    std::vector<uint64_t> tags;
+    while (auto r = sys.fetchResult())
+        tags.push_back(r->tag);
+    ASSERT_EQ(tags.size(), 4u);
+    // Interleaved: a, b, a, b.
+    EXPECT_EQ(tags[0], 1u);
+    EXPECT_EQ(tags[1], 4u);
+    EXPECT_EQ(tags[2], 2u);
+    EXPECT_EQ(tags[3], 5u);
+}
+
+TEST(Subsystem, SharedQueueByDefault)
+{
+    CaRamSubsystem sys(4, 4);
+    sys.addDatabase(smallDbConfig("a"));
+    sys.addDatabase(smallDbConfig("b"));
+    EXPECT_FALSE(sys.splitPortQueues());
+    // Both ports share one queue: four submits fill it regardless of
+    // the port.
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(1, 32), 1));
+    EXPECT_TRUE(sys.submit(1, Key::fromUint(2, 32), 2));
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(3, 32), 3));
+    EXPECT_TRUE(sys.submit(1, Key::fromUint(4, 32), 4));
+    EXPECT_FALSE(sys.submit(0, Key::fromUint(5, 32), 5));
+}
+
+TEST(Subsystem, InsertAndEraseThroughThePort)
+{
+    CaRamSubsystem sys;
+    sys.addDatabase(smallDbConfig("db"));
+    // Build the database entirely through CAM-mode port requests.
+    EXPECT_TRUE(sys.submitInsert(0, Record{Key::fromUint(5, 32), 50},
+                                 /*priority=*/0, /*tag=*/1));
+    EXPECT_TRUE(sys.submitInsert(0, Record{Key::fromUint(6, 32), 60},
+                                 0, 2));
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(5, 32), 3));
+    EXPECT_TRUE(sys.submitErase(0, Key::fromUint(6, 32), 4));
+    EXPECT_TRUE(sys.submit(0, Key::fromUint(6, 32), 5));
+    EXPECT_EQ(sys.process(), 5u);
+
+    auto r1 = sys.fetchResult();
+    ASSERT_TRUE(r1);
+    EXPECT_EQ(r1->op, PortOp::Insert);
+    EXPECT_TRUE(r1->hit);
+    auto r2 = sys.fetchResult();
+    EXPECT_EQ(r2->op, PortOp::Insert);
+    auto r3 = sys.fetchResult();
+    EXPECT_EQ(r3->op, PortOp::Search);
+    EXPECT_TRUE(r3->hit);
+    EXPECT_EQ(r3->data, 50u);
+    auto r4 = sys.fetchResult();
+    EXPECT_EQ(r4->op, PortOp::Erase);
+    EXPECT_TRUE(r4->hit);
+    EXPECT_EQ(r4->data, 1u); // one copy removed
+    auto r5 = sys.fetchResult();
+    EXPECT_EQ(r5->op, PortOp::Search);
+    EXPECT_FALSE(r5->hit);
+    EXPECT_EQ(sys.database("db").size(), 1u);
+}
+
+TEST(Subsystem, RoundRobinAcrossThreePorts)
+{
+    CaRamSubsystem sys(8, 16, /*split_port_queues=*/true);
+    sys.addDatabase(smallDbConfig("a"));
+    sys.addDatabase(smallDbConfig("b"));
+    sys.addDatabase(smallDbConfig("c"));
+    // Two requests per port, submitted port-major.
+    uint64_t tag = 0;
+    for (unsigned port = 0; port < 3; ++port) {
+        for (int i = 0; i < 2; ++i)
+            ASSERT_TRUE(sys.submit(port, Key::fromUint(i, 32), ++tag));
+    }
+    sys.process();
+    std::vector<uint64_t> tags;
+    while (auto r = sys.fetchResult())
+        tags.push_back(r->tag);
+    // Fair interleave: a b c a b c (tags 1 3 5 2 4 6).
+    EXPECT_EQ(tags, (std::vector<uint64_t>{1, 3, 5, 2, 4, 6}));
+}
+
+TEST(Database, ParallelSliceCostAccounting)
+{
+    DatabaseConfig plain_cfg = smallDbConfig("p");
+    Database plain(plain_cfg);
+    DatabaseConfig ov_cfg = smallDbConfig("o");
+    ov_cfg.overflow = OverflowPolicy::ParallelSlice;
+    ov_cfg.overflowIndexBits = 2;
+    ov_cfg.overflowSlots = 2;
+    Database with_overflow(ov_cfg);
+    // The overflow slice adds storage, area and per-search energy.
+    EXPECT_GT(with_overflow.nominalStorageBits(),
+              plain.nominalStorageBits());
+    EXPECT_GT(with_overflow.areaUm2(), plain.areaUm2());
+    EXPECT_GT(with_overflow.searchEnergyNj(), plain.searchEnergyNj());
+}
+
+TEST(Subsystem, PrintStatsListsDatabasesAndQueues)
+{
+    CaRamSubsystem sys;
+    sys.addDatabase(smallDbConfig("fwd"));
+    sys.database("fwd").insert(Record{Key::fromUint(5, 32), 1});
+    sys.submit(0, Key::fromUint(5, 32), 1);
+    sys.process();
+    std::ostringstream os;
+    sys.printStats(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("db.fwd.records 1"), std::string::npos) << out;
+    EXPECT_NE(out.find("db.fwd.searches 1"), std::string::npos);
+    EXPECT_NE(out.find("queue.request.0.pushes 1"), std::string::npos);
+    EXPECT_NE(out.find("queue.result.pushes 1"), std::string::npos);
+}
+
+TEST(Subsystem, TotalArea)
+{
+    CaRamSubsystem sys;
+    sys.addDatabase(smallDbConfig("a"));
+    const double one = sys.totalAreaUm2();
+    sys.addDatabase(smallDbConfig("b"));
+    EXPECT_NEAR(sys.totalAreaUm2(), 2 * one, 1e-9);
+}
+
+} // namespace
+} // namespace caram::core

@@ -1,0 +1,195 @@
+/** @file Tests for the cycle-level timing engine against the paper's
+ *  section 3.4 analytic bandwidth equation. */
+
+#include "core/timing_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hash/bit_select.h"
+
+namespace caram::core {
+namespace {
+
+DatabaseConfig
+timingDbConfig(unsigned slices, Arrangement arr)
+{
+    DatabaseConfig cfg;
+    cfg.name = "timing";
+    cfg.sliceShape.indexBits = 8;
+    cfg.sliceShape.logicalKeyBits = 32;
+    cfg.sliceShape.slotsPerBucket = 8;
+    cfg.sliceShape.dataBits = 16;
+    cfg.sliceShape.maxProbeDistance = 8;
+    cfg.physicalSlices = slices;
+    cfg.arrangement = arr;
+    cfg.indexFactory = [](const SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        return std::make_unique<hash::LowBitsIndex>(eff.logicalKeyBits,
+                                                    eff.indexBits);
+    };
+    return cfg;
+}
+
+std::vector<Key>
+uniformKeys(Database &db, std::size_t n, uint64_t seed)
+{
+    caram::Rng rng(seed);
+    std::vector<Key> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Key k = Key::fromUint(rng.next64() & 0xffffffffu, 32);
+        db.insert(Record{k, 1});
+        keys.push_back(k);
+    }
+    return keys;
+}
+
+TEST(TimingEngine, AnalyticBandwidthMatchesEquation)
+{
+    Database db(timingDbConfig(4, Arrangement::Vertical));
+    TimingConfig tc;
+    tc.timing = mem::MemTiming::embeddedDram(200.0, 6);
+    TimingEngine engine(db, tc);
+    EXPECT_NEAR(engine.analyticBandwidthMsps(), 4.0 / 6.0 * 200.0, 1e-9);
+}
+
+TEST(TimingEngine, SingleBankSaturatesNearAnalyticBound)
+{
+    Database db(timingDbConfig(1, Arrangement::Horizontal));
+    // Half-loaded: AMAL stays near 1, so throughput approaches the
+    // analytic bound.
+    auto keys = uniformKeys(db, 1000, 7);
+    TimingConfig tc;
+    tc.timing = mem::MemTiming::embeddedDram(200.0, 6);
+    TimingEngine engine(db, tc);
+    const auto result = engine.run(keys);
+    EXPECT_EQ(result.lookups, keys.size());
+    const double bound = engine.analyticBandwidthMsps(); // 33.3 Msps
+    EXPECT_LE(result.achievedMsps, bound * 1.02);
+    // AMAL near 1 at this load factor: throughput close to the bound.
+    EXPECT_GT(result.achievedMsps, bound * 0.80);
+}
+
+TEST(TimingEngine, VerticalBanksScaleThroughput)
+{
+    Database db1(timingDbConfig(1, Arrangement::Horizontal));
+    Database db4(timingDbConfig(4, Arrangement::Vertical));
+    auto keys1 = uniformKeys(db1, 3000, 9);
+    auto keys4 = uniformKeys(db4, 3000, 9);
+    TimingConfig tc;
+    tc.timing = mem::MemTiming::embeddedDram(200.0, 6);
+    TimingEngine e1(db1, tc);
+    TimingEngine e4(db4, tc);
+    const double m1 = e1.run(keys1).achievedMsps;
+    const double m4 = e4.run(keys4).achievedMsps;
+    // Independent banks multiply bandwidth (paper: "increasing N_slice
+    // is straightforward in CA-RAM").
+    EXPECT_GT(m4, 2.5 * m1);
+}
+
+TEST(TimingEngine, PipelinedMemoryBeatsNonPipelined)
+{
+    Database slow(timingDbConfig(1, Arrangement::Horizontal));
+    Database fast(timingDbConfig(1, Arrangement::Horizontal));
+    auto keys_slow = uniformKeys(slow, 2000, 11);
+    auto keys_fast = uniformKeys(fast, 2000, 11);
+    TimingConfig tc_slow;
+    tc_slow.timing = mem::MemTiming::embeddedDram(312.0, 4); // n_mem 4
+    TimingConfig tc_fast;
+    tc_fast.timing = mem::MemTiming::morishitaEdram312(); // n_mem 1
+    const double slow_msps =
+        TimingEngine(slow, tc_slow).run(keys_slow).achievedMsps;
+    const double fast_msps =
+        TimingEngine(fast, tc_fast).run(keys_fast).achievedMsps;
+    EXPECT_GT(fast_msps, 2.0 * slow_msps);
+}
+
+TEST(TimingEngine, LatencyIncludesMemoryAndMatch)
+{
+    Database db(timingDbConfig(1, Arrangement::Horizontal));
+    const Key k = Key::fromUint(42, 32);
+    db.insert(Record{k, 1});
+    TimingConfig tc;
+    tc.timing = mem::MemTiming::embeddedDram(200.0, 6); // 30 ns access
+    tc.matchCycles = 3;                                 // +15 ns
+    tc.offeredMsps = 1.0; // far below saturation: pure latency
+    TimingEngine engine(db, tc);
+    std::vector<Key> keys(10, k);
+    const auto result = engine.run(keys);
+    // 1 access (AMAL=1): 30 ns + 15 ns match = 45 ns.
+    EXPECT_NEAR(result.meanLatencyNs, 45.0, 1.0);
+    EXPECT_EQ(result.memoryAccesses, 10u);
+}
+
+TEST(TimingEngine, ProbingAddsSerializedAccesses)
+{
+    // Force collisions: tiny slice, all keys in one bucket.
+    DatabaseConfig cfg = timingDbConfig(1, Arrangement::Horizontal);
+    cfg.sliceShape.indexBits = 4;
+    cfg.sliceShape.slotsPerBucket = 1;
+    cfg.sliceShape.maxProbeDistance = 8;
+    Database db(cfg);
+    std::vector<Key> keys;
+    for (unsigned i = 0; i < 4; ++i) {
+        const Key k = Key::fromUint(3 | (i << 4), 32);
+        db.insert(Record{k, i});
+        keys.push_back(k);
+    }
+    TimingConfig tc;
+    tc.timing = mem::MemTiming::embeddedDram(200.0, 6);
+    tc.offeredMsps = 0.5; // unloaded
+    TimingEngine engine(db, tc);
+    const auto result = engine.run(keys);
+    // Records at distances 0..3: mean accesses 2.5 -> the record at
+    // distance 3 takes 4 chained accesses.
+    EXPECT_EQ(result.memoryAccesses, 1u + 2 + 3 + 4);
+    EXPECT_GT(result.meanLatencyNs, 45.0);
+}
+
+TEST(TimingEngine, MixedGridUsesVerticalGroupBanks)
+{
+    DatabaseConfig cfg = timingDbConfig(1, Arrangement::Horizontal);
+    cfg.gridVertical = 4;
+    cfg.gridHorizontal = 2;
+    Database db(cfg);
+    TimingConfig tc;
+    tc.timing = mem::MemTiming::embeddedDram(200.0, 6);
+    TimingEngine engine(db, tc);
+    // Four vertical groups => 4 banks in the analytic bound.
+    EXPECT_NEAR(engine.analyticBandwidthMsps(), 4.0 / 6.0 * 200.0, 1e-9);
+    auto keys = uniformKeys(db, 2000, 31);
+    const auto run = engine.run(keys);
+    EXPECT_GT(run.achievedMsps, 1.2 * (200.0 / 6.0)); // beats one bank
+}
+
+TEST(TimingEngine, OfferedLoadSweepLatencyKneesAtSaturation)
+{
+    // Classic open-loop queueing behaviour: latency stays near the
+    // unloaded service time below saturation and blows up past it.
+    Database db(timingDbConfig(1, Arrangement::Horizontal));
+    auto keys = uniformKeys(db, 1000, 21);
+    std::vector<Key> stream;
+    for (int rep = 0; rep < 3; ++rep)
+        stream.insert(stream.end(), keys.begin(), keys.end());
+
+    double low_load_ns = 0.0;
+    double high_load_ns = 0.0;
+    {
+        TimingConfig tc;
+        tc.timing = mem::MemTiming::embeddedDram(200.0, 6);
+        tc.offeredMsps = 5.0; // ~15% of the 33 Msps bound
+        low_load_ns = TimingEngine(db, tc).run(stream).meanLatencyNs;
+    }
+    {
+        TimingConfig tc;
+        tc.timing = mem::MemTiming::embeddedDram(200.0, 6);
+        tc.offeredMsps = 60.0; // far beyond the bound
+        high_load_ns = TimingEngine(db, tc).run(stream).meanLatencyNs;
+    }
+    EXPECT_LT(low_load_ns, 80.0);
+    EXPECT_GT(high_load_ns, 5.0 * low_load_ns);
+}
+
+} // namespace
+} // namespace caram::core

@@ -1,0 +1,268 @@
+/** @file Tests for the IPv6 extension: prefixes, the synthetic table,
+ *  the trie reference and the CA-RAM mapping. */
+
+#include "ip/ip6_caram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ip/lpm_reference6.h"
+#include "ip/synthetic_bgp6.h"
+#include "ip/traffic.h"
+
+namespace caram::ip {
+namespace {
+
+TEST(Prefix6, ParseFullForm)
+{
+    const auto p =
+        Prefix6::parse("2001:0db8:0000:0000:0000:0000:0000:0000/32");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->hi, 0x20010db800000000ull);
+    EXPECT_EQ(p->lo, 0u);
+    EXPECT_EQ(p->length, 32u);
+}
+
+TEST(Prefix6, ParseElidedForm)
+{
+    const auto p = Prefix6::parse("2001:db8::/32");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->hi, 0x20010db800000000ull);
+    EXPECT_EQ(p->length, 32u);
+    const auto q = Prefix6::parse("2a00:1450:4000::1/128");
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->hi, 0x2a00145040000000ull);
+    EXPECT_EQ(q->lo, 1u);
+}
+
+TEST(Prefix6, ParseRejectsMalformed)
+{
+    EXPECT_FALSE(Prefix6::parse("2001:db8::").has_value()); // no /len
+    EXPECT_FALSE(Prefix6::parse("2001:db8::/129").has_value());
+    EXPECT_FALSE(Prefix6::parse("2001::db8::/32").has_value()); // two ::
+    EXPECT_FALSE(Prefix6::parse("20012:db8::/32").has_value());
+    EXPECT_FALSE(Prefix6::parse("xyzw::/16").has_value());
+    EXPECT_FALSE(
+        Prefix6::parse("1:2:3:4:5:6:7:8:9/32").has_value()); // 9 groups
+}
+
+TEST(Prefix6, ToStringRoundTrip)
+{
+    const auto p = Prefix6::parse("2001:db8:aa00::/40");
+    ASSERT_TRUE(p.has_value());
+    const auto q = Prefix6::parse(p->toString());
+    ASSERT_TRUE(q.has_value());
+    EXPECT_TRUE(p->samePrefix(*q));
+}
+
+TEST(Prefix6, CanonicalizeClearsHostBits)
+{
+    Prefix6 p;
+    p.hi = 0x20010db8ffffffffull;
+    p.lo = ~uint64_t{0};
+    p.length = 32;
+    p.canonicalize();
+    EXPECT_EQ(p.hi, 0x20010db800000000ull);
+    EXPECT_EQ(p.lo, 0u);
+    // Lengths beyond 64 keep hi and mask lo.
+    Prefix6 q;
+    q.hi = 1;
+    q.lo = ~uint64_t{0};
+    q.length = 96;
+    q.canonicalize();
+    EXPECT_EQ(q.lo, 0xffffffff00000000ull);
+}
+
+TEST(Prefix6, MatchesAddressAcrossTheWordBoundary)
+{
+    const auto p = Prefix6::parse("2001:db8:0:1234::/96");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(p->matchesAddress(p->hi, p->lo | 0xdeadbeefu));
+    EXPECT_FALSE(p->matchesAddress(p->hi, p->lo | (uint64_t{1} << 32)));
+    EXPECT_FALSE(p->matchesAddress(p->hi + 1, p->lo));
+}
+
+TEST(Prefix6, ToKeyIsTernary128)
+{
+    const auto p = Prefix6::parse("2001:db8::/32");
+    const Key k = p->toKey();
+    EXPECT_EQ(k.bits(), 128u);
+    EXPECT_EQ(k.carePopcount(), 32u);
+    // MSB nibble of 0x2... = 0010.
+    EXPECT_FALSE(k.valueBitAt(0));
+    EXPECT_FALSE(k.valueBitAt(1));
+    EXPECT_TRUE(k.valueBitAt(2));
+    EXPECT_FALSE(k.valueBitAt(3));
+}
+
+TEST(Prefix6, KeyMatchesCoveredAddress)
+{
+    const auto p = Prefix6::parse("2001:db8::/32");
+    Key addr(128);
+    // Build the address key 2001:db8::42 by bits.
+    const uint64_t hi = 0x20010db800000000ull;
+    for (unsigned b = 0; b < 64; ++b)
+        addr.setBitAt(b, (hi >> (63 - b)) & 1u);
+    for (unsigned b = 64; b < 128; ++b)
+        addr.setBitAt(b, b == 121); // 0x42 near the bottom
+    EXPECT_TRUE(p->toKey().matches(addr));
+}
+
+TEST(RoutingTable6Test, Dedup)
+{
+    RoutingTable6 t;
+    const auto p = Prefix6::parse("2001:db8::/32");
+    EXPECT_TRUE(t.add(*p));
+    EXPECT_FALSE(t.add(*p));
+    EXPECT_TRUE(t.contains(*p));
+    auto longer = *p;
+    longer.length = 33;
+    EXPECT_TRUE(t.add(longer));
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SyntheticBgp6, StructureAndDeterminism)
+{
+    SyntheticBgp6Config cfg;
+    cfg.prefixCount = 20000;
+    const RoutingTable6 a = generateSyntheticBgp6Table(cfg);
+    EXPECT_EQ(a.size(), 20000u);
+    EXPECT_GE(a.minLength(), 28u);
+    EXPECT_GT(a.fractionAtLeast(32), 0.95);
+    // All prefixes live under the global-unicast 2000::/3 space.
+    for (const Prefix6 &p : a.prefixes())
+        EXPECT_EQ(p.hi >> 61, 1u) << p.toString();
+    const RoutingTable6 b = generateSyntheticBgp6Table(cfg);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_TRUE(a.prefixes()[i].samePrefix(b.prefixes()[i]));
+}
+
+TEST(LpmTrie6Test, LongestMatch)
+{
+    LpmTrie6 trie;
+    trie.insert(*Prefix6::parse("2001:db8::/32"));
+    trie.insert(*Prefix6::parse("2001:db8:1::/48"));
+    const auto covered = trie.lookup(0x20010db800010000ull, 7);
+    ASSERT_TRUE(covered.has_value());
+    EXPECT_EQ(covered->length, 48u);
+    const auto shallow = trie.lookup(0x20010db8ffff0000ull, 0);
+    ASSERT_TRUE(shallow.has_value());
+    EXPECT_EQ(shallow->length, 32u);
+    EXPECT_FALSE(trie.lookup(0x2a00000000000000ull, 0).has_value());
+    EXPECT_TRUE(trie.erase(*Prefix6::parse("2001:db8:1::/48")));
+    EXPECT_EQ(trie.lookup(0x20010db800010000ull, 7)->length, 32u);
+}
+
+TEST(Ip6Mapper, AgreesWithTrieOnRandomTraffic)
+{
+    SyntheticBgp6Config cfg;
+    cfg.prefixCount = 15000;
+    const RoutingTable6 table = generateSyntheticBgp6Table(cfg);
+    LpmTrie6 trie;
+    trie.insertAll(table);
+
+    Ip6CaRamMapper mapper(table);
+    Ip6DesignSpec spec;
+    spec.label = "t";
+    spec.indexBitsPerSlice = 9;
+    spec.slotsPerSlice = 16;
+    spec.slices = 4;
+    const auto mapped = mapper.map(spec);
+    EXPECT_EQ(mapped.failedPrefixes, 0u);
+    EXPECT_GE(mapped.amalUniform, 1.0);
+
+    // Addresses drawn under random table prefixes resolve identically.
+    Rng rng(53);
+    for (int i = 0; i < 1500; ++i) {
+        const Prefix6 &p =
+            table.prefixes()[rng.below(table.size())];
+        uint64_t hi = p.hi;
+        uint64_t lo = p.lo;
+        // Randomize the host bits.
+        for (unsigned pos = p.length; pos < 128; ++pos) {
+            if (rng.chance(0.5)) {
+                if (pos < 64)
+                    hi |= uint64_t{1} << (63 - pos);
+                else
+                    lo |= uint64_t{1} << (127 - pos);
+            }
+        }
+        const auto expect = trie.lookup(hi, lo);
+        ASSERT_TRUE(expect.has_value());
+
+        Key addr(128);
+        for (unsigned b = 0; b < 64; ++b)
+            addr.setBitAt(b, (hi >> (63 - b)) & 1u);
+        for (unsigned b = 0; b < 64; ++b)
+            addr.setBitAt(64 + b, (lo >> (63 - b)) & 1u);
+        const auto got = mapped.db->search(addr);
+        ASSERT_TRUE(got.hit);
+        EXPECT_EQ(got.data, expect->nextHop)
+            << p.toString() << " addr " << addr.toString();
+    }
+}
+
+TEST(Ip6Mapper, DuplicationOnlyForShortPrefixes)
+{
+    SyntheticBgp6Config cfg;
+    cfg.prefixCount = 8000;
+    const RoutingTable6 table = generateSyntheticBgp6Table(cfg);
+    uint64_t expect = 0;
+    for (const Prefix6 &p : table.prefixes()) {
+        if (p.length < 32)
+            expect += (uint64_t{1} << (32 - p.length)) - 1;
+    }
+    Ip6CaRamMapper mapper(table);
+    Ip6DesignSpec spec;
+    spec.label = "d";
+    spec.indexBitsPerSlice = 9;
+    spec.slotsPerSlice = 16;
+    spec.slices = 4;
+    const auto mapped = mapper.map(spec);
+    EXPECT_EQ(mapped.duplicates, expect);
+}
+
+TEST(Ip6Traffic, AddressesFallUnderTheirPrefix)
+{
+    SyntheticBgp6Config cfg;
+    cfg.prefixCount = 3000;
+    const RoutingTable6 table = generateSyntheticBgp6Table(cfg);
+    Ip6TrafficGenerator traffic(table);
+    for (int i = 0; i < 500; ++i) {
+        const auto [hi, lo] = traffic.next();
+        const Prefix6 &src =
+            table.prefixes()[traffic.lastPrefixIndex()];
+        EXPECT_TRUE(src.matchesAddress(hi, lo)) << src.toString();
+        // The key mirrors the (hi, lo) pair.
+        const Key k = traffic.lastKey();
+        EXPECT_TRUE(src.toKey().matches(k));
+    }
+}
+
+TEST(Ip6Traffic, SearchableThroughTheMapper)
+{
+    SyntheticBgp6Config cfg;
+    cfg.prefixCount = 6000;
+    const RoutingTable6 table = generateSyntheticBgp6Table(cfg);
+    Ip6CaRamMapper mapper(table);
+    Ip6DesignSpec spec;
+    spec.label = "t";
+    spec.indexBitsPerSlice = 8;
+    spec.slotsPerSlice = 16;
+    spec.slices = 4;
+    auto mapped = mapper.map(spec);
+    LpmTrie6 trie;
+    trie.insertAll(table);
+    Ip6TrafficGenerator traffic(table, {}, 99);
+    for (int i = 0; i < 800; ++i) {
+        const auto [hi, lo] = traffic.next();
+        const auto expect = trie.lookup(hi, lo);
+        ASSERT_TRUE(expect.has_value());
+        const auto got = mapped.db->search(traffic.lastKey());
+        ASSERT_TRUE(got.hit);
+        EXPECT_EQ(got.data, expect->nextHop);
+    }
+}
+
+} // namespace
+} // namespace caram::ip

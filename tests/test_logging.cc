@@ -1,0 +1,39 @@
+/** @file Unit tests for the error-reporting helpers. */
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace caram {
+namespace {
+
+TEST(Fatal, ThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user misconfigured"), FatalError);
+    try {
+        fatal("the message");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "the message");
+    }
+}
+
+TEST(FatalError, IsARuntimeError)
+{
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(PanicDeathTest, Aborts)
+{
+    EXPECT_DEATH(panic("internal bug"), "internal bug");
+}
+
+TEST(Warn, DoesNotThrow)
+{
+    setQuiet(true);
+    EXPECT_NO_THROW(warn("suspicious"));
+    EXPECT_NO_THROW(inform("status"));
+    setQuiet(false);
+}
+
+} // namespace
+} // namespace caram

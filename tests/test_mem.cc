@@ -1,0 +1,172 @@
+/** @file Unit tests for the memory array and timing models. */
+
+#include "mem/memory_array.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/bitops.h"
+#include "common/random.h"
+#include "mem/timing.h"
+
+namespace caram::mem {
+namespace {
+
+TEST(MemoryArray, Dimensions)
+{
+    MemoryArray m(64, 100);
+    EXPECT_EQ(m.rows(), 64u);
+    EXPECT_EQ(m.rowBits(), 100u);
+    EXPECT_EQ(m.wordsPerRow(), 2u);
+    EXPECT_EQ(m.totalBits(), 6400u);
+    EXPECT_EQ(m.wordCount(), 128u);
+}
+
+TEST(MemoryArray, RejectsZeroDimensions)
+{
+    EXPECT_THROW(MemoryArray(0, 8), caram::FatalError);
+    EXPECT_THROW(MemoryArray(8, 0), caram::FatalError);
+}
+
+TEST(MemoryArray, BitFieldRoundTrip)
+{
+    MemoryArray m(4, 256);
+    m.writeBits(1, 10, 12, 0xabc);
+    EXPECT_EQ(m.readBits(1, 10, 12), 0xabcu);
+    // Neighbors untouched.
+    EXPECT_EQ(m.readBits(1, 0, 10), 0u);
+    EXPECT_EQ(m.readBits(1, 22, 12), 0u);
+    EXPECT_EQ(m.readBits(0, 10, 12), 0u);
+}
+
+TEST(MemoryArray, CrossWordField)
+{
+    MemoryArray m(2, 256);
+    m.writeBits(0, 60, 10, 0x3ff);
+    EXPECT_EQ(m.readBits(0, 60, 10), 0x3ffu);
+    m.writeBits(0, 60, 10, 0x155);
+    EXPECT_EQ(m.readBits(0, 60, 10), 0x155u);
+    EXPECT_EQ(m.readBits(0, 0, 60), 0u);
+    EXPECT_EQ(m.readBits(0, 70, 34), 0u);
+}
+
+TEST(MemoryArray, Full64BitField)
+{
+    MemoryArray m(2, 192);
+    m.writeBits(0, 33, 64, 0xdeadbeefcafebabeull);
+    EXPECT_EQ(m.readBits(0, 33, 64), 0xdeadbeefcafebabeull);
+}
+
+TEST(MemoryArray, WriteMasksValue)
+{
+    MemoryArray m(1, 64);
+    m.writeBits(0, 0, 4, 0xff); // only low 4 bits stored
+    EXPECT_EQ(m.readBits(0, 0, 8), 0xfu);
+}
+
+TEST(MemoryArray, ClearRow)
+{
+    MemoryArray m(2, 128);
+    m.writeBits(0, 0, 64, ~uint64_t{0});
+    m.writeBits(1, 0, 64, ~uint64_t{0});
+    m.clearRow(0);
+    EXPECT_EQ(m.readBits(0, 0, 64), 0u);
+    EXPECT_EQ(m.readBits(1, 0, 64), ~uint64_t{0});
+    m.clearAll();
+    EXPECT_EQ(m.readBits(1, 0, 64), 0u);
+}
+
+TEST(MemoryArray, RowSpanAndWriteRow)
+{
+    MemoryArray m(2, 128);
+    std::vector<uint64_t> row = {0x1111, 0x2222};
+    m.writeRow(1, row);
+    auto span = m.rowSpan(1);
+    EXPECT_EQ(span[0], 0x1111u);
+    EXPECT_EQ(span[1], 0x2222u);
+    EXPECT_THROW(m.writeRow(0, std::vector<uint64_t>{1}),
+                 caram::FatalError);
+}
+
+TEST(MemoryArray, RamModeLinearAddressing)
+{
+    MemoryArray m(4, 128); // 2 words per row
+    m.storeWord(5, 0xabcu); // row 2, word 1
+    EXPECT_EQ(m.loadWord(5), 0xabcu);
+    EXPECT_EQ(m.readBits(2, 64, 12), 0xabcu);
+    EXPECT_THROW(m.loadWord(8), caram::FatalError);
+    EXPECT_THROW(m.storeWord(8, 0), caram::FatalError);
+}
+
+TEST(MemoryArray, RandomizedFieldRoundTrip)
+{
+    caram::Rng rng(77);
+    MemoryArray m(16, 1600);
+    // Write non-overlapping fields and read them back.
+    for (int iter = 0; iter < 500; ++iter) {
+        const uint64_t row = rng.below(16);
+        const unsigned len = 1 + static_cast<unsigned>(rng.below(64));
+        const uint64_t lo = rng.below(1600 - len);
+        const uint64_t value = rng.next64() & caram::maskBits(len);
+        m.writeBits(row, lo, len, value);
+        ASSERT_EQ(m.readBits(row, lo, len), value)
+            << "row=" << row << " lo=" << lo << " len=" << len;
+    }
+}
+
+TEST(MemTiming, AccessNs)
+{
+    const MemTiming dram = MemTiming::embeddedDram(200.0, 6);
+    EXPECT_DOUBLE_EQ(dram.accessNs(), 30.0);
+    const MemTiming sram = MemTiming::sram(500.0);
+    EXPECT_DOUBLE_EQ(sram.accessNs(), 2.0);
+}
+
+TEST(MemTiming, Presets)
+{
+    EXPECT_EQ(MemTiming::sram().tech, MemTech::Sram);
+    EXPECT_EQ(MemTiming::embeddedDram().tech, MemTech::Dram);
+    EXPECT_EQ(MemTiming::embeddedDram().minCycleGap, 6u);
+    const MemTiming mor = MemTiming::morishitaEdram312();
+    EXPECT_DOUBLE_EQ(mor.clockMhz, 312.0);
+    EXPECT_EQ(mor.minCycleGap, 1u); // random-cycle capable
+}
+
+TEST(BankTimer, EnforcesMinCycleGap)
+{
+    const MemTiming t = MemTiming::embeddedDram(200.0, 6); // 5 ns cycle
+    BankTimer bank(t);
+    // First access at tick 0: data at 6 cycles = 30000 ticks.
+    EXPECT_EQ(bank.access(0), 30000u);
+    // Second access ready immediately must wait for the gap.
+    EXPECT_EQ(bank.access(0), 60000u);
+    EXPECT_EQ(bank.accesses(), 2u);
+    EXPECT_EQ(bank.stallTicks(), 30000u);
+}
+
+TEST(BankTimer, IdleBankStartsImmediately)
+{
+    BankTimer bank(MemTiming::sram(1000.0)); // 1 ns cycle
+    EXPECT_EQ(bank.access(5000), 6000u);
+    // Next access after the gap: no stall.
+    EXPECT_EQ(bank.access(7000), 8000u);
+    EXPECT_EQ(bank.stallTicks(), 0u);
+}
+
+TEST(BankTimer, PipelinedRandomCycleBanksOverlap)
+{
+    // Morishita-style: n_mem = 1 at 312 MHz -> back-to-back accesses
+    // every cycle even though latency is 4 cycles.
+    const MemTiming t = MemTiming::morishitaEdram312();
+    BankTimer bank(t);
+    const sim::Tick period = static_cast<sim::Tick>(1e6 / t.clockMhz);
+    const sim::Tick t0 = bank.access(0);
+    const sim::Tick t1 = bank.access(0);
+    // The second access starts one cycle after the first (n_mem = 1),
+    // so results are one period apart -- not one full latency apart.
+    EXPECT_EQ(t1 - t0, period);
+    EXPECT_LT(t1, 2 * t0);
+}
+
+} // namespace
+} // namespace caram::mem

@@ -1,0 +1,347 @@
+/** @file Parameterized property sweeps across the CA-RAM design space:
+ *  slice geometries, arrangements, key widths, hash functions and
+ *  synthesis configurations. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <unordered_map>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/database.h"
+#include "core/slice.h"
+#include "hash/bit_select.h"
+#include "hash/djb.h"
+#include "hash/folding.h"
+#include "tech/synthesis_model.h"
+
+namespace caram {
+namespace {
+
+// ---------------------------------------------------------------------
+// Slice geometry sweep: every combination must satisfy the dictionary
+// invariants under random insert/search/erase churn.
+// ---------------------------------------------------------------------
+
+using GeometryParam = std::tuple<unsigned /*indexBits*/,
+                                 unsigned /*slots*/, bool /*ternary*/,
+                                 core::ProbePolicy>;
+
+class SliceGeometrySweep
+    : public ::testing::TestWithParam<GeometryParam>
+{
+  protected:
+    core::SliceConfig
+    config() const
+    {
+        const auto [index_bits, slots, ternary, probe] = GetParam();
+        core::SliceConfig cfg;
+        cfg.indexBits = index_bits;
+        cfg.logicalKeyBits = 32;
+        cfg.ternary = ternary;
+        cfg.slotsPerBucket = slots;
+        cfg.dataBits = 16;
+        cfg.probe = probe;
+        cfg.maxProbeDistance = (1u << index_bits) - 1;
+        return cfg;
+    }
+};
+
+TEST_P(SliceGeometrySweep, DictionaryInvariantsHold)
+{
+    const core::SliceConfig cfg = config();
+    core::CaRamSlice slice(
+        cfg, std::make_unique<hash::XorFoldIndex>(cfg.indexBits));
+
+    Rng rng(0xfeed ^ cfg.indexBits ^ (cfg.slotsPerBucket << 8));
+    std::unordered_map<uint64_t, uint64_t> ref;
+    const std::size_t target =
+        static_cast<std::size_t>(cfg.capacity() * 0.6);
+    // Fill to 60% load.
+    while (ref.size() < target) {
+        const uint64_t raw = rng.next64() & 0xffffffffu;
+        if (ref.count(raw))
+            continue;
+        const uint64_t data = rng.below(0xffff);
+        if (slice.insert(core::Record{Key::fromUint(raw, 32), data}).ok)
+            ref[raw] = data;
+        else
+            break; // probe window exhausted at high clustering
+    }
+    ASSERT_GT(ref.size(), 0u);
+
+    // Everything findable with the right data.
+    for (const auto &[raw, data] : ref) {
+        const auto r = slice.search(Key::fromUint(raw, 32));
+        ASSERT_TRUE(r.hit) << raw;
+        EXPECT_EQ(r.data, data);
+    }
+    // Misses miss.
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t raw = rng.next64() & 0xffffffffu;
+        if (ref.count(raw))
+            continue;
+        EXPECT_FALSE(slice.search(Key::fromUint(raw, 32)).hit);
+    }
+    // Erase a third; the rest survives.
+    std::size_t removed = 0;
+    for (auto it = ref.begin(); it != ref.end();) {
+        if (removed % 3 == 0) {
+            EXPECT_EQ(slice.erase(Key::fromUint(it->first, 32)), 1u);
+            it = ref.erase(it);
+        } else {
+            ++it;
+        }
+        ++removed;
+    }
+    for (const auto &[raw, data] : ref) {
+        const auto r = slice.search(Key::fromUint(raw, 32));
+        ASSERT_TRUE(r.hit) << raw;
+        EXPECT_EQ(r.data, data);
+    }
+    EXPECT_EQ(slice.size(), ref.size());
+    slice.checkIntegrity();
+
+    // Stats agree with the reference.
+    const core::LoadStats s = slice.loadStats();
+    EXPECT_EQ(s.records, ref.size());
+    EXPECT_GE(s.amalUniform(), 1.0);
+    EXPECT_EQ(s.homeDemand.totalCount(), s.buckets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SliceGeometrySweep,
+    ::testing::Combine(
+        ::testing::Values(3u, 5u, 7u),
+        ::testing::Values(1u, 2u, 8u, 32u),
+        ::testing::Bool(),
+        ::testing::Values(core::ProbePolicy::Linear,
+                          core::ProbePolicy::SecondHash)));
+
+// ---------------------------------------------------------------------
+// Arrangement sweep: horizontal/vertical composition at various slice
+// counts behaves like one big slice.
+// ---------------------------------------------------------------------
+
+using ArrangementParam = std::tuple<unsigned, core::Arrangement>;
+
+class ArrangementSweep
+    : public ::testing::TestWithParam<ArrangementParam>
+{
+};
+
+TEST_P(ArrangementSweep, DatabaseBehavesAtEveryComposition)
+{
+    const auto [slices, arrangement] = GetParam();
+    core::DatabaseConfig cfg;
+    cfg.name = "sweep";
+    cfg.sliceShape.indexBits = 5;
+    cfg.sliceShape.logicalKeyBits = 64;
+    cfg.sliceShape.slotsPerBucket = 4;
+    cfg.sliceShape.dataBits = 32;
+    cfg.sliceShape.maxProbeDistance = 31;
+    cfg.physicalSlices = slices;
+    cfg.arrangement = arrangement;
+    cfg.indexFactory = [](const core::SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        if (isPow2(eff.rows()))
+            return std::make_unique<hash::XorFoldIndex>(eff.indexBits);
+        return std::make_unique<hash::DjbIndex>(
+            hash::DjbIndex::withBuckets(eff.rows()));
+    };
+    core::Database db(cfg);
+
+    const uint64_t capacity = db.config().effectiveConfig().capacity();
+    EXPECT_EQ(capacity, uint64_t{32} * 4 * slices);
+
+    Rng rng(slices * 31 + (arrangement == core::Arrangement::Vertical));
+    std::vector<std::pair<uint64_t, uint64_t>> records;
+    for (uint64_t i = 0; i < capacity / 2; ++i) {
+        const uint64_t raw = rng.next64();
+        if (db.insert(core::Record{Key::fromUint(raw, 64), i}))
+            records.emplace_back(raw, i);
+    }
+    ASSERT_GT(records.size(), capacity / 4);
+    for (const auto &[raw, data] : records) {
+        const auto r = db.search(Key::fromUint(raw, 64));
+        ASSERT_TRUE(r.hit);
+        EXPECT_EQ(r.data, data);
+    }
+    db.slice().checkIntegrity();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arrangements, ArrangementSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 8u),
+                       ::testing::Values(core::Arrangement::Horizontal,
+                                         core::Arrangement::Vertical)));
+
+// ---------------------------------------------------------------------
+// Key width sweep: ternary matching at every supported width agrees
+// with the bit-level oracle when stored through a bucket.
+// ---------------------------------------------------------------------
+
+class KeyWidthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(KeyWidthSweep, BucketMatchAgreesWithOracle)
+{
+    const unsigned width = GetParam();
+    core::SliceConfig cfg;
+    cfg.indexBits = 2;
+    cfg.logicalKeyBits = width;
+    cfg.ternary = width <= Key::kMaxKeyBits / 2;
+    cfg.slotsPerBucket = 4;
+    cfg.dataBits = 8;
+    cfg.maxProbeDistance = 3;
+    cfg.validate();
+    mem::MemoryArray array(cfg.rows(), cfg.storageRowBits());
+    core::BucketView bucket(array, cfg, 1);
+
+    Rng rng(width * 7919);
+    auto random_key = [&](bool ternary_allowed) {
+        Key k(width);
+        for (unsigned p = 0; p < width; ++p) {
+            const bool care =
+                !ternary_allowed || !cfg.ternary || rng.chance(0.8);
+            k.setBitAt(p, rng.chance(0.5), care);
+        }
+        return k;
+    };
+
+    for (int iter = 0; iter < 200; ++iter) {
+        const Key stored = random_key(true);
+        const Key probe = random_key(true);
+        bucket.writeSlot(iter % 4, stored, iter % 251);
+        EXPECT_EQ(bucket.slotMatchesKey(iter % 4, probe),
+                  stored.matches(probe))
+            << "width " << width;
+        EXPECT_EQ(bucket.slotKey(iter % 4), stored);
+        EXPECT_EQ(bucket.slotData(iter % 4),
+                  static_cast<uint64_t>(iter % 251));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KeyWidthSweep,
+                         ::testing::Values(8u, 13u, 16u, 24u, 32u, 48u,
+                                           63u, 64u, 65u, 96u, 127u,
+                                           128u, 200u, 256u));
+
+// ---------------------------------------------------------------------
+// Hash sweep: every index generator stays in range, is deterministic,
+// and distributes a uniform key population without pathologies.
+// ---------------------------------------------------------------------
+
+struct HashCase
+{
+    const char *name;
+    std::function<std::unique_ptr<hash::IndexGenerator>()> make;
+};
+
+class HashSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    static std::vector<HashCase> cases();
+};
+
+std::vector<HashCase>
+HashSweep::cases()
+{
+    std::vector<HashCase> out;
+    out.push_back({"bit-select", [] {
+                       return std::make_unique<hash::BitSelectIndex>(
+                           hash::BitSelectIndex::lastBitsOfFirst16(32,
+                                                                   8));
+                   }});
+    out.push_back({"low-bits", [] {
+                       return std::make_unique<hash::LowBitsIndex>(32,
+                                                                   8);
+                   }});
+    out.push_back({"xor-fold", [] {
+                       return std::make_unique<hash::XorFoldIndex>(8);
+                   }});
+    out.push_back({"add-fold", [] {
+                       return std::make_unique<hash::AddFoldIndex>(8);
+                   }});
+    out.push_back({"djb", [] {
+                       return std::make_unique<hash::DjbIndex>(8);
+                   }});
+    out.push_back({"djb-mod", [] {
+                       return std::make_unique<hash::DjbIndex>(
+                           hash::DjbIndex::withBuckets(200));
+                   }});
+    return out;
+}
+
+TEST_P(HashSweep, InRangeDeterministicAndSpread)
+{
+    const HashCase c = cases()[static_cast<std::size_t>(GetParam())];
+    const auto gen = c.make();
+    const auto gen2 = c.make();
+    Rng rng(0xabcd);
+    std::vector<uint64_t> loads(gen->rowCount(), 0);
+    for (int i = 0; i < 20000; ++i) {
+        const Key k = Key::fromUint(rng.next64() & 0xffffffffu, 32);
+        const uint64_t idx = gen->index(k.valueWords(), 32);
+        ASSERT_LT(idx, gen->rowCount()) << c.name;
+        EXPECT_EQ(idx, gen2->index(k.valueWords(), 32)) << c.name;
+        ++loads[idx];
+    }
+    // No bucket takes more than 8x its fair share on uniform keys.
+    const double fair = 20000.0 / static_cast<double>(loads.size());
+    for (uint64_t l : loads)
+        EXPECT_LT(static_cast<double>(l), 8.0 * fair) << c.name;
+    EXPECT_FALSE(gen->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Hashes, HashSweep,
+                         ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------
+// Synthesis sweep: the match-processor model stays sane everywhere.
+// ---------------------------------------------------------------------
+
+using SynthesisParam =
+    std::tuple<unsigned /*rowBits*/, bool /*variable*/, bool /*piped*/>;
+
+class SynthesisSweep
+    : public ::testing::TestWithParam<SynthesisParam>
+{
+};
+
+TEST_P(SynthesisSweep, EstimatesArePositiveAndConsistent)
+{
+    const auto [row_bits, variable, piped] = GetParam();
+    tech::SynthesisConfig cfg;
+    cfg.rowBits = row_bits;
+    cfg.variableKeySize = variable;
+    cfg.pipelined = piped;
+    const auto est = tech::estimateMatchProcessor(cfg);
+    EXPECT_GT(est.totalCells(), 0u);
+    EXPECT_GT(est.totalAreaUm2(), 0.0);
+    EXPECT_GT(est.criticalPathNs(), 0.0);
+    EXPECT_GT(est.dynamicPowerMw, 0.0);
+    EXPECT_GE(est.cycleTimeNs,
+              piped ? 0.1 : est.criticalPathNs() - 1e-9);
+    EXPECT_EQ(est.pipelineDepth, piped ? 3u : 1u);
+    if (piped) {
+        EXPECT_LT(est.cycleTimeNs, est.criticalPathNs());
+    }
+    // Stage areas add up.
+    double sum = 0.0;
+    for (const auto &stage : est.stages)
+        sum += stage.areaUm2;
+    EXPECT_NEAR(sum, est.totalAreaUm2(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Synthesis, SynthesisSweep,
+    ::testing::Combine(::testing::Values(128u, 512u, 1600u, 4096u,
+                                         12288u),
+                       ::testing::Bool(), ::testing::Bool()));
+
+} // namespace
+} // namespace caram

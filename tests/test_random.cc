@@ -1,0 +1,131 @@
+/** @file Unit tests for the deterministic PRNG and Zipf sampler. */
+
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace caram {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    const uint64_t first = a.next64();
+    a.next64();
+    a.reseed(7);
+    EXPECT_EQ(a.next64(), first);
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng rng(4);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = rng.inRange(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(6);
+    std::vector<int> counts(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(8)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfSampler zipf(1000, 1.0);
+    double total = 0.0;
+    for (std::size_t r = 0; r < zipf.size(); ++r)
+        total += zipf.pmf(r);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    ZipfSampler zipf(100, 1.0);
+    for (std::size_t r = 1; r < 100; ++r)
+        EXPECT_GT(zipf.pmf(0), zipf.pmf(r));
+}
+
+TEST(Zipf, HarmonicRatioBetweenRanks)
+{
+    ZipfSampler zipf(50, 1.0);
+    // pmf(0) / pmf(9) == 10 for exponent 1.
+    EXPECT_NEAR(zipf.pmf(0) / zipf.pmf(9), 10.0, 1e-6);
+}
+
+TEST(Zipf, SamplerMatchesPmf)
+{
+    ZipfSampler zipf(32, 1.0);
+    Rng rng(9);
+    std::vector<int> counts(32, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf(rng)];
+    for (std::size_t r = 0; r < 8; ++r) {
+        EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.pmf(r),
+                    0.01);
+    }
+}
+
+TEST(Zipf, ExponentZeroIsUniform)
+{
+    ZipfSampler zipf(10, 0.0);
+    for (std::size_t r = 0; r < 10; ++r)
+        EXPECT_NEAR(zipf.pmf(r), 0.1, 1e-9);
+}
+
+} // namespace
+} // namespace caram

@@ -1,0 +1,146 @@
+/** @file Unit tests for the simulation kernel. */
+
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/probes.h"
+#include "sim/queue.h"
+
+namespace caram::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+    EXPECT_EQ(eq.eventsProcessed(), 3u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 6u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueDeathTest, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+TEST(Clock, PeriodFromMhz)
+{
+    Clock c(200.0); // 200 MHz -> 5 ns = 5000 ticks
+    EXPECT_EQ(c.period(), 5000u);
+    EXPECT_DOUBLE_EQ(c.frequencyMhz(), 200.0);
+    EXPECT_EQ(c.cycleToTick(3), 15000u);
+    EXPECT_EQ(c.tickToCycle(14999), 2u);
+}
+
+TEST(Clock, NextEdgeAligns)
+{
+    Clock c(1000.0); // 1 ns period
+    EXPECT_EQ(c.nextEdge(0), 0u);
+    EXPECT_EQ(c.nextEdge(1), 1000u);
+    EXPECT_EQ(c.nextEdge(1000), 1000u);
+    EXPECT_EQ(c.nextEdge(1001), 2000u);
+}
+
+TEST(Clock, RejectsNonPositive)
+{
+    EXPECT_THROW(Clock(0.0), caram::FatalError);
+    EXPECT_THROW(Clock(-5.0), caram::FatalError);
+}
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.tryPop().value(), 1);
+    EXPECT_EQ(q.tryPop().value(), 2);
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(BoundedQueue, BackpressureCountsStalls)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_FALSE(q.tryPush(4));
+    EXPECT_EQ(q.totalStalls(), 2u);
+    EXPECT_EQ(q.totalPushes(), 2u);
+    EXPECT_EQ(q.peakOccupancy(), 2u);
+    q.tryPop();
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(BoundedQueue, ZeroCapacityRejected)
+{
+    EXPECT_THROW(BoundedQueue<int>(0), caram::FatalError);
+}
+
+TEST(LatencyProbe, MeanAndThroughput)
+{
+    LatencyProbe p;
+    // Two requests of 2000 ticks each (2 ns), spanning 10 ns total.
+    p.record(0, 2000);
+    p.record(8000, 10000);
+    EXPECT_EQ(p.completed(), 2u);
+    EXPECT_DOUBLE_EQ(p.meanLatencyNs(), 2.0);
+    // 2 requests / 10 ns = 200 M/s.
+    EXPECT_NEAR(p.throughputMsps(), 200.0, 1e-9);
+}
+
+TEST(LatencyProbeDeathTest, NegativeLatencyPanics)
+{
+    LatencyProbe p;
+    EXPECT_DEATH(p.record(10, 5), "negative");
+}
+
+} // namespace
+} // namespace caram::sim

@@ -1,0 +1,304 @@
+/** @file Tests for the trigram substrate and its CA-RAM mapping. */
+
+#include "speech/trigram_caram.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "speech/partitioned_engine.h"
+#include "speech/synthetic_trigrams.h"
+
+namespace caram::speech {
+namespace {
+
+SyntheticTrigramConfig
+smallConfig(std::size_t entries = 20000)
+{
+    SyntheticTrigramConfig cfg;
+    cfg.entryCount = entries;
+    cfg.vocabularySize = 2000;
+    return cfg;
+}
+
+TEST(TrigramEntry, KeyIsFixedWidthString)
+{
+    TrigramEntry e{"alpha beta ga", 7};
+    const Key k = e.toKey();
+    EXPECT_EQ(k.bits(), 128u);
+    EXPECT_TRUE(k.fullySpecified());
+    EXPECT_EQ(k, Key::fromString("alpha beta ga", 128));
+}
+
+TEST(SyntheticTrigrams, GeneratesRequestedCount)
+{
+    const SyntheticTrigramDb db(smallConfig(5000));
+    EXPECT_EQ(db.size(), 5000u);
+    EXPECT_EQ(db.vocabulary().size(), 2000u);
+}
+
+TEST(SyntheticTrigrams, EntriesAreThreeWordsInLengthWindow)
+{
+    const SyntheticTrigramDb db(smallConfig(3000));
+    for (std::size_t i = 0; i < db.size(); i += 97) {
+        const std::string s = db.text(i);
+        EXPECT_GE(s.size(), 13u) << s;
+        EXPECT_LE(s.size(), 16u) << s;
+        EXPECT_EQ(std::count(s.begin(), s.end(), ' '), 2) << s;
+    }
+}
+
+TEST(SyntheticTrigrams, EntriesAreDistinct)
+{
+    const SyntheticTrigramDb db(smallConfig(20000));
+    std::unordered_set<std::string> seen;
+    for (std::size_t i = 0; i < db.size(); ++i)
+        EXPECT_TRUE(seen.insert(db.text(i)).second) << db.text(i);
+}
+
+TEST(SyntheticTrigrams, Deterministic)
+{
+    const SyntheticTrigramDb a(smallConfig(1000));
+    const SyntheticTrigramDb b(smallConfig(1000));
+    for (std::size_t i = 0; i < 1000; i += 53) {
+        EXPECT_EQ(a.text(i), b.text(i));
+        EXPECT_EQ(a.score(i), b.score(i));
+    }
+}
+
+TEST(SyntheticTrigrams, KeyMatchesText)
+{
+    const SyntheticTrigramDb db(smallConfig(100));
+    for (std::size_t i = 0; i < 100; i += 11)
+        EXPECT_EQ(db.key(i), Key::fromString(db.text(i), 128));
+}
+
+TEST(SyntheticTrigrams, RejectsBadConfigs)
+{
+    SyntheticTrigramConfig cfg = smallConfig();
+    cfg.vocabularySize = 2;
+    EXPECT_THROW((SyntheticTrigramDb{cfg}), caram::FatalError);
+    cfg = smallConfig();
+    cfg.maxChars = 40; // beyond the 32-character (256-bit key) limit
+    EXPECT_THROW((SyntheticTrigramDb{cfg}), caram::FatalError);
+    cfg = smallConfig();
+    cfg.minChars = 20;
+    cfg.maxChars = 16; // inverted window
+    EXPECT_THROW((SyntheticTrigramDb{cfg}), caram::FatalError);
+}
+
+class TrigramMapperTest : public ::testing::Test
+{
+  protected:
+    TrigramMapperTest() : db(smallConfig(30000)) {}
+
+    TrigramDesignSpec
+    spec(unsigned slices, core::Arrangement arr,
+         unsigned index_bits = 7) const
+    {
+        TrigramDesignSpec s;
+        s.label = "t";
+        s.indexBitsPerSlice = index_bits;
+        s.slotsPerSlice = 96;
+        s.slices = slices;
+        s.arrangement = arr;
+        return s;
+    }
+
+    SyntheticTrigramDb db;
+};
+
+TEST_F(TrigramMapperTest, AllEntriesPlacedAndFindable)
+{
+    TrigramCaRamMapper mapper(db);
+    const auto result = mapper.map(spec(4, core::Arrangement::Vertical));
+    EXPECT_EQ(result.failedEntries, 0u);
+    EXPECT_EQ(result.stats.records, db.size());
+    caram::Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const std::size_t idx = rng.below(db.size());
+        const auto r = result.db->search(db.key(idx));
+        ASSERT_TRUE(r.hit) << db.text(idx);
+        EXPECT_EQ(r.data, db.score(idx));
+    }
+    // Absent entries miss.
+    EXPECT_FALSE(
+        result.db->search(Key::fromString("zz zz zz zz zz", 128)).hit);
+}
+
+TEST_F(TrigramMapperTest, DjbDistributesEvenly)
+{
+    // Figure 7's mechanism: demand is binomial around the mean.
+    TrigramCaRamMapper mapper(db);
+    const auto result = mapper.map(spec(4, core::Arrangement::Vertical));
+    const double mean = result.stats.homeDemand.mean();
+    const double expected_mean =
+        static_cast<double>(db.size()) /
+        static_cast<double>(result.effective.rows());
+    EXPECT_NEAR(mean, expected_mean, 0.01);
+    // Nearly all demand within +-50% of the mean.
+    uint64_t close_count = 0;
+    const auto &bins = result.stats.homeDemand.bins();
+    for (std::size_t v = 0; v < bins.size(); ++v) {
+        if (v >= mean * 0.5 && v <= mean * 1.5)
+            close_count += bins[v];
+    }
+    EXPECT_GT(static_cast<double>(close_count) /
+                  result.stats.homeDemand.totalCount(),
+              0.99);
+}
+
+TEST_F(TrigramMapperTest, HorizontalBeatsVerticalAtEqualArea)
+{
+    // Table 3's A-vs-C pattern: wider buckets (same capacity) overflow
+    // less, because occupancy concentrates with larger S.
+    TrigramCaRamMapper mapper(db);
+    const auto vertical =
+        mapper.map(spec(4, core::Arrangement::Vertical));
+    const auto horizontal =
+        mapper.map(spec(4, core::Arrangement::Horizontal));
+    EXPECT_NEAR(vertical.loadFactor, horizontal.loadFactor, 1e-9);
+    EXPECT_LE(horizontal.overflowingBucketFraction,
+              vertical.overflowingBucketFraction);
+    EXPECT_LE(horizontal.amal, vertical.amal + 1e-9);
+}
+
+TEST_F(TrigramMapperTest, MoreSlicesLowerLoadFactor)
+{
+    TrigramCaRamMapper mapper(db);
+    const auto four = mapper.map(spec(4, core::Arrangement::Vertical));
+    const auto eight = mapper.map(spec(8, core::Arrangement::Vertical));
+    EXPECT_LT(eight.loadFactor, four.loadFactor);
+    EXPECT_LE(eight.spilledRecordFraction,
+              four.spilledRecordFraction + 1e-9);
+}
+
+TEST_F(TrigramMapperTest, AmalNearOneAtModerateLoad)
+{
+    // Table 3: AMAL ~= 1.00 even at alpha = 0.86 thanks to the even
+    // hash.  Use a configuration around that load factor.
+    TrigramCaRamMapper mapper(db);
+    // 30000 entries / (2^7 * 4 * 96) = 0.61 load.
+    const auto result = mapper.map(spec(4, core::Arrangement::Vertical));
+    EXPECT_LT(result.amal, 1.05);
+    EXPECT_GE(result.amal, 1.0);
+}
+
+// --- Length-partitioned engine (the paper's "partitioned database
+// approach") ------------------------------------------------------------
+
+class PartitionedEngineTest : public ::testing::Test
+{
+  protected:
+    static std::vector<TrigramPartitionSpec>
+    threePartitions()
+    {
+        TrigramPartitionSpec a;
+        a.maxChars = 10;
+        a.indexBits = 8;
+        a.slotsPerBucket = 16;
+        TrigramPartitionSpec b;
+        b.maxChars = 12;
+        b.indexBits = 9;
+        b.slotsPerBucket = 16;
+        TrigramPartitionSpec c;
+        c.maxChars = 16;
+        c.indexBits = 10;
+        c.slotsPerBucket = 16;
+        return {a, b, c};
+    }
+};
+
+TEST_F(PartitionedEngineTest, RoutesByLength)
+{
+    PartitionedTrigramEngine engine(threePartitions());
+    EXPECT_EQ(engine.partitionCount(), 3u);
+    EXPECT_EQ(engine.partitionOf(8), 0u);
+    EXPECT_EQ(engine.partitionOf(10), 0u);
+    EXPECT_EQ(engine.partitionOf(11), 1u);
+    EXPECT_EQ(engine.partitionOf(13), 2u);
+    EXPECT_EQ(engine.partitionOf(16), 2u);
+    EXPECT_THROW(engine.partitionOf(17), caram::FatalError);
+}
+
+TEST_F(PartitionedEngineTest, ShorterPartitionsUseNarrowerKeys)
+{
+    PartitionedTrigramEngine engine(threePartitions());
+    EXPECT_EQ(engine.partition(0).config().sliceShape.logicalKeyBits,
+              80u);
+    EXPECT_EQ(engine.partition(2).config().sliceShape.logicalKeyBits,
+              128u);
+}
+
+TEST_F(PartitionedEngineTest, InsertLookupEraseAcrossPartitions)
+{
+    PartitionedTrigramEngine engine(threePartitions());
+    const std::vector<std::pair<std::string, uint32_t>> entries = {
+        {"ab cd ef", 1},        // 8 chars -> partition 0
+        {"abc def gh", 2},      // 10 -> partition 0
+        {"abcd efg hi", 3},     // 11 -> partition 1
+        {"abcde fgh ijklm", 4}, // 15 -> partition 2
+    };
+    for (const auto &[text, score] : entries)
+        ASSERT_TRUE(engine.insert(text, score)) << text;
+    EXPECT_EQ(engine.size(), entries.size());
+    const auto sizes = engine.partitionSizes();
+    EXPECT_EQ(sizes[0], 2u);
+    EXPECT_EQ(sizes[1], 1u);
+    EXPECT_EQ(sizes[2], 1u);
+
+    for (const auto &[text, score] : entries) {
+        const auto got = engine.lookup(text);
+        ASSERT_TRUE(got.has_value()) << text;
+        EXPECT_EQ(*got, score);
+    }
+    EXPECT_FALSE(engine.lookup("zz yy xx").has_value());
+    EXPECT_TRUE(engine.erase("ab cd ef"));
+    EXPECT_FALSE(engine.lookup("ab cd ef").has_value());
+    EXPECT_FALSE(engine.erase("ab cd ef"));
+}
+
+TEST_F(PartitionedEngineTest, HandlesWholeSyntheticRange)
+{
+    // Generate the full 8..16-character range and partition it, as the
+    // paper's complete system would (it evaluated the 13..16 slice).
+    SyntheticTrigramConfig cfg;
+    cfg.entryCount = 10000;
+    cfg.vocabularySize = 1500;
+    cfg.minChars = 8;
+    cfg.maxChars = 16;
+    const SyntheticTrigramDb db(cfg);
+
+    PartitionedTrigramEngine engine(threePartitions());
+    for (std::size_t i = 0; i < db.size(); ++i)
+        ASSERT_TRUE(engine.insert(db.text(i), db.score(i)));
+    EXPECT_EQ(engine.size(), db.size());
+    // Every partition received entries.
+    for (uint64_t s : engine.partitionSizes())
+        EXPECT_GT(s, 0u);
+    caram::Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const std::size_t idx = rng.below(db.size());
+        const auto got = engine.lookup(db.text(idx));
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, db.score(idx));
+    }
+}
+
+TEST_F(PartitionedEngineTest, RejectsBadPartitioning)
+{
+    EXPECT_THROW(PartitionedTrigramEngine({}), caram::FatalError);
+    TrigramPartitionSpec a;
+    a.maxChars = 12;
+    TrigramPartitionSpec b;
+    b.maxChars = 12; // not ascending
+    EXPECT_THROW(PartitionedTrigramEngine({a, b}), caram::FatalError);
+    TrigramPartitionSpec huge;
+    huge.maxChars = 40; // 320-bit keys
+    EXPECT_THROW(PartitionedTrigramEngine({huge}), caram::FatalError);
+}
+
+} // namespace
+} // namespace caram::speech

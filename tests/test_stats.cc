@@ -1,0 +1,145 @@
+/** @file Unit tests for Summary, Histogram and TextTable. */
+
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace caram {
+namespace {
+
+TEST(Summary, Empty)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MeanMinMax)
+{
+    Summary s;
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(Summary, StddevOfConstant)
+{
+    Summary s;
+    for (int i = 0; i < 10; ++i)
+        s.add(3.5);
+    EXPECT_NEAR(s.stddev(), 0.0, 1e-12);
+}
+
+TEST(Summary, StddevKnownValue)
+{
+    Summary s;
+    // Values 1..5: population stddev = sqrt(2).
+    for (int i = 1; i <= 5; ++i)
+        s.add(i);
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-9);
+}
+
+TEST(Histogram, AddAndQuery)
+{
+    Histogram h;
+    h.add(3);
+    h.add(3);
+    h.add(7, 5);
+    EXPECT_EQ(h.at(3), 2u);
+    EXPECT_EQ(h.at(7), 5u);
+    EXPECT_EQ(h.at(0), 0u);
+    EXPECT_EQ(h.at(100), 0u);
+    EXPECT_EQ(h.totalCount(), 7u);
+    EXPECT_EQ(h.maxValue(), 7u);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h;
+    h.add(2, 3); // three 2s
+    h.add(8);    // one 8
+    EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 8.0) / 4.0);
+}
+
+TEST(Histogram, FractionAbove)
+{
+    Histogram h;
+    for (uint64_t v = 0; v < 10; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(4), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(9), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(0), 0.9);
+}
+
+TEST(Histogram, ExcessAbove)
+{
+    Histogram h;
+    h.add(5);
+    h.add(10);
+    // Excess above 6: (10-6) = 4; the 5 contributes nothing.
+    EXPECT_EQ(h.excessAbove(6), 4u);
+    EXPECT_EQ(h.excessAbove(10), 0u);
+    EXPECT_EQ(h.excessAbove(0), 15u);
+}
+
+TEST(Histogram, Remove)
+{
+    Histogram h;
+    h.add(4, 2);
+    h.remove(4);
+    EXPECT_EQ(h.at(4), 1u);
+    EXPECT_EQ(h.totalCount(), 1u);
+}
+
+TEST(HistogramDeathTest, RemoveMissingPanics)
+{
+    Histogram h;
+    h.add(1);
+    EXPECT_DEATH(h.remove(2), "remove");
+}
+
+TEST(Histogram, PrintAsciiContainsCounts)
+{
+    Histogram h;
+    h.add(0, 3);
+    h.add(1, 6);
+    std::ostringstream os;
+    h.printAscii(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("[0]"), std::string::npos);
+    EXPECT_NE(out.find("3"), std::string::npos);
+    EXPECT_NE(out.find("6"), std::string::npos);
+}
+
+TEST(TextTable, AlignedOutput)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, ArityMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace caram

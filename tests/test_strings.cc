@@ -1,0 +1,48 @@
+/** @file Unit tests for string formatting helpers. */
+
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace caram {
+namespace {
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("x=%d", 42), "x=42");
+    EXPECT_EQ(strprintf("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(strprintf("%.3f", 1.5), "1.500");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Strprintf, LongOutput)
+{
+    const std::string big(500, 'x');
+    EXPECT_EQ(strprintf("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(WithCommas, GroupsThousands)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(186760), "186,760");
+    EXPECT_EQ(withCommas(13459881), "13,459,881");
+}
+
+TEST(Fixed, Decimals)
+{
+    EXPECT_EQ(fixed(1.0, 2), "1.00");
+    EXPECT_EQ(fixed(1.476, 3), "1.476");
+    EXPECT_EQ(fixed(0.4, 0), "0");
+}
+
+TEST(Percent, FormatsFraction)
+{
+    EXPECT_EQ(percent(0.1221), "12.21%");
+    EXPECT_EQ(percent(0.0599), "5.99%");
+    EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace caram

@@ -1,0 +1,277 @@
+/** @file Tests for the technology/cost models, including the paper's
+ *  published calibration points (Table 1, Figure 6). */
+
+#include "tech/synthesis_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "tech/area_model.h"
+#include "tech/cell_library.h"
+#include "tech/power_model.h"
+#include "tech/technology.h"
+
+namespace caram::tech {
+namespace {
+
+TEST(Technology, AreaScaleQuadratic)
+{
+    EXPECT_NEAR(areaScale(ProcessNode::um016(), ProcessNode::nm130()),
+                (0.13 / 0.16) * (0.13 / 0.16), 1e-12);
+    EXPECT_DOUBLE_EQ(
+        areaScale(ProcessNode::nm130(), ProcessNode::nm130()), 1.0);
+}
+
+TEST(Technology, EnergyScaleCV2)
+{
+    const double s = energyScale(ProcessNode::um016(), ProcessNode::nm130());
+    EXPECT_NEAR(s, (0.13 / 0.16) * (1.5 / 1.8) * (1.5 / 1.8), 1e-12);
+    EXPECT_LT(s, 1.0);
+}
+
+TEST(CellLibrary, PublishedCellAreas)
+{
+    EXPECT_DOUBLE_EQ(cellSpec(CellType::SramTcam16T).areaUm2, 9.00);
+    EXPECT_DOUBLE_EQ(cellSpec(CellType::DynTcam8T).areaUm2, 4.79);
+    EXPECT_DOUBLE_EQ(cellSpec(CellType::DynTcam6T).areaUm2, 3.59);
+    EXPECT_DOUBLE_EQ(cellSpec(CellType::EdramBit).areaUm2, 0.35);
+}
+
+TEST(CellLibrary, CaRamTernaryCellComputed)
+{
+    const double cell = cellSpec(CellType::CaRamTernary).areaUm2;
+    EXPECT_NEAR(cell, 2 * 0.35 * 1.07, 1e-9);
+}
+
+/** Figure 6(a): "over 12x smaller than a 16T SRAM-based TCAM cell, and
+ *  4.8x smaller than a state-of-the-art 6T dynamic TCAM cell". */
+TEST(Figure6a, CellSizeRatios)
+{
+    const double caram = cellSpec(CellType::CaRamTernary).areaUm2;
+    const double r16 = cellSpec(CellType::SramTcam16T).areaUm2 / caram;
+    const double r6 = cellSpec(CellType::DynTcam6T).areaUm2 / caram;
+    EXPECT_GT(r16, 12.0);
+    EXPECT_NEAR(r16, 12.0, 0.5);
+    EXPECT_NEAR(r6, 4.8, 0.1);
+}
+
+TEST(CellLibrary, EdramAnOrderOfMagnitudeSmallerThanTcam)
+{
+    // Paper section 5.1: the eDRAM cell "is an order of magnitude
+    // smaller than their smallest TCAM cell".
+    EXPECT_GT(cellSpec(CellType::DynTcam6T).areaUm2 /
+                  cellSpec(CellType::EdramBit).areaUm2,
+              10.0);
+}
+
+/** Table 1 calibration: the model must reproduce the prototype exactly. */
+TEST(Table1, PrototypeCalibration)
+{
+    SynthesisConfig cfg; // defaults == the prototype
+    const SynthesisEstimate est = estimateMatchProcessor(cfg);
+    ASSERT_EQ(est.stages.size(), 4u);
+
+    EXPECT_EQ(est.stages[0].cells, 3804u);
+    EXPECT_EQ(est.stages[1].cells, 5252u);
+    EXPECT_EQ(est.stages[2].cells, 899u);
+    EXPECT_EQ(est.stages[3].cells, 6037u);
+    EXPECT_EQ(est.totalCells(), 15992u);
+
+    EXPECT_NEAR(est.stages[0].areaUm2, 66228.0, 1.0);
+    EXPECT_NEAR(est.stages[1].areaUm2, 10591.0, 1.0);
+    EXPECT_NEAR(est.stages[2].areaUm2, 1970.0, 1.0);
+    EXPECT_NEAR(est.stages[3].areaUm2, 21775.0, 1.0);
+    EXPECT_NEAR(est.totalAreaUm2(), 100564.0, 2.0);
+
+    EXPECT_NEAR(est.stages[0].delayNs, 0.89, 0.01);
+    EXPECT_NEAR(est.stages[1].delayNs, 0.95, 0.01);
+    EXPECT_NEAR(est.stages[2].delayNs, 1.91, 0.01);
+    EXPECT_NEAR(est.stages[3].delayNs, 1.99, 0.01);
+    // Critical path excludes the overlapped expansion stage: 4.85 ns.
+    EXPECT_TRUE(est.stages[0].overlappedWithMemory);
+    EXPECT_NEAR(est.criticalPathNs(), 4.85, 0.01);
+
+    // Worst-case dynamic power 60.8 mW at Tclk = 6 ns, a = 0.5.
+    EXPECT_NEAR(est.dynamicPowerMw, 60.8, 0.5);
+}
+
+TEST(Table1, SingleCycleAt200Mhz)
+{
+    // "we achieve a latency that will fit in a single cycle at over
+    // 200MHz" -- 4.85 ns < 5 ns.
+    const SynthesisEstimate est = estimateMatchProcessor(SynthesisConfig{});
+    EXPECT_LT(est.criticalPathNs(), 5.0);
+}
+
+TEST(SynthesisModel, ScalesWithRowWidth)
+{
+    SynthesisConfig narrow;
+    narrow.rowBits = 800;
+    SynthesisConfig wide;
+    wide.rowBits = 3200;
+    const auto n = estimateMatchProcessor(narrow);
+    const auto w = estimateMatchProcessor(wide);
+    EXPECT_LT(n.totalCells(), w.totalCells());
+    EXPECT_LT(n.totalAreaUm2(), w.totalAreaUm2());
+    EXPECT_LT(n.dynamicPowerMw, w.dynamicPowerMw);
+    // Delay grows only logarithmically.
+    EXPECT_LT(w.criticalPathNs(), 2.0 * n.criticalPathNs());
+}
+
+TEST(SynthesisModel, FixedKeyDesignIsSmallerAndFaster)
+{
+    SynthesisConfig fixed;
+    fixed.variableKeySize = false;
+    const auto f = estimateMatchProcessor(fixed);
+    const auto v = estimateMatchProcessor(SynthesisConfig{});
+    EXPECT_LT(f.totalCells(), v.totalCells());
+    EXPECT_LT(f.totalAreaUm2(), v.totalAreaUm2());
+    EXPECT_LT(f.criticalPathNs(), v.criticalPathNs());
+}
+
+TEST(SynthesisModel, NodeScalingShrinksAreaAndDelay)
+{
+    SynthesisConfig scaled;
+    scaled.node = ProcessNode::nm130();
+    const auto s = estimateMatchProcessor(scaled);
+    const auto p = estimateMatchProcessor(SynthesisConfig{});
+    EXPECT_LT(s.totalAreaUm2(), p.totalAreaUm2());
+    EXPECT_LT(s.criticalPathNs(), p.criticalPathNs());
+    EXPECT_EQ(s.totalCells(), p.totalCells()); // same logic, smaller cells
+}
+
+TEST(SynthesisModel, PipeliningShortensCycleTime)
+{
+    SynthesisConfig plain;
+    SynthesisConfig piped = plain;
+    piped.pipelined = true;
+    const auto a = estimateMatchProcessor(plain);
+    const auto b = estimateMatchProcessor(piped);
+    // The prototype was not pipelined: depth 1, cycle = critical path.
+    EXPECT_EQ(a.pipelineDepth, 1u);
+    EXPECT_NEAR(a.cycleTimeNs, a.criticalPathNs(), 1e-9);
+    // Pipelined: 3 stages, cycle bounded by the slowest stage (the
+    // 1.99 ns extract) plus register overhead, so well under 4.85 ns.
+    EXPECT_EQ(b.pipelineDepth, 3u);
+    EXPECT_LT(b.cycleTimeNs, 2.5);
+    EXPECT_GT(b.maxClockMhz(), 400.0);
+    EXPECT_GT(a.maxClockMhz(), 200.0); // the paper's "over 200MHz"
+    // Registers cost cells, area and clock power.
+    EXPECT_GT(b.totalCells(), a.totalCells());
+    EXPECT_GT(b.totalAreaUm2(), a.totalAreaUm2());
+    EXPECT_GT(b.dynamicPowerMw, a.dynamicPowerMw);
+    // The combinational path itself is unchanged.
+    EXPECT_NEAR(b.criticalPathNs(), a.criticalPathNs(), 1e-9);
+}
+
+TEST(SynthesisModel, RejectsDegenerateConfigs)
+{
+    SynthesisConfig bad;
+    bad.rowBits = 0;
+    EXPECT_THROW(estimateMatchProcessor(bad), caram::FatalError);
+    bad.rowBits = 4;
+    bad.minKeyBits = 8;
+    EXPECT_THROW(estimateMatchProcessor(bad), caram::FatalError);
+}
+
+TEST(AreaModel, CamArray)
+{
+    // 1000 entries x 32 symbols of 6T dynamic TCAM.
+    EXPECT_NEAR(camArrayUm2(1000, 32, CellType::DynTcam6T),
+                1000.0 * 32 * 3.59, 1e-6);
+    EXPECT_THROW(camArrayUm2(10, 8, CellType::EdramBit),
+                 caram::FatalError);
+}
+
+TEST(AreaModel, CaRamArrayIncludesMatchOverhead)
+{
+    const double with = caRamArrayUm2(1'000'000);
+    const double without = caRamArrayUm2(1'000'000, false);
+    EXPECT_NEAR(with / without, 1.07, 1e-9);
+    EXPECT_NEAR(without, 1e6 * 0.35, 1e-3);
+}
+
+TEST(PowerModel, MatchEnergyDerivedFromPrototype)
+{
+    // 60.8 mW * 6 ns / 1600 bits, scaled 0.16um -> 130nm.
+    const double expect =
+        (60.8 * 6.0 / 1600.0) *
+        energyScale(ProcessNode::um016(), ProcessNode::nm130());
+    EXPECT_NEAR(matchEnergyPerBitPj(), expect, 1e-12);
+}
+
+TEST(PowerModel, CamEnergyScalesWithArraySize)
+{
+    const double small =
+        camSearchEnergyNj(1000, 64, CellType::DynTcam6T);
+    const double large =
+        camSearchEnergyNj(2000, 64, CellType::DynTcam6T);
+    EXPECT_NEAR(large / small, 2.0, 0.01);
+}
+
+TEST(PowerModel, ActivationFactorReducesCamEnergy)
+{
+    const double full = camSearchEnergyNj(10000, 64, CellType::DynTcam6T);
+    const double banked =
+        camSearchEnergyNj(10000, 64, CellType::DynTcam6T, 0.25);
+    EXPECT_LT(banked, full);
+    EXPECT_GT(banked, full * 0.25 * 0.9); // encoder term not scaled
+    EXPECT_THROW(
+        camSearchEnergyNj(10, 8, CellType::DynTcam6T, 0.0),
+        caram::FatalError);
+}
+
+TEST(PowerModel, CaRamEnergyIndependentOfRowCount)
+{
+    // O(n) vs CAM's O(w*n): doubling the rows barely moves the energy
+    // (only the row decoder term grows).
+    const auto small = caRamAccessEnergyNj(4096, 4096, 64, 1 << 12);
+    const auto large = caRamAccessEnergyNj(4096, 4096, 64, 1 << 20);
+    EXPECT_LT(large.totalNj() / small.totalNj(), 1.01);
+}
+
+/** Figure 6(b): CA-RAM > 26x more power-efficient than the 16T SRAM
+ *  TCAM and > 7x better than the 6T dynamic TCAM, at the same 1M-cell
+ *  database used for the area comparison. */
+TEST(Figure6b, PowerRatios)
+{
+    const uint64_t entries = 16384;
+    const unsigned symbols = 64; // 1,048,576 ternary cells total
+    // CA-RAM: same database, 2 bits/symbol, 32 keys of 128 stored bits
+    // per 4096-bit row.
+    const auto caram = caRamAccessEnergyNj(4096, 4096, 32, 512);
+
+    const double e16 =
+        camSearchEnergyNj(entries, symbols, CellType::SramTcam16T);
+    const double e6 =
+        camSearchEnergyNj(entries, symbols, CellType::DynTcam6T);
+
+    EXPECT_GT(e16 / caram.totalNj(), 26.0);
+    EXPECT_GT(e6 / caram.totalNj(), 7.0);
+    // "over" but not wildly over: same order as the paper's figure.
+    EXPECT_LT(e16 / caram.totalNj(), 35.0);
+    EXPECT_LT(e6 / caram.totalNj(), 10.0);
+}
+
+TEST(PowerModel, CaRamPowerIncludesStaticAndAmal)
+{
+    const auto access = caRamAccessEnergyNj(4096, 4096, 64, 4096);
+    const double idle = caRamPowerW(access, 0.0, 1.0, 33.5, 8);
+    const double busy = caRamPowerW(access, 143e6, 1.0, 33.5, 8);
+    const double busier = caRamPowerW(access, 143e6, 1.5, 33.5, 8);
+    EXPECT_GT(idle, 0.0); // static + idle match banks
+    EXPECT_GT(busy, idle);
+    EXPECT_NEAR(busier - idle, 1.5 * (busy - idle), 1e-9);
+    EXPECT_THROW(caRamPowerW(access, 1.0, 0.5, 1.0, 1),
+                 caram::FatalError);
+}
+
+TEST(PowerModel, CamPowerAtFrequency)
+{
+    const double e = camSearchEnergyNj(1000, 32, CellType::DynTcam6T);
+    EXPECT_NEAR(camPowerW(1000, 32, CellType::DynTcam6T, 1e6),
+                e * 1e-9 * 1e6, 1e-12);
+}
+
+} // namespace
+} // namespace caram::tech
