@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_overflow_policy.cc" "bench-objs/CMakeFiles/ablation_overflow_policy.dir/ablation_overflow_policy.cc.o" "gcc" "bench-objs/CMakeFiles/ablation_overflow_policy.dir/ablation_overflow_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/caram_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/caram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/caram_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/caram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cam/CMakeFiles/caram_cam.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/caram_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/caram_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/caram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_overflow_policy"
+  "../bench/ablation_overflow_policy.pdb"
+  "CMakeFiles/ablation_overflow_policy.dir/ablation_overflow_policy.cc.o"
+  "CMakeFiles/ablation_overflow_policy.dir/ablation_overflow_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overflow_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

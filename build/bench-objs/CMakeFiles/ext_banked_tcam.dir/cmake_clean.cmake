@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_banked_tcam"
+  "../bench/ext_banked_tcam.pdb"
+  "CMakeFiles/ext_banked_tcam.dir/ext_banked_tcam.cc.o"
+  "CMakeFiles/ext_banked_tcam.dir/ext_banked_tcam.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_banked_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

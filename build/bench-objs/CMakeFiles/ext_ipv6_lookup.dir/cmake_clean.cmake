@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ipv6_lookup"
+  "../bench/ext_ipv6_lookup.pdb"
+  "CMakeFiles/ext_ipv6_lookup.dir/ext_ipv6_lookup.cc.o"
+  "CMakeFiles/ext_ipv6_lookup.dir/ext_ipv6_lookup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ipv6_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

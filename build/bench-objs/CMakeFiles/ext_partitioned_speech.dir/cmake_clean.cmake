@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_partitioned_speech"
+  "../bench/ext_partitioned_speech.pdb"
+  "CMakeFiles/ext_partitioned_speech.dir/ext_partitioned_speech.cc.o"
+  "CMakeFiles/ext_partitioned_speech.dir/ext_partitioned_speech.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_partitioned_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

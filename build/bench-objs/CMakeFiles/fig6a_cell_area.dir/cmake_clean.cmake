@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_cell_area"
+  "../bench/fig6a_cell_area.pdb"
+  "CMakeFiles/fig6a_cell_area.dir/fig6a_cell_area.cc.o"
+  "CMakeFiles/fig6a_cell_area.dir/fig6a_cell_area.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_cell_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

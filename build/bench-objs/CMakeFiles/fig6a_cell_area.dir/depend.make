@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6a_cell_area.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_power"
+  "../bench/fig6b_power.pdb"
+  "CMakeFiles/fig6b_power.dir/fig6b_power.cc.o"
+  "CMakeFiles/fig6b_power.dir/fig6b_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

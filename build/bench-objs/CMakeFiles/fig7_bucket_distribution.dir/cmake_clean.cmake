@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_bucket_distribution"
+  "../bench/fig7_bucket_distribution.pdb"
+  "CMakeFiles/fig7_bucket_distribution.dir/fig7_bucket_distribution.cc.o"
+  "CMakeFiles/fig7_bucket_distribution.dir/fig7_bucket_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bucket_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_app_area_power"
+  "../bench/fig8_app_area_power.pdb"
+  "CMakeFiles/fig8_app_area_power.dir/fig8_app_area_power.cc.o"
+  "CMakeFiles/fig8_app_area_power.dir/fig8_app_area_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_app_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

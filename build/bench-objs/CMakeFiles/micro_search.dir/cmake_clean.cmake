@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_search"
+  "../bench/micro_search.pdb"
+  "CMakeFiles/micro_search.dir/micro_search.cc.o"
+  "CMakeFiles/micro_search.dir/micro_search.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec34_throughput"
+  "../bench/sec34_throughput.pdb"
+  "CMakeFiles/sec34_throughput.dir/sec34_throughput.cc.o"
+  "CMakeFiles/sec34_throughput.dir/sec34_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec34_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_match_processor"
+  "../bench/table1_match_processor.pdb"
+  "CMakeFiles/table1_match_processor.dir/table1_match_processor.cc.o"
+  "CMakeFiles/table1_match_processor.dir/table1_match_processor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_match_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

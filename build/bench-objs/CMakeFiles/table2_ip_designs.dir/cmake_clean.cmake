@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_ip_designs"
+  "../bench/table2_ip_designs.pdb"
+  "CMakeFiles/table2_ip_designs.dir/table2_ip_designs.cc.o"
+  "CMakeFiles/table2_ip_designs.dir/table2_ip_designs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ip_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

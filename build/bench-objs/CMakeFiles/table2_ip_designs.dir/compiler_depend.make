@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_ip_designs.
+# This may be replaced when dependencies are built.

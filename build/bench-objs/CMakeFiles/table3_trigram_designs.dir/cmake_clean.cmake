@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_trigram_designs"
+  "../bench/table3_trigram_designs.pdb"
+  "CMakeFiles/table3_trigram_designs.dir/table3_trigram_designs.cc.o"
+  "CMakeFiles/table3_trigram_designs.dir/table3_trigram_designs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_trigram_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

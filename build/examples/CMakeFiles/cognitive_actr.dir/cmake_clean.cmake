@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cognitive_actr.dir/cognitive_actr.cpp.o"
+  "CMakeFiles/cognitive_actr.dir/cognitive_actr.cpp.o.d"
+  "cognitive_actr"
+  "cognitive_actr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cognitive_actr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

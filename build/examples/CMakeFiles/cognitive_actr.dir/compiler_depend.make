@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cognitive_actr.
+# This may be replaced when dependencies are built.

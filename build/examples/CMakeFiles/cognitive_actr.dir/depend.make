@@ -1,0 +1,2 @@
+# Empty dependencies file for cognitive_actr.
+# This may be replaced when dependencies are built.

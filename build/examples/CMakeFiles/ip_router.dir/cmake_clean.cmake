@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_router.dir/ip_router.cpp.o"
+  "CMakeFiles/ip_router.dir/ip_router.cpp.o.d"
+  "ip_router"
+  "ip_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_classifier.dir/packet_classifier.cpp.o"
+  "CMakeFiles/packet_classifier.dir/packet_classifier.cpp.o.d"
+  "packet_classifier"
+  "packet_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scratchpad.dir/scratchpad.cpp.o"
+  "CMakeFiles/scratchpad.dir/scratchpad.cpp.o.d"
+  "scratchpad"
+  "scratchpad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scratchpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

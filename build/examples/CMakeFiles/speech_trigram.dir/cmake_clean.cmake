@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_trigram.dir/speech_trigram.cpp.o"
+  "CMakeFiles/speech_trigram.dir/speech_trigram.cpp.o.d"
+  "speech_trigram"
+  "speech_trigram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_trigram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

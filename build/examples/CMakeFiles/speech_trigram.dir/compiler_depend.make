@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for speech_trigram.
+# This may be replaced when dependencies are built.

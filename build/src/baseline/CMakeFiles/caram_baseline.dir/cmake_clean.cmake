@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_baseline.dir/chained_hash.cc.o"
+  "CMakeFiles/caram_baseline.dir/chained_hash.cc.o.d"
+  "CMakeFiles/caram_baseline.dir/linear_probe_hash.cc.o"
+  "CMakeFiles/caram_baseline.dir/linear_probe_hash.cc.o.d"
+  "CMakeFiles/caram_baseline.dir/sorted_array.cc.o"
+  "CMakeFiles/caram_baseline.dir/sorted_array.cc.o.d"
+  "libcaram_baseline.a"
+  "libcaram_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

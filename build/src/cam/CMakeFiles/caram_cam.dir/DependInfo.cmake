@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cam/banked_tcam.cc" "src/cam/CMakeFiles/caram_cam.dir/banked_tcam.cc.o" "gcc" "src/cam/CMakeFiles/caram_cam.dir/banked_tcam.cc.o.d"
+  "/root/repo/src/cam/cam.cc" "src/cam/CMakeFiles/caram_cam.dir/cam.cc.o" "gcc" "src/cam/CMakeFiles/caram_cam.dir/cam.cc.o.d"
+  "/root/repo/src/cam/priority_encoder.cc" "src/cam/CMakeFiles/caram_cam.dir/priority_encoder.cc.o" "gcc" "src/cam/CMakeFiles/caram_cam.dir/priority_encoder.cc.o.d"
+  "/root/repo/src/cam/tcam.cc" "src/cam/CMakeFiles/caram_cam.dir/tcam.cc.o" "gcc" "src/cam/CMakeFiles/caram_cam.dir/tcam.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/caram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/caram_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/caram_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_cam.dir/banked_tcam.cc.o"
+  "CMakeFiles/caram_cam.dir/banked_tcam.cc.o.d"
+  "CMakeFiles/caram_cam.dir/cam.cc.o"
+  "CMakeFiles/caram_cam.dir/cam.cc.o.d"
+  "CMakeFiles/caram_cam.dir/priority_encoder.cc.o"
+  "CMakeFiles/caram_cam.dir/priority_encoder.cc.o.d"
+  "CMakeFiles/caram_cam.dir/tcam.cc.o"
+  "CMakeFiles/caram_cam.dir/tcam.cc.o.d"
+  "libcaram_cam.a"
+  "libcaram_cam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_cam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcaram_cam.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_cognitive.dir/chunk.cc.o"
+  "CMakeFiles/caram_cognitive.dir/chunk.cc.o.d"
+  "CMakeFiles/caram_cognitive.dir/declarative_memory.cc.o"
+  "CMakeFiles/caram_cognitive.dir/declarative_memory.cc.o.d"
+  "libcaram_cognitive.a"
+  "libcaram_cognitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_cognitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

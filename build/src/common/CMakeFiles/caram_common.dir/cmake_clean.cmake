@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_common.dir/key.cc.o"
+  "CMakeFiles/caram_common.dir/key.cc.o.d"
+  "CMakeFiles/caram_common.dir/logging.cc.o"
+  "CMakeFiles/caram_common.dir/logging.cc.o.d"
+  "CMakeFiles/caram_common.dir/random.cc.o"
+  "CMakeFiles/caram_common.dir/random.cc.o.d"
+  "CMakeFiles/caram_common.dir/stats.cc.o"
+  "CMakeFiles/caram_common.dir/stats.cc.o.d"
+  "CMakeFiles/caram_common.dir/strings.cc.o"
+  "CMakeFiles/caram_common.dir/strings.cc.o.d"
+  "libcaram_common.a"
+  "libcaram_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

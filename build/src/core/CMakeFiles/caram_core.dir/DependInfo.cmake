@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bucket.cc" "src/core/CMakeFiles/caram_core.dir/bucket.cc.o" "gcc" "src/core/CMakeFiles/caram_core.dir/bucket.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/caram_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/caram_core.dir/config.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/caram_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/caram_core.dir/database.cc.o.d"
+  "/root/repo/src/core/load_stats.cc" "src/core/CMakeFiles/caram_core.dir/load_stats.cc.o" "gcc" "src/core/CMakeFiles/caram_core.dir/load_stats.cc.o.d"
+  "/root/repo/src/core/match_processor.cc" "src/core/CMakeFiles/caram_core.dir/match_processor.cc.o" "gcc" "src/core/CMakeFiles/caram_core.dir/match_processor.cc.o.d"
+  "/root/repo/src/core/slice.cc" "src/core/CMakeFiles/caram_core.dir/slice.cc.o" "gcc" "src/core/CMakeFiles/caram_core.dir/slice.cc.o.d"
+  "/root/repo/src/core/subsystem.cc" "src/core/CMakeFiles/caram_core.dir/subsystem.cc.o" "gcc" "src/core/CMakeFiles/caram_core.dir/subsystem.cc.o.d"
+  "/root/repo/src/core/timing_engine.cc" "src/core/CMakeFiles/caram_core.dir/timing_engine.cc.o" "gcc" "src/core/CMakeFiles/caram_core.dir/timing_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/caram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/caram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/caram_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/caram_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/caram_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/cam/CMakeFiles/caram_cam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

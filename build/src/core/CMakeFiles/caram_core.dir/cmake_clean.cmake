@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_core.dir/bucket.cc.o"
+  "CMakeFiles/caram_core.dir/bucket.cc.o.d"
+  "CMakeFiles/caram_core.dir/config.cc.o"
+  "CMakeFiles/caram_core.dir/config.cc.o.d"
+  "CMakeFiles/caram_core.dir/database.cc.o"
+  "CMakeFiles/caram_core.dir/database.cc.o.d"
+  "CMakeFiles/caram_core.dir/load_stats.cc.o"
+  "CMakeFiles/caram_core.dir/load_stats.cc.o.d"
+  "CMakeFiles/caram_core.dir/match_processor.cc.o"
+  "CMakeFiles/caram_core.dir/match_processor.cc.o.d"
+  "CMakeFiles/caram_core.dir/slice.cc.o"
+  "CMakeFiles/caram_core.dir/slice.cc.o.d"
+  "CMakeFiles/caram_core.dir/subsystem.cc.o"
+  "CMakeFiles/caram_core.dir/subsystem.cc.o.d"
+  "CMakeFiles/caram_core.dir/timing_engine.cc.o"
+  "CMakeFiles/caram_core.dir/timing_engine.cc.o.d"
+  "libcaram_core.a"
+  "libcaram_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

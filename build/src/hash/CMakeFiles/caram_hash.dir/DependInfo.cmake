@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/bit_select.cc" "src/hash/CMakeFiles/caram_hash.dir/bit_select.cc.o" "gcc" "src/hash/CMakeFiles/caram_hash.dir/bit_select.cc.o.d"
+  "/root/repo/src/hash/bit_selection_optimizer.cc" "src/hash/CMakeFiles/caram_hash.dir/bit_selection_optimizer.cc.o" "gcc" "src/hash/CMakeFiles/caram_hash.dir/bit_selection_optimizer.cc.o.d"
+  "/root/repo/src/hash/djb.cc" "src/hash/CMakeFiles/caram_hash.dir/djb.cc.o" "gcc" "src/hash/CMakeFiles/caram_hash.dir/djb.cc.o.d"
+  "/root/repo/src/hash/folding.cc" "src/hash/CMakeFiles/caram_hash.dir/folding.cc.o" "gcc" "src/hash/CMakeFiles/caram_hash.dir/folding.cc.o.d"
+  "/root/repo/src/hash/index_generator.cc" "src/hash/CMakeFiles/caram_hash.dir/index_generator.cc.o" "gcc" "src/hash/CMakeFiles/caram_hash.dir/index_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/caram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_hash.dir/bit_select.cc.o"
+  "CMakeFiles/caram_hash.dir/bit_select.cc.o.d"
+  "CMakeFiles/caram_hash.dir/bit_selection_optimizer.cc.o"
+  "CMakeFiles/caram_hash.dir/bit_selection_optimizer.cc.o.d"
+  "CMakeFiles/caram_hash.dir/djb.cc.o"
+  "CMakeFiles/caram_hash.dir/djb.cc.o.d"
+  "CMakeFiles/caram_hash.dir/folding.cc.o"
+  "CMakeFiles/caram_hash.dir/folding.cc.o.d"
+  "CMakeFiles/caram_hash.dir/index_generator.cc.o"
+  "CMakeFiles/caram_hash.dir/index_generator.cc.o.d"
+  "libcaram_hash.a"
+  "libcaram_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

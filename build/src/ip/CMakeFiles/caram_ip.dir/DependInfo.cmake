@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/ip6_caram.cc" "src/ip/CMakeFiles/caram_ip.dir/ip6_caram.cc.o" "gcc" "src/ip/CMakeFiles/caram_ip.dir/ip6_caram.cc.o.d"
+  "/root/repo/src/ip/ip_caram.cc" "src/ip/CMakeFiles/caram_ip.dir/ip_caram.cc.o" "gcc" "src/ip/CMakeFiles/caram_ip.dir/ip_caram.cc.o.d"
+  "/root/repo/src/ip/lpm_reference.cc" "src/ip/CMakeFiles/caram_ip.dir/lpm_reference.cc.o" "gcc" "src/ip/CMakeFiles/caram_ip.dir/lpm_reference.cc.o.d"
+  "/root/repo/src/ip/lpm_reference6.cc" "src/ip/CMakeFiles/caram_ip.dir/lpm_reference6.cc.o" "gcc" "src/ip/CMakeFiles/caram_ip.dir/lpm_reference6.cc.o.d"
+  "/root/repo/src/ip/prefix.cc" "src/ip/CMakeFiles/caram_ip.dir/prefix.cc.o" "gcc" "src/ip/CMakeFiles/caram_ip.dir/prefix.cc.o.d"
+  "/root/repo/src/ip/prefix6.cc" "src/ip/CMakeFiles/caram_ip.dir/prefix6.cc.o" "gcc" "src/ip/CMakeFiles/caram_ip.dir/prefix6.cc.o.d"
+  "/root/repo/src/ip/routing_table.cc" "src/ip/CMakeFiles/caram_ip.dir/routing_table.cc.o" "gcc" "src/ip/CMakeFiles/caram_ip.dir/routing_table.cc.o.d"
+  "/root/repo/src/ip/synthetic_bgp.cc" "src/ip/CMakeFiles/caram_ip.dir/synthetic_bgp.cc.o" "gcc" "src/ip/CMakeFiles/caram_ip.dir/synthetic_bgp.cc.o.d"
+  "/root/repo/src/ip/synthetic_bgp6.cc" "src/ip/CMakeFiles/caram_ip.dir/synthetic_bgp6.cc.o" "gcc" "src/ip/CMakeFiles/caram_ip.dir/synthetic_bgp6.cc.o.d"
+  "/root/repo/src/ip/traffic.cc" "src/ip/CMakeFiles/caram_ip.dir/traffic.cc.o" "gcc" "src/ip/CMakeFiles/caram_ip.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/caram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cam/CMakeFiles/caram_cam.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/caram_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/caram_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/caram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/caram_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/caram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_ip.dir/ip6_caram.cc.o"
+  "CMakeFiles/caram_ip.dir/ip6_caram.cc.o.d"
+  "CMakeFiles/caram_ip.dir/ip_caram.cc.o"
+  "CMakeFiles/caram_ip.dir/ip_caram.cc.o.d"
+  "CMakeFiles/caram_ip.dir/lpm_reference.cc.o"
+  "CMakeFiles/caram_ip.dir/lpm_reference.cc.o.d"
+  "CMakeFiles/caram_ip.dir/lpm_reference6.cc.o"
+  "CMakeFiles/caram_ip.dir/lpm_reference6.cc.o.d"
+  "CMakeFiles/caram_ip.dir/prefix.cc.o"
+  "CMakeFiles/caram_ip.dir/prefix.cc.o.d"
+  "CMakeFiles/caram_ip.dir/prefix6.cc.o"
+  "CMakeFiles/caram_ip.dir/prefix6.cc.o.d"
+  "CMakeFiles/caram_ip.dir/routing_table.cc.o"
+  "CMakeFiles/caram_ip.dir/routing_table.cc.o.d"
+  "CMakeFiles/caram_ip.dir/synthetic_bgp.cc.o"
+  "CMakeFiles/caram_ip.dir/synthetic_bgp.cc.o.d"
+  "CMakeFiles/caram_ip.dir/synthetic_bgp6.cc.o"
+  "CMakeFiles/caram_ip.dir/synthetic_bgp6.cc.o.d"
+  "CMakeFiles/caram_ip.dir/traffic.cc.o"
+  "CMakeFiles/caram_ip.dir/traffic.cc.o.d"
+  "libcaram_ip.a"
+  "libcaram_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

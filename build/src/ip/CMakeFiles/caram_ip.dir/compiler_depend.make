@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for caram_ip.
+# This may be replaced when dependencies are built.

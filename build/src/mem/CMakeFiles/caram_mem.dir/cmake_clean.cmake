@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_mem.dir/memory_array.cc.o"
+  "CMakeFiles/caram_mem.dir/memory_array.cc.o.d"
+  "CMakeFiles/caram_mem.dir/timing.cc.o"
+  "CMakeFiles/caram_mem.dir/timing.cc.o.d"
+  "libcaram_mem.a"
+  "libcaram_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

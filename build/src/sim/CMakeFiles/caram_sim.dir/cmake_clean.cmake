@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_sim.dir/event_queue.cc.o"
+  "CMakeFiles/caram_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/caram_sim.dir/probes.cc.o"
+  "CMakeFiles/caram_sim.dir/probes.cc.o.d"
+  "libcaram_sim.a"
+  "libcaram_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

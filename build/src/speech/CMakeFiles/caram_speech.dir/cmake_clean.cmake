@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_speech.dir/partitioned_engine.cc.o"
+  "CMakeFiles/caram_speech.dir/partitioned_engine.cc.o.d"
+  "CMakeFiles/caram_speech.dir/synthetic_trigrams.cc.o"
+  "CMakeFiles/caram_speech.dir/synthetic_trigrams.cc.o.d"
+  "CMakeFiles/caram_speech.dir/trigram.cc.o"
+  "CMakeFiles/caram_speech.dir/trigram.cc.o.d"
+  "CMakeFiles/caram_speech.dir/trigram_caram.cc.o"
+  "CMakeFiles/caram_speech.dir/trigram_caram.cc.o.d"
+  "libcaram_speech.a"
+  "libcaram_speech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/area_model.cc" "src/tech/CMakeFiles/caram_tech.dir/area_model.cc.o" "gcc" "src/tech/CMakeFiles/caram_tech.dir/area_model.cc.o.d"
+  "/root/repo/src/tech/cell_library.cc" "src/tech/CMakeFiles/caram_tech.dir/cell_library.cc.o" "gcc" "src/tech/CMakeFiles/caram_tech.dir/cell_library.cc.o.d"
+  "/root/repo/src/tech/power_model.cc" "src/tech/CMakeFiles/caram_tech.dir/power_model.cc.o" "gcc" "src/tech/CMakeFiles/caram_tech.dir/power_model.cc.o.d"
+  "/root/repo/src/tech/synthesis_model.cc" "src/tech/CMakeFiles/caram_tech.dir/synthesis_model.cc.o" "gcc" "src/tech/CMakeFiles/caram_tech.dir/synthesis_model.cc.o.d"
+  "/root/repo/src/tech/technology.cc" "src/tech/CMakeFiles/caram_tech.dir/technology.cc.o" "gcc" "src/tech/CMakeFiles/caram_tech.dir/technology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/caram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caram_tech.dir/area_model.cc.o"
+  "CMakeFiles/caram_tech.dir/area_model.cc.o.d"
+  "CMakeFiles/caram_tech.dir/cell_library.cc.o"
+  "CMakeFiles/caram_tech.dir/cell_library.cc.o.d"
+  "CMakeFiles/caram_tech.dir/power_model.cc.o"
+  "CMakeFiles/caram_tech.dir/power_model.cc.o.d"
+  "CMakeFiles/caram_tech.dir/synthesis_model.cc.o"
+  "CMakeFiles/caram_tech.dir/synthesis_model.cc.o.d"
+  "CMakeFiles/caram_tech.dir/technology.cc.o"
+  "CMakeFiles/caram_tech.dir/technology.cc.o.d"
+  "libcaram_tech.a"
+  "libcaram_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caram_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

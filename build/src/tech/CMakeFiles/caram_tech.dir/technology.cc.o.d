@@ -1,0 +1,3 @@
+src/tech/CMakeFiles/caram_tech.dir/technology.cc.o: \
+ /root/repo/src/tech/technology.cc /usr/include/stdc-predef.h \
+ /root/repo/src/tech/technology.h

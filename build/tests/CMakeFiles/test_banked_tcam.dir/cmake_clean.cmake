@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banked_tcam.dir/test_banked_tcam.cc.o"
+  "CMakeFiles/test_banked_tcam.dir/test_banked_tcam.cc.o.d"
+  "test_banked_tcam"
+  "test_banked_tcam.pdb"
+  "test_banked_tcam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banked_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

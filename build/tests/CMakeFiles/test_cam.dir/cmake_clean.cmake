@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cam.dir/test_cam.cc.o"
+  "CMakeFiles/test_cam.dir/test_cam.cc.o.d"
+  "test_cam"
+  "test_cam.pdb"
+  "test_cam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cognitive.dir/test_cognitive.cc.o"
+  "CMakeFiles/test_cognitive.dir/test_cognitive.cc.o.d"
+  "test_cognitive"
+  "test_cognitive.pdb"
+  "test_cognitive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cognitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bucket.dir/test_core_bucket.cc.o"
+  "CMakeFiles/test_core_bucket.dir/test_core_bucket.cc.o.d"
+  "test_core_bucket"
+  "test_core_bucket.pdb"
+  "test_core_bucket[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_slice.dir/test_core_slice.cc.o"
+  "CMakeFiles/test_core_slice.dir/test_core_slice.cc.o.d"
+  "test_core_slice"
+  "test_core_slice.pdb"
+  "test_core_slice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

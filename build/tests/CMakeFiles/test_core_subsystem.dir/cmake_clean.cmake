@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_subsystem.dir/test_core_subsystem.cc.o"
+  "CMakeFiles/test_core_subsystem.dir/test_core_subsystem.cc.o.d"
+  "test_core_subsystem"
+  "test_core_subsystem.pdb"
+  "test_core_subsystem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_subsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

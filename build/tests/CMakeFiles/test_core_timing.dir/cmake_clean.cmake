@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_timing.dir/test_core_timing.cc.o"
+  "CMakeFiles/test_core_timing.dir/test_core_timing.cc.o.d"
+  "test_core_timing"
+  "test_core_timing.pdb"
+  "test_core_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ip6.dir/test_ip6.cc.o"
+  "CMakeFiles/test_ip6.dir/test_ip6.cc.o.d"
+  "test_ip6"
+  "test_ip6.pdb"
+  "test_ip6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ip6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key.dir/test_key.cc.o"
+  "CMakeFiles/test_key.dir/test_key.cc.o.d"
+  "test_key"
+  "test_key.pdb"
+  "test_key[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logging.dir/test_logging.cc.o"
+  "CMakeFiles/test_logging.dir/test_logging.cc.o.d"
+  "test_logging"
+  "test_logging.pdb"
+  "test_logging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_sweeps.dir/test_param_sweeps.cc.o"
+  "CMakeFiles/test_param_sweeps.dir/test_param_sweeps.cc.o.d"
+  "test_param_sweeps"
+  "test_param_sweeps.pdb"
+  "test_param_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

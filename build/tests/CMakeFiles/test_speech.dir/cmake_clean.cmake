@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speech.dir/test_speech.cc.o"
+  "CMakeFiles/test_speech.dir/test_speech.cc.o.d"
+  "test_speech"
+  "test_speech.pdb"
+  "test_speech[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

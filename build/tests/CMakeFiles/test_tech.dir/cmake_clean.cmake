@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech.dir/test_tech.cc.o"
+  "CMakeFiles/test_tech.dir/test_tech.cc.o.d"
+  "test_tech"
+  "test_tech.pdb"
+  "test_tech[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
