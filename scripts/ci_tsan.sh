@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the concurrency layer: builds with
+# -DCARAM_TSAN=ON and runs the concurrent-queue and parallel-engine
+# tests under TSan.  Any data race fails the script.
+#
+# Usage: scripts/ci_tsan.sh [build-dir]   (default build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DCARAM_TSAN=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target test_concurrent_queue test_engine
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$BUILD_DIR" \
+    -R 'ConcurrentQueue|Engine' --output-on-failure

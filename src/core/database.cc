@@ -232,9 +232,11 @@ Database::amal() const
     if (cfg.overflow == OverflowPolicy::ParallelTcam)
         return 1.0;
     if (cfg.overflow == OverflowPolicy::ParallelSlice) {
-        // The overflow slice is accessed in parallel; only its internal
-        // probing can push a lookup beyond one time step.
-        return std::max(1.0, overflowSlice_->loadStats().amalUniform());
+        // Main slice and overflow slice are searched in parallel, so a
+        // lookup completes when the longer of the two access chains
+        // does: AMAL is the max of the chains, never less than one.
+        return std::max({1.0, loadStats().amalUniform(),
+                         overflowSlice_->loadStats().amalUniform()});
     }
     return std::max(1.0, loadStats().amalUniform());
 }

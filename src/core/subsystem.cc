@@ -43,9 +43,15 @@ CaRamSubsystem::requestQueue(unsigned port) const
 {
     if (splitQueues) {
         if (port >= requestQueues.size())
-            fatal("no request queue for that port");
+            fatal(strprintf("no request queue for virtual port %u",
+                            port));
         return requestQueues[port];
     }
+    // Shared-queue mode: every port routes to the one queue, but a port
+    // that routes nowhere is still a caller error (port 0 always names
+    // the shared queue itself).
+    if (port != 0 && port >= databases.size())
+        fatal(strprintf("no request queue for virtual port %u", port));
     return requestQueues.front();
 }
 
@@ -116,6 +122,54 @@ CaRamSubsystem::submitErase(unsigned port, const Key &key, uint64_t tag)
 }
 
 std::size_t
+CaRamSubsystem::submitBatch(std::span<const PortRequest> requests)
+{
+    std::size_t accepted = 0;
+    for (const PortRequest &req : requests) {
+        if (req.port >= databases.size())
+            fatal(strprintf("submit to unknown virtual port %u",
+                            req.port));
+        if (!queueFor(req.port).tryPush(req))
+            break; // keep the accepted prefix contiguous (FIFO order)
+        ++accepted;
+    }
+    return accepted;
+}
+
+PortResponse
+executePortRequest(Database &db, const PortRequest &req)
+{
+    PortResponse resp;
+    resp.tag = req.tag;
+    resp.port = req.port;
+    resp.op = req.op;
+    if (db.powerState() != PowerState::Active) {
+        // The database is retained: answer with an error response
+        // instead of throwing, so the rest of the drain survives.
+        resp.ok = false;
+        return resp;
+    }
+    switch (req.op) {
+      case PortOp::Search: {
+        const SearchResult r = db.search(req.key);
+        resp.hit = r.hit;
+        resp.data = r.data;
+        resp.key = r.key;
+        resp.bucketsAccessed = r.bucketsAccessed;
+        break;
+      }
+      case PortOp::Insert:
+        resp.hit = db.insert(Record{req.key, req.data}, req.priority);
+        break;
+      case PortOp::Erase:
+        resp.data = db.erase(req.key);
+        resp.hit = resp.data > 0;
+        break;
+    }
+    return resp;
+}
+
+std::size_t
 CaRamSubsystem::process(std::size_t max_requests)
 {
     std::size_t done = 0;
@@ -131,29 +185,9 @@ CaRamSubsystem::process(std::size_t max_requests)
             continue;
         }
         idle_queues = 0;
-        Database &db = *databases[req->port];
-        PortResponse resp;
-        resp.tag = req->tag;
-        resp.op = req->op;
-        switch (req->op) {
-          case PortOp::Search: {
-            const SearchResult r = db.search(req->key);
-            resp.hit = r.hit;
-            resp.data = r.data;
-            resp.key = r.key;
-            resp.bucketsAccessed = r.bucketsAccessed;
-            break;
-          }
-          case PortOp::Insert:
-            resp.hit = db.insert(Record{req->key, req->data},
-                                 req->priority);
-            break;
-          case PortOp::Erase:
-            resp.data = db.erase(req->key);
-            resp.hit = resp.data > 0;
-            break;
-        }
-        results.tryPush(resp); // cannot fail: checked above
+        PortResponse resp = executePortRequest(*databases[req->port],
+                                               *req);
+        results.tryPush(std::move(resp)); // cannot fail: checked above
         ++done;
     }
     return done;
@@ -186,6 +220,18 @@ CaRamSubsystem::ramRoute(uint64_t word_addr) const
     fatal("RAM-mode address beyond the subsystem's storage");
 }
 
+std::pair<Database *, uint64_t>
+CaRamSubsystem::ramRoute(uint64_t word_addr)
+{
+    for (const auto &db : databases) {
+        const uint64_t words = db->slice().ramWords();
+        if (word_addr < words)
+            return {db.get(), word_addr};
+        word_addr -= words;
+    }
+    fatal("RAM-mode address beyond the subsystem's storage");
+}
+
 uint64_t
 CaRamSubsystem::ramLoad(uint64_t word_addr) const
 {
@@ -197,7 +243,7 @@ void
 CaRamSubsystem::ramStore(uint64_t word_addr, uint64_t value)
 {
     auto [db, local] = ramRoute(word_addr);
-    const_cast<Database *>(db)->slice().ramStore(local, value);
+    db->slice().ramStore(local, value);
 }
 
 void

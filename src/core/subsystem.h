@@ -17,6 +17,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,7 +51,15 @@ struct PortRequest
 struct PortResponse
 {
     uint64_t tag = 0;
+    unsigned port = 0;  ///< virtual port the request was submitted to
     PortOp op = PortOp::Search;
+    /**
+     * False when the request could not be executed at all -- e.g. the
+     * target database was in PowerState::Retention.  A failed request
+     * still produces a response (hit == false) so that one retained
+     * database cannot silently swallow, or abort, a drain.
+     */
+    bool ok = true;
     /** Search: a record matched.  Insert: placed.  Erase: removed. */
     bool hit = false;
     /** Search: matched data.  Erase: copies removed. */
@@ -58,6 +67,16 @@ struct PortResponse
     Key key;                     ///< matched stored key (Search)
     unsigned bucketsAccessed = 0;
 };
+
+/**
+ * Execute one CAM-mode request against @p db, producing exactly the
+ * response the input controller would enqueue.  Requests against an
+ * inaccessible database (data-retention mode) come back with
+ * ok == false instead of throwing, so drain loops survive.  Shared by
+ * CaRamSubsystem::process() and the parallel search engine so both
+ * produce bit-identical result streams.
+ */
+PortResponse executePortRequest(Database &db, const PortRequest &req);
 
 /** The full CA-RAM memory subsystem. */
 class CaRamSubsystem
@@ -105,6 +124,13 @@ class CaRamSubsystem
     bool submitErase(unsigned port, const Key &key, uint64_t tag);
 
     /**
+     * Submit a batch of pre-built requests, stopping at the first one
+     * rejected by a full queue so that per-port FIFO order is preserved.
+     * Returns the number accepted (a prefix of @p requests).
+     */
+    std::size_t submitBatch(std::span<const PortRequest> requests);
+
+    /**
      * Input controller: dispatch up to @p max_requests queued requests
      * to their databases, pushing results into the result queue.  Stops
      * early when the result queue fills.  Returns requests processed.
@@ -115,7 +141,9 @@ class CaRamSubsystem
     std::optional<PortResponse> fetchResult();
 
     /** The request queue serving @p port (the shared queue when the
-     *  subsystem was not built with split queues). */
+     *  subsystem was not built with split queues).  The port must name
+     *  an existing queue: in shared-queue mode only ports that route to
+     *  a database (or port 0, the queue itself) are accepted. */
     const sim::BoundedQueue<PortRequest> &requestQueue(
         unsigned port = 0) const;
     const sim::BoundedQueue<PortResponse> &resultQueue() const
@@ -147,6 +175,7 @@ class CaRamSubsystem
   private:
     /** Map a global RAM-mode address to (database, local address). */
     std::pair<const Database *, uint64_t> ramRoute(uint64_t word_addr) const;
+    std::pair<Database *, uint64_t> ramRoute(uint64_t word_addr);
 
     /** The request queue a port submits into. */
     sim::BoundedQueue<PortRequest> &queueFor(unsigned port);

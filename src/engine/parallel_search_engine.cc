@@ -1,0 +1,309 @@
+#include "engine/parallel_search_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace caram::engine {
+
+namespace {
+
+/** A request travelling through a worker queue, stamped at enqueue. */
+struct Job
+{
+    core::PortRequest request;
+    std::chrono::steady_clock::time_point enqueued;
+};
+
+} // namespace
+
+/** Per-port result stream and instrumentation. */
+struct ParallelSearchEngine::PortState
+{
+    std::mutex resultMutex;
+    std::deque<core::PortResponse> results;
+    PortStats stats;
+};
+
+/** One worker: its request queue and its private modeled clock. */
+struct ParallelSearchEngine::Worker
+{
+    explicit Worker(std::size_t capacity) : queue(capacity) {}
+    sim::ConcurrentBoundedQueue<Job> queue;
+    /** Busy cycles of this worker's modeled input controller. */
+    uint64_t modeledCycles = 0;
+};
+
+ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
+                                           EngineConfig config)
+    : sys(&subsystem), cfg(config),
+      workerCount(std::max(1u, cfg.workers))
+{
+    if (sys->databaseCount() == 0)
+        fatal("parallel search engine needs at least one database");
+    if (cfg.queueCapacity == 0)
+        fatal("engine queue capacity must be nonzero");
+    if (cfg.drainBatch == 0)
+        cfg.drainBatch = 1;
+    for (std::size_t p = 0; p < sys->databaseCount(); ++p)
+        ports.push_back(std::make_unique<PortState>());
+    for (unsigned w = 0; w < workerCount; ++w)
+        workers.push_back(std::make_unique<Worker>(cfg.queueCapacity));
+    wallStart = std::chrono::steady_clock::now();
+}
+
+ParallelSearchEngine::~ParallelSearchEngine()
+{
+    stop();
+}
+
+unsigned
+ParallelSearchEngine::workerOf(unsigned port) const
+{
+    return port % workerCount;
+}
+
+void
+ParallelSearchEngine::start()
+{
+    if (running || stopped || cfg.workers == 0)
+        return;
+    running = true;
+    wallStart = std::chrono::steady_clock::now();
+    for (unsigned w = 0; w < cfg.workers; ++w)
+        threads.emplace_back([this, w] { workerMain(w); });
+}
+
+void
+ParallelSearchEngine::execute(
+    const core::PortRequest &request,
+    std::chrono::steady_clock::time_point enqueued, unsigned worker_index)
+{
+    core::PortResponse resp =
+        core::executePortRequest(sys->database(request.port), request);
+
+    // Modeled cost: the lookup occupies this worker's bank for n_mem
+    // cycles per bucket accessed (probe chains are sequential); every
+    // request costs at least one access slot.
+    const uint64_t accesses = std::max(1u, resp.bucketsAccessed);
+    const uint64_t cycles =
+        accesses * std::max(1u, cfg.timing.minCycleGap);
+
+    PortState &port = *ports[request.port];
+    port.stats.modeledCycles += cycles;
+    workers[worker_index]->modeledCycles += cycles;
+
+    ++port.stats.completed;
+    if (resp.hit)
+        ++port.stats.hits;
+    if (!resp.ok)
+        ++port.stats.errors;
+    if (resp.op == core::PortOp::Search)
+        port.stats.bucketsAccessed.add(resp.bucketsAccessed);
+
+    const auto now = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                             enqueued)
+            .count() /
+        1e3;
+    port.stats.latencyUs.add(us);
+    port.stats.latencyLog2Us.add(
+        static_cast<uint64_t>(std::floor(std::log2(1.0 + us))));
+
+    {
+        std::lock_guard<std::mutex> lock(port.resultMutex);
+        port.results.push_back(std::move(resp));
+    }
+    wallEndNs.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - wallStart)
+            .count(),
+        std::memory_order_relaxed);
+}
+
+void
+ParallelSearchEngine::noteCompletion()
+{
+    if (inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(drainMutex);
+        drainCv.notify_all();
+    }
+}
+
+void
+ParallelSearchEngine::workerMain(unsigned index)
+{
+    Worker &self = *workers[index];
+    std::vector<Job> batch;
+    while (self.queue.popBatch(batch, cfg.drainBatch) > 0) {
+        for (const Job &job : batch) {
+            execute(job.request, job.enqueued, index);
+            noteCompletion();
+        }
+    }
+}
+
+bool
+ParallelSearchEngine::submitRequest(const core::PortRequest &request)
+{
+    if (request.port >= ports.size())
+        fatal(strprintf("submit to unknown virtual port %u",
+                        request.port));
+    if (stopped)
+        return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (cfg.workers == 0) {
+        // Deterministic fallback: run inline on the calling thread.
+        ++ports[request.port]->stats.submitted;
+        execute(request, now, workerOf(request.port));
+        return true;
+    }
+    inflight.fetch_add(1, std::memory_order_acq_rel);
+    if (!workers[workerOf(request.port)]->queue.push(
+            Job{request, now})) {
+        noteCompletion(); // queue closed: roll the count back
+        return false;
+    }
+    ++ports[request.port]->stats.submitted;
+    return true;
+}
+
+bool
+ParallelSearchEngine::submit(unsigned port, const Key &key, uint64_t tag)
+{
+    core::PortRequest req;
+    req.port = port;
+    req.op = core::PortOp::Search;
+    req.key = key;
+    req.tag = tag;
+    return submitRequest(req);
+}
+
+bool
+ParallelSearchEngine::trySubmit(unsigned port, const Key &key,
+                                uint64_t tag)
+{
+    if (port >= ports.size())
+        fatal(strprintf("submit to unknown virtual port %u", port));
+    if (stopped)
+        return false;
+    core::PortRequest req;
+    req.port = port;
+    req.op = core::PortOp::Search;
+    req.key = key;
+    req.tag = tag;
+    const auto now = std::chrono::steady_clock::now();
+    if (cfg.workers == 0) {
+        ++ports[port]->stats.submitted;
+        execute(req, now, workerOf(port));
+        return true;
+    }
+    inflight.fetch_add(1, std::memory_order_acq_rel);
+    if (!workers[workerOf(port)]->queue.tryPush(Job{req, now})) {
+        noteCompletion();
+        return false;
+    }
+    ++ports[port]->stats.submitted;
+    return true;
+}
+
+std::size_t
+ParallelSearchEngine::submitBatch(
+    std::span<const core::PortRequest> requests)
+{
+    std::size_t accepted = 0;
+    for (const core::PortRequest &req : requests) {
+        if (!submitRequest(req))
+            break;
+        ++accepted;
+    }
+    return accepted;
+}
+
+void
+ParallelSearchEngine::drain()
+{
+    if (cfg.workers == 0 || !running)
+        return; // inline mode is always drained
+    std::unique_lock<std::mutex> lock(drainMutex);
+    drainCv.wait(lock, [&] {
+        return inflight.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+ParallelSearchEngine::stop()
+{
+    if (stopped)
+        return;
+    if (running)
+        drain();
+    stopped = true;
+    for (auto &w : workers)
+        w->queue.close();
+    for (std::thread &t : threads)
+        t.join();
+    threads.clear();
+    running = false;
+}
+
+std::optional<core::PortResponse>
+ParallelSearchEngine::fetchResult(unsigned port)
+{
+    if (port >= ports.size())
+        fatal(strprintf("no results for unknown virtual port %u", port));
+    PortState &state = *ports[port];
+    std::lock_guard<std::mutex> lock(state.resultMutex);
+    if (state.results.empty())
+        return std::nullopt;
+    core::PortResponse out = std::move(state.results.front());
+    state.results.pop_front();
+    return out;
+}
+
+const PortStats &
+ParallelSearchEngine::portStats(unsigned port) const
+{
+    if (port >= ports.size())
+        fatal(strprintf("no stats for unknown virtual port %u", port));
+    return ports[port]->stats;
+}
+
+EngineReport
+ParallelSearchEngine::report() const
+{
+    EngineReport out;
+    out.workers = workerCount;
+    uint64_t total_cycles = 0;
+    uint64_t max_cycles = 0;
+    for (const auto &w : workers) {
+        total_cycles += w->modeledCycles;
+        max_cycles = std::max(max_cycles, w->modeledCycles);
+    }
+    for (const auto &p : ports)
+        out.completed += p->stats.completed;
+    // cycles / f_clk[MHz] = microseconds; lookups per microsecond = Msps.
+    if (max_cycles > 0)
+        out.modeledMsps = static_cast<double>(out.completed) /
+                          max_cycles * cfg.timing.clockMhz;
+    if (total_cycles > 0)
+        out.modeledSerialMsps = static_cast<double>(out.completed) /
+                                total_cycles * cfg.timing.clockMhz;
+    if (out.modeledSerialMsps > 0.0)
+        out.modeledSpeedup = out.modeledMsps / out.modeledSerialMsps;
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+        out.analyticBoundMsps +=
+            sys->database(static_cast<unsigned>(p))
+                .searchBandwidthMsps(cfg.timing);
+    }
+    out.wallSeconds =
+        wallEndNs.load(std::memory_order_relaxed) / 1e9;
+    if (out.wallSeconds > 0.0)
+        out.wallMsps = out.completed / out.wallSeconds / 1e6;
+    return out;
+}
+
+} // namespace caram::engine

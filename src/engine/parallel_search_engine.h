@@ -1,0 +1,184 @@
+#ifndef CARAM_ENGINE_PARALLEL_SEARCH_ENGINE_H_
+#define CARAM_ENGINE_PARALLEL_SEARCH_ENGINE_H_
+
+/**
+ * @file
+ * A concurrent lookup engine over a CaRamSubsystem.
+ *
+ * The paper's bandwidth argument (section 3.4, B = N_slice / n_mem *
+ * f_clk) rests on independent banks serving lookups simultaneously;
+ * CaRamSubsystem::process() drains every request queue on one thread
+ * and so can neither demonstrate nor measure that concurrency.  The
+ * ParallelSearchEngine shards the subsystem's virtual ports across N
+ * worker threads -- port p belongs to worker p % N, so each database
+ * is touched by exactly one worker and needs no locking -- with a
+ * thread-safe bounded request queue per worker (backpressure-aware),
+ * per-port FIFO result streams, and per-port latency/throughput
+ * instrumentation.
+ *
+ * Throughput is accounted in *modeled* memory cycles: each worker is an
+ * independent input controller whose lookups occupy its bank for
+ * max(1, bucketsAccessed) * n_mem cycles, mirroring TimingEngine's
+ * model.  Aggregate modeled throughput uses the makespan (the slowest
+ * worker); the serial reference uses the sum (one controller doing
+ * everything), which is exactly what process() models.  Host threads
+ * execute the searches genuinely concurrently; the modeled numbers stay
+ * deterministic for a given request stream regardless of host core
+ * count or scheduling.
+ *
+ * With workers == 0 the engine runs requests inline at submit time on
+ * the calling thread -- a deterministic single-threaded fallback with
+ * identical result streams and modeled accounting, used by tier-1
+ * tests.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/subsystem.h"
+#include "mem/timing.h"
+#include "sim/concurrent_queue.h"
+
+namespace caram::engine {
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    /** Worker threads; 0 = deterministic inline execution. */
+    unsigned workers = 1;
+    /** Depth of each worker's request queue (backpressure bound). */
+    std::size_t queueCapacity = 1024;
+    /** Memory timing used for the modeled cycle accounting. */
+    mem::MemTiming timing = mem::MemTiming::embeddedDram();
+    /** Max requests a worker pops per lock acquisition. */
+    std::size_t drainBatch = 64;
+};
+
+/** Per-port instrumentation (single-writer: the port's owning worker,
+ *  except `submitted`, written by the producer). */
+struct PortStats
+{
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t hits = 0;
+    uint64_t errors = 0;  ///< responses with ok == false
+    /** Wall-clock enqueue -> result latency, microseconds. */
+    Summary latencyUs;
+    /** The same latencies, log2-binned (bin = floor(log2(1 + us))). */
+    Histogram latencyLog2Us;
+    /** Buckets accessed per search (the per-request AMAL sample). */
+    Histogram bucketsAccessed;
+    /** Modeled busy cycles this port's requests cost its worker. */
+    uint64_t modeledCycles = 0;
+};
+
+/** Aggregate numbers for one engine run (between start and drain). */
+struct EngineReport
+{
+    uint64_t completed = 0;
+    unsigned workers = 0;
+    /** Modeled aggregate throughput, makespan over the workers. */
+    double modeledMsps = 0.0;
+    /** Modeled throughput of the same stream on one controller. */
+    double modeledSerialMsps = 0.0;
+    /** modeledMsps / modeledSerialMsps. */
+    double modeledSpeedup = 0.0;
+    /** Sum of Database::searchBandwidthMsps over the served ports. */
+    double analyticBoundMsps = 0.0;
+    /** Host wall-clock throughput (start() .. drain()), Msps. */
+    double wallMsps = 0.0;
+    double wallSeconds = 0.0;
+};
+
+/** Shards a CaRamSubsystem's ports across worker threads. */
+class ParallelSearchEngine
+{
+  public:
+    /** The subsystem must outlive the engine and must not be mutated
+     *  through other paths while the engine is running. */
+    explicit ParallelSearchEngine(core::CaRamSubsystem &subsystem,
+                                  EngineConfig config = {});
+    ~ParallelSearchEngine();
+
+    ParallelSearchEngine(const ParallelSearchEngine &) = delete;
+    ParallelSearchEngine &operator=(const ParallelSearchEngine &) =
+        delete;
+
+    /** Worker that owns @p port. */
+    unsigned workerOf(unsigned port) const;
+
+    /** Spawn the worker threads (no-op when workers == 0 or already
+     *  started). */
+    void start();
+
+    /** Non-blocking submit; false when the owning worker's queue is
+     *  full (backpressure) or the engine is stopped. */
+    bool trySubmit(unsigned port, const Key &key, uint64_t tag);
+
+    /** Blocking submit: waits for queue space.  False only when the
+     *  engine was stopped. */
+    bool submit(unsigned port, const Key &key, uint64_t tag);
+
+    /** Submit a full request (insert/erase travel this way too). */
+    bool submitRequest(const core::PortRequest &request);
+
+    /**
+     * Submit a batch, blocking on backpressure, preserving order.
+     * Returns the number accepted (all of them unless stopped).
+     */
+    std::size_t submitBatch(std::span<const core::PortRequest> requests);
+
+    /** Block until every submitted request has produced a result. */
+    void drain();
+
+    /** Drain, close the queues and join the workers. */
+    void stop();
+
+    /** Pop the next result of @p port (per-port FIFO order). */
+    std::optional<core::PortResponse> fetchResult(unsigned port);
+
+    const PortStats &portStats(unsigned port) const;
+
+    /** Aggregate throughput/latency accounting for the run so far. */
+    EngineReport report() const;
+
+  private:
+    struct PortState;
+    struct Worker;
+
+    void workerMain(unsigned index);
+    void execute(const core::PortRequest &request,
+                 std::chrono::steady_clock::time_point enqueued,
+                 unsigned worker_index);
+    void noteCompletion();
+
+    core::CaRamSubsystem *sys;
+    EngineConfig cfg;
+    unsigned workerCount;  ///< sharding groups (>= 1 even when inline)
+    std::vector<std::unique_ptr<PortState>> ports;
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<std::thread> threads;
+    bool running = false;
+    bool stopped = false;
+
+    std::atomic<uint64_t> inflight{0};
+    std::mutex drainMutex;
+    std::condition_variable drainCv;
+
+    std::chrono::steady_clock::time_point wallStart;
+    std::atomic<uint64_t> wallEndNs{0};
+};
+
+} // namespace caram::engine
+
+#endif // CARAM_ENGINE_PARALLEL_SEARCH_ENGINE_H_

@@ -1,0 +1,204 @@
+#ifndef CARAM_SIM_CONCURRENT_QUEUE_H_
+#define CARAM_SIM_CONCURRENT_QUEUE_H_
+
+/**
+ * @file
+ * Thread-safe bounded FIFO: the multi-producer/multi-consumer variant of
+ * sim::BoundedQueue used by the parallel search engine's per-worker
+ * request queues.  Same bounded-capacity/backpressure semantics and
+ * occupancy statistics as BoundedQueue, plus blocking push/pop with a
+ * close() protocol so consumers can drain and exit cleanly.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace caram::sim {
+
+/** A mutex/condition-variable bounded FIFO, safe for concurrent use. */
+template <typename T>
+class ConcurrentBoundedQueue
+{
+  public:
+    explicit ConcurrentBoundedQueue(std::size_t capacity) : cap(capacity)
+    {
+        if (capacity == 0)
+            fatal("queue capacity must be nonzero");
+    }
+
+    ConcurrentBoundedQueue(const ConcurrentBoundedQueue &) = delete;
+    ConcurrentBoundedQueue &operator=(const ConcurrentBoundedQueue &) =
+        delete;
+
+    /** Push if space is available; returns false (and counts a stall)
+     *  when full or closed. */
+    bool
+    tryPush(T item)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        if (isClosed || items.size() >= cap) {
+            ++stalls;
+            return false;
+        }
+        pushLocked(std::move(item));
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Push, blocking while the queue is full (backpressure).  Returns
+     * false only when the queue was closed before space appeared.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        if (items.size() >= cap)
+            ++stalls; // the producer is about to block
+        notFull.wait(lock,
+                     [&] { return isClosed || items.size() < cap; });
+        if (isClosed)
+            return false;
+        pushLocked(std::move(item));
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /** Pop the head if present; never blocks. */
+    std::optional<T>
+    tryPop()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        if (items.empty())
+            return std::nullopt;
+        return popLocked();
+    }
+
+    /**
+     * Pop the head, blocking while the queue is empty.  Returns
+     * std::nullopt only when the queue is closed and fully drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(m);
+        notEmpty.wait(lock, [&] { return isClosed || !items.empty(); });
+        if (items.empty())
+            return std::nullopt;
+        return popLocked();
+    }
+
+    /**
+     * Pop up to @p max items into @p out (cleared first), blocking while
+     * the queue is empty.  Amortizes one lock acquisition over the whole
+     * batch.  Returns the number popped; 0 only when closed and drained.
+     */
+    std::size_t
+    popBatch(std::vector<T> &out, std::size_t max)
+    {
+        out.clear();
+        std::unique_lock<std::mutex> lock(m);
+        notEmpty.wait(lock, [&] { return isClosed || !items.empty(); });
+        while (!items.empty() && out.size() < max)
+            out.push_back(popLocked());
+        return out.size();
+    }
+
+    /**
+     * Close the queue: subsequent pushes fail, blocked producers and
+     * consumers wake up, and pop() returns std::nullopt once the
+     * remaining items are drained.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            isClosed = true;
+        }
+        notEmpty.notify_all();
+        notFull.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return isClosed;
+    }
+
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return items.empty();
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return items.size();
+    }
+
+    std::size_t capacity() const { return cap; }
+
+    uint64_t
+    totalPushes() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return pushes;
+    }
+
+    uint64_t
+    totalStalls() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return stalls;
+    }
+
+    std::size_t
+    peakOccupancy() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return peak;
+    }
+
+  private:
+    void
+    pushLocked(T item)
+    {
+        items.push_back(std::move(item));
+        ++pushes;
+        peak = std::max(peak, items.size());
+    }
+
+    T
+    popLocked()
+    {
+        T out = std::move(items.front());
+        items.pop_front();
+        notFull.notify_one();
+        return out;
+    }
+
+    mutable std::mutex m;
+    std::condition_variable notEmpty;
+    std::condition_variable notFull;
+    std::deque<T> items;
+    std::size_t cap;
+    bool isClosed = false;
+    uint64_t pushes = 0;
+    uint64_t stalls = 0;
+    std::size_t peak = 0;
+};
+
+} // namespace caram::sim
+
+#endif // CARAM_SIM_CONCURRENT_QUEUE_H_

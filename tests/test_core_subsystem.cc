@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.h"
@@ -544,6 +545,124 @@ TEST(Subsystem, TotalArea)
     const double one = sys.totalAreaUm2();
     sys.addDatabase(smallDbConfig("b"));
     EXPECT_NEAR(sys.totalAreaUm2(), 2 * one, 1e-9);
+}
+
+TEST(Database, ParallelSliceAmalIsMaxOfBothChains)
+{
+    // Regression: amal() used to report only the overflow slice's
+    // chain.  Main and overflow are searched in parallel, so AMAL is
+    // the max of the two chains (and never below one).
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.overflow = OverflowPolicy::ParallelSlice;
+    cfg.overflowIndexBits = 1; // 2 buckets: spills collide and probe
+    cfg.overflowSlots = 1;
+    Database db(cfg);
+
+    // Empty database: exactly one parallel access.
+    EXPECT_DOUBLE_EQ(db.amal(), 1.0);
+
+    // Two spills into the same overflow home bucket: the second probes.
+    for (unsigned i = 0; i < 4; ++i) {
+        ASSERT_TRUE(
+            db.insert(Record{Key::fromUint(3 | (i << 4), 32), i}));
+    }
+    const double main_chain = db.loadStats().amalUniform();
+    const double overflow_chain =
+        db.overflowSlice()->loadStats().amalUniform();
+    // The main slice never probes under a parallel overflow policy...
+    EXPECT_DOUBLE_EQ(main_chain, 1.0);
+    // ...and the overflow slice's probe chain exceeds one access.
+    EXPECT_GT(overflow_chain, 1.0);
+    EXPECT_DOUBLE_EQ(db.amal(),
+                     std::max({1.0, main_chain, overflow_chain}));
+}
+
+TEST(Subsystem, RetainedDatabaseDoesNotKillTheDrain)
+{
+    // Regression: process() used to throw FatalError when dispatching
+    // to a retained database, abandoning everything still queued.
+    CaRamSubsystem sys;
+    sys.addDatabase(smallDbConfig("live"));
+    sys.addDatabase(smallDbConfig("asleep"));
+    sys.database("live").insert(Record{Key::fromUint(5, 32), 55});
+    sys.database("asleep").setPowerState(PowerState::Retention);
+
+    sys.submit(sys.portOf("asleep"), Key::fromUint(5, 32), 1);
+    sys.submit(sys.portOf("live"), Key::fromUint(5, 32), 2);
+    sys.submitInsert(sys.portOf("asleep"),
+                     Record{Key::fromUint(9, 32), 9}, 0, 3);
+    EXPECT_EQ(sys.process(), 3u); // nothing abandoned, no throw
+
+    auto r1 = sys.fetchResult();
+    ASSERT_TRUE(r1);
+    EXPECT_EQ(r1->tag, 1u);
+    EXPECT_FALSE(r1->ok);
+    EXPECT_FALSE(r1->hit);
+    auto r2 = sys.fetchResult();
+    ASSERT_TRUE(r2);
+    EXPECT_EQ(r2->tag, 2u);
+    EXPECT_TRUE(r2->ok);
+    EXPECT_TRUE(r2->hit);
+    EXPECT_EQ(r2->data, 55u);
+    auto r3 = sys.fetchResult();
+    ASSERT_TRUE(r3);
+    EXPECT_FALSE(r3->ok);
+    // The retained database was left untouched.
+    sys.database("asleep").setPowerState(PowerState::Active);
+    EXPECT_EQ(sys.database("asleep").size(), 0u);
+}
+
+TEST(Subsystem, ResponsesCarryTheirPort)
+{
+    CaRamSubsystem sys;
+    sys.addDatabase(smallDbConfig("a"));
+    sys.addDatabase(smallDbConfig("b"));
+    sys.submit(1, Key::fromUint(1, 32), 10);
+    sys.submit(0, Key::fromUint(1, 32), 11);
+    sys.process();
+    EXPECT_EQ(sys.fetchResult()->port, 1u);
+    EXPECT_EQ(sys.fetchResult()->port, 0u);
+}
+
+TEST(Subsystem, SharedQueueRejectsUnknownPort)
+{
+    // Regression: shared-queue mode accepted any port number.
+    CaRamSubsystem sys(4, 4, /*split_port_queues=*/false);
+    sys.addDatabase(smallDbConfig("only"));
+    EXPECT_NO_THROW(sys.requestQueue(0));
+    EXPECT_THROW(sys.requestQueue(7), caram::FatalError);
+    CaRamSubsystem split(4, 4, /*split_port_queues=*/true);
+    split.addDatabase(smallDbConfig("only"));
+    EXPECT_NO_THROW(split.requestQueue(0));
+    EXPECT_THROW(split.requestQueue(1), caram::FatalError);
+}
+
+TEST(Subsystem, SubmitBatchAcceptsPrefixUnderBackpressure)
+{
+    CaRamSubsystem sys(/*request capacity=*/3, /*result capacity=*/16);
+    sys.addDatabase(smallDbConfig("db"));
+    std::vector<PortRequest> batch;
+    for (uint64_t i = 0; i < 5; ++i) {
+        PortRequest req;
+        req.port = 0;
+        req.op = PortOp::Search;
+        req.key = Key::fromUint(i, 32);
+        req.tag = i + 1;
+        batch.push_back(req);
+    }
+    // Queue holds 3: exactly the first 3 accepted, order preserved.
+    EXPECT_EQ(sys.submitBatch(batch), 3u);
+    EXPECT_EQ(sys.process(), 3u);
+    for (uint64_t tag = 1; tag <= 3; ++tag)
+        EXPECT_EQ(sys.fetchResult()->tag, tag);
+    // The remainder can go in afterwards.
+    EXPECT_EQ(sys.submitBatch(std::span(batch).subspan(3)), 2u);
+    EXPECT_EQ(sys.process(), 2u);
+
+    PortRequest bad;
+    bad.port = 9;
+    EXPECT_THROW(sys.submitBatch(std::span(&bad, 1)),
+                 caram::FatalError);
 }
 
 } // namespace

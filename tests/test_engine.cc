@@ -1,0 +1,346 @@
+/** @file Tests for engine::ParallelSearchEngine. */
+
+#include "engine/parallel_search_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "hash/bit_select.h"
+
+namespace caram::engine {
+namespace {
+
+using core::CaRamSubsystem;
+using core::DatabaseConfig;
+using core::PortOp;
+using core::PortRequest;
+using core::PortResponse;
+using core::Record;
+
+DatabaseConfig
+smallDbConfig(const std::string &name)
+{
+    DatabaseConfig cfg;
+    cfg.name = name;
+    cfg.sliceShape.indexBits = 6;
+    cfg.sliceShape.logicalKeyBits = 32;
+    cfg.sliceShape.ternary = false;
+    cfg.sliceShape.slotsPerBucket = 4;
+    cfg.sliceShape.dataBits = 16;
+    cfg.sliceShape.maxProbeDistance = 16;
+    cfg.indexFactory = [](const core::SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        return std::make_unique<hash::LowBitsIndex>(eff.logicalKeyBits,
+                                                    eff.indexBits);
+    };
+    return cfg;
+}
+
+/** A subsystem with @p nports databases, each loaded with records. */
+std::unique_ptr<CaRamSubsystem>
+buildLoaded(unsigned nports, uint64_t records_per_db,
+            bool split_queues = true)
+{
+    auto sys = std::make_unique<CaRamSubsystem>(1024, 1024, split_queues);
+    Rng rng(99);
+    for (unsigned p = 0; p < nports; ++p) {
+        auto &db =
+            sys->addDatabase(smallDbConfig("db" + std::to_string(p)));
+        for (uint64_t i = 0; i < records_per_db; ++i) {
+            db.insert(Record{Key::fromUint(rng.next64() & 0xffffffffu,
+                                           32),
+                             i});
+        }
+    }
+    return sys;
+}
+
+/** A balanced search stream over @p nports ports. */
+std::vector<PortRequest>
+searchStream(unsigned nports, std::size_t per_port, uint64_t seed = 7)
+{
+    Rng rng(seed);
+    std::vector<PortRequest> stream;
+    uint64_t tag = 0;
+    for (std::size_t i = 0; i < per_port; ++i) {
+        for (unsigned p = 0; p < nports; ++p) {
+            PortRequest req;
+            req.port = p;
+            req.op = PortOp::Search;
+            req.key = Key::fromUint(rng.next64() & 0xffffffffu, 32);
+            req.tag = ++tag;
+            stream.push_back(std::move(req));
+        }
+    }
+    return stream;
+}
+
+/** Drain a subsystem serially, returning per-port response streams. */
+std::vector<std::vector<PortResponse>>
+serialReference(CaRamSubsystem &sys,
+                const std::vector<PortRequest> &stream)
+{
+    std::vector<std::vector<PortResponse>> per_port(
+        sys.databaseCount());
+    std::size_t next = 0;
+    while (true) {
+        next += sys.submitBatch(
+            std::span<const PortRequest>(stream.data() + next,
+                                         stream.size() - next));
+        sys.process();
+        bool any = false;
+        while (auto r = sys.fetchResult()) {
+            any = true;
+            per_port[r->port].push_back(std::move(*r));
+        }
+        if (next >= stream.size() && !any)
+            break;
+    }
+    return per_port;
+}
+
+void
+expectSameResponse(const PortResponse &a, const PortResponse &b)
+{
+    EXPECT_EQ(a.tag, b.tag);
+    EXPECT_EQ(a.port, b.port);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.hit, b.hit);
+    EXPECT_EQ(a.data, b.data);
+    EXPECT_EQ(a.bucketsAccessed, b.bucketsAccessed);
+    EXPECT_TRUE(a.key == b.key);
+}
+
+void
+expectMatchesReference(
+    ParallelSearchEngine &eng,
+    const std::vector<std::vector<PortResponse>> &reference)
+{
+    for (unsigned p = 0; p < reference.size(); ++p) {
+        std::size_t i = 0;
+        while (auto r = eng.fetchResult(p)) {
+            ASSERT_LT(i, reference[p].size()) << "port " << p;
+            expectSameResponse(*r, reference[p][i]);
+            ++i;
+        }
+        EXPECT_EQ(i, reference[p].size()) << "port " << p;
+    }
+}
+
+TEST(Engine, RequiresDatabases)
+{
+    CaRamSubsystem sys;
+    EXPECT_THROW(ParallelSearchEngine eng(sys), caram::FatalError);
+}
+
+TEST(Engine, WorkerShardingCoversEveryPort)
+{
+    auto sys = buildLoaded(5, 0);
+    EngineConfig cfg;
+    cfg.workers = 2;
+    ParallelSearchEngine eng(*sys, cfg);
+    EXPECT_EQ(eng.workerOf(0), 0u);
+    EXPECT_EQ(eng.workerOf(1), 1u);
+    EXPECT_EQ(eng.workerOf(2), 0u);
+    EXPECT_EQ(eng.workerOf(3), 1u);
+    EXPECT_EQ(eng.workerOf(4), 0u);
+}
+
+TEST(Engine, InlineFallbackMatchesSerialProcess)
+{
+    const auto stream = searchStream(3, 40);
+    auto serial_sys = buildLoaded(3, 120);
+    const auto reference = serialReference(*serial_sys, stream);
+
+    auto sys = buildLoaded(3, 120);
+    EngineConfig cfg;
+    cfg.workers = 0; // deterministic inline execution
+    ParallelSearchEngine eng(*sys, cfg);
+    EXPECT_EQ(eng.submitBatch(stream), stream.size());
+    expectMatchesReference(eng, reference);
+}
+
+TEST(Engine, ThreadedResultsMatchSerialPerPortStreams)
+{
+    const auto stream = searchStream(4, 200);
+    auto serial_sys = buildLoaded(4, 150);
+    const auto reference = serialReference(*serial_sys, stream);
+
+    auto sys = buildLoaded(4, 150);
+    EngineConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = 64; // small: exercises backpressure blocking
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    EXPECT_EQ(eng.submitBatch(stream), stream.size());
+    eng.drain();
+    expectMatchesReference(eng, reference);
+    eng.stop();
+}
+
+TEST(Engine, MixedOperationsMatchSerial)
+{
+    // Inserts, searches and erases through the engine: per-port FIFO
+    // order makes the database state evolution identical to serial.
+    std::vector<PortRequest> stream;
+    uint64_t tag = 0;
+    for (unsigned p = 0; p < 2; ++p) {
+        for (uint64_t i = 0; i < 30; ++i) {
+            PortRequest ins;
+            ins.port = p;
+            ins.op = PortOp::Insert;
+            ins.key = Key::fromUint(i * 13 + p, 32);
+            ins.data = i;
+            ins.tag = ++tag;
+            stream.push_back(ins);
+        }
+        for (uint64_t i = 0; i < 30; ++i) {
+            PortRequest s;
+            s.port = p;
+            s.op = PortOp::Search;
+            s.key = Key::fromUint(i * 13 + p, 32);
+            s.tag = ++tag;
+            stream.push_back(s);
+            if (i % 3 == 0) {
+                PortRequest e;
+                e.port = p;
+                e.op = PortOp::Erase;
+                e.key = Key::fromUint(i * 13 + p, 32);
+                e.tag = ++tag;
+                stream.push_back(e);
+            }
+        }
+    }
+
+    auto serial_sys = buildLoaded(2, 0);
+    const auto reference = serialReference(*serial_sys, stream);
+
+    auto sys = buildLoaded(2, 0);
+    EngineConfig cfg;
+    cfg.workers = 2;
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    EXPECT_EQ(eng.submitBatch(stream), stream.size());
+    eng.drain();
+    expectMatchesReference(eng, reference);
+    EXPECT_EQ(sys->database(0).size(), serial_sys->database(0).size());
+}
+
+TEST(Engine, RetainedDatabaseYieldsErrorsNotDeath)
+{
+    auto sys = buildLoaded(2, 50);
+    sys->database(1).setPowerState(core::PowerState::Retention);
+
+    EngineConfig cfg;
+    cfg.workers = 2;
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    const auto stream = searchStream(2, 20);
+    EXPECT_EQ(eng.submitBatch(stream), stream.size());
+    eng.drain();
+    eng.stop();
+
+    // Port 0 served normally; port 1 answered every request with an
+    // error response instead of killing the worker.
+    EXPECT_EQ(eng.portStats(0).errors, 0u);
+    EXPECT_EQ(eng.portStats(0).completed, 20u);
+    EXPECT_EQ(eng.portStats(1).errors, 20u);
+    EXPECT_EQ(eng.portStats(1).completed, 20u);
+    while (auto r = eng.fetchResult(1)) {
+        EXPECT_FALSE(r->ok);
+        EXPECT_FALSE(r->hit);
+    }
+}
+
+TEST(Engine, TrySubmitBackpressuresWhenQueueFull)
+{
+    auto sys = buildLoaded(1, 10);
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 4;
+    ParallelSearchEngine eng(*sys, cfg);
+    // Not started: the worker queue fills and trySubmit refuses.
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(eng.trySubmit(0, Key::fromUint(i, 32), i));
+    EXPECT_FALSE(eng.trySubmit(0, Key::fromUint(9, 32), 9));
+    eng.start();
+    eng.drain();
+    EXPECT_EQ(eng.portStats(0).completed, 4u);
+    eng.stop();
+}
+
+TEST(Engine, PerPortStatsAndLatencyInstrumentation)
+{
+    auto sys = buildLoaded(2, 100);
+    EngineConfig cfg;
+    cfg.workers = 2;
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    const auto stream = searchStream(2, 50);
+    eng.submitBatch(stream);
+    eng.drain();
+    eng.stop();
+    for (unsigned p = 0; p < 2; ++p) {
+        const PortStats &s = eng.portStats(p);
+        EXPECT_EQ(s.submitted, 50u);
+        EXPECT_EQ(s.completed, 50u);
+        EXPECT_EQ(s.latencyUs.count(), 50u);
+        EXPECT_GE(s.latencyUs.mean(), 0.0);
+        EXPECT_EQ(s.latencyLog2Us.totalCount(), 50u);
+        EXPECT_EQ(s.bucketsAccessed.totalCount(), 50u);
+        EXPECT_GT(s.modeledCycles, 0u);
+    }
+    EXPECT_THROW(eng.portStats(7), caram::FatalError);
+}
+
+TEST(Engine, ModeledSpeedupScalesWithWorkersOnBalancedLoad)
+{
+    const auto stream = searchStream(4, 100);
+    auto sys = buildLoaded(4, 100);
+    EngineConfig cfg;
+    cfg.workers = 4;
+    cfg.timing = mem::MemTiming::embeddedDram(200.0, 6);
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    eng.submitBatch(stream);
+    eng.drain();
+    const EngineReport rep = eng.report();
+    EXPECT_EQ(rep.completed, stream.size());
+    EXPECT_EQ(rep.workers, 4u);
+    // Four balanced ports on four modeled controllers: near-linear.
+    EXPECT_GE(rep.modeledSpeedup, 3.0);
+    EXPECT_LE(rep.modeledSpeedup, 4.0 + 1e-9);
+    EXPECT_GT(rep.modeledMsps, 0.0);
+    EXPECT_GT(rep.analyticBoundMsps, 0.0);
+    // One modeled controller cannot beat the serial drain.
+    EXPECT_NEAR(rep.modeledSerialMsps * rep.modeledSpeedup,
+                rep.modeledMsps, 1e-6);
+}
+
+TEST(Engine, ReportIsDeterministicAcrossRuns)
+{
+    const auto stream = searchStream(4, 50);
+    auto run = [&] {
+        auto sys = buildLoaded(4, 80);
+        EngineConfig cfg;
+        cfg.workers = 4;
+        ParallelSearchEngine eng(*sys, cfg);
+        eng.start();
+        eng.submitBatch(stream);
+        eng.drain();
+        const EngineReport r = eng.report();
+        return std::pair<double, double>(r.modeledMsps,
+                                         r.modeledSerialMsps);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_DOUBLE_EQ(a.first, b.first);
+    EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+} // namespace
+} // namespace caram::engine
