@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Performance smoke gate for the word-parallel match path: builds the
+# micro_match_path benchmark and compares its fast-path ns/lookup
+# against the checked-in baseline.  Any variant more than MAX_REGRESSION
+# times slower than the baseline fails the script, as does losing the
+# 5x speedup target on the 144-bit ternary workload.
+#
+# The baseline was measured on the CI host; re-capture it after an
+# intentional perf change with:
+#   build/bench/micro_match_path 100000 \
+#       --json bench/baselines/BENCH_match_path.baseline.json
+#
+# Usage: scripts/ci_bench_smoke.sh [build-dir]   (default build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BASELINE="bench/baselines/BENCH_match_path.baseline.json"
+MAX_REGRESSION="${MAX_REGRESSION:-2.0}"
+LOOKUPS="${LOOKUPS:-100000}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path
+
+"$BUILD_DIR"/bench/micro_match_path "$LOOKUPS" \
+    --json "$BUILD_DIR"/BENCH_match_path.json \
+    --baseline "$BASELINE" \
+    --max-regression "$MAX_REGRESSION"

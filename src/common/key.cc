@@ -73,6 +73,26 @@ Key::ternary(uint64_t v, uint64_t care_mask, unsigned bits)
 }
 
 Key
+Key::fromWords(std::span<const uint64_t> value_words,
+               std::span<const uint64_t> care_words, unsigned bits)
+{
+    if (bits > kMaxKeyBits)
+        fatal("key width exceeds kMaxKeyBits");
+    Key k(bits);
+    const unsigned used = wordsFor(bits);
+    for (unsigned w = 0; w < used; ++w) {
+        if (w < value_words.size())
+            k.value[w] = value_words[w];
+        if (w < care_words.size())
+            k.care[w] = care_words[w];
+        else
+            k.care[w] = 0;
+    }
+    k.normalize();
+    return k;
+}
+
+Key
 Key::fromBytes(std::span<const unsigned char> bytes, unsigned bits)
 {
     if (bits == 0 || bits > kMaxKeyBits || bits % 8 != 0)

@@ -49,6 +49,17 @@ class Key
     static Key ternary(uint64_t value, uint64_t care, unsigned bits);
 
     /**
+     * A key of @p bits bits from packed little-endian value/care words
+     * (word j holds bits [64j, 64j+64)).  Missing words are zero
+     * padding; bits beyond the width and value bits outside the care
+     * mask are normalized away.  This is the word-copy constructor the
+     * storage decode path uses instead of per-bit assembly.
+     */
+    static Key fromWords(std::span<const uint64_t> value_words,
+                         std::span<const uint64_t> care_words,
+                         unsigned bits);
+
+    /**
      * A fully specified key from a byte string: byte i occupies bits
      * [8i, 8i+8).  @p bits must be a multiple of 8 covering the string;
      * missing bytes are zero padding.

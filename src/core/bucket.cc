@@ -41,22 +41,20 @@ BucketView::slotKey(unsigned i) const
 {
     const uint64_t base = slotBase(i);
     const unsigned kb = cfg->logicalKeyBits;
-    Key key(kb);
-    // Read value bits 64 at a time.  Key words are little-endian, the
-    // same convention as the row layout, so this is a straight copy.
+    // Read value/care bits 64 at a time.  Key words are little-endian,
+    // the same convention as the row layout, so this is a straight
+    // word copy -- no per-bit reassembly.
+    uint64_t v[Key::kWords] = {};
+    uint64_t c[Key::kWords] = {};
     for (unsigned lo = 0; lo < kb; lo += 64) {
         const unsigned len = std::min(64u, kb - lo);
-        const uint64_t v = array_->readBits(rowIndex, base + lo, len);
-        uint64_t c = maskBits(len);
-        if (cfg->ternary)
-            c = array_->readBits(rowIndex, base + kb + lo, len);
-        for (unsigned b = 0; b < len; ++b) {
-            const unsigned j = lo + b; // LSB bit index
-            const unsigned msb_pos = kb - 1 - j;
-            key.setBitAt(msb_pos, (v >> b) & 1u, (c >> b) & 1u);
-        }
+        v[lo / 64] = array_->readBits(rowIndex, base + lo, len);
+        c[lo / 64] = cfg->ternary
+            ? array_->readBits(rowIndex, base + kb + lo, len)
+            : maskBits(len);
     }
-    return key;
+    const unsigned words = static_cast<unsigned>(ceilDiv(kb, 64));
+    return Key::fromWords({v, words}, {c, words}, kb);
 }
 
 uint64_t

@@ -71,6 +71,13 @@ class BucketView
      */
     bool slotMatchesKey(unsigned i, const Key &search) const;
 
+    /**
+     * Raw packed words of this row (with the array's guard word behind
+     * them) -- the in-place operand of the word-parallel match path;
+     * see MatchProcessor::searchBucketPacked.
+     */
+    const uint64_t *rowData() const { return array_->rowData(rowIndex); }
+
   private:
     uint64_t slotBase(unsigned i) const;
     uint64_t auxBase() const;

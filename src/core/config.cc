@@ -15,8 +15,9 @@ SliceConfig::validate() const
     if (logicalKeyBits == 0 || logicalKeyBits > Key::kMaxKeyBits)
         fatal(strprintf("logical key width must be 1..%u bits",
                         Key::kMaxKeyBits));
-    if (ternary && logicalKeyBits > Key::kMaxKeyBits / 2)
-        fatal("ternary keys limited to half the maximum key width");
+    // Ternary storage doubles the *row* footprint (2 bits per symbol),
+    // not the Key width -- value and care words are separate arrays --
+    // so ternary slices support the full logical key range.
     if (slotsPerBucket == 0 || slotsPerBucket > 4096)
         fatal("slots per bucket must be in 1..4096");
     if (dataBits > 64)

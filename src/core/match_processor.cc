@@ -1,12 +1,173 @@
 #include "core/match_processor.h"
 
+#include <bit>
+
 #include "cam/priority_encoder.h"
+#include "common/bitops.h"
 #include "common/logging.h"
 
 namespace caram::core {
 
+namespace {
+
+/** 64 bits of a row starting at @p bitpos (the guard word / in-row
+ *  layout makes the one-past read safe; callers mask excess bits). */
+inline uint64_t
+gather64(const uint64_t *row, uint64_t bitpos)
+{
+    const uint64_t w = bitpos / 64;
+    const unsigned off = static_cast<unsigned>(bitpos % 64);
+    if (off == 0)
+        return row[w];
+    return (row[w] >> off) | (row[w + 1] << (64 - off));
+}
+
+} // namespace
+
 MatchProcessor::MatchProcessor(const SliceConfig &config) : cfg(&config)
 {
+    const unsigned kb = cfg->logicalKeyBits;
+    const unsigned slots = cfg->slotsPerBucket;
+    keyWords = static_cast<unsigned>(ceilDiv(kb, 64));
+    slotBitBase.resize(slots);
+    validWord.resize(slots);
+    validShift.resize(slots);
+    for (unsigned s = 0; s < slots; ++s) {
+        const uint64_t base = static_cast<uint64_t>(s) * cfg->slotBits();
+        slotBitBase[s] = base;
+        const uint64_t vb = base + cfg->storedKeyBits() + cfg->dataBits;
+        validWord[s] = static_cast<uint32_t>(vb / 64);
+        validShift[s] = static_cast<uint8_t>(vb % 64);
+    }
+    widthMask.assign(keyWords, ~uint64_t{0});
+    if (kb % 64 != 0)
+        widthMask[keyWords - 1] = maskBits(kb % 64);
+}
+
+void
+MatchProcessor::pack(const Key &search, PackedKey &out) const
+{
+    if (search.bits() != cfg->logicalKeyBits)
+        fatal("search key width does not match the slice configuration");
+    out.key = search;
+    out.value.resize(keyWords);
+    out.careMask.resize(keyWords);
+    // Key words are normalized (care and value zero beyond the width),
+    // so the careMask doubles as the width mask for gathered row words.
+    const auto vw = search.valueWords();
+    const auto cw = search.careWords();
+    for (unsigned w = 0; w < keyWords; ++w) {
+        out.value[w] = vw[w];
+        out.careMask[w] = cw[w];
+    }
+}
+
+bool
+MatchProcessor::slotMatchesRaw(const uint64_t *row, unsigned s,
+                               const PackedKey &packed) const
+{
+    const uint64_t *pv = packed.value.data();
+    const uint64_t *pc = packed.careMask.data();
+    const uint64_t base = slotBitBase[s];
+    const unsigned kb = cfg->logicalKeyBits;
+    // Early exit per word: a non-matching slot almost always differs
+    // already in its first word, so the remaining words (and the
+    // stored-care gathers) are skipped for the typical slot.
+    if (!cfg->ternary) {
+        for (unsigned w = 0; w < keyWords; ++w) {
+            if ((gather64(row, base + 64u * w) ^ pv[w]) & pc[w])
+                return false;
+        }
+    } else {
+        for (unsigned w = 0; w < keyWords; ++w) {
+            // Stored care sits exactly kb bits above the value field.
+            if ((gather64(row, base + 64u * w) ^ pv[w]) & pc[w] &
+                gather64(row, base + kb + 64u * w))
+                return false;
+        }
+    }
+    return true;
+}
+
+unsigned
+MatchProcessor::storedCarePopcount(const uint64_t *row, unsigned s) const
+{
+    const unsigned kb = cfg->logicalKeyBits;
+    if (!cfg->ternary)
+        return kb;
+    const uint64_t care_base = slotBitBase[s] + kb;
+    unsigned pop = 0;
+    for (unsigned w = 0; w < keyWords; ++w) {
+        pop += static_cast<unsigned>(std::popcount(
+            gather64(row, care_base + 64u * w) & widthMask[w]));
+    }
+    return pop;
+}
+
+BucketMatch
+MatchProcessor::searchBucketPacked(const BucketView &bucket,
+                                   const PackedKey &packed) const
+{
+    const uint64_t *row = bucket.rowData();
+    int first = -1;
+    bool multiple = false;
+    for (unsigned s = 0; s < cfg->slotsPerBucket; ++s) {
+        if (!slotValidRaw(row, s) || !slotMatchesRaw(row, s, packed))
+            continue;
+        if (first < 0) {
+            first = static_cast<int>(s);
+        } else {
+            multiple = true;
+            break;
+        }
+    }
+    if (first < 0)
+        return BucketMatch{};
+    return extract(bucket, static_cast<unsigned>(first), multiple);
+}
+
+BucketMatch
+MatchProcessor::searchBucketBestPacked(const BucketView &bucket,
+                                       const PackedKey &packed) const
+{
+    const uint64_t *row = bucket.rowData();
+    int best = -1;
+    unsigned best_pop = 0;
+    unsigned matches = 0;
+    for (unsigned s = 0; s < cfg->slotsPerBucket; ++s) {
+        if (!slotValidRaw(row, s) || !slotMatchesRaw(row, s, packed))
+            continue;
+        ++matches;
+        const unsigned pop = storedCarePopcount(row, s);
+        if (best < 0 || pop > best_pop) {
+            best = static_cast<int>(s);
+            best_pop = pop;
+        }
+    }
+    if (best < 0)
+        return BucketMatch{};
+    return extract(bucket, static_cast<unsigned>(best), matches > 1);
+}
+
+bool
+MatchProcessor::slotMatchesPacked(const BucketView &bucket, unsigned slot,
+                                  const PackedKey &packed) const
+{
+    const uint64_t *row = bucket.rowData();
+    return slotValidRaw(row, slot) && slotMatchesRaw(row, slot, packed);
+}
+
+unsigned
+MatchProcessor::countMatches(const BucketView &bucket,
+                             const PackedKey &packed) const
+{
+    const uint64_t *row = bucket.rowData();
+    unsigned matched = 0;
+    for (unsigned s = 0; s < cfg->slotsPerBucket; ++s) {
+        if (slotValidRaw(row, s) && slotMatchesRaw(row, s, packed))
+            ++matched;
+    }
+    return matched;
 }
 
 std::vector<bool>
@@ -26,12 +187,30 @@ BucketMatch
 MatchProcessor::extract(const BucketView &bucket, unsigned slot,
                         bool multiple) const
 {
+    // Decode the winning slot straight from the row words; this runs
+    // once per hit, after the match was already decided.
+    const uint64_t *row = bucket.rowData();
+    const unsigned kb = cfg->logicalKeyBits;
+    const uint64_t base = uint64_t{slot} * cfg->slotBits();
     BucketMatch m;
     m.hit = true;
     m.multipleMatch = multiple;
     m.slot = slot;
-    m.data = bucket.slotData(slot);
-    m.key = bucket.slotKey(slot);
+    if (cfg->dataBits != 0) {
+        m.data = gather64(row, base + cfg->storedKeyBits()) &
+                 maskBits(cfg->dataBits);
+    }
+    uint64_t v[Key::kWords];
+    uint64_t c[Key::kWords];
+    const unsigned words = static_cast<unsigned>(ceilDiv(kb, 64));
+    for (unsigned j = 0; j < words; ++j) {
+        v[j] = gather64(row, base + 64u * j);
+        c[j] = cfg->ternary ? gather64(row, base + kb + 64u * j)
+                            : ~uint64_t{0};
+    }
+    // fromWords normalizes bits beyond the width and value bits outside
+    // the care mask, so the gathered excess bits are harmless.
+    m.key = Key::fromWords({v, words}, {c, words}, kb);
     return m;
 }
 

@@ -16,6 +16,25 @@
  * Figure 4(b): a bit matches when the values agree or when either the
  * search key's mask (Mi) or the stored key's mask (TMi) marks it
  * don't care.
+ *
+ * Two implementations coexist:
+ *
+ *  - The *word-parallel* path: step 1 is performed once per lookup by
+ *    pack(), which snapshots the search key's value/care words into a
+ *    reusable template (a software rendition of the hardware's
+ *    key-expand stage, whose replication across slots is free wiring).
+ *    searchBucketPacked() then evaluates each slot as XOR+AND over
+ *    64-bit words gathered from the row at the slot's bit offset, with
+ *    a per-word early exit -- no bit-by-bit decode, no Key
+ *    materialization, no allocation.  Gathering lazily per slot beats
+ *    eagerly pre-aligning the key for every slot: a non-matching slot
+ *    (the common case) is rejected after a single gathered word, so
+ *    most of an eager O(slots x words) expansion would be thrown away.
+ *    All CaRamSlice search paths use this.
+ *  - The *reference* path (matchVector/searchBucket/searchBucketBest):
+ *    the original per-slot comparison through BucketView accessors,
+ *    kept as the oracle the differential tests check the fast path
+ *    against.
  */
 
 #include <cstdint>
@@ -44,15 +63,63 @@ class MatchProcessor
     explicit MatchProcessor(const SliceConfig &config);
 
     /**
-     * Steps 1+2: the per-slot match vector.  A slot is set when it is
-     * valid and its stored key ternary-matches the search key.
+     * The expanded search key (step 1): the key's value and care words
+     * in key space, zero-padded so every per-slot window reads inside
+     * the buffers.  Pack once per lookup, reuse across every bucket
+     * the lookup probes.  The buffers are reused across pack() calls
+     * (per-slice scratch), so a steady-state search performs no
+     * allocations.
+     */
+    struct PackedKey
+    {
+        /** Search value words, [0, keyWords). */
+        std::vector<uint64_t> value;
+        /** Search care words, same indexing; bits beyond the key width
+         *  are zero, which masks the junk bits a gathered row word
+         *  carries past the field. */
+        std::vector<uint64_t> careMask;
+        /** The original search key (for duplication / fallback). */
+        Key key;
+    };
+
+    /** Step 1 of the word-parallel path: expand @p search into @p out. */
+    void pack(const Key &search, PackedKey &out) const;
+
+    /**
+     * Steps 2-4 on the raw row words: priority-encoded first match among
+     * valid slots, exactly as searchBucket() returns it, evaluated as
+     * XOR+mask over 64-bit words in place.
+     */
+    BucketMatch searchBucketPacked(const BucketView &bucket,
+                                   const PackedKey &packed) const;
+
+    /**
+     * Longest-prefix variant of the packed path: the matching slot with
+     * the most specified stored bits (ties to the lowest slot), with the
+     * per-slot popcount taken directly from the row's care words.
+     */
+    BucketMatch searchBucketBestPacked(const BucketView &bucket,
+                                       const PackedKey &packed) const;
+
+    /** Valid-and-matching test of one slot on the packed path. */
+    bool slotMatchesPacked(const BucketView &bucket, unsigned slot,
+                           const PackedKey &packed) const;
+
+    /** Number of valid slots matching @p packed (massive evaluation). */
+    unsigned countMatches(const BucketView &bucket,
+                          const PackedKey &packed) const;
+
+    /**
+     * Steps 1+2 of the reference path: the per-slot match vector.  A
+     * slot is set when it is valid and its stored key ternary-matches
+     * the search key.
      */
     std::vector<bool> matchVector(const BucketView &bucket,
                                   const Key &search) const;
 
     /**
      * Steps 3+4 on top of the match vector: priority-encoded first
-     * match, as the hardware returns it.
+     * match, as the hardware returns it (reference path).
      */
     BucketMatch searchBucket(const BucketView &bucket,
                              const Key &search) const;
@@ -61,7 +128,7 @@ class MatchProcessor
      * Longest-prefix variant: among all matching slots, extract the one
      * with the most specified key bits (ties go to the lowest slot).
      * With buckets sorted on descending prefix length this returns the
-     * same slot as the plain priority encoder.
+     * same slot as the plain priority encoder (reference path).
      */
     BucketMatch searchBucketBest(const BucketView &bucket,
                                  const Key &search) const;
@@ -78,7 +145,27 @@ class MatchProcessor
     BucketMatch extract(const BucketView &bucket, unsigned slot,
                         bool multiple) const;
 
+    /** Valid bit of slot @p s read straight from the row words. */
+    bool
+    slotValidRaw(const uint64_t *row, unsigned s) const
+    {
+        return (row[validWord[s]] >> validShift[s]) & 1u;
+    }
+
+    bool slotMatchesRaw(const uint64_t *row, unsigned s,
+                        const PackedKey &packed) const;
+    unsigned storedCarePopcount(const uint64_t *row, unsigned s) const;
+
     const SliceConfig *cfg;
+
+    // Row-layout tables derived from the configuration once: per slot,
+    // the bit position of its value field and its valid bit's
+    // word/shift; per key word, the mask of bits inside the key width.
+    unsigned keyWords = 0; ///< ceil(logicalKeyBits / 64)
+    std::vector<uint64_t> slotBitBase;
+    std::vector<uint32_t> validWord;
+    std::vector<uint8_t> validShift;
+    std::vector<uint64_t> widthMask; ///< [keyWords]
 };
 
 } // namespace caram::core

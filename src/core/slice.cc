@@ -45,6 +45,22 @@ CaRamSlice::homeRows(const Key &key) const
     return homes;
 }
 
+const std::vector<uint64_t> &
+CaRamSlice::homeRowsInto(const Key &key)
+{
+    if (key.bits() != cfg.logicalKeyBits)
+        fatal("key width does not match the slice configuration");
+    homesScratch.clear();
+    // Fully specified keys (the common lookup traffic) have exactly one
+    // candidate: skip the per-tap care scan of candidateIndices.
+    if (key.fullySpecified())
+        homesScratch.push_back(idxGen->index(key.valueWords(), key.bits()));
+    else
+        idxGen->candidateIndices(key.valueWords(), key.careWords(),
+                                 key.bits(), homesScratch);
+    return homesScratch;
+}
+
 uint64_t
 CaRamSlice::probeRow(uint64_t home, unsigned d, const Key &key) const
 {
@@ -161,8 +177,9 @@ CaRamSlice::searchChain(uint64_t home, const Key &search_key,
         if (trace)
             trace->push_back(row);
         BucketView b = bucket(row);
-        const BucketMatch m = cfg.lpm ? matcher.searchBucketBest(b, search_key)
-                                      : matcher.searchBucket(b, search_key);
+        const BucketMatch m = cfg.lpm
+            ? matcher.searchBucketBestPacked(b, packedKey_)
+            : matcher.searchBucketPacked(b, packedKey_);
         if (!m.hit)
             continue;
         if (!cfg.lpm) {
@@ -195,10 +212,10 @@ CaRamSlice::search(const Key &search_key)
 {
     ++searchCount;
     SearchResult best;
+    matcher.pack(search_key, packedKey_);
     // A search key with don't-care bits in hash positions must access
     // every candidate bucket (section 4, "Discussions").
-    const auto homes = homeRows(search_key);
-    for (uint64_t home : homes) {
+    for (uint64_t home : homeRowsInto(search_key)) {
         if (searchChain(home, search_key, best, nullptr))
             break; // non-LPM first hit
     }
@@ -212,7 +229,8 @@ CaRamSlice::searchTraced(const Key &search_key,
 {
     ++searchCount;
     SearchResult best;
-    for (uint64_t home : homeRows(search_key)) {
+    matcher.pack(search_key, packedKey_);
+    for (uint64_t home : homeRowsInto(search_key)) {
         if (searchChain(home, search_key, best, &rows_accessed))
             break;
     }
@@ -249,7 +267,7 @@ unsigned
 CaRamSlice::erase(const Key &key)
 {
     unsigned removed = 0;
-    for (uint64_t home : homeRows(key))
+    for (uint64_t home : homeRowsInto(key))
         removed += eraseAt(home, key) ? 1 : 0;
     return removed;
 }
@@ -260,11 +278,10 @@ CaRamSlice::countMatching(const Key &pattern)
     if (pattern.bits() != cfg.logicalKeyBits)
         fatal("pattern width does not match the slice configuration");
     uint64_t matched = 0;
+    matcher.pack(pattern, packedKey_);
     for (uint64_t row = 0; row < cfg.rows(); ++row) {
         ++accessCount;
-        BucketView b = bucket(row);
-        for (bool m : matcher.matchVector(b, pattern))
-            matched += m ? 1 : 0;
+        matched += matcher.countMatches(bucket(row), packedKey_);
     }
     return matched;
 }
@@ -277,12 +294,12 @@ CaRamSlice::updateMatching(const Key &pattern, uint64_t new_data)
     if (cfg.dataBits == 0)
         fatal("slice stores no data field to update");
     uint64_t updated = 0;
+    matcher.pack(pattern, packedKey_);
     for (uint64_t row = 0; row < cfg.rows(); ++row) {
         ++accessCount;
         BucketView b = bucket(row);
-        const auto mv = matcher.matchVector(b, pattern);
-        for (unsigned i = 0; i < mv.size(); ++i) {
-            if (!mv[i])
+        for (unsigned i = 0; i < b.slots(); ++i) {
+            if (!matcher.slotMatchesPacked(b, i, packedKey_))
                 continue;
             b.writeSlot(i, b.slotKey(i), new_data);
             ++updated;

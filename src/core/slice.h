@@ -55,7 +55,9 @@ class CaRamSlice
     /** Home bucket of a key (value bits only). */
     uint64_t homeRow(const Key &key) const;
 
-    /** All home buckets of a possibly-ternary key (duplication). */
+    /** All home buckets of a possibly-ternary key (duplication).
+     *  Allocates a fresh vector; the internal search paths use the
+     *  per-slice scratch buffer instead (homeRowsInto). */
     std::vector<uint64_t> homeRows(const Key &key) const;
 
     /// @name CAM-mode operations (section 3.2)
@@ -163,7 +165,15 @@ class CaRamSlice
     /** Row probed at distance @p d from @p home for @p key. */
     uint64_t probeRow(uint64_t home, unsigned d, const Key &key) const;
 
-    /** Search one home bucket chain; updates @p best under LPM. */
+    /**
+     * Home buckets of @p key into the per-slice scratch buffer -- the
+     * zero-allocation variant of homeRows() the hot paths use.  The
+     * returned reference is invalidated by the next call.
+     */
+    const std::vector<uint64_t> &homeRowsInto(const Key &key);
+
+    /** Search one home bucket chain with the packed search key;
+     *  updates @p best under LPM. */
     bool searchChain(uint64_t home, const Key &search_key,
                      SearchResult &best, std::vector<uint64_t> *trace);
 
@@ -174,6 +184,15 @@ class CaRamSlice
     std::unique_ptr<hash::IndexGenerator> idxGen;
     mem::MemoryArray array_;
     MatchProcessor matcher;
+
+    // Per-slice scratch reused across lookups so a steady-state search
+    // performs no heap allocation: the expanded search key (the match
+    // processor's step-1 template) and the candidate home rows.  A
+    // slice therefore must not serve concurrent searches -- the same
+    // ownership rule the search counters below already impose (the
+    // parallel engine gives each database to exactly one worker).
+    MatchProcessor::PackedKey packedKey_;
+    std::vector<uint64_t> homesScratch;
 
     // Placement statistics.
     std::vector<uint32_t> homeDemandPerBucket;

@@ -18,6 +18,9 @@ BitSelectIndex::BitSelectIndex(unsigned key_bits,
         if (p >= keyWidth)
             fatal(strprintf("bit position %u out of key width %u", p,
                             keyWidth));
+        const unsigned lsb = keyWidth - 1 - p;
+        tapWord.push_back(lsb / 64);
+        tapShift.push_back(static_cast<uint8_t>(lsb % 64));
     }
 }
 
@@ -34,10 +37,8 @@ BitSelectIndex::index(std::span<const uint64_t> key_words,
     if (key_bits != keyWidth)
         fatal("key width mismatch in bit selection");
     uint64_t out = 0;
-    for (unsigned p : msbPositions) {
-        const unsigned lsb = keyWidth - 1 - p;
-        out = (out << 1) | keyBit(key_words, lsb);
-    }
+    for (std::size_t i = 0; i < tapWord.size(); ++i)
+        out = (out << 1) | ((key_words[tapWord[i]] >> tapShift[i]) & 1u);
     return out;
 }
 
@@ -50,26 +51,28 @@ BitSelectIndex::candidateIndices(std::span<const uint64_t> key_words,
     if (key_bits != keyWidth)
         fatal("key width mismatch in bit selection");
     // Gather the base index and note which index bits are wildcards.
+    // Fixed-size wildcard list: this runs on the per-lookup hot path
+    // (ternary search keys) and must not touch the heap.
     uint64_t base = 0;
-    std::vector<unsigned> wild; // index-bit numbers (LSB numbering)
+    unsigned wild[64]; // index-bit numbers (LSB numbering)
+    unsigned wild_count = 0;
     const unsigned k = indexBits();
     for (unsigned i = 0; i < k; ++i) {
-        const unsigned lsb = keyWidth - 1 - msbPositions[i];
         base <<= 1;
-        if (keyBit(care_words, lsb)) {
-            base |= keyBit(key_words, lsb);
+        if ((care_words[tapWord[i]] >> tapShift[i]) & 1u) {
+            base |= (key_words[tapWord[i]] >> tapShift[i]) & 1u;
         } else {
-            wild.push_back(k - 1 - i);
+            wild[wild_count++] = k - 1 - i;
         }
     }
-    if (wild.size() >= 32 ||
-        (uint64_t{1} << wild.size()) > kMaxDuplication) {
+    if (wild_count >= 32 ||
+        (uint64_t{1} << wild_count) > kMaxDuplication) {
         fatal("too many don't-care bits in hash positions");
     }
-    const uint64_t copies = uint64_t{1} << wild.size();
+    const uint64_t copies = uint64_t{1} << wild_count;
     for (uint64_t combo = 0; combo < copies; ++combo) {
         uint64_t idx = base;
-        for (std::size_t b = 0; b < wild.size(); ++b) {
+        for (unsigned b = 0; b < wild_count; ++b) {
             if ((combo >> b) & 1u)
                 idx |= uint64_t{1} << wild[b];
         }

@@ -48,6 +48,10 @@ class BitSelectIndex : public IndexGenerator
   private:
     unsigned keyWidth;
     std::vector<unsigned> msbPositions;
+    // Per-tap LSB word index and shift, precomputed so the per-lookup
+    // index generation is a table walk with no position arithmetic.
+    std::vector<uint32_t> tapWord;
+    std::vector<uint8_t> tapShift;
 };
 
 /** Trivial generator: the low R bits of the key (LSB selection). */

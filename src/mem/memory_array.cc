@@ -14,7 +14,9 @@ MemoryArray::MemoryArray(uint64_t rows, uint64_t row_bits)
 {
     if (rows == 0 || row_bits == 0)
         fatal("memory array dimensions must be nonzero");
-    storage.assign(numRows * rowWords, 0);
+    // One trailing guard word: rowData() readers may fetch one word
+    // past the last row's last word when extracting unaligned fields.
+    storage.assign(numRows * rowWords + 1, 0);
 }
 
 void

@@ -49,6 +49,20 @@ class MemoryArray
     /** Read-only view of the packed words of @p row. */
     std::span<const uint64_t> rowSpan(uint64_t row) const;
 
+    /**
+     * Raw pointer to the packed words of @p row -- the zero-overhead
+     * access the word-parallel match path compares against in place.
+     * The storage ends with one guard word, so readers may fetch one
+     * word past a row's last word (e.g. a care field extracted at an
+     * unaligned offset) without leaving the allocation.
+     */
+    const uint64_t *
+    rowData(uint64_t row) const
+    {
+        checkRow(row);
+        return storage.data() + row * rowWords;
+    }
+
     /** Copy @p src (rowWords words) into @p row. */
     void writeRow(uint64_t row, std::span<const uint64_t> src);
 

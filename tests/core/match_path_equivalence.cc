@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Differential tests of the word-parallel packed match path against the
+ * legacy decode (reference) path.
+ *
+ * The packed path (MatchProcessor::pack + searchBucketPacked /
+ * searchBucketBestPacked) evaluates slot matches as XOR+mask over the
+ * raw row words; the reference path goes through BucketView accessors
+ * and Key reconstruction.  Both must produce bit-identical results --
+ * hit/miss, slot index, multiple-match flag, extracted data and key,
+ * and under LPM the best-match selection -- over randomized
+ * binary/ternary/LPM workloads, including keys spanning word boundaries
+ * (N = 63, 64, 65, 144) and don't-care bits in hash positions.
+ */
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/match_processor.h"
+#include "core/slice.h"
+#include "hash/bit_select.h"
+
+namespace caram::core {
+namespace {
+
+Key
+randomKey(Rng &rng, unsigned width, bool ternary, double care_p)
+{
+    Key k(width);
+    for (unsigned p = 0; p < width; ++p) {
+        const bool care = !ternary || rng.chance(care_p);
+        k.setBitAt(p, rng.chance(0.5), care);
+    }
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// Bucket level: packed vs reference over one randomized bucket.
+
+class PackedVsReference
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool>>
+{
+};
+
+TEST_P(PackedVsReference, BucketSearchesAreIdentical)
+{
+    const auto [width, ternary] = GetParam();
+    SliceConfig cfg;
+    cfg.indexBits = 2;
+    cfg.logicalKeyBits = width;
+    cfg.ternary = ternary;
+    cfg.slotsPerBucket = 8;
+    cfg.dataBits = 13; // deliberately misalign the slot stride
+    cfg.maxProbeDistance = 3;
+    cfg.validate();
+    mem::MemoryArray array(cfg.rows(), cfg.storageRowBits());
+    BucketView b(array, cfg, 1);
+    MatchProcessor mp(cfg);
+    MatchProcessor::PackedKey packed;
+
+    Rng rng(width * 1013u + (ternary ? 1 : 0));
+    // Low-entropy keys so lookups hit, collide and multi-match often.
+    auto clustered_key = [&] {
+        Key k = randomKey(rng, width, ternary, 0.6);
+        // Zero most value bits to cluster the population.
+        for (unsigned p = 0; p < width; ++p) {
+            if (p % 8 != 0 && k.careBitAt(p))
+                k.setBitAt(p, false, true);
+        }
+        return k;
+    };
+
+    constexpr int kFills = 1600;
+    constexpr int kLookupsPerFill = 64; // > 10^5 lookups per variant
+    for (int fill = 0; fill < kFills; ++fill) {
+        array.clearRow(1);
+        std::vector<Key> stored;
+        for (unsigned s = 0; s < cfg.slotsPerBucket; ++s) {
+            if (rng.chance(0.2))
+                continue; // leave holes in the valid pattern
+            const Key k = clustered_key();
+            b.writeSlot(s, k, rng.below(1u << 13));
+            stored.push_back(k);
+        }
+        for (int i = 0; i < kLookupsPerFill; ++i) {
+            // Half fresh random searches, half replays of a stored key
+            // (forced hits, including exact ternary duplicates).
+            const Key search =
+                (!stored.empty() && rng.chance(0.5))
+                    ? stored[rng.below(stored.size())]
+                    : clustered_key();
+            mp.pack(search, packed);
+
+            const BucketMatch fast = mp.searchBucketPacked(b, packed);
+            const BucketMatch ref = mp.searchBucket(b, search);
+            ASSERT_EQ(fast.hit, ref.hit) << search.toString();
+            if (ref.hit) {
+                EXPECT_EQ(fast.slot, ref.slot);
+                EXPECT_EQ(fast.multipleMatch, ref.multipleMatch);
+                EXPECT_EQ(fast.data, ref.data);
+                EXPECT_EQ(fast.key, ref.key);
+            }
+
+            const BucketMatch fbest =
+                mp.searchBucketBestPacked(b, packed);
+            const BucketMatch rbest = mp.searchBucketBest(b, search);
+            ASSERT_EQ(fbest.hit, rbest.hit) << search.toString();
+            if (rbest.hit) {
+                EXPECT_EQ(fbest.slot, rbest.slot);
+                EXPECT_EQ(fbest.multipleMatch, rbest.multipleMatch);
+                EXPECT_EQ(fbest.data, rbest.data);
+                EXPECT_EQ(fbest.key, rbest.key);
+            }
+
+            // Per-slot predicate agrees with the reference vector.
+            const auto mv = mp.matchVector(b, search);
+            unsigned ref_count = 0;
+            for (unsigned s = 0; s < cfg.slotsPerBucket; ++s) {
+                EXPECT_EQ(mp.slotMatchesPacked(b, s, packed), mv[s]);
+                ref_count += mv[s] ? 1 : 0;
+            }
+            EXPECT_EQ(mp.countMatches(b, packed), ref_count);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, PackedVsReference,
+    ::testing::Combine(::testing::Values(63u, 64u, 65u, 144u),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------
+// Slice level: the full search path (candidate homes from don't-care
+// hash bits, overflow probing, LPM chain scan) against a replica of the
+// legacy decode path built from public APIs.
+
+SearchResult
+legacySearch(CaRamSlice &slice, const MatchProcessor &mp, const Key &key)
+{
+    const SliceConfig &cfg = slice.config();
+    SearchResult best;
+    for (uint64_t home : slice.homeRows(key)) {
+        const unsigned reach = slice.bucket(home).reach();
+        bool done = false;
+        for (unsigned d = 0; d <= reach; ++d) {
+            const uint64_t row = (home + d) % cfg.rows(); // Linear
+            ++best.bucketsAccessed;
+            BucketView b = slice.bucket(row);
+            const BucketMatch m = cfg.lpm ? mp.searchBucketBest(b, key)
+                                          : mp.searchBucket(b, key);
+            if (!m.hit)
+                continue;
+            if (!cfg.lpm) {
+                best.hit = true;
+                best.multipleMatch = m.multipleMatch;
+                best.row = row;
+                best.slot = m.slot;
+                best.data = m.data;
+                best.key = m.key;
+                done = true;
+                break;
+            }
+            const unsigned pop = m.key.carePopcount();
+            if (!best.hit || pop > best.key.carePopcount()) {
+                best.hit = true;
+                best.multipleMatch = m.multipleMatch;
+                best.row = row;
+                best.slot = m.slot;
+                best.data = m.data;
+                best.key = m.key;
+            }
+        }
+        if (done)
+            break;
+    }
+    return best;
+}
+
+void
+expectSameResult(const SearchResult &fast, const SearchResult &ref,
+                 const Key &key)
+{
+    ASSERT_EQ(fast.hit, ref.hit) << key.toString();
+    EXPECT_EQ(fast.bucketsAccessed, ref.bucketsAccessed) << key.toString();
+    if (!ref.hit)
+        return;
+    EXPECT_EQ(fast.row, ref.row) << key.toString();
+    EXPECT_EQ(fast.slot, ref.slot) << key.toString();
+    EXPECT_EQ(fast.multipleMatch, ref.multipleMatch) << key.toString();
+    EXPECT_EQ(fast.data, ref.data) << key.toString();
+    EXPECT_EQ(fast.key, ref.key) << key.toString();
+}
+
+TEST(MatchPathEquivalence, TernarySliceWithDontCareHashBits)
+{
+    SliceConfig cfg;
+    cfg.indexBits = 6;
+    cfg.logicalKeyBits = 65; // hash taps straddle the word boundary
+    cfg.ternary = true;
+    cfg.slotsPerBucket = 8;
+    cfg.dataBits = 16;
+    cfg.probe = ProbePolicy::Linear;
+    cfg.maxProbeDistance = 8;
+    cfg.validate();
+    // Taps spread across the key, including positions randomized keys
+    // leave don't-care (duplication / multi-bucket search).
+    const std::vector<unsigned> taps = {0, 9, 21, 33, 47, 64};
+    CaRamSlice slice(
+        cfg, std::make_unique<hash::BitSelectIndex>(cfg.logicalKeyBits,
+                                                    taps));
+    MatchProcessor mp(cfg);
+
+    Rng rng(4242);
+    std::vector<Key> population;
+    for (int i = 0; i < 180; ++i) {
+        const Key k = randomKey(rng, cfg.logicalKeyBits, true, 0.9);
+        if (slice.insert(Record{k, rng.below(1u << 16)}).ok)
+            population.push_back(k);
+    }
+    ASSERT_GT(population.size(), 100u);
+
+    for (int i = 0; i < 100000; ++i) {
+        const Key search =
+            rng.chance(0.4) ? population[rng.below(population.size())]
+                            : randomKey(rng, cfg.logicalKeyBits, true,
+                                        rng.chance(0.5) ? 1.0 : 0.85);
+        const SearchResult ref = legacySearch(slice, mp, search);
+        const SearchResult fast = slice.search(search);
+        expectSameResult(fast, ref, search);
+    }
+}
+
+TEST(MatchPathEquivalence, Lpm144BitSlice)
+{
+    const unsigned kb = 144; // 18-byte keys: IPv6-ish wide LPM
+    SliceConfig cfg;
+    cfg.indexBits = 6;
+    cfg.logicalKeyBits = kb;
+    cfg.ternary = true;
+    cfg.lpm = true;
+    cfg.slotsPerBucket = 8;
+    cfg.dataBits = 20;
+    cfg.probe = ProbePolicy::Linear;
+    cfg.maxProbeDistance = 16;
+    cfg.validate();
+    // Top-bit taps, the IP-lookup arrangement: short prefixes leave
+    // don't-cares in hash positions and get duplicated.
+    std::vector<unsigned> taps;
+    for (unsigned i = 0; i < cfg.indexBits; ++i)
+        taps.push_back(i);
+    CaRamSlice slice(
+        cfg, std::make_unique<hash::BitSelectIndex>(kb, taps));
+    MatchProcessor mp(cfg);
+
+    Rng rng(99);
+    auto random_bytes = [&](unsigned char *out) {
+        for (unsigned i = 0; i < kb / 8; ++i)
+            out[i] = static_cast<unsigned char>(rng.below(256));
+    };
+    std::vector<Key> inserted;
+    for (int i = 0; i < 300; ++i) {
+        unsigned char bytes[18];
+        random_bytes(bytes);
+        // Prefix lengths from 3 (duplicated 8x) to full width.
+        const unsigned plen =
+            static_cast<unsigned>(rng.inRange(3, kb));
+        const Key k = Key::prefixFromBytes({bytes, 18}, plen, kb);
+        if (slice.insert(Record{k, rng.below(1u << 20)}).ok)
+            inserted.push_back(k);
+    }
+    ASSERT_GT(inserted.size(), 150u);
+
+    for (int i = 0; i < 100000; ++i) {
+        unsigned char bytes[18];
+        random_bytes(bytes);
+        Key search = Key::fromBytes({bytes, 18}, kb);
+        if (rng.chance(0.5)) {
+            // Walk under a stored prefix so long matches exist.
+            const Key &p = inserted[rng.below(inserted.size())];
+            for (unsigned pos = 0; pos < kb; ++pos) {
+                if (p.careBitAt(pos))
+                    search.setBitAt(pos, p.valueBitAt(pos));
+            }
+        }
+        const SearchResult ref = legacySearch(slice, mp, search);
+        const SearchResult fast = slice.search(search);
+        expectSameResult(fast, ref, search);
+    }
+}
+
+// massUpdate/massCount share the packed predicate; pin them too.
+TEST(MatchPathEquivalence, MassEvaluationMatchesReferenceCount)
+{
+    SliceConfig cfg;
+    cfg.indexBits = 5;
+    cfg.logicalKeyBits = 63;
+    cfg.ternary = true;
+    cfg.slotsPerBucket = 4;
+    cfg.dataBits = 8;
+    cfg.maxProbeDistance = 4;
+    cfg.validate();
+    const std::vector<unsigned> taps = {0, 5, 11, 17, 23};
+    CaRamSlice slice(
+        cfg, std::make_unique<hash::BitSelectIndex>(cfg.logicalKeyBits,
+                                                    taps));
+    MatchProcessor mp(cfg);
+    Rng rng(7);
+    for (int i = 0; i < 90; ++i)
+        slice.insert(Record{randomKey(rng, 63, true, 0.9),
+                            rng.below(200)});
+    for (int i = 0; i < 200; ++i) {
+        const Key pattern = randomKey(rng, 63, true, 0.3);
+        uint64_t ref = 0;
+        for (uint64_t row = 0; row < cfg.rows(); ++row) {
+            for (bool m : mp.matchVector(slice.bucket(row), pattern))
+                ref += m ? 1 : 0;
+        }
+        EXPECT_EQ(slice.countMatching(pattern), ref);
+    }
+}
+
+} // namespace
+} // namespace caram::core

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Regression test that steady-state search loops perform no heap
+ * allocation.
+ *
+ * The word-parallel match path packs the search key into per-slice
+ * scratch (MatchProcessor::PackedKey), gathers candidate home rows into
+ * a reused scratch vector, and compares raw row words in place -- so
+ * after a warm-up lookup has sized the scratch, search(), searchTraced()
+ * (with a reserved trace vector), countMatching() and the candidate
+ * expansion of ternary keys with don't-care hash bits must all be
+ * allocation-free.  Counted with a global operator new/delete hook.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/slice.h"
+#include "hash/bit_select.h"
+
+namespace {
+
+// Plain global counting hook.  libstdc++ containers allocate through
+// the plain forms (possibly via the aligned overloads on over-aligned
+// types), so counting every operator new form catches vector growth,
+// Key boxing, and string construction on the measured paths.
+std::atomic<uint64_t> g_allocs{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocs;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    ++g_allocs;
+    const auto a = static_cast<std::size_t>(align);
+    const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+    if (void *p = std::aligned_alloc(a, rounded))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace caram::core {
+namespace {
+
+/** Allocations performed by @p body, after it already ran once. */
+template <typename Fn>
+uint64_t
+allocationsIn(Fn &&body)
+{
+    body(); // warm-up: sizes all scratch buffers
+    const uint64_t before = g_allocs.load();
+    body();
+    return g_allocs.load() - before;
+}
+
+struct Fixture
+{
+    SliceConfig cfg;
+    std::unique_ptr<CaRamSlice> slice;
+    std::vector<Key> keys;
+
+    Fixture(unsigned key_bits, bool ternary, bool lpm)
+    {
+        cfg.indexBits = 6;
+        cfg.logicalKeyBits = key_bits;
+        cfg.ternary = ternary;
+        cfg.lpm = lpm;
+        cfg.slotsPerBucket = 8;
+        cfg.dataBits = 16;
+        cfg.maxProbeDistance = 8;
+        cfg.validate();
+        std::vector<unsigned> taps;
+        for (unsigned i = 0; i < cfg.indexBits; ++i)
+            taps.push_back(i * (key_bits / cfg.indexBits));
+        slice = std::make_unique<CaRamSlice>(
+            cfg,
+            std::make_unique<hash::BitSelectIndex>(key_bits,
+                                                   std::move(taps)));
+        Rng rng(key_bits);
+        for (int i = 0; i < 150; ++i) {
+            Key k(key_bits);
+            for (unsigned p = 0; p < key_bits; ++p)
+                k.setBitAt(p, rng.chance(0.5),
+                           !ternary || rng.chance(0.95));
+            if (slice->insert(Record{k, rng.below(1u << 16)}).ok)
+                keys.push_back(k);
+        }
+        EXPECT_GT(keys.size(), 50u);
+    }
+};
+
+TEST(SearchNoAlloc, BinarySearchLoop)
+{
+    Fixture f(64, false, false);
+    const uint64_t n = allocationsIn([&] {
+        for (int i = 0; i < 1000; ++i)
+            f.slice->search(f.keys[i % f.keys.size()]);
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(SearchNoAlloc, WideTernarySearchLoop)
+{
+    Fixture f(144, true, false);
+    const uint64_t n = allocationsIn([&] {
+        for (int i = 0; i < 1000; ++i)
+            f.slice->search(f.keys[i % f.keys.size()]);
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(SearchNoAlloc, TernaryWildcardHashBitsSearchLoop)
+{
+    // Don't-care bits in hash positions: candidate expansion must stay
+    // inside the per-slice scratch vector.
+    Fixture f(65, true, false);
+    std::vector<Key> wild = f.keys;
+    for (Key &k : wild) {
+        for (unsigned p = 0; p < 3; ++p)
+            k.setBitAt(p, false, false);
+    }
+    const uint64_t n = allocationsIn([&] {
+        for (int i = 0; i < 1000; ++i)
+            f.slice->search(wild[i % wild.size()]);
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(SearchNoAlloc, LpmSearchLoop)
+{
+    Fixture f(64, true, true);
+    const uint64_t n = allocationsIn([&] {
+        for (int i = 0; i < 1000; ++i)
+            f.slice->search(f.keys[i % f.keys.size()]);
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(SearchNoAlloc, TracedSearchWithReservedTrace)
+{
+    Fixture f(64, false, false);
+    std::vector<uint64_t> trace;
+    trace.reserve(1024); // caller-provided capacity, reused per lookup
+    const uint64_t n = allocationsIn([&] {
+        for (int i = 0; i < 1000; ++i) {
+            trace.clear();
+            f.slice->searchTraced(f.keys[i % f.keys.size()], trace);
+        }
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(SearchNoAlloc, MassCountLoop)
+{
+    Fixture f(63, true, false);
+    const uint64_t n = allocationsIn([&] {
+        for (int i = 0; i < 20; ++i)
+            f.slice->countMatching(f.keys[i % f.keys.size()]);
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+// The hook itself must observe ordinary allocation, or every
+// EXPECT_EQ(n, 0) above would pass vacuously.
+TEST(SearchNoAlloc, HookCountsAllocations)
+{
+    const uint64_t n = allocationsIn([] {
+        std::vector<uint64_t> v(257);
+        ASSERT_EQ(v.size(), 257u);
+    });
+    EXPECT_GT(n, 0u);
+}
+
+} // namespace
+} // namespace caram::core

@@ -53,7 +53,9 @@ TEST(SliceConfig, ValidationCatchesBadConfigs)
     cfg.logicalKeyBits = 0;
     EXPECT_THROW(cfg.validate(), caram::FatalError);
     cfg = smallConfig();
-    cfg.logicalKeyBits = 200; // ternary doubling exceeds kMaxKeyBits
+    cfg.logicalKeyBits = 200; // ternary doubles the row, not the Key
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.logicalKeyBits = Key::kMaxKeyBits + 1;
     EXPECT_THROW(cfg.validate(), caram::FatalError);
     cfg = smallConfig();
     cfg.slotsPerBucket = 0;
