@@ -20,14 +20,29 @@
  * on the host for every simulated lookup, so it bounds simulation and
  * software-CA-RAM throughput.
  *
- * Emits BENCH_match_path.json.  Usage:
+ * A second section sweeps the comparator *kernels* (scalar / AVX2 /
+ * AVX-512, core/match_kernels.h) on the 144-bit ternary workload: the
+ * per-key packed path under each kernel, the multi-key group path
+ * (kMaxGroupKeys keys sharing each row fetch), and the batched slice
+ * search over bursty traffic.  Single-key SIMD cannot beat the scalar
+ * packed path here -- the row walk is load-bound, not compare-bound --
+ * which is exactly why the batched pipeline exists: amortizing one row
+ * fetch over a group of keys is where the vector width pays (see
+ * EXPERIMENTS.md).  All kernel/group/batch result streams are
+ * checksummed against the scalar per-key stream.
+ *
+ * Emits BENCH_match_path.json and BENCH_simd_batch.json.  Usage:
  *
  *   micro_match_path [lookups] [--json PATH]
  *                    [--baseline PATH] [--max-regression X]
+ *                    [--kernel=scalar|avx2|avx512]
+ *                    [--simd-json PATH] [--simd-baseline PATH]
  *
- * With --baseline, exits nonzero when any variant's fast-path ns/lookup
- * exceeds the baseline's by more than X (default 2.0) -- the CI smoke
- * gate (scripts/ci_bench_smoke.sh).
+ * With --baseline / --simd-baseline, exits nonzero when any variant's
+ * (respectively any kernel's) ns/lookup exceeds the baseline's by more
+ * than X (default 2.0) -- the CI smoke gate
+ * (scripts/ci_bench_smoke.sh).  --kernel restricts the kernel sweep
+ * (and pins the main section's slices) to one kernel.
  */
 
 #include <algorithm>
@@ -40,8 +55,13 @@
 #include <string>
 #include <vector>
 
+#include <array>
+#include <optional>
+#include <span>
+
 #include "cam/priority_encoder.h"
 #include "common/bitops.h"
+#include "common/cpuid.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -328,20 +348,187 @@ measure(const Variant &v, std::size_t lookups)
 }
 
 // ---------------------------------------------------------------------
+// Kernel sweep: per-key packed path, multi-key group path and batched
+// slice search under each comparator kernel, on the 144-bit ternary
+// workload.
+
+struct KernelMeasurement
+{
+    simd::MatchKernel kernel = simd::MatchKernel::Scalar;
+    double perKeyNs = 0.0;      ///< packed per-key bucket search, ns/key
+    double groupNs = 0.0;       ///< multi-key group search, ns/key
+    double batchSerialNs = 0.0; ///< slice.search() loop, ns/key
+    double batchNs = 0.0;       ///< slice.searchBatch(), ns/key
+    double fetchReduction = 0.0; ///< serial row accesses / batch fetches
+    uint64_t checksum = 0;       ///< per-key bucket stream checksum
+};
+
+uint64_t
+bucketChecksum(uint64_t acc, const BucketMatch &m)
+{
+    acc = acc * 1099511628211ull + (m.hit ? 1 : 0);
+    if (m.hit) {
+        acc = acc * 1099511628211ull + m.slot;
+        acc = acc * 1099511628211ull + m.data;
+        acc = acc * 1099511628211ull + (m.multipleMatch ? 1 : 0);
+    }
+    return acc;
+}
+
+KernelMeasurement
+measureKernel(simd::MatchKernel kernel, std::size_t lookups)
+{
+    simd::setMatchKernelOverride(kernel);
+    KernelMeasurement km;
+    km.kernel = kernel;
+
+    const Variant v{"ternary-144", 144, true, false};
+    Workload w = buildWorkload(v, lookups);
+    CaRamSlice &slice = *w.slice;
+    const SliceConfig &cfg = slice.config();
+    MatchProcessor mp(cfg);
+
+    // Bucket-level streams: groups of kMaxGroupKeys packed keys, each
+    // group evaluated against one random row -- per-key vs group path.
+    constexpr unsigned G = kernels::kMaxGroupKeys;
+    const std::size_t groups = std::max<std::size_t>(1, lookups / G);
+    std::vector<MatchProcessor::PackedKey> packed(groups * G);
+    std::vector<uint64_t> rows(groups);
+    Rng rng(0x5eed);
+    for (std::size_t g = 0; g < groups; ++g) {
+        rows[g] = rng.below(cfg.rows());
+        for (unsigned k = 0; k < G; ++k)
+            mp.pack(w.stream[rng.below(w.stream.size())],
+                    packed[g * G + k]);
+    }
+
+    constexpr int kRepeats = 3;
+    uint64_t perkey_sum = 0, group_sum = 0;
+    km.perKeyNs = 1e18;
+    km.groupNs = 1e18;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        uint64_t psum = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t g = 0; g < groups; ++g) {
+            BucketView b = slice.bucket(rows[g]);
+            for (unsigned k = 0; k < G; ++k)
+                psum = bucketChecksum(
+                    psum, mp.searchBucketPacked(b, packed[g * G + k]));
+        }
+        km.perKeyNs = std::min(
+            km.perKeyNs, secondsSince(t0) * 1e9 / (groups * G));
+
+        uint64_t gsum = 0;
+        MatchProcessor::PackedKeyGroup group;
+        std::array<const MatchProcessor::PackedKey *, G> ptrs;
+        std::array<BucketMatch, G> out;
+        t0 = std::chrono::steady_clock::now();
+        for (std::size_t g = 0; g < groups; ++g) {
+            BucketView b = slice.bucket(rows[g]);
+            for (unsigned k = 0; k < G; ++k)
+                ptrs[k] = &packed[g * G + k];
+            mp.packGroup(ptrs.data(), G, group);
+            mp.searchBucketKeys(b, group, (1u << G) - 1, out.data());
+            for (unsigned k = 0; k < G; ++k)
+                gsum = bucketChecksum(gsum, out[k]);
+        }
+        km.groupNs = std::min(km.groupNs,
+                              secondsSince(t0) * 1e9 / (groups * G));
+        perkey_sum = psum;
+        group_sum = gsum;
+    }
+    if (perkey_sum != group_sum)
+        fatal(strprintf("%s: per-key and group result streams differ "
+                        "(checksum %llx vs %llx)",
+                        simd::kernelName(kernel),
+                        (unsigned long long)perkey_sum,
+                        (unsigned long long)group_sum));
+    km.checksum = perkey_sum;
+
+    // Slice-level batched search over bursty (Zipf + packet-train)
+    // traffic: repeated keys land in the same chunk and share their
+    // chain walks.  Train lengths 1..kMaxGroupKeys model back-to-back
+    // same-flow packets, the traffic the batched pipeline targets; on
+    // uniform single-packet traffic grouping rarely triggers and the
+    // batch path only costs its bookkeeping.
+    std::vector<Key> bursts;
+    bursts.reserve(lookups);
+    ZipfSampler zipf(w.stream.size(), 1.1);
+    while (bursts.size() < lookups) {
+        const Key &k = w.stream[zipf(rng)];
+        const std::size_t train = 1 + rng.below(G);
+        for (std::size_t c = 0; c < train && bursts.size() < lookups;
+             ++c)
+            bursts.push_back(k);
+    }
+    std::vector<SearchResult> results(bursts.size());
+    uint64_t serial_sum = 0, batch_sum = 0, serial_accesses = 0;
+    uint64_t fetches = 0;
+    km.batchSerialNs = 1e18;
+    km.batchNs = 1e18;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        uint64_t ssum = 0, acc = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (const Key &k : bursts) {
+            const SearchResult r = slice.search(k);
+            ssum = resultChecksum(ssum, r);
+            acc += r.bucketsAccessed;
+        }
+        km.batchSerialNs = std::min(
+            km.batchSerialNs, secondsSince(t0) * 1e9 / bursts.size());
+
+        uint64_t bsum = 0, f = 0;
+        t0 = std::chrono::steady_clock::now();
+        for (std::size_t lo = 0; lo < bursts.size();
+             lo += CaRamSlice::kMaxBatch) {
+            const std::size_t n = std::min<std::size_t>(
+                CaRamSlice::kMaxBatch, bursts.size() - lo);
+            f += slice.searchBatch(
+                std::span<const Key>(bursts.data() + lo, n),
+                results.data() + lo);
+        }
+        for (const SearchResult &r : results)
+            bsum = resultChecksum(bsum, r);
+        km.batchNs = std::min(km.batchNs,
+                              secondsSince(t0) * 1e9 / bursts.size());
+        serial_sum = ssum;
+        batch_sum = bsum;
+        serial_accesses = acc;
+        fetches = f;
+    }
+    if (serial_sum != batch_sum)
+        fatal(strprintf("%s: serial and batched result streams differ "
+                        "(checksum %llx vs %llx)",
+                        simd::kernelName(kernel),
+                        (unsigned long long)serial_sum,
+                        (unsigned long long)batch_sum));
+    km.fetchReduction =
+        fetches ? static_cast<double>(serial_accesses) / fetches : 0.0;
+    return km;
+}
+
+// ---------------------------------------------------------------------
 // Baseline comparison (ad-hoc parse of our own JSON format).
 
 double
-baselineFastNs(const std::string &json, const std::string &variant)
+baselineField(const std::string &json, const std::string &name,
+              const std::string &field_name)
 {
-    const std::string tag = "\"name\": \"" + variant + "\"";
+    const std::string tag = "\"name\": \"" + name + "\"";
     const auto at = json.find(tag);
     if (at == std::string::npos)
         return -1.0;
-    const std::string field = "\"fast_ns_per_lookup\":";
+    const std::string field = "\"" + field_name + "\":";
     const auto f = json.find(field, at);
     if (f == std::string::npos)
         return -1.0;
     return std::strtod(json.c_str() + f + field.size(), nullptr);
+}
+
+double
+baselineFastNs(const std::string &json, const std::string &variant)
+{
+    return baselineField(json, variant, "fast_ns_per_lookup");
 }
 
 } // namespace
@@ -352,19 +539,41 @@ main(int argc, char **argv)
     setQuiet(true);
     std::size_t lookups = 200000;
     std::string json_path = "BENCH_match_path.json";
+    std::string simd_json_path = "BENCH_simd_batch.json";
     std::string baseline_path;
+    std::string simd_baseline_path;
     double max_regression = 2.0;
+    std::optional<simd::MatchKernel> forced_kernel;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc)
             json_path = argv[++i];
+        else if (arg == "--simd-json" && i + 1 < argc)
+            simd_json_path = argv[++i];
         else if (arg == "--baseline" && i + 1 < argc)
             baseline_path = argv[++i];
+        else if (arg == "--simd-baseline" && i + 1 < argc)
+            simd_baseline_path = argv[++i];
         else if (arg == "--max-regression" && i + 1 < argc)
             max_regression = std::strtod(argv[++i], nullptr);
-        else
+        else if (arg.rfind("--kernel=", 0) == 0) {
+            const std::string name = arg.substr(9);
+            forced_kernel = simd::parseKernelName(name);
+            if (!forced_kernel) {
+                std::cerr << "unknown --kernel '" << name
+                          << "' (scalar|avx2|avx512)\n";
+                return 2;
+            }
+            if (!simd::kernelAvailable(*forced_kernel)) {
+                std::cerr << "kernel " << name
+                          << " not available on this host/build\n";
+                return 2;
+            }
+        } else
             lookups = std::strtoull(arg.c_str(), nullptr, 10);
     }
+    if (forced_kernel)
+        simd::setMatchKernelOverride(*forced_kernel);
 
     const std::vector<Variant> variants = {
         {"binary-64", 64, false, false},
@@ -466,6 +675,149 @@ main(int argc, char **argv)
     } else {
         std::cout << "\nFAIL: 144-bit ternary speedup = "
                   << fixed(ternary144_speedup, 2) << "x (< 5x target)\n";
+        rc = 1;
+    }
+
+    // -----------------------------------------------------------------
+    // Kernel sweep: multi-key group match + batched slice search.
+
+    std::vector<simd::MatchKernel> kernels_to_run;
+    for (simd::MatchKernel k :
+         {simd::MatchKernel::Scalar, simd::MatchKernel::Avx2,
+          simd::MatchKernel::Avx512}) {
+        if (forced_kernel && *forced_kernel != k)
+            continue;
+        if (simd::kernelAvailable(k))
+            kernels_to_run.push_back(k);
+    }
+
+    std::cout << "\n=== Kernel sweep: multi-key group match + batched "
+                 "slice search (ternary-144) ===\n\n";
+    std::cout << "group = " << core::kernels::kMaxGroupKeys
+              << " keys amortizing each row fetch; batch = bursty "
+                 "Zipf traffic through searchBatch (chunk "
+              << CaRamSlice::kMaxBatch << ")\n\n";
+
+    TextTable kt({"kernel", "per-key ns", "group ns/key", "group gain",
+                  "serial ns", "batch ns/key", "batch gain",
+                  "fetch reduction"});
+    std::vector<KernelMeasurement> kms;
+    for (simd::MatchKernel k : kernels_to_run)
+        kms.push_back(measureKernel(k, lookups));
+    simd::setMatchKernelOverride(forced_kernel);
+
+    const KernelMeasurement *scalar_km = nullptr;
+    for (const KernelMeasurement &km : kms) {
+        if (km.kernel == simd::MatchKernel::Scalar)
+            scalar_km = &km;
+        if (scalar_km && km.checksum != scalar_km->checksum) {
+            std::cout << "FAIL: kernel " << km.kernel
+                      << " result stream differs from scalar\n";
+            rc = 1;
+        }
+    }
+
+    std::ostringstream sj;
+    sj << "{\n  \"bench\": \"simd_batch\",\n  \"lookups\": " << lookups
+       << ",\n  \"group_keys\": " << core::kernels::kMaxGroupKeys
+       << ",\n  \"kernels\": [\n";
+    double avx2_group_speedup = 0.0;
+    bool sj_first = true;
+    for (const KernelMeasurement &km : kms) {
+        // The acceptance ratio: this kernel's grouped path against the
+        // *scalar per-key* path, the pre-batching serial cost.
+        const double group_gain =
+            scalar_km ? scalar_km->perKeyNs / km.groupNs
+                      : km.perKeyNs / km.groupNs;
+        const double batch_gain = km.batchSerialNs / km.batchNs;
+        if (km.kernel == simd::MatchKernel::Avx2)
+            avx2_group_speedup = group_gain;
+        kt.addRow({simd::kernelName(km.kernel), fixed(km.perKeyNs, 1),
+                   fixed(km.groupNs, 1), fixed(group_gain, 2) + "x",
+                   fixed(km.batchSerialNs, 1), fixed(km.batchNs, 1),
+                   fixed(batch_gain, 2) + "x",
+                   fixed(km.fetchReduction, 2) + "x"});
+        if (!sj_first)
+            sj << ",\n";
+        sj_first = false;
+        sj << "    {\n"
+           << "      \"name\": \"" << simd::kernelName(km.kernel)
+           << "\",\n"
+           << "      \"perkey_ns_per_key\": " << fixed(km.perKeyNs, 2)
+           << ",\n"
+           << "      \"group_ns_per_key\": " << fixed(km.groupNs, 2)
+           << ",\n"
+           << "      \"group_speedup_vs_scalar_perkey\": "
+           << fixed(group_gain, 2) << ",\n"
+           << "      \"batch_serial_ns_per_key\": "
+           << fixed(km.batchSerialNs, 2) << ",\n"
+           << "      \"batch_ns_per_key\": " << fixed(km.batchNs, 2)
+           << ",\n"
+           << "      \"batch_speedup\": " << fixed(batch_gain, 2)
+           << ",\n"
+           << "      \"fetch_reduction\": "
+           << fixed(km.fetchReduction, 2) << "\n    }";
+    }
+    sj << "\n  ]\n}\n";
+    kt.print(std::cout);
+    std::cout << "\nresult streams: group and batch checksums identical "
+                 "to the per-key path on every kernel\n";
+
+    std::ofstream sout(simd_json_path);
+    sout << sj.str();
+    sout.close();
+    std::cout << "wrote " << simd_json_path << "\n";
+
+    if (!simd_baseline_path.empty()) {
+        std::ifstream in(simd_baseline_path);
+        if (!in) {
+            std::cout << "FAIL: cannot read baseline "
+                      << simd_baseline_path << "\n";
+            return 1;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const std::string base = buf.str();
+        const std::string current = sj.str();
+        std::cout << "\n--- simd baseline check (max regression "
+                  << fixed(max_regression, 2) << "x vs "
+                  << simd_baseline_path << ") ---\n";
+        for (const KernelMeasurement &km : kms) {
+            const std::string name = simd::kernelName(km.kernel);
+            const double ref =
+                baselineField(base, name, "group_ns_per_key");
+            const double cur =
+                baselineField(current, name, "group_ns_per_key");
+            if (ref <= 0.0) {
+                std::cout << "FAIL: no baseline entry for " << name
+                          << "\n";
+                rc = 1;
+                continue;
+            }
+            const double ratio = cur / ref;
+            const bool ok = ratio <= max_regression;
+            std::cout << (ok ? "ok  " : "FAIL") << "  " << name
+                      << " group: " << fixed(cur, 1)
+                      << " ns vs baseline " << fixed(ref, 1) << " ns ("
+                      << fixed(ratio, 2) << "x)\n";
+            if (!ok)
+                rc = 1;
+        }
+    }
+
+    if (!scalar_km ||
+        std::find(kernels_to_run.begin(), kernels_to_run.end(),
+                  simd::MatchKernel::Avx2) == kernels_to_run.end()) {
+        std::cout << "\nskip: AVX2 >= 2x group-match gate needs both "
+                     "the scalar and avx2 kernels in the sweep\n";
+    } else if (avx2_group_speedup >= 2.0) {
+        std::cout << "\nPASS: avx2 multi-key group match "
+                  << fixed(avx2_group_speedup, 2)
+                  << "x vs scalar per-key (>= 2x target)\n";
+    } else {
+        std::cout << "\nFAIL: avx2 multi-key group match "
+                  << fixed(avx2_group_speedup, 2)
+                  << "x vs scalar per-key (< 2x target)\n";
         rc = 1;
     }
     return rc;

@@ -5,10 +5,15 @@
 # times slower than the baseline fails the script, as does losing the
 # 5x speedup target on the 144-bit ternary workload.
 #
-# The baseline was measured on the CI host; re-capture it after an
+# The kernel sweep section additionally gates the AVX2 multi-key group
+# match at >= 2x over the scalar per-key path and compares each
+# kernel's group ns/key against the SIMD baseline.
+#
+# The baselines were measured on the CI host; re-capture them after an
 # intentional perf change with:
 #   build/bench/micro_match_path 100000 \
-#       --json bench/baselines/BENCH_match_path.baseline.json
+#       --json bench/baselines/BENCH_match_path.baseline.json \
+#       --simd-json bench/baselines/BENCH_simd_batch.baseline.json
 #
 # Usage: scripts/ci_bench_smoke.sh [build-dir]   (default build)
 set -euo pipefail
@@ -16,6 +21,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 BASELINE="bench/baselines/BENCH_match_path.baseline.json"
+SIMD_BASELINE="bench/baselines/BENCH_simd_batch.baseline.json"
 MAX_REGRESSION="${MAX_REGRESSION:-2.0}"
 LOOKUPS="${LOOKUPS:-100000}"
 
@@ -25,4 +31,6 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path
 "$BUILD_DIR"/bench/micro_match_path "$LOOKUPS" \
     --json "$BUILD_DIR"/BENCH_match_path.json \
     --baseline "$BASELINE" \
+    --simd-json "$BUILD_DIR"/BENCH_simd_batch.json \
+    --simd-baseline "$SIMD_BASELINE" \
     --max-regression "$MAX_REGRESSION"

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # ThreadSanitizer gate for the concurrency layer: builds with
 # -DCARAM_TSAN=ON and runs the concurrent-queue and parallel-engine
-# tests under TSan.  Any data race fails the script.
+# tests under TSan.  The Engine suite includes the batched multi-key
+# pipeline tests (Engine.Batched*), so worker-side group execution and
+# flush-around-mutation paths are raced too.  Any data race fails the
+# script.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default build-tsan)
 set -euo pipefail

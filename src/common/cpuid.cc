@@ -1,0 +1,135 @@
+#include "common/cpuid.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace caram::simd {
+
+namespace {
+
+/** Override slot: -1 = none, else static_cast<int>(MatchKernel). */
+std::atomic<int> g_override{-1};
+
+bool
+cpuSupports(MatchKernel kernel)
+{
+#if defined(CARAM_X86_SIMD)
+    switch (kernel) {
+      case MatchKernel::Scalar:
+        return true;
+      case MatchKernel::Avx2:
+        return __builtin_cpu_supports("avx2");
+      case MatchKernel::Avx512:
+        // The 512-bit kernel uses only AVX-512F instructions (gathers,
+        // variable shifts, mask compares).
+        return __builtin_cpu_supports("avx512f");
+    }
+    return false;
+#else
+    return kernel == MatchKernel::Scalar;
+#endif
+}
+
+/** CARAM_MATCH_KERNEL parsed once; nullopt = unset/auto/garbage. */
+std::optional<MatchKernel>
+envKernel()
+{
+    static const std::optional<MatchKernel> parsed = [] {
+        const char *env = std::getenv("CARAM_MATCH_KERNEL");
+        if (!env)
+            return std::optional<MatchKernel>{};
+        const std::optional<MatchKernel> k = parseKernelName(env);
+        if (!k && std::string(env) != "auto")
+            warn(strprintf("CARAM_MATCH_KERNEL=%s not understood; "
+                           "using auto selection",
+                           env));
+        return k;
+    }();
+    return parsed;
+}
+
+MatchKernel
+clampToAvailable(MatchKernel wanted)
+{
+    if (kernelAvailable(wanted))
+        return wanted;
+    const MatchKernel best = bestAvailableKernel();
+    warn(strprintf("match kernel %s unavailable on this host/build; "
+                   "falling back to %s",
+                   kernelName(wanted), kernelName(best)));
+    return best;
+}
+
+} // namespace
+
+const char *
+kernelName(MatchKernel kernel)
+{
+    switch (kernel) {
+      case MatchKernel::Scalar:
+        return "scalar";
+      case MatchKernel::Avx2:
+        return "avx2";
+      case MatchKernel::Avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+std::ostream &
+operator<<(std::ostream &os, MatchKernel kernel)
+{
+    return os << kernelName(kernel);
+}
+
+std::optional<MatchKernel>
+parseKernelName(const std::string &name)
+{
+    if (name == "scalar")
+        return MatchKernel::Scalar;
+    if (name == "avx2")
+        return MatchKernel::Avx2;
+    if (name == "avx512")
+        return MatchKernel::Avx512;
+    return std::nullopt;
+}
+
+bool
+kernelAvailable(MatchKernel kernel)
+{
+    return cpuSupports(kernel);
+}
+
+MatchKernel
+bestAvailableKernel()
+{
+    if (cpuSupports(MatchKernel::Avx512))
+        return MatchKernel::Avx512;
+    if (cpuSupports(MatchKernel::Avx2))
+        return MatchKernel::Avx2;
+    return MatchKernel::Scalar;
+}
+
+MatchKernel
+activeMatchKernel()
+{
+    const int forced = g_override.load(std::memory_order_acquire);
+    if (forced >= 0)
+        return clampToAvailable(static_cast<MatchKernel>(forced));
+    if (const auto env = envKernel())
+        return clampToAvailable(*env);
+    return bestAvailableKernel();
+}
+
+void
+setMatchKernelOverride(std::optional<MatchKernel> kernel)
+{
+    g_override.store(kernel ? static_cast<int>(*kernel) : -1,
+                     std::memory_order_release);
+}
+
+} // namespace caram::simd

@@ -1,0 +1,75 @@
+#ifndef CARAM_COMMON_CPUID_H_
+#define CARAM_COMMON_CPUID_H_
+
+/**
+ * @file
+ * Runtime CPU-feature detection and match-kernel selection.
+ *
+ * The host-side match processor has three interchangeable comparator
+ * kernels (see core/match_kernels.h): the portable scalar packed path,
+ * an AVX2 variant comparing 4 slots of a bucket concurrently, and an
+ * AVX-512 variant comparing 8.  Which one runs is decided here, once,
+ * from three inputs in priority order:
+ *
+ *   1. a programmatic override (setMatchKernelOverride -- tests and the
+ *      micro benchmark force specific kernels through this),
+ *   2. the CARAM_MATCH_KERNEL environment variable
+ *      ("scalar" | "avx2" | "avx512" | "auto"),
+ *   3. CPU capability probing (best available kernel).
+ *
+ * A forced kernel the CPU cannot execute (or that was compiled out with
+ * -DCARAM_SIMD=OFF) is clamped down to the best runnable one with a
+ * warning rather than crashing: a config file shared between machines
+ * must not take down the weaker host.
+ *
+ * The selection is sampled by MatchProcessor at construction, so
+ * changing the override affects subsequently built slices, not live
+ * ones -- which is exactly what the differential tests want (build a
+ * slice per kernel, replay one stream through all of them).
+ */
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace caram::simd {
+
+/** The comparator kernels the match processor can dispatch to. */
+enum class MatchKernel
+{
+    Scalar, ///< portable 64-bit packed path (always available)
+    Avx2,   ///< 4 slots per pass, 256-bit gathers/compares
+    Avx512, ///< 8 slots per pass, 512-bit gathers, mask registers
+};
+
+/** Human-readable kernel name ("scalar" / "avx2" / "avx512"). */
+const char *kernelName(MatchKernel kernel);
+
+/** Streams kernelName() (also names gtest parameterizations). */
+std::ostream &operator<<(std::ostream &os, MatchKernel kernel);
+
+/** Parse a kernel name; std::nullopt for "auto" or unknown strings. */
+std::optional<MatchKernel> parseKernelName(const std::string &name);
+
+/** True when the CPU can run @p kernel and it was compiled in. */
+bool kernelAvailable(MatchKernel kernel);
+
+/** The widest kernel this host can run (Scalar when SIMD is off). */
+MatchKernel bestAvailableKernel();
+
+/**
+ * The kernel new MatchProcessors will use: the override if set, else
+ * the CARAM_MATCH_KERNEL environment variable, else the best available
+ * -- always clamped to an available kernel.
+ */
+MatchKernel activeMatchKernel();
+
+/**
+ * Force (or with std::nullopt, release) the kernel selection.  Takes
+ * effect for MatchProcessors constructed afterwards.
+ */
+void setMatchKernelOverride(std::optional<MatchKernel> kernel);
+
+} // namespace caram::simd
+
+#endif // CARAM_COMMON_CPUID_H_

@@ -149,15 +149,15 @@ Database::insertDetailed(const Record &record, int priority)
     return out;
 }
 
-SearchResult
-Database::search(const Key &search_key)
+void
+Database::mergeOverflow(const Key &search_key, SearchResult &result,
+                        uint64_t &overflow_fetches)
 {
-    checkAccessible();
-    SearchResult result = slice_->search(search_key);
     if (overflowSlice_) {
         // Overflow slice searched in parallel: latency is the larger
         // of the two paths.
         SearchResult ov = overflowSlice_->search(search_key);
+        overflow_fetches += ov.bucketsAccessed;
         result.bucketsAccessed =
             std::max(result.bucketsAccessed, ov.bucketsAccessed);
         if (ov.hit) {
@@ -171,16 +171,16 @@ Database::search(const Key &search_key)
                 result.bucketsAccessed = accesses;
             }
         }
-        return result;
+        return;
     }
     if (!overflow_)
-        return result;
+        return;
 
     // The victim TCAM is searched simultaneously; it costs no extra
     // memory access.
     const cam::CamSearchResult ov = overflow_->search(search_key);
     if (!ov.hit)
-        return result;
+        return;
     const bool take_overflow =
         !result.hit ||
         (slice_->config().lpm &&
@@ -193,7 +193,31 @@ Database::search(const Key &search_key)
         result.data = ov.data;
         result.key = ov.key;
     }
+}
+
+SearchResult
+Database::search(const Key &search_key)
+{
+    checkAccessible();
+    SearchResult result = slice_->search(search_key);
+    uint64_t unused = 0;
+    mergeOverflow(search_key, result, unused);
     return result;
+}
+
+uint64_t
+Database::searchBatch(const Key *const *keys, unsigned n,
+                      SearchResult *out)
+{
+    checkAccessible();
+    uint64_t fetches = slice_->searchBatch(keys, n, out);
+    if (overflow_ || overflowSlice_) {
+        // The overflow area is searched per key (it is small and keyed
+        // independently); its slice accesses are genuine row fetches.
+        for (unsigned i = 0; i < n; ++i)
+            mergeOverflow(*keys[i], out[i], fetches);
+    }
+    return fetches;
 }
 
 unsigned

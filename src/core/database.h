@@ -126,6 +126,16 @@ class Database
     /** Search the CA-RAM (and the overflow TCAM, in parallel). */
     SearchResult search(const Key &search_key);
 
+    /**
+     * Batched lookup: out[i] identical to search(*keys[i]) for every
+     * key (see CaRamSlice::searchBatch for the grouping and fallback
+     * rules).  Returns the row fetches the batched execution performs
+     * -- the amortized cost the batch cost model charges, as opposed to
+     * the serial-equivalent per-key bucketsAccessed in @p out.
+     */
+    uint64_t searchBatch(const Key *const *keys, unsigned n,
+                         SearchResult *out);
+
     /** Remove all copies of @p key; returns the number removed. */
     unsigned erase(const Key &key);
 
@@ -195,6 +205,12 @@ class Database
   private:
     /** Throws when the database is not accessible. */
     void checkAccessible() const;
+
+    /** Fold the parallel overflow area's verdict into @p result (the
+     *  shared tail of search()/searchBatch()); adds any overflow-slice
+     *  row accesses to @p overflow_fetches. */
+    void mergeOverflow(const Key &search_key, SearchResult &result,
+                       uint64_t &overflow_fetches);
 
     DatabaseConfig cfg;
     std::unique_ptr<CaRamSlice> slice_;

@@ -1,0 +1,138 @@
+#ifndef CARAM_CORE_MATCH_KERNELS_H_
+#define CARAM_CORE_MATCH_KERNELS_H_
+
+/**
+ * @file
+ * The interchangeable comparator kernels behind MatchProcessor's packed
+ * search path.
+ *
+ * The hardware match processor compares every slot of the fetched row
+ * against the expanded search key simultaneously (paper section 3.3,
+ * "the search key is compared against the keys fetched from the
+ * accessed row in parallel").  The host-side rendition evaluates one
+ * *group* of slots per kernel call:
+ *
+ *   - scalar: one slot at a time, 64-bit XOR+AND with per-word early
+ *     exit (the PR-2 path; always available, the portable fallback)
+ *   - AVX2: a slot's value field is a contiguous bit range of the row,
+ *     so its up-to-4 aligned words come from two overlapping 256-bit
+ *     loads plus a uniform shift -- one XOR+AND compares 4 row words,
+ *     with no data-dependent branches until the per-slot verdict
+ *   - AVX-512: the same windowing with 512-bit registers, halving the
+ *     loads; a ternary slot's adjacent value+care fields (<= 224-bit
+ *     keys) share one window, with the care words realigned by a lane
+ *     permute instead of extra loads
+ *
+ * A kernel call answers "which of these (up to 8) slots are valid and
+ * ternary-match the packed key" as a lane bitmask -- the caller owns
+ * priority encoding, LPM ranking and extraction, which keeps the three
+ * kernels bit-identical by construction everywhere above this line.
+ *
+ * The SIMD kernels carry per-function target attributes, so the file
+ * compiles without -mavx2/-mavx512f and the binary stays runnable on
+ * hosts without those ISA extensions; runtime dispatch (common/cpuid.h)
+ * picks the widest kernel the executing CPU supports.
+ */
+
+#include <cstdint>
+
+#include "common/cpuid.h"
+
+namespace caram::core::kernels {
+
+/** Maximum lanes any kernel consumes per call (a whole group of slots
+ *  is evaluated per invocation, so per-call setup -- loading the packed
+ *  key into vector registers, the function-pointer dispatch -- is
+ *  amortized across the group). */
+inline constexpr unsigned kMaxLanes = 16;
+
+/** One group evaluation: up to kMaxLanes slots of one bucket. */
+struct GroupArgs
+{
+    /** Packed row words (guarded storage: a 512-bit load starting at
+     *  any in-row word is safe, see mem::MemoryArray::kGuardWords). */
+    const uint64_t *row;
+    /** Packed search value words; readable for 4 words (pack() pads),
+     *  meaningful in [0, keyWords). */
+    const uint64_t *value;
+    /** Packed search care words, same padding (double as the key-width
+     *  mask -- the padding words are zero). */
+    const uint64_t *care;
+    /**
+     * Per-lane bit positions of the lanes' value fields within the row.
+     * Must be readable for kMaxLanes entries (MatchProcessor pads its
+     * table); lanes beyond the group are excluded via validMask.
+     */
+    const uint64_t *slotBitBase;
+    /** Lane l set = lane l's slot holds a record (and is a real slot). */
+    uint32_t validMask;
+    unsigned keyWords; ///< ceil(keyBits / 64)
+    unsigned keyBits;  ///< logical key width (stored care sits this far up)
+    bool ternary;      ///< stored keys carry their own care mask
+};
+
+/**
+ * Evaluate one group: returns the bitmask of lanes whose slot is valid
+ * and whose stored key ternary-matches the packed search key.
+ */
+using GroupMatchFn = uint32_t (*)(const GroupArgs &args);
+
+/** Slots a group call of @p kernel evaluates (currently kMaxLanes for
+ *  every kernel; callers must not assume a constant). */
+unsigned kernelLanes(simd::MatchKernel kernel);
+
+/** Keys a multi-key evaluation compares per call. */
+inline constexpr unsigned kMaxGroupKeys = 8;
+
+/**
+ * Multi-key evaluation: up to kMaxLanes slots of one bucket against up
+ * to kMaxGroupKeys packed keys at once.  This is the batched pipeline's
+ * inner loop: when several lookups share a home row, each slot's row
+ * words are fetched once and compared against every key's pattern
+ * simultaneously -- the SIMD lanes hold *keys* here, so the row fetch,
+ * the shift alignment and the loop overhead are all amortized across
+ * the group.
+ */
+struct MultiKeyArgs
+{
+    /** Packed row words (same guard guarantees as GroupArgs). */
+    const uint64_t *row;
+    /** Per-lane slot bit positions, padded as in GroupArgs. */
+    const uint64_t *slotBitBase;
+    /** Lane l set = slot lane l holds a record. */
+    uint32_t validMask;
+    /**
+     * Transposed key patterns: word w of key k at [w * kMaxGroupKeys
+     * + k], for keyWords words.  Lanes of absent keys (beyond the
+     * group size) must be zero-filled; they are masked via keyMask.
+     */
+    const uint64_t *keyValueT;
+    const uint64_t *keyCareT; ///< same layout; doubles as width mask
+    /** Key lane k set = lane k holds a real key of the group. */
+    uint32_t keyMask;
+    unsigned keyWords;
+    unsigned keyBits;
+    bool ternary;
+};
+
+/**
+ * Evaluate the group: out[l] receives the bitmask of key lanes whose
+ * pattern ternary-matches slot lane l (0 for invalid slots; bits
+ * outside keyMask are never set).  out must hold kMaxLanes entries.
+ */
+using MultiKeyMatchFn = void (*)(const MultiKeyArgs &args,
+                                 uint32_t out[kMaxLanes]);
+
+/** The multi-key evaluator for @p kernel (scalar fallback as above). */
+MultiKeyMatchFn multiKeyMatchFn(simd::MatchKernel kernel);
+
+/**
+ * The evaluator for @p kernel.  The caller must only request kernels
+ * that are available (simd::kernelAvailable); asking for a compiled-out
+ * kernel returns the scalar evaluator.
+ */
+GroupMatchFn groupMatchFn(simd::MatchKernel kernel);
+
+} // namespace caram::core::kernels
+
+#endif // CARAM_CORE_MATCH_KERNELS_H_

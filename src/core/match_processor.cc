@@ -1,5 +1,6 @@
 #include "core/match_processor.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "cam/priority_encoder.h"
@@ -29,7 +30,10 @@ MatchProcessor::MatchProcessor(const SliceConfig &config) : cfg(&config)
     const unsigned kb = cfg->logicalKeyBits;
     const unsigned slots = cfg->slotsPerBucket;
     keyWords = static_cast<unsigned>(ceilDiv(kb, 64));
-    slotBitBase.resize(slots);
+    // Padded so a SIMD group load starting at any real slot stays inside
+    // the table; the pad lanes are excluded via the group's validMask
+    // (base 0 keeps even an unconditional pad-lane gather inside the row).
+    slotBitBase.assign(slots + kernels::kMaxLanes, 0);
     validWord.resize(slots);
     validShift.resize(slots);
     for (unsigned s = 0; s < slots; ++s) {
@@ -42,6 +46,11 @@ MatchProcessor::MatchProcessor(const SliceConfig &config) : cfg(&config)
     widthMask.assign(keyWords, ~uint64_t{0});
     if (kb % 64 != 0)
         widthMask[keyWords - 1] = maskBits(kb % 64);
+
+    kernel_ = simd::activeMatchKernel();
+    groupFn_ = kernels::groupMatchFn(kernel_);
+    multiKeyFn_ = kernels::multiKeyMatchFn(kernel_);
+    lanes_ = kernels::kernelLanes(kernel_);
 }
 
 void
@@ -50,8 +59,11 @@ MatchProcessor::pack(const Key &search, PackedKey &out) const
     if (search.bits() != cfg->logicalKeyBits)
         fatal("search key width does not match the slice configuration");
     out.key = search;
-    out.value.resize(keyWords);
-    out.careMask.resize(keyWords);
+    // Padded to Key::kWords so the SIMD kernels can load the buffers as
+    // one full vector; the zero care padding masks the junk a row
+    // window carries past the key width.
+    out.value.assign(Key::kWords, 0);
+    out.careMask.assign(Key::kWords, 0);
     // Key words are normalized (care and value zero beyond the width),
     // so the careMask doubles as the width mask for gathered row words.
     const auto vw = search.valueWords();
@@ -89,6 +101,213 @@ MatchProcessor::slotMatchesRaw(const uint64_t *row, unsigned s,
     return true;
 }
 
+uint32_t
+MatchProcessor::groupValidMask(const uint64_t *row, unsigned start,
+                               unsigned width) const
+{
+    const unsigned end =
+        std::min(start + width, cfg->slotsPerBucket);
+    uint32_t mask = 0;
+    for (unsigned s = start; s < end; ++s) {
+        mask |= static_cast<uint32_t>(slotValidRaw(row, s))
+                << (s - start);
+    }
+    return mask;
+}
+
+uint32_t
+MatchProcessor::groupMatchMask(const uint64_t *row, unsigned start,
+                               const PackedKey &packed) const
+{
+    const uint32_t valid = groupValidMask(row, start, lanes_);
+    if (!valid)
+        return 0;
+    kernels::GroupArgs args;
+    args.row = row;
+    args.value = packed.value.data();
+    args.care = packed.careMask.data();
+    args.slotBitBase = slotBitBase.data() + start;
+    args.validMask = valid;
+    args.keyWords = keyWords;
+    args.keyBits = cfg->logicalKeyBits;
+    args.ternary = cfg->ternary;
+    return groupFn_(args);
+}
+
+void
+MatchProcessor::packGroup(const PackedKey *const *keys, unsigned n,
+                          PackedKeyGroup &out) const
+{
+    if (n > kernels::kMaxGroupKeys)
+        fatal("packGroup: group exceeds kMaxGroupKeys");
+    // Only the first keyWords transposed words are ever read by the
+    // kernels, so only those need their absent lanes zeroed -- this
+    // runs once per group per chain walk, so avoid touching the full
+    // kWords-sized arrays.
+    for (unsigned w = 0; w < keyWords; ++w) {
+        uint64_t *vrow = out.valueT.data() + w * kernels::kMaxGroupKeys;
+        uint64_t *crow = out.careT.data() + w * kernels::kMaxGroupKeys;
+        for (unsigned k = 0; k < n; ++k) {
+            vrow[k] = keys[k]->value[w];
+            crow[k] = keys[k]->careMask[w];
+        }
+        for (unsigned k = n; k < kernels::kMaxGroupKeys; ++k) {
+            vrow[k] = 0;
+            crow[k] = 0;
+        }
+    }
+    for (unsigned k = 0; k < n; ++k)
+        out.keys[k] = keys[k];
+    for (unsigned k = n; k < kernels::kMaxGroupKeys; ++k)
+        out.keys[k] = nullptr;
+    out.size = n;
+    out.keyMask = (n >= 32) ? ~0u : ((1u << n) - 1);
+}
+
+void
+MatchProcessor::multiKeyMatchMask(const uint64_t *row, unsigned start,
+                                  const PackedKeyGroup &group,
+                                  uint32_t keyMask,
+                                  uint32_t out[kernels::kMaxLanes]) const
+{
+    // The multi-key kernels scalar-loop the slot dimension, so one call
+    // covers a full kMaxLanes-slot window regardless of vector width.
+    const uint32_t valid = groupValidMask(row, start, kernels::kMaxLanes);
+    if (!valid || !keyMask) {
+        std::fill_n(out, kernels::kMaxLanes, 0u);
+        return;
+    }
+    kernels::MultiKeyArgs args;
+    args.row = row;
+    args.slotBitBase = slotBitBase.data() + start;
+    args.validMask = valid;
+    args.keyValueT = group.valueT.data();
+    args.keyCareT = group.careT.data();
+    args.keyMask = keyMask;
+    args.keyWords = keyWords;
+    args.keyBits = cfg->logicalKeyBits;
+    args.ternary = cfg->ternary;
+    multiKeyFn_(args, out);
+}
+
+void
+MatchProcessor::searchBucketKeys(const BucketView &bucket,
+                                 const PackedKeyGroup &group,
+                                 uint32_t aliveMask, BucketMatch *out) const
+{
+    aliveMask &= group.keyMask;
+    if (!aliveMask)
+        return;
+    if (kernel_ == simd::MatchKernel::Scalar) {
+        // The scalar kernel gains nothing from key batching (the row
+        // words would be re-gathered per key anyway); reuse the
+        // single-key path, which is the semantic definition.
+        for (uint32_t m = aliveMask; m; m &= m - 1) {
+            const unsigned k =
+                static_cast<unsigned>(std::countr_zero(m));
+            out[k] = searchBucketPacked(bucket, *group.keys[k]);
+        }
+        return;
+    }
+    const uint64_t *row = bucket.rowData();
+    int first[kernels::kMaxGroupKeys];
+    bool multiple[kernels::kMaxGroupKeys];
+    for (unsigned k = 0; k < kernels::kMaxGroupKeys; ++k) {
+        first[k] = -1;
+        multiple[k] = false;
+    }
+    // Keys drop out of `pending` once their verdict is final (a second
+    // match seen), which shrinks the kernel's key set as the row scan
+    // proceeds -- mirroring the serial path's early break.
+    uint32_t pending = aliveMask;
+    uint32_t masks[kernels::kMaxLanes];
+    for (unsigned g = 0; g < cfg->slotsPerBucket && pending;
+         g += kernels::kMaxLanes) {
+        multiKeyMatchMask(row, g, group, pending, masks);
+        const unsigned end =
+            std::min(kernels::kMaxLanes, cfg->slotsPerBucket - g);
+        for (unsigned l = 0; l < end; ++l) {
+            for (uint32_t km = masks[l] & pending; km; km &= km - 1) {
+                const unsigned k =
+                    static_cast<unsigned>(std::countr_zero(km));
+                if (first[k] < 0) {
+                    first[k] = static_cast<int>(g + l);
+                } else {
+                    multiple[k] = true;
+                    pending &= ~(1u << k);
+                }
+            }
+        }
+    }
+    for (uint32_t m = aliveMask; m; m &= m - 1) {
+        const unsigned k = static_cast<unsigned>(std::countr_zero(m));
+        out[k] = first[k] < 0
+                     ? BucketMatch{}
+                     : extract(bucket, static_cast<unsigned>(first[k]),
+                               multiple[k]);
+    }
+}
+
+void
+MatchProcessor::searchBucketBestKeys(const BucketView &bucket,
+                                     const PackedKeyGroup &group,
+                                     uint32_t aliveMask,
+                                     BucketMatch *out) const
+{
+    aliveMask &= group.keyMask;
+    if (!aliveMask)
+        return;
+    if (kernel_ == simd::MatchKernel::Scalar) {
+        for (uint32_t m = aliveMask; m; m &= m - 1) {
+            const unsigned k =
+                static_cast<unsigned>(std::countr_zero(m));
+            out[k] = searchBucketBestPacked(bucket, *group.keys[k]);
+        }
+        return;
+    }
+    const uint64_t *row = bucket.rowData();
+    int best[kernels::kMaxGroupKeys];
+    unsigned bestPop[kernels::kMaxGroupKeys];
+    unsigned matches[kernels::kMaxGroupKeys];
+    for (unsigned k = 0; k < kernels::kMaxGroupKeys; ++k) {
+        best[k] = -1;
+        bestPop[k] = 0;
+        matches[k] = 0;
+    }
+    uint32_t masks[kernels::kMaxLanes];
+    for (unsigned g = 0; g < cfg->slotsPerBucket;
+         g += kernels::kMaxLanes) {
+        multiKeyMatchMask(row, g, group, aliveMask, masks);
+        const unsigned end =
+            std::min(kernels::kMaxLanes, cfg->slotsPerBucket - g);
+        for (unsigned l = 0; l < end; ++l) {
+            uint32_t km = masks[l];
+            if (!km)
+                continue;
+            const unsigned s = g + l;
+            // The ranking popcount depends only on the slot's stored
+            // care, so it is shared across every key matching here.
+            const unsigned pop = storedCarePopcount(row, s);
+            for (; km; km &= km - 1) {
+                const unsigned k =
+                    static_cast<unsigned>(std::countr_zero(km));
+                ++matches[k];
+                if (best[k] < 0 || pop > bestPop[k]) {
+                    best[k] = static_cast<int>(s);
+                    bestPop[k] = pop;
+                }
+            }
+        }
+    }
+    for (uint32_t m = aliveMask; m; m &= m - 1) {
+        const unsigned k = static_cast<unsigned>(std::countr_zero(m));
+        out[k] = best[k] < 0
+                     ? BucketMatch{}
+                     : extract(bucket, static_cast<unsigned>(best[k]),
+                               matches[k] > 1);
+    }
+}
+
 unsigned
 MatchProcessor::storedCarePopcount(const uint64_t *row, unsigned s) const
 {
@@ -111,14 +330,29 @@ MatchProcessor::searchBucketPacked(const BucketView &bucket,
     const uint64_t *row = bucket.rowData();
     int first = -1;
     bool multiple = false;
-    for (unsigned s = 0; s < cfg->slotsPerBucket; ++s) {
-        if (!slotValidRaw(row, s) || !slotMatchesRaw(row, s, packed))
-            continue;
-        if (first < 0) {
-            first = static_cast<int>(s);
-        } else {
-            multiple = true;
-            break;
+    if (kernel_ == simd::MatchKernel::Scalar) {
+        for (unsigned s = 0; s < cfg->slotsPerBucket; ++s) {
+            if (!slotValidRaw(row, s) || !slotMatchesRaw(row, s, packed))
+                continue;
+            if (first < 0) {
+                first = static_cast<int>(s);
+            } else {
+                multiple = true;
+                break;
+            }
+        }
+    } else {
+        for (unsigned g = 0; g < cfg->slotsPerBucket && !multiple;
+             g += lanes_) {
+            uint32_t mask = groupMatchMask(row, g, packed);
+            if (!mask)
+                continue;
+            if (first < 0) {
+                first = static_cast<int>(
+                    g + static_cast<unsigned>(std::countr_zero(mask)));
+                mask &= mask - 1; // a second lane here = multiple
+            }
+            multiple = mask != 0;
         }
     }
     if (first < 0)
@@ -134,14 +368,30 @@ MatchProcessor::searchBucketBestPacked(const BucketView &bucket,
     int best = -1;
     unsigned best_pop = 0;
     unsigned matches = 0;
-    for (unsigned s = 0; s < cfg->slotsPerBucket; ++s) {
-        if (!slotValidRaw(row, s) || !slotMatchesRaw(row, s, packed))
-            continue;
-        ++matches;
-        const unsigned pop = storedCarePopcount(row, s);
-        if (best < 0 || pop > best_pop) {
-            best = static_cast<int>(s);
-            best_pop = pop;
+    if (kernel_ == simd::MatchKernel::Scalar) {
+        for (unsigned s = 0; s < cfg->slotsPerBucket; ++s) {
+            if (!slotValidRaw(row, s) || !slotMatchesRaw(row, s, packed))
+                continue;
+            ++matches;
+            const unsigned pop = storedCarePopcount(row, s);
+            if (best < 0 || pop > best_pop) {
+                best = static_cast<int>(s);
+                best_pop = pop;
+            }
+        }
+    } else {
+        for (unsigned g = 0; g < cfg->slotsPerBucket; g += lanes_) {
+            for (uint32_t mask = groupMatchMask(row, g, packed); mask;
+                 mask &= mask - 1) {
+                const unsigned s =
+                    g + static_cast<unsigned>(std::countr_zero(mask));
+                ++matches;
+                const unsigned pop = storedCarePopcount(row, s);
+                if (best < 0 || pop > best_pop) {
+                    best = static_cast<int>(s);
+                    best_pop = pop;
+                }
+            }
         }
     }
     if (best < 0)
@@ -163,9 +413,16 @@ MatchProcessor::countMatches(const BucketView &bucket,
 {
     const uint64_t *row = bucket.rowData();
     unsigned matched = 0;
-    for (unsigned s = 0; s < cfg->slotsPerBucket; ++s) {
-        if (slotValidRaw(row, s) && slotMatchesRaw(row, s, packed))
-            ++matched;
+    if (kernel_ == simd::MatchKernel::Scalar) {
+        for (unsigned s = 0; s < cfg->slotsPerBucket; ++s) {
+            if (slotValidRaw(row, s) && slotMatchesRaw(row, s, packed))
+                ++matched;
+        }
+    } else {
+        for (unsigned g = 0; g < cfg->slotsPerBucket; g += lanes_) {
+            matched += static_cast<unsigned>(
+                std::popcount(groupMatchMask(row, g, packed)));
+        }
     }
     return matched;
 }

@@ -35,14 +35,26 @@
  *    the original per-slot comparison through BucketView accessors,
  *    kept as the oracle the differential tests check the fast path
  *    against.
+ *
+ * The word-parallel path itself dispatches between comparator kernels
+ * (core/match_kernels.h): the scalar per-slot loop, an AVX2 kernel
+ * evaluating 4 slots per pass, and an AVX-512 kernel evaluating 8.
+ * The kernel is sampled once at construction (common/cpuid.h), so a
+ * processor never changes kernels mid-lifetime; rebuilding the slice
+ * (or the processor) picks up a changed override/environment.  All
+ * kernels feed the same priority-encode/LPM/extract logic, which keeps
+ * them bit-identical above the match vector by construction.
  */
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "common/cpuid.h"
 #include "common/key.h"
 #include "core/bucket.h"
 #include "core/config.h"
+#include "core/match_kernels.h"
 
 namespace caram::core {
 
@@ -110,6 +122,62 @@ class MatchProcessor
                           const PackedKey &packed) const;
 
     /**
+     * A group of up to kernels::kMaxGroupKeys packed keys sharing one
+     * bucket access, stored transposed (word-major, key lanes adjacent)
+     * so the multi-key kernels load one vector of "word w of every key".
+     * The batched search pipeline builds one group per shared home row;
+     * the embedded arrays keep steady-state grouping allocation-free.
+     */
+    struct PackedKeyGroup
+    {
+        /** keyValueT[w * kMaxGroupKeys + k] = word w of key k's value;
+         *  absent key lanes are zero in the first keyWords words (words
+         *  past keyWords are never read by the kernels and packGroup
+         *  leaves them untouched). */
+        alignas(64) std::array<uint64_t,
+                               Key::kWords * kernels::kMaxGroupKeys>
+            valueT{};
+        /** Same layout for the care words (zero lanes never match a
+         *  nonzero diff, but absent lanes are still masked out). */
+        alignas(64) std::array<uint64_t,
+                               Key::kWords * kernels::kMaxGroupKeys>
+            careT{};
+        /** The grouped keys, for extraction and serial fallbacks. */
+        std::array<const PackedKey *, kernels::kMaxGroupKeys> keys{};
+        unsigned size = 0;   ///< keys in the group
+        uint32_t keyMask = 0; ///< (1 << size) - 1
+    };
+
+    /**
+     * Transpose @p n packed keys (<= kernels::kMaxGroupKeys) into
+     * @p out.  The pointed-to PackedKeys must outlive the group.
+     */
+    void packGroup(const PackedKey *const *keys, unsigned n,
+                   PackedKeyGroup &out) const;
+
+    /**
+     * Batched form of searchBucketPacked: out[k] receives, for every
+     * key lane k set in @p aliveMask, exactly what
+     * searchBucketPacked(bucket, *group.keys[k]) would return.  Lanes
+     * outside aliveMask are left untouched.  One row traversal serves
+     * the whole group.
+     */
+    void searchBucketKeys(const BucketView &bucket,
+                          const PackedKeyGroup &group, uint32_t aliveMask,
+                          BucketMatch *out) const;
+
+    /**
+     * Batched form of searchBucketBestPacked (longest-prefix ranking),
+     * with the same per-lane contract as searchBucketKeys.
+     */
+    void searchBucketBestKeys(const BucketView &bucket,
+                              const PackedKeyGroup &group,
+                              uint32_t aliveMask, BucketMatch *out) const;
+
+    /** The comparator kernel this processor dispatched to at build. */
+    simd::MatchKernel kernel() const { return kernel_; }
+
+    /**
      * Steps 1+2 of the reference path: the per-slot match vector.  A
      * slot is set when it is valid and its stored key ternary-matches
      * the search key.
@@ -156,16 +224,38 @@ class MatchProcessor
                         const PackedKey &packed) const;
     unsigned storedCarePopcount(const uint64_t *row, unsigned s) const;
 
+    /** Valid bits of the lanes_ slots starting at @p start, as a lane
+     *  bitmask (lanes past the last slot read as invalid). */
+    /** Valid bits of the @p width slots starting at @p start. */
+    uint32_t groupValidMask(const uint64_t *row, unsigned start,
+                            unsigned width) const;
+
+    /** All lanes' match bits for the group starting at @p start. */
+    uint32_t groupMatchMask(const uint64_t *row, unsigned start,
+                            const PackedKey &packed) const;
+
+    /** Per-slot key-match masks for lanes_ slots starting at @p start:
+     *  out[l] = key lanes (within keyMask) matching slot start+l. */
+    void multiKeyMatchMask(const uint64_t *row, unsigned start,
+                           const PackedKeyGroup &group, uint32_t keyMask,
+                           uint32_t out[kernels::kMaxLanes]) const;
+
     const SliceConfig *cfg;
 
     // Row-layout tables derived from the configuration once: per slot,
     // the bit position of its value field and its valid bit's
     // word/shift; per key word, the mask of bits inside the key width.
     unsigned keyWords = 0; ///< ceil(logicalKeyBits / 64)
-    std::vector<uint64_t> slotBitBase;
+    std::vector<uint64_t> slotBitBase; ///< padded to kMaxLanes past slots
     std::vector<uint32_t> validWord;
     std::vector<uint8_t> validShift;
     std::vector<uint64_t> widthMask; ///< [keyWords]
+
+    // Comparator kernel, sampled once at construction.
+    simd::MatchKernel kernel_ = simd::MatchKernel::Scalar;
+    kernels::GroupMatchFn groupFn_ = nullptr;
+    kernels::MultiKeyMatchFn multiKeyFn_ = nullptr;
+    unsigned lanes_ = 1; ///< slots per group call of the active kernel
 };
 
 } // namespace caram::core

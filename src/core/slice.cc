@@ -1,6 +1,7 @@
 #include "core/slice.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/bitops.h"
 #include "common/logging.h"
@@ -167,19 +168,20 @@ CaRamSlice::insert(const Record &record)
 }
 
 bool
-CaRamSlice::searchChain(uint64_t home, const Key &search_key,
+CaRamSlice::searchChain(uint64_t home,
+                        const MatchProcessor::PackedKey &packed,
                         SearchResult &best, std::vector<uint64_t> *trace)
 {
     const unsigned reach = bucket(home).reach();
     for (unsigned d = 0; d <= reach; ++d) {
-        const uint64_t row = probeRow(home, d, search_key);
+        const uint64_t row = probeRow(home, d, packed.key);
         ++best.bucketsAccessed;
         if (trace)
             trace->push_back(row);
         BucketView b = bucket(row);
         const BucketMatch m = cfg.lpm
-            ? matcher.searchBucketBestPacked(b, packedKey_)
-            : matcher.searchBucketPacked(b, packedKey_);
+            ? matcher.searchBucketBestPacked(b, packed)
+            : matcher.searchBucketPacked(b, packed);
         if (!m.hit)
             continue;
         if (!cfg.lpm) {
@@ -216,7 +218,7 @@ CaRamSlice::search(const Key &search_key)
     // A search key with don't-care bits in hash positions must access
     // every candidate bucket (section 4, "Discussions").
     for (uint64_t home : homeRowsInto(search_key)) {
-        if (searchChain(home, search_key, best, nullptr))
+        if (searchChain(home, packedKey_, best, nullptr))
             break; // non-LPM first hit
     }
     accessCount += best.bucketsAccessed;
@@ -231,11 +233,181 @@ CaRamSlice::searchTraced(const Key &search_key,
     SearchResult best;
     matcher.pack(search_key, packedKey_);
     for (uint64_t home : homeRowsInto(search_key)) {
-        if (searchChain(home, search_key, best, &rows_accessed))
+        if (searchChain(home, packedKey_, best, &rows_accessed))
             break;
     }
     accessCount += best.bucketsAccessed;
     return best;
+}
+
+uint64_t
+CaRamSlice::searchGroupChain(uint64_t home, unsigned reach,
+                             const uint32_t *idx, unsigned group_size,
+                             SearchResult *out)
+{
+    auto &sc = batch_;
+    const MatchProcessor::PackedKey *ptrs[kernels::kMaxGroupKeys];
+    for (unsigned k = 0; k < group_size; ++k)
+        ptrs[k] = &sc.packed[idx[k]];
+    matcher.packGroup(ptrs, group_size, sc.group);
+
+    uint64_t fetches = 0;
+    if (!cfg.lpm) {
+        // Keys leave the group on their first hit, exactly where the
+        // serial chain walk would stop counting accesses for them.
+        uint32_t alive = sc.group.keyMask;
+        for (unsigned d = 0; d <= reach && alive; ++d) {
+            // The probe row is key-independent on this path (d == 0, or
+            // Linear probing) -- any group member's key works.
+            const uint64_t row = probeRow(home, d, ptrs[0]->key);
+            ++fetches;
+            for (uint32_t m = alive; m; m &= m - 1)
+                ++out[idx[std::countr_zero(m)]].bucketsAccessed;
+            matcher.searchBucketKeys(bucket(row), sc.group, alive,
+                                     sc.groupOut.data());
+            for (uint32_t m = alive; m; m &= m - 1) {
+                const unsigned k =
+                    static_cast<unsigned>(std::countr_zero(m));
+                const BucketMatch &bm = sc.groupOut[k];
+                if (!bm.hit)
+                    continue;
+                SearchResult &r = out[idx[k]];
+                r.hit = true;
+                r.multipleMatch = bm.multipleMatch;
+                r.row = row;
+                r.slot = bm.slot;
+                r.data = bm.data;
+                r.key = bm.key;
+                alive &= ~(1u << k);
+            }
+        }
+    } else {
+        // LPM: every key walks the whole chain, keeping its best match
+        // by specified-bit count (same merge as searchChain).
+        for (unsigned d = 0; d <= reach; ++d) {
+            const uint64_t row = probeRow(home, d, ptrs[0]->key);
+            ++fetches;
+            for (unsigned k = 0; k < group_size; ++k)
+                ++out[idx[k]].bucketsAccessed;
+            matcher.searchBucketBestKeys(bucket(row), sc.group,
+                                         sc.group.keyMask,
+                                         sc.groupOut.data());
+            for (unsigned k = 0; k < group_size; ++k) {
+                const BucketMatch &bm = sc.groupOut[k];
+                if (!bm.hit)
+                    continue;
+                SearchResult &r = out[idx[k]];
+                const unsigned pop = bm.key.carePopcount();
+                if (!r.hit || pop > r.key.carePopcount()) {
+                    r.hit = true;
+                    r.multipleMatch = bm.multipleMatch;
+                    r.row = row;
+                    r.slot = bm.slot;
+                    r.data = bm.data;
+                    r.key = bm.key;
+                }
+            }
+        }
+    }
+    return fetches;
+}
+
+uint64_t
+CaRamSlice::searchBatchChunk(const Key *const *keys, unsigned n,
+                             SearchResult *out)
+{
+    auto &sc = batch_;
+    uint64_t fetches = 0;
+    unsigned groupable = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        ++searchCount;
+        out[i] = SearchResult{};
+        matcher.pack(*keys[i], sc.packed[i]);
+        const auto &homes = homeRowsInto(*keys[i]);
+        if (homes.size() == 1) {
+            sc.home[i] = homes[0];
+            sc.order[groupable++] = i;
+            continue;
+        }
+        // Don't-care bits in hash positions: the key must access every
+        // candidate bucket -- serial walk, identical to search().
+        for (uint64_t home : homes) {
+            if (searchChain(home, sc.packed[i], out[i], nullptr))
+                break;
+        }
+        fetches += out[i].bucketsAccessed;
+        accessCount += out[i].bucketsAccessed;
+    }
+
+    // Group single-home keys by home bucket; ties keep submission order
+    // so a group's first-hit bookkeeping mirrors the serial stream.
+    std::sort(sc.order.begin(), sc.order.begin() + groupable,
+              [&sc](uint32_t a, uint32_t b) {
+                  return sc.home[a] != sc.home[b] ? sc.home[a] < sc.home[b]
+                                                  : a < b;
+              });
+    unsigned pos = 0;
+    while (pos < groupable) {
+        const uint64_t home = sc.home[sc.order[pos]];
+        unsigned end = pos + 1;
+        while (end < groupable && sc.home[sc.order[end]] == home)
+            ++end;
+        const unsigned reach = bucket(home).reach();
+        // SecondHash probe rows depend on the key, so a chain that
+        // leaves the home bucket cannot be shared.
+        const bool shareable =
+            cfg.probe != ProbePolicy::SecondHash || reach == 0;
+        if (!shareable || end - pos == 1) {
+            for (unsigned j = pos; j < end; ++j) {
+                const unsigned i = sc.order[j];
+                searchChain(home, sc.packed[i], out[i], nullptr);
+                fetches += out[i].bucketsAccessed;
+                accessCount += out[i].bucketsAccessed;
+            }
+        } else {
+            for (unsigned j = pos; j < end;
+                 j += kernels::kMaxGroupKeys) {
+                const unsigned gsz = std::min(
+                    kernels::kMaxGroupKeys, end - j);
+                fetches += searchGroupChain(home, reach,
+                                            sc.order.data() + j, gsz,
+                                            out);
+                for (unsigned k = 0; k < gsz; ++k) {
+                    accessCount +=
+                        out[sc.order[j + k]].bucketsAccessed;
+                }
+            }
+        }
+        pos = end;
+    }
+    return fetches;
+}
+
+uint64_t
+CaRamSlice::searchBatch(const Key *const *keys, unsigned n,
+                        SearchResult *out)
+{
+    uint64_t fetches = 0;
+    for (unsigned off = 0; off < n; off += kMaxBatch) {
+        const unsigned chunk = std::min(kMaxBatch, n - off);
+        fetches += searchBatchChunk(keys + off, chunk, out + off);
+    }
+    return fetches;
+}
+
+uint64_t
+CaRamSlice::searchBatch(std::span<const Key> keys, SearchResult *out)
+{
+    uint64_t fetches = 0;
+    std::array<const Key *, kMaxBatch> ptrs;
+    for (std::size_t off = 0; off < keys.size(); off += kMaxBatch) {
+        const unsigned chunk = static_cast<unsigned>(
+            std::min<std::size_t>(kMaxBatch, keys.size() - off));
+        for (unsigned i = 0; i < chunk; ++i)
+            ptrs[i] = &keys[off + i];
+        fetches += searchBatchChunk(ptrs.data(), chunk, out + off);
+    }
+    return fetches;
 }
 
 bool

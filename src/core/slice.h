@@ -14,8 +14,10 @@
  * composition is carried separately for the cost and timing models.
  */
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/bucket.h"
@@ -98,6 +100,35 @@ class CaRamSlice
     SearchResult searchTraced(const Key &search_key,
                               std::vector<uint64_t> &rows_accessed);
 
+    /** Keys one searchBatch() chunk groups (scratch sizing). */
+    static constexpr unsigned kMaxBatch = 32;
+
+    /**
+     * Batched lookup: out[i] receives exactly what search(keys[i])
+     * would return (bit-identical results and per-key bucketsAccessed;
+     * the search counters advance as if the calls were serial).
+     *
+     * Keys sharing a home bucket are matched as a *group* against each
+     * fetched row -- the multi-key comparator compares one row fetch
+     * against every key of the group simultaneously, the way the
+     * hardware's match processors amortize a row access across parallel
+     * comparators.  Keys whose probe rows are key-dependent (SecondHash
+     * chains past the home bucket) or that hash to multiple candidate
+     * buckets fall back to the serial chain walk, preserving exact
+     * equivalence.
+     *
+     * Returns the number of row fetches the batched execution performs:
+     * a row matched for a whole group counts once, while the serial
+     * path would fetch it once per key.  (Per-key bucketsAccessed in
+     * @p out still reports the serial-equivalent count -- the fetch
+     * count is the batched cost model's input.)
+     */
+    uint64_t searchBatch(const Key *const *keys, unsigned n,
+                         SearchResult *out);
+
+    /** Convenience overload over a contiguous key array. */
+    uint64_t searchBatch(std::span<const Key> keys, SearchResult *out);
+
     /**
      * Massive data evaluation (paper section 1: the "decoupled match
      * logic can be easily extended to implement more advanced
@@ -174,8 +205,21 @@ class CaRamSlice
 
     /** Search one home bucket chain with the packed search key;
      *  updates @p best under LPM. */
-    bool searchChain(uint64_t home, const Key &search_key,
+    bool searchChain(uint64_t home, const MatchProcessor::PackedKey &packed,
                      SearchResult &best, std::vector<uint64_t> *trace);
+
+    /** One chunk (n <= kMaxBatch) of searchBatch(); returns fetches. */
+    uint64_t searchBatchChunk(const Key *const *keys, unsigned n,
+                              SearchResult *out);
+
+    /**
+     * Walk one shared probe chain for a group of same-home keys
+     * (d-th row identical for every key: Linear/None probing, or a
+     * zero-reach home).  Returns the row fetches performed.
+     */
+    uint64_t searchGroupChain(uint64_t home, unsigned reach,
+                              const uint32_t *idx, unsigned group_size,
+                              SearchResult *out);
 
     /** Remove one copy homed at @p home; returns true when found. */
     bool eraseAt(uint64_t home, const Key &key);
@@ -193,6 +237,19 @@ class CaRamSlice
     // parallel engine gives each database to exactly one worker).
     MatchProcessor::PackedKey packedKey_;
     std::vector<uint64_t> homesScratch;
+
+    /** searchBatch() scratch, sized once: per-key packed templates and
+     *  grouping tables for one chunk, plus the transposed key group.
+     *  Same single-owner rule as the scratch above. */
+    struct BatchScratch
+    {
+        std::array<MatchProcessor::PackedKey, kMaxBatch> packed;
+        std::array<uint64_t, kMaxBatch> home;
+        std::array<uint32_t, kMaxBatch> order;
+        MatchProcessor::PackedKeyGroup group;
+        std::array<BucketMatch, kernels::kMaxGroupKeys> groupOut;
+    };
+    BatchScratch batch_;
 
     // Placement statistics.
     std::vector<uint32_t> homeDemandPerBucket;

@@ -8,16 +8,12 @@
 
 namespace caram::engine {
 
-namespace {
-
 /** A request travelling through a worker queue, stamped at enqueue. */
-struct Job
+struct ParallelSearchEngine::Job
 {
     core::PortRequest request;
     std::chrono::steady_clock::time_point enqueued;
 };
-
-} // namespace
 
 /** Per-port result stream and instrumentation. */
 struct ParallelSearchEngine::PortState
@@ -34,6 +30,9 @@ struct ParallelSearchEngine::Worker
     sim::ConcurrentBoundedQueue<Job> queue;
     /** Busy cycles of this worker's modeled input controller. */
     uint64_t modeledCycles = 0;
+    /** Batched-run scratch (sized once, reused across runs). */
+    std::vector<const Key *> keyPtrs;
+    std::vector<core::SearchResult> batchResults;
 };
 
 ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
@@ -77,24 +76,11 @@ ParallelSearchEngine::start()
 }
 
 void
-ParallelSearchEngine::execute(
-    const core::PortRequest &request,
-    std::chrono::steady_clock::time_point enqueued, unsigned worker_index)
+ParallelSearchEngine::finishResponse(
+    core::PortResponse resp,
+    std::chrono::steady_clock::time_point enqueued)
 {
-    core::PortResponse resp =
-        core::executePortRequest(sys->database(request.port), request);
-
-    // Modeled cost: the lookup occupies this worker's bank for n_mem
-    // cycles per bucket accessed (probe chains are sequential); every
-    // request costs at least one access slot.
-    const uint64_t accesses = std::max(1u, resp.bucketsAccessed);
-    const uint64_t cycles =
-        accesses * std::max(1u, cfg.timing.minCycleGap);
-
-    PortState &port = *ports[request.port];
-    port.stats.modeledCycles += cycles;
-    workers[worker_index]->modeledCycles += cycles;
-
+    PortState &port = *ports[resp.port];
     ++port.stats.completed;
     if (resp.hit)
         ++port.stats.hits;
@@ -125,6 +111,78 @@ ParallelSearchEngine::execute(
 }
 
 void
+ParallelSearchEngine::execute(
+    const core::PortRequest &request,
+    std::chrono::steady_clock::time_point enqueued, unsigned worker_index)
+{
+    core::PortResponse resp =
+        core::executePortRequest(sys->database(request.port), request);
+
+    // Modeled cost: the lookup occupies this worker's bank for n_mem
+    // cycles per bucket accessed (probe chains are sequential); every
+    // request costs at least one access slot.
+    const uint64_t accesses = std::max(1u, resp.bucketsAccessed);
+    const uint64_t cycles =
+        accesses * std::max(1u, cfg.timing.minCycleGap);
+
+    PortState &port = *ports[request.port];
+    port.stats.modeledCycles += cycles;
+    workers[worker_index]->modeledCycles += cycles;
+
+    finishResponse(std::move(resp), enqueued);
+}
+
+void
+ParallelSearchEngine::executeSearchRun(const Job *jobs, std::size_t count,
+                                       unsigned worker_index)
+{
+    const unsigned port_no = jobs[0].request.port;
+    core::Database &db = sys->database(port_no);
+    if (db.powerState() != core::PowerState::Active) {
+        // Retained database: fall back to the serial path, which
+        // produces the per-request error responses.
+        for (std::size_t i = 0; i < count; ++i)
+            execute(jobs[i].request, jobs[i].enqueued, worker_index);
+        return;
+    }
+
+    Worker &self = *workers[worker_index];
+    self.keyPtrs.clear();
+    for (std::size_t i = 0; i < count; ++i)
+        self.keyPtrs.push_back(&jobs[i].request.key);
+    if (self.batchResults.size() < count)
+        self.batchResults.resize(count);
+    const uint64_t fetches =
+        db.searchBatch(self.keyPtrs.data(), static_cast<unsigned>(count),
+                       self.batchResults.data());
+
+    // Modeled cost of the whole run: the bank is occupied once per
+    // *distinct* row fetch -- a row matched for a whole group of keys
+    // cost one access where the serial controller would pay one per
+    // key.  This is the batched pipeline's bandwidth claim, and the
+    // per-response bucketsAccessed below still reports the
+    // serial-equivalent counts for the AMAL statistics.
+    const uint64_t cycles = std::max<uint64_t>(1, fetches) *
+                            std::max(1u, cfg.timing.minCycleGap);
+    PortState &port = *ports[port_no];
+    port.stats.modeledCycles += cycles;
+    self.modeledCycles += cycles;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const core::SearchResult &r = self.batchResults[i];
+        core::PortResponse resp;
+        resp.tag = jobs[i].request.tag;
+        resp.port = port_no;
+        resp.op = core::PortOp::Search;
+        resp.hit = r.hit;
+        resp.data = r.data;
+        resp.key = r.key;
+        resp.bucketsAccessed = r.bucketsAccessed;
+        finishResponse(std::move(resp), jobs[i].enqueued);
+    }
+}
+
+void
 ParallelSearchEngine::noteCompletion()
 {
     if (inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -139,9 +197,30 @@ ParallelSearchEngine::workerMain(unsigned index)
     Worker &self = *workers[index];
     std::vector<Job> batch;
     while (self.queue.popBatch(batch, cfg.drainBatch) > 0) {
-        for (const Job &job : batch) {
-            execute(job.request, job.enqueued, index);
-            noteCompletion();
+        std::size_t i = 0;
+        while (i < batch.size()) {
+            // Extend a run of same-port searches up to batchSize; any
+            // other request (or a port change) flushes the run, so
+            // mutations never reorder against the searches around them.
+            std::size_t j = i;
+            if (cfg.batchSize > 1 &&
+                batch[i].request.op == core::PortOp::Search) {
+                while (j + 1 < batch.size() &&
+                       j + 1 - i < cfg.batchSize &&
+                       batch[j + 1].request.op == core::PortOp::Search &&
+                       batch[j + 1].request.port ==
+                           batch[i].request.port)
+                    ++j;
+            }
+            if (j > i) {
+                executeSearchRun(batch.data() + i, j - i + 1, index);
+                for (std::size_t k = i; k <= j; ++k)
+                    noteCompletion();
+            } else {
+                execute(batch[i].request, batch[i].enqueued, index);
+                noteCompletion();
+            }
+            i = j + 1;
         }
     }
 }

@@ -62,6 +62,19 @@ struct EngineConfig
     mem::MemTiming timing = mem::MemTiming::embeddedDram();
     /** Max requests a worker pops per lock acquisition. */
     std::size_t drainBatch = 64;
+    /**
+     * Multi-key batch width: a worker executes up to this many
+     * *consecutive same-port Search* requests from its popped batch as
+     * one Database::searchBatch call -- same-home keys then share row
+     * fetches (and the SIMD multi-key comparator), and the modeled cost
+     * charges the bank once per *distinct* row fetch instead of once
+     * per key.  Result streams and per-request bucketsAccessed stay
+     * bit-identical to serial execution; a non-Search request or a port
+     * change flushes the run.  1 disables batching (serial execution,
+     * the default); ignored in inline mode (workers == 0), which
+     * executes at submit time.
+     */
+    std::size_t batchSize = 1;
 };
 
 /** Per-port instrumentation (single-writer: the port's owning worker,
@@ -156,10 +169,18 @@ class ParallelSearchEngine
     struct PortState;
     struct Worker;
 
+    struct Job;
+
     void workerMain(unsigned index);
     void execute(const core::PortRequest &request,
                  std::chrono::steady_clock::time_point enqueued,
                  unsigned worker_index);
+    /** Execute @p count same-port Search jobs as one batched lookup. */
+    void executeSearchRun(const Job *jobs, std::size_t count,
+                          unsigned worker_index);
+    /** Publish one finished response: stats, latency, result stream. */
+    void finishResponse(core::PortResponse resp,
+                        std::chrono::steady_clock::time_point enqueued);
     void noteCompletion();
 
     core::CaRamSubsystem *sys;

@@ -1,0 +1,59 @@
+#ifndef CARAM_MEM_ALIGNED_ALLOC_H_
+#define CARAM_MEM_ALIGNED_ALLOC_H_
+
+/**
+ * @file
+ * Minimal over-aligned allocator for containers whose buffers are read
+ * with vector loads (the match kernels fetch 256/512-bit windows from
+ * row storage).  Alignment is a template parameter so the container
+ * type records the guarantee.
+ */
+
+#include <cstddef>
+#include <new>
+
+namespace caram::mem {
+
+template <typename T, std::size_t Align>
+struct AlignedAllocator
+{
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "alignment must be a power of two covering alignof(T)");
+
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    friend bool
+    operator==(const AlignedAllocator &, const AlignedAllocator &)
+    {
+        return true;
+    }
+};
+
+} // namespace caram::mem
+
+#endif // CARAM_MEM_ALIGNED_ALLOC_H_

@@ -14,9 +14,12 @@ MemoryArray::MemoryArray(uint64_t rows, uint64_t row_bits)
 {
     if (rows == 0 || row_bits == 0)
         fatal("memory array dimensions must be nonzero");
-    // One trailing guard word: rowData() readers may fetch one word
-    // past the last row's last word when extracting unaligned fields.
-    storage.assign(numRows * rowWords + 1, 0);
+    // Trailing guard words: rowData() readers may fetch a full vector
+    // window starting at any in-row word (see kGuardWords).
+    storage.assign(numRows * rowWords + kGuardWords, 0);
+    assert(reinterpret_cast<uintptr_t>(storage.data()) %
+               kStorageAlignment ==
+           0);
 }
 
 void

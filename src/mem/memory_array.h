@@ -17,12 +17,27 @@
 #include <span>
 #include <vector>
 
+#include "mem/aligned_alloc.h"
+
 namespace caram::mem {
 
 /** A 2-D bit array: rows x row_bits, stored packed in 64-bit words. */
 class MemoryArray
 {
   public:
+    /** Row storage starts on a 64-byte boundary (one cache line / one
+     *  AVX-512 register), so vector loads of row windows never split
+     *  more cache lines than the data itself spans. */
+    static constexpr std::size_t kStorageAlignment = 64;
+
+    /**
+     * Trailing guard words: rowData() readers may fetch a full 512-bit
+     * window whose first word is the last word of the last row, so up
+     * to 7 words past the allocation's data end must stay readable
+     * (and zero).  Eight keeps the math simple and the storage aligned.
+     */
+    static constexpr std::size_t kGuardWords = 8;
+
     /**
      * @param rows     number of rows (buckets)
      * @param row_bits bits per row (the paper's C)
@@ -52,9 +67,10 @@ class MemoryArray
     /**
      * Raw pointer to the packed words of @p row -- the zero-overhead
      * access the word-parallel match path compares against in place.
-     * The storage ends with one guard word, so readers may fetch one
-     * word past a row's last word (e.g. a care field extracted at an
-     * unaligned offset) without leaving the allocation.
+     * The storage ends with kGuardWords guard words, so readers may
+     * fetch a 256/512-bit window starting at any in-row word (an
+     * unaligned care field, a SIMD kernel's row window) without
+     * leaving the allocation.
      */
     const uint64_t *
     rowData(uint64_t row) const
@@ -82,7 +98,8 @@ class MemoryArray
     uint64_t numRows;
     uint64_t bitsPerRow;
     uint64_t rowWords;
-    std::vector<uint64_t> storage;
+    std::vector<uint64_t, AlignedAllocator<uint64_t, kStorageAlignment>>
+        storage;
 };
 
 } // namespace caram::mem

@@ -7,15 +7,19 @@
  * scratch (MatchProcessor::PackedKey), gathers candidate home rows into
  * a reused scratch vector, and compares raw row words in place -- so
  * after a warm-up lookup has sized the scratch, search(), searchTraced()
- * (with a reserved trace vector), countMatching() and the candidate
- * expansion of ternary keys with don't-care hash bits must all be
- * allocation-free.  Counted with a global operator new/delete hook.
+ * (with a reserved trace vector), searchBatch() (which additionally
+ * groups keys out of the per-slice BatchScratch), countMatching() and
+ * the candidate expansion of ternary keys with don't-care hash bits must
+ * all be allocation-free.  Counted with a global operator new/delete
+ * hook.
  */
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -221,6 +225,62 @@ TEST(SearchNoAlloc, TracedSearchWithReservedTrace)
             trace.clear();
             f.slice->searchTraced(f.keys[i % f.keys.size()], trace);
         }
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(SearchNoAlloc, BatchedSearchLoop)
+{
+    // The batched path (pack, group by home, multi-key compare) runs
+    // entirely out of the per-slice BatchScratch.
+    Fixture f(144, true, false);
+    std::array<SearchResult, 64> out;
+    const uint64_t n = allocationsIn([&] {
+        std::array<const Key *, 64> ptrs;
+        for (int iter = 0; iter < 40; ++iter) {
+            for (unsigned i = 0; i < 64; ++i)
+                ptrs[i] =
+                    &f.keys[(iter * 64 + i * 3) % f.keys.size()];
+            f.slice->searchBatch(ptrs.data(), 64, out.data());
+        }
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(SearchNoAlloc, BatchedWildcardHashBitsLoop)
+{
+    // Multi-home keys take the serial fallback inside the batch; that
+    // path must stay scratch-only too.
+    Fixture f(65, true, false);
+    std::vector<Key> wild = f.keys;
+    for (Key &k : wild) {
+        for (unsigned p = 0; p < 3; ++p)
+            k.setBitAt(p, false, false);
+    }
+    std::array<SearchResult, 32> out;
+    const uint64_t n = allocationsIn([&] {
+        for (int iter = 0; iter < 40; ++iter) {
+            const unsigned base = (iter * 7) % wild.size();
+            std::array<const Key *, 32> ptrs;
+            for (unsigned i = 0; i < 32; ++i)
+                ptrs[i] = &wild[(base + i) % wild.size()];
+            f.slice->searchBatch(ptrs.data(), 32, out.data());
+        }
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(SearchNoAlloc, BatchedLpmSpanLoop)
+{
+    Fixture f(64, true, true);
+    std::array<SearchResult, 48> out;
+    std::vector<Key> stream;
+    for (unsigned i = 0; i < 48; ++i)
+        stream.push_back(f.keys[(i * 5) % f.keys.size()]);
+    const uint64_t n = allocationsIn([&] {
+        for (int iter = 0; iter < 40; ++iter)
+            f.slice->searchBatch(std::span<const Key>(stream),
+                                 out.data());
     });
     EXPECT_EQ(n, 0u);
 }

@@ -28,6 +28,37 @@ TEST(MemoryArray, RejectsZeroDimensions)
     EXPECT_THROW(MemoryArray(8, 0), caram::FatalError);
 }
 
+TEST(MemoryArray, StorageIsCacheLineAligned)
+{
+    // The SIMD match kernels issue 256/512-bit loads of row windows;
+    // row 0 must start on a kStorageAlignment boundary in every shape.
+    static_assert(MemoryArray::kStorageAlignment >= 64);
+    for (uint64_t row_bits : {1u, 63u, 64u, 100u, 513u, 4096u}) {
+        MemoryArray m(16, row_bits);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(m.rowData(0)) %
+                      MemoryArray::kStorageAlignment,
+                  0u)
+            << "row_bits " << row_bits;
+    }
+}
+
+TEST(MemoryArray, GuardWordsReadableAndZeroPastLastRow)
+{
+    // Vector readers may fetch a full 512-bit window whose first word
+    // is the *last* word of the last row; the trailing guard region
+    // keeps that in-allocation and all-zero (no phantom matches).
+    static_assert(MemoryArray::kGuardWords >= 7);
+    MemoryArray m(4, 130); // 3 words per row
+    for (uint64_t r = 0; r < 4; ++r) {
+        for (uint64_t w = 0; w < m.wordsPerRow(); ++w)
+            m.storeWord(r * m.wordsPerRow() + w, ~uint64_t{0});
+    }
+    const uint64_t *last = m.rowData(3) + m.wordsPerRow() - 1;
+    EXPECT_EQ(*last, ~uint64_t{0});
+    for (std::size_t g = 1; g <= 7; ++g)
+        EXPECT_EQ(last[g], 0u) << "guard word " << g;
+}
+
 TEST(MemoryArray, BitFieldRoundTrip)
 {
     MemoryArray m(4, 256);
