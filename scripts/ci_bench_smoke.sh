@@ -9,11 +9,21 @@
 # match at >= 2x over the scalar per-key path and compares each
 # kernel's group ns/key against the SIMD baseline.
 #
+# The bulk-ingest section runs ext_bulk_ingest, which self-gates on
+# the modeled row-op reduction (>= 4x on bursty traffic), on batched
+# search staying within 5% of serial on uniform traffic, and on
+# bit-identity of batched results; its row-op reduction is also
+# compared against the checked-in baseline.  Wall-clock speedup gates
+# are opt-in via CARAM_BENCH_WALL=1 because the CI host's LLC swallows
+# the working set (the numbers print as info lines either way).
+#
 # The baselines were measured on the CI host; re-capture them after an
 # intentional perf change with:
 #   build/bench/micro_match_path 100000 \
 #       --json bench/baselines/BENCH_match_path.baseline.json \
 #       --simd-json bench/baselines/BENCH_simd_batch.baseline.json
+#   build/bench/ext_bulk_ingest \
+#       --json bench/baselines/BENCH_bulk_ingest.baseline.json
 #
 # Usage: scripts/ci_bench_smoke.sh [build-dir]   (default build)
 set -euo pipefail
@@ -22,11 +32,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 BASELINE="bench/baselines/BENCH_match_path.baseline.json"
 SIMD_BASELINE="bench/baselines/BENCH_simd_batch.baseline.json"
+INGEST_BASELINE="bench/baselines/BENCH_bulk_ingest.baseline.json"
 MAX_REGRESSION="${MAX_REGRESSION:-2.0}"
 LOOKUPS="${LOOKUPS:-100000}"
 
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path ext_bulk_ingest
 
 "$BUILD_DIR"/bench/micro_match_path "$LOOKUPS" \
     --json "$BUILD_DIR"/BENCH_match_path.json \
@@ -34,3 +45,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path
     --simd-json "$BUILD_DIR"/BENCH_simd_batch.json \
     --simd-baseline "$SIMD_BASELINE" \
     --max-regression "$MAX_REGRESSION"
+
+"$BUILD_DIR"/bench/ext_bulk_ingest \
+    --json "$BUILD_DIR"/BENCH_bulk_ingest.json \
+    --baseline "$INGEST_BASELINE"

@@ -3,8 +3,11 @@
 # -DCARAM_TSAN=ON and runs the concurrent-queue and parallel-engine
 # tests under TSan.  The Engine suite includes the batched multi-key
 # pipeline tests (Engine.Batched*), so worker-side group execution and
-# flush-around-mutation paths are raced too.  Any data race fails the
-# script.
+# flush-around-mutation paths are raced too, and the bulk-ingest tests
+# (Engine.BatchedIngestMatchesSerial, Engine.BulkLoadMatchesSerial*,
+# Engine.Rebuild*, Engine.AdaptiveBatch*) race worker-side insertBatch
+# runs, port-driven rebuilds, and the adaptive batch controller.  Any
+# data race fails the script.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default build-tsan)
 set -euo pipefail

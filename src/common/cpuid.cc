@@ -58,9 +58,14 @@ clampToAvailable(MatchKernel wanted)
     if (kernelAvailable(wanted))
         return wanted;
     const MatchKernel best = bestAvailableKernel();
-    warn(strprintf("match kernel %s unavailable on this host/build; "
-                   "falling back to %s",
-                   kernelName(wanted), kernelName(best)));
+    // Once per process, not per construction: activeMatchKernel() runs
+    // for every MatchProcessor (every slice), and a forced-but-missing
+    // kernel would otherwise spam one warning per database.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed))
+        warn(strprintf("match kernel %s unavailable on this host/build; "
+                       "falling back to %s",
+                       kernelName(wanted), kernelName(best)));
     return best;
 }
 

@@ -1,8 +1,10 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "tech/area_model.h"
 #include "tech/power_model.h"
 
@@ -146,6 +148,128 @@ Database::insertDetailed(const Record &record, int priority)
     out.copies = static_cast<unsigned>(placed.size());
     out.tcamCopies = needs_overflow ? 1 : 0;
     out.meanAccessCost = 1.0;
+    return out;
+}
+
+InsertBatchSummary
+Database::insertBatch(std::span<const Record> records,
+                      InsertOutcome *outcomes, const int *priorities)
+{
+    checkAccessible();
+    if (!overflow_ && !overflowSlice_)
+        return slice_->insertBatch(records, outcomes);
+    // Parallel overflow area: spills route through the overflow
+    // structures record-at-a-time; the summary still reports
+    // accept/fail so callers need not special-case the policy.
+    InsertBatchSummary sum;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const DetailedInsert d =
+            insertDetailed(records[i], priorities ? priorities[i] : 0);
+        if (d.ok)
+            ++sum.accepted;
+        else
+            ++sum.failed;
+        ++sum.fallbackRecords;
+        if (outcomes) {
+            outcomes[i].ok = d.ok;
+            outcomes[i].copies = d.copies + d.tcamCopies;
+            outcomes[i].maxDistance = d.maxDistance;
+        }
+    }
+    return sum;
+}
+
+bool
+Database::canRebuild() const
+{
+    if (cfg.overflow == OverflowPolicy::ParallelTcam)
+        return false;
+    if (cfg.overflow == OverflowPolicy::ParallelSlice)
+        return !slice_->config().ternary;
+    return true;
+}
+
+namespace {
+
+/** Strict weak order over records: raw key words, then data -- only
+ *  used to group identical stored copies during a rebuild. */
+bool
+recordBefore(const Record &a, const Record &b)
+{
+    const auto av = a.key.valueWords(), bv = b.key.valueWords();
+    for (std::size_t w = 0; w < av.size(); ++w) {
+        if (av[w] != bv[w])
+            return av[w] < bv[w];
+    }
+    const auto ac = a.key.careWords(), bc = b.key.careWords();
+    for (std::size_t w = 0; w < ac.size(); ++w) {
+        if (ac[w] != bc[w])
+            return ac[w] < bc[w];
+    }
+    return a.data < b.data;
+}
+
+} // namespace
+
+Database::RebuildSummary
+Database::rebuild()
+{
+    checkAccessible();
+    RebuildSummary out;
+    if (!canRebuild())
+        return out;
+
+    // Collect every stored copy from the raw rows (rollback residue has
+    // its valid bit cleared and is skipped here, so a rebuild also
+    // scrubs it).
+    std::vector<Record> copies;
+    auto collect = [&copies](CaRamSlice &s) {
+        for (uint64_t row = 0; row < s.config().rows(); ++row) {
+            BucketView b = s.bucket(row);
+            for (unsigned i = 0; i < b.slots(); ++i) {
+                if (b.slotValid(i))
+                    copies.push_back(Record{b.slotKey(i), b.slotData(i)});
+            }
+        }
+    };
+    collect(*slice_);
+    if (overflowSlice_)
+        collect(*overflowSlice_);
+    std::sort(copies.begin(), copies.end(), recordBefore);
+
+    // Reduce stored multiplicity to logical records: a record stored m
+    // times with c candidate homes was inserted m / c times.
+    std::vector<Record> todo;
+    todo.reserve(copies.size());
+    for (std::size_t i = 0; i < copies.size();) {
+        std::size_t j = i + 1;
+        while (j < copies.size() && !recordBefore(copies[i], copies[j]))
+            ++j;
+        const auto m = static_cast<uint64_t>(j - i);
+        const uint64_t per = overflowSlice_
+            ? 1
+            : static_cast<uint64_t>(
+                  slice_->homeRows(copies[i].key).size());
+        if (m % per != 0) {
+            // Only possible when the array was mutated behind the CAM
+            // interface (RAM-mode writes); keep every record.
+            warn(strprintf("rebuild of '%s': record multiplicity %llu "
+                           "is not a multiple of its %llu candidate "
+                           "homes",
+                           cfg.name.c_str(), (unsigned long long)m,
+                           (unsigned long long)per));
+        }
+        const uint64_t k = (m + per - 1) / per;
+        for (uint64_t t = 0; t < k; ++t)
+            todo.push_back(copies[i]);
+        i = j;
+    }
+
+    clear();
+    out.records = todo.size();
+    out.ingest = insertBatch(todo);
+    out.failedRecords = out.ingest.failed;
+    out.ok = out.ingest.failed == 0;
     return out;
 }
 

@@ -123,6 +123,53 @@ class Database
     /** insert() with placement detail. */
     DetailedInsert insertDetailed(const Record &record, int priority = 0);
 
+    /**
+     * Bulk insert: the contents end up identical to inserting the
+     * records one at a time, in order.  Probing databases take the
+     * row-ordered CaRamSlice::insertBatch fast path (one fetch + one
+     * writeback per distinct row); databases with a parallel overflow
+     * area place records one at a time through insertDetailed() --
+     * those records are counted in the summary's fallbackRecords.
+     * @p outcomes (length records.size()) receives per-record results;
+     * @p priorities, when given, supplies each record's multi-match
+     * priority for overflow-TCAM spills.
+     */
+    InsertBatchSummary insertBatch(std::span<const Record> records,
+                                   InsertOutcome *outcomes = nullptr,
+                                   const int *priorities = nullptr);
+
+    /** Outcome of one rebuild() pass. */
+    struct RebuildSummary
+    {
+        bool ok = false;            ///< ran and every record was re-placed
+        uint64_t records = 0;       ///< logical records re-ingested
+        uint64_t failedRecords = 0; ///< records that no longer fit
+        InsertBatchSummary ingest;  ///< bulk re-ingest accounting
+    };
+
+    /**
+     * True when the contents can be reconstructed from the slices
+     * alone: Probing always can (a record's duplicated copies are
+     * recovered by dividing its stored multiplicity by its
+     * candidate-home count -- exact because insert() is
+     * all-or-nothing); ParallelSlice only for binary keys (single
+     * home, so main and overflow multiplicities simply add);
+     * ParallelTcam never (TCAM entries and their multi-match
+     * priorities are not enumerable from outside).
+     */
+    bool canRebuild() const;
+
+    /**
+     * Repack after load-factor drift: collect every stored record,
+     * clear, and bulk re-ingest through insertBatch().  Erase-created
+     * slot holes close up and probe chains shorten; placements may
+     * move, but the searchable record set is preserved.  Returns
+     * ok == false without touching the contents when !canRebuild();
+     * a nonzero failedRecords means some records no longer fit (they
+     * are dropped -- check before relying on a rebuilt table).
+     */
+    RebuildSummary rebuild();
+
     /** Search the CA-RAM (and the overflow TCAM, in parallel). */
     SearchResult search(const Key &search_key);
 

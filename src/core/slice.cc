@@ -6,8 +6,24 @@
 #include "common/bitops.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "mem/prefetch.h"
 
 namespace caram::core {
+
+namespace {
+
+/** splitmix64 finalizer -- hashes row indices for the ingest row cache
+ *  (consecutive rows must not cluster in the open-addressed table). */
+inline uint64_t
+mixRow(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
 
 CaRamSlice::CaRamSlice(const SliceConfig &config,
                        std::unique_ptr<hash::IndexGenerator> index_gen)
@@ -167,6 +183,273 @@ CaRamSlice::insert(const Record &record)
     return summary;
 }
 
+InsertBatchSummary
+CaRamSlice::insertBatchChunk(const Record *records, unsigned n,
+                             InsertOutcome *outcomes)
+{
+    // Two phases.  *Simulate*: replay the serial insert() decisions in
+    // submission order against a row cache -- each distinct row is
+    // fetched once, and every slot choice, aux update, probe and
+    // rollback is resolved against the cached state, so the decisions
+    // are exactly the serial ones.  *Apply*: write the simulated
+    // placements row-at-a-time (sorted by row, submission order within
+    // a row) and patch each changed row's aux field once.  The final
+    // array is bit-identical to the serial loop -- including the
+    // key/data residue and unrestored reach a rolled-back insert()
+    // leaves behind -- while a row shared by many records is fetched
+    // and written back once instead of once per record.
+    InsertBatchSummary sum;
+    auto &ig = ingest_;
+    const unsigned slots = cfg.slotsPerBucket;
+    const unsigned mask_words = (slots + 63) / 64;
+    const unsigned max_d =
+        cfg.probe == ProbePolicy::None ? 0 : cfg.maxProbeDistance;
+
+    ig.row.clear();
+    ig.used.clear();
+    ig.reach.clear();
+    ig.usedAtFetch.clear();
+    ig.reachAtFetch.clear();
+    ig.dirty.clear();
+    ig.valid.clear();
+    ig.placements.clear();
+    if (ig.table.size() < 1024)
+        ig.table.assign(1024, -1);
+    else
+        std::fill(ig.table.begin(), ig.table.end(), -1);
+
+    // Software-prefetch pipeline: the chunk's home-row addresses are
+    // all computable before any row is needed (one hash per record, no
+    // memory touch), so the simulate loop below runs a bounded
+    // lookahead of prefetches ahead of itself -- the DRAM misses
+    // overlap instead of serializing behind one another (the
+    // record-at-a-time path's dependent-miss chain).  The lookahead is
+    // kept near the core's outstanding-miss capacity; prefetching the
+    // whole chunk up front would just evict its own tail.
+    constexpr unsigned kPrefetchAhead = 16;
+    constexpr uint64_t kNoPrefetch = ~uint64_t{0};
+    const uint64_t row_bytes = array_.wordsPerRow() * 8;
+    const uint64_t pf_bytes = std::min<uint64_t>(row_bytes, 256);
+    const uint64_t aux_byte =
+        static_cast<uint64_t>(slots) * cfg.slotBits() / 8;
+    ig.pfRow.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+        const Key &key = records[i].key;
+        ig.pfRow[i] =
+            key.bits() == cfg.logicalKeyBits && key.fullySpecified()
+                ? idxGen->index(key.valueWords(), key.bits())
+                : kNoPrefetch;
+    }
+    auto prefetchHome = [&](unsigned i) {
+        if (i >= n || ig.pfRow[i] == kNoPrefetch)
+            return;
+        const uint64_t *base = array_.rowData(ig.pfRow[i]);
+        mem::prefetchSpan(base, pf_bytes);
+        if (aux_byte >= pf_bytes)
+            mem::prefetchRead(reinterpret_cast<const char *>(base) +
+                              aux_byte);
+    };
+    for (unsigned i = 0; i < kPrefetchAhead && i < n; ++i)
+        prefetchHome(i);
+
+    auto rehash = [&ig] {
+        ig.table.assign(ig.table.size() * 2, -1);
+        const uint64_t mask = ig.table.size() - 1;
+        for (std::size_t e = 0; e < ig.row.size(); ++e) {
+            uint64_t pos = mixRow(ig.row[e]) & mask;
+            while (ig.table[pos] >= 0)
+                pos = (pos + 1) & mask;
+            ig.table[pos] = static_cast<int32_t>(e);
+        }
+    };
+    // Cache entry of @p row, fetching the row (aux + valid bits) on
+    // first touch.
+    auto touch = [&](uint64_t row) -> uint32_t {
+        uint64_t mask = ig.table.size() - 1;
+        uint64_t pos = mixRow(row) & mask;
+        while (ig.table[pos] >= 0) {
+            const auto e = static_cast<uint32_t>(ig.table[pos]);
+            if (ig.row[e] == row)
+                return e;
+            pos = (pos + 1) & mask;
+        }
+        const auto e = static_cast<uint32_t>(ig.row.size());
+        BucketView b = bucket(row);
+        ig.row.push_back(row);
+        ig.used.push_back(static_cast<uint16_t>(b.usedCount()));
+        ig.reach.push_back(static_cast<uint16_t>(b.reach()));
+        ig.usedAtFetch.push_back(ig.used.back());
+        ig.reachAtFetch.push_back(ig.reach.back());
+        ig.dirty.push_back(0);
+        for (unsigned w = 0; w < mask_words; ++w) {
+            uint64_t bits = 0;
+            const unsigned lim = std::min(slots - w * 64, 64u);
+            for (unsigned s = 0; s < lim; ++s)
+                bits |= uint64_t{b.slotValid(w * 64 + s)} << s;
+            ig.valid.push_back(bits);
+        }
+        ig.table[pos] = static_cast<int32_t>(e);
+        if ((ig.row.size() + 1) * 2 > ig.table.size())
+            rehash();
+        return e;
+    };
+    auto validBit = [&ig, mask_words](uint32_t e, unsigned s) {
+        return ((ig.valid[e * mask_words + s / 64] >> (s % 64)) & 1) != 0;
+    };
+    auto firstFree = [&ig, mask_words, slots](uint32_t e) -> int {
+        for (unsigned w = 0; w < mask_words; ++w) {
+            const unsigned lim = std::min(slots - w * 64, 64u);
+            uint64_t free_bits = ~ig.valid[e * mask_words + w];
+            if (lim < 64)
+                free_bits &= maskBits(lim);
+            if (free_bits)
+                return static_cast<int>(w * 64 +
+                                        std::countr_zero(free_bits));
+        }
+        return -1;
+    };
+
+    // Simulate, in submission order.
+    for (unsigned i = 0; i < n; ++i) {
+        prefetchHome(i + kPrefetchAhead);
+        const Record &rec = records[i];
+        const auto &homes = homeRowsInto(rec.key);
+        const auto copies = static_cast<unsigned>(homes.size());
+        if (copies > 1)
+            ++sum.multiHomeRecords;
+        const std::size_t first_placement = ig.placements.size();
+        bool ok = true;
+        unsigned max_dist = 0;
+        for (uint64_t home : homes) {
+            bool placed = false;
+            uint32_t home_entry = 0;
+            for (unsigned d = 0; d <= max_d; ++d) {
+                const uint64_t prow = probeRow(home, d, rec.key);
+                const uint32_t e = touch(prow);
+                if (d == 0)
+                    home_entry = e;
+                // Serial reference cost: insertAt() reads every probed
+                // row, then writes the placed slot's row and -- when
+                // the record spilled -- the home row's aux separately.
+                ++sum.serialRowFetches;
+                const unsigned used = ig.used[e];
+                int slot = -1;
+                if (used < slots && !validBit(e, used))
+                    slot = static_cast<int>(used);
+                else
+                    slot = firstFree(e);
+                if (slot < 0)
+                    continue;
+                ig.valid[e * mask_words + slot / 64] |=
+                    uint64_t{1} << (slot % 64);
+                ++ig.used[e];
+                ig.dirty[e] = 1;
+                ig.reach[home_entry] = std::max(
+                    ig.reach[home_entry], static_cast<uint16_t>(d));
+                ig.placements.push_back({i, static_cast<uint32_t>(slot),
+                                         e, home_entry, d, 0});
+                sum.serialRowWritebacks += d == 0 ? 1 : 2;
+                max_dist = std::max(max_dist, d);
+                placed = true;
+                break;
+            }
+            if (!placed) {
+                // All-or-nothing rollback, exactly as insert(): the
+                // copies this record placed become *dead* -- their
+                // key/data bits are still written (then invalidated)
+                // and the home reach they raised stays raised.
+                ok = false;
+                for (std::size_t p = first_placement;
+                     p < ig.placements.size(); ++p) {
+                    auto &pl = ig.placements[p];
+                    pl.dead = 1;
+                    ig.valid[pl.entry * mask_words + pl.slot / 64] &=
+                        ~(uint64_t{1} << (pl.slot % 64));
+                    --ig.used[pl.entry];
+                    // removePlacement(): one row read, one writeback.
+                    ++sum.serialRowFetches;
+                    ++sum.serialRowWritebacks;
+                }
+                break;
+            }
+        }
+        if (ok)
+            ++sum.accepted;
+        else
+            ++sum.failed;
+        if (outcomes) {
+            outcomes[i].ok = ok;
+            outcomes[i].copies = copies;
+            outcomes[i].maxDistance = max_dist;
+        }
+    }
+
+    // Apply row-at-a-time: placements sorted by (row, submission seq),
+    // so several writes to one slot (a dead placement reused by a later
+    // record) land in serial order.
+    ig.applyOrder.clear();
+    for (std::size_t p = 0; p < ig.placements.size(); ++p)
+        ig.applyOrder.emplace_back(ig.row[ig.placements[p].entry],
+                                   static_cast<uint32_t>(p));
+    std::sort(ig.applyOrder.begin(), ig.applyOrder.end());
+    for (const auto &[row, pidx] : ig.applyOrder) {
+        const auto &pl = ig.placements[pidx];
+        const Record &rec = records[pl.rec];
+        BucketView b = bucket(row);
+        b.writeSlot(pl.slot, rec.key, rec.data);
+        if (pl.dead) {
+            b.clearSlot(pl.slot);
+            // Serial rollback adds the distance sample and then removes
+            // it; Histogram::remove never shrinks the bin vector, so
+            // replay the pair to keep loadStats() bins bit-identical.
+            distanceHist.add(pl.d);
+            distanceHist.remove(pl.d);
+            continue;
+        }
+        ++homeDemandPerBucket[ig.row[pl.homeEntry]];
+        distanceHist.add(pl.d);
+        ++recordCount;
+        if (pl.d > 0) {
+            ++spilledCount;
+            ++sum.spilledPlacements;
+        }
+    }
+    sum.rowFetches = ig.row.size();
+    for (std::size_t e = 0; e < ig.row.size(); ++e) {
+        const bool aux_changed = ig.used[e] != ig.usedAtFetch[e] ||
+                                 ig.reach[e] != ig.reachAtFetch[e];
+        if (aux_changed) {
+            BucketView b = bucket(ig.row[e]);
+            b.setUsedCount(ig.used[e]);
+            b.setReach(ig.reach[e]);
+        }
+        if (aux_changed || ig.dirty[e])
+            ++sum.rowWritebacks;
+    }
+    return sum;
+}
+
+InsertBatchSummary
+CaRamSlice::insertBatch(const Record *records, unsigned n,
+                        InsertOutcome *outcomes)
+{
+    InsertBatchSummary sum;
+    for (unsigned off = 0; off < n; off += kMaxIngestBatch) {
+        const unsigned chunk = std::min(kMaxIngestBatch, n - off);
+        sum.merge(insertBatchChunk(records + off, chunk,
+                                   outcomes ? outcomes + off : nullptr));
+    }
+    return sum;
+}
+
+InsertBatchSummary
+CaRamSlice::insertBatch(std::span<const Record> records,
+                        InsertOutcome *outcomes)
+{
+    return insertBatch(records.data(),
+                       static_cast<unsigned>(records.size()), outcomes);
+}
+
 bool
 CaRamSlice::searchChain(uint64_t home,
                         const MatchProcessor::PackedKey &packed,
@@ -319,6 +602,12 @@ CaRamSlice::searchBatchChunk(const Key *const *keys, unsigned n,
     auto &sc = batch_;
     uint64_t fetches = 0;
     unsigned groupable = 0;
+    ++batchChunks_;
+    // Prefetch cap: the slot windows a lookup touches first live at the
+    // front of the row; very wide rows are not worth the request-buffer
+    // pressure.
+    const uint64_t pf_bytes =
+        std::min<uint64_t>(array_.wordsPerRow() * 8, 512);
     for (unsigned i = 0; i < n; ++i) {
         ++searchCount;
         out[i] = SearchResult{};
@@ -326,6 +615,10 @@ CaRamSlice::searchBatchChunk(const Key *const *keys, unsigned n,
         const auto &homes = homeRowsInto(*keys[i]);
         if (homes.size() == 1) {
             sc.home[i] = homes[0];
+            // The chunk's home rows are all known before any row is
+            // matched: prefetching here overlaps the DRAM misses with
+            // the remaining packing work and with one another.
+            mem::prefetchSpan(array_.rowData(homes[0]), pf_bytes);
             sc.order[groupable++] = i;
             continue;
         }
@@ -341,11 +634,25 @@ CaRamSlice::searchBatchChunk(const Key *const *keys, unsigned n,
 
     // Group single-home keys by home bucket; ties keep submission order
     // so a group's first-hit bookkeeping mirrors the serial stream.
-    std::sort(sc.order.begin(), sc.order.begin() + groupable,
-              [&sc](uint32_t a, uint32_t b) {
-                  return sc.home[a] != sc.home[b] ? sc.home[a] < sc.home[b]
-                                                  : a < b;
-              });
+    // Bursty streams usually arrive already run-ordered -- an O(n)
+    // pre-scan skips the sort then (sc.order is filled in submission
+    // order, so ties are already where the sort would leave them).
+    bool run_ordered = true;
+    for (unsigned j = 1; j < groupable; ++j) {
+        if (sc.home[sc.order[j - 1]] > sc.home[sc.order[j]]) {
+            run_ordered = false;
+            break;
+        }
+    }
+    if (run_ordered)
+        ++batchSortsSkipped_;
+    else
+        std::sort(sc.order.begin(), sc.order.begin() + groupable,
+                  [&sc](uint32_t a, uint32_t b) {
+                      return sc.home[a] != sc.home[b]
+                                 ? sc.home[a] < sc.home[b]
+                                 : a < b;
+                  });
     unsigned pos = 0;
     while (pos < groupable) {
         const uint64_t home = sc.home[sc.order[pos]];
@@ -594,6 +901,8 @@ CaRamSlice::clear()
     spilledCount = 0;
     searchCount = 0;
     accessCount = 0;
+    batchChunks_ = 0;
+    batchSortsSkipped_ = 0;
 }
 
 void

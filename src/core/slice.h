@@ -39,6 +39,63 @@ struct InsertSummary
     std::vector<InsertResult> placements;
 };
 
+/** Per-record outcome of a bulk insert -- what insert() would report. */
+struct InsertOutcome
+{
+    bool ok = false;          ///< every required copy was placed
+    unsigned copies = 0;      ///< copies placed (incl. overflow entries)
+    unsigned maxDistance = 0; ///< worst probe distance among copies
+};
+
+/**
+ * Row-granular accounting of one insertBatch() call.  The batched
+ * pipeline touches each distinct row once per chunk (one fetch to
+ * inspect its slots, one writeback carrying every new record and the
+ * final aux fields), where record-at-a-time insertion pays the probe
+ * chain's fetches plus a slot writeback and a home-row aux writeback
+ * per record -- the serial* fields accumulate that reference cost for
+ * the same records, so reduction() is the paper's "one row access
+ * amortized over many keys" economy measured on the ingest path.
+ */
+struct InsertBatchSummary
+{
+    uint64_t accepted = 0;     ///< records fully placed
+    uint64_t failed = 0;       ///< records rejected (and rolled back)
+    uint64_t rowFetches = 0;   ///< distinct rows read by the batch
+    uint64_t rowWritebacks = 0;///< distinct rows written by the batch
+    /** Row reads the same records cost record-at-a-time. */
+    uint64_t serialRowFetches = 0;
+    /** Row writes the same records cost record-at-a-time. */
+    uint64_t serialRowWritebacks = 0;
+    uint64_t spilledPlacements = 0; ///< placements beyond the home bucket
+    uint64_t multiHomeRecords = 0;  ///< ternary duplication (multi-home)
+    /** Records a Database-level overflow policy handled one at a time. */
+    uint64_t fallbackRecords = 0;
+
+    /** serial row ops / batched row ops (>= 1 when batching pays). */
+    double
+    rowOpReduction() const
+    {
+        const uint64_t batched = rowFetches + rowWritebacks;
+        const uint64_t serial = serialRowFetches + serialRowWritebacks;
+        return batched > 0 ? static_cast<double>(serial) / batched : 0.0;
+    }
+
+    void
+    merge(const InsertBatchSummary &o)
+    {
+        accepted += o.accepted;
+        failed += o.failed;
+        rowFetches += o.rowFetches;
+        rowWritebacks += o.rowWritebacks;
+        serialRowFetches += o.serialRowFetches;
+        serialRowWritebacks += o.serialRowWritebacks;
+        spilledPlacements += o.spilledPlacements;
+        multiHomeRecords += o.multiHomeRecords;
+        fallbackRecords += o.fallbackRecords;
+    }
+};
+
 /** One CA-RAM slice. */
 class CaRamSlice
 {
@@ -129,6 +186,36 @@ class CaRamSlice
     /** Convenience overload over a contiguous key array. */
     uint64_t searchBatch(std::span<const Key> keys, SearchResult *out);
 
+    /** searchBatch() chunks processed / chunks whose group-by sort was
+     *  skipped because the chunk arrived already run-ordered (an O(n)
+     *  pre-scan detects this before paying the O(n log n) sort). */
+    uint64_t batchChunksProcessed() const { return batchChunks_; }
+    uint64_t batchSortsSkipped() const { return batchSortsSkipped_; }
+
+    /** Records one insertBatch() chunk ingests (scratch sizing). */
+    static constexpr unsigned kMaxIngestBatch = 256;
+
+    /**
+     * Bulk insert: the table ends up *bit-identical* to calling
+     * insert(records[i]) in order (including rolled-back residue of
+     * failed records, aux reach updates and placement statistics), and
+     * outcomes[i] -- when requested -- reports exactly what the serial
+     * call's InsertSummary would.
+     *
+     * Internally each chunk simulates the serial placement decisions
+     * against a row cache (one fetch per distinct row), then applies
+     * all writes row-at-a-time (one writeback per distinct row), so a
+     * bursty load touching few distinct buckets pays row-bandwidth
+     * instead of record-bandwidth.  The summary reports both the
+     * batched row touches and what the serial path would have cost.
+     */
+    InsertBatchSummary insertBatch(const Record *records, unsigned n,
+                                   InsertOutcome *outcomes = nullptr);
+
+    /** Convenience overload over a contiguous record array. */
+    InsertBatchSummary insertBatch(std::span<const Record> records,
+                                   InsertOutcome *outcomes = nullptr);
+
     /**
      * Massive data evaluation (paper section 1: the "decoupled match
      * logic can be easily extended to implement more advanced
@@ -212,6 +299,10 @@ class CaRamSlice
     uint64_t searchBatchChunk(const Key *const *keys, unsigned n,
                               SearchResult *out);
 
+    /** One chunk (n <= kMaxIngestBatch) of insertBatch(). */
+    InsertBatchSummary insertBatchChunk(const Record *records, unsigned n,
+                                        InsertOutcome *outcomes);
+
     /**
      * Walk one shared probe chain for a group of same-home keys
      * (d-th row identical for every key: Linear/None probing, or a
@@ -251,6 +342,46 @@ class CaRamSlice
     };
     BatchScratch batch_;
 
+    /** insertBatch() scratch: a row cache holding every distinct row a
+     *  chunk touches (fetched once), the simulated placements in
+     *  submission order, and the row-ordered apply schedule.  All
+     *  vectors retain capacity across calls, so steady-state bulk
+     *  ingest performs no heap allocation.  Same single-owner rule as
+     *  the search scratch. */
+    struct IngestScratch
+    {
+        /** One cached (simulated) row: aux fields plus a valid-slot
+         *  bitmask; key/data bits are only ever *written* by the
+         *  placements, so they need no cache copy. */
+        std::vector<uint64_t> row;      ///< row index per cache entry
+        std::vector<uint16_t> used;     ///< simulated usedCount
+        std::vector<uint16_t> reach;    ///< simulated overflow reach
+        std::vector<uint16_t> usedAtFetch;  ///< aux as fetched
+        std::vector<uint16_t> reachAtFetch; ///< aux as fetched
+        std::vector<uint8_t> dirty;     ///< entry needs a writeback
+        std::vector<uint64_t> valid;    ///< maskWords valid bits / entry
+        /** Open-addressed row -> cache entry map (pow2, -1 = empty). */
+        std::vector<int32_t> table;
+        /** Precomputed home row per chunk record (software-prefetch
+         *  schedule); ~0 marks records without a precomputable home. */
+        std::vector<uint64_t> pfRow;
+
+        /** One simulated slot write, in submission order. */
+        struct Placement
+        {
+            uint32_t rec;       ///< chunk-relative record index
+            uint32_t slot;      ///< slot within the row
+            uint32_t entry;     ///< row cache entry of the placed row
+            uint32_t homeEntry; ///< row cache entry of the home row
+            uint32_t d;         ///< probe distance from home
+            uint8_t dead;       ///< rolled back: write bits, clear valid
+        };
+        std::vector<Placement> placements;
+        /** (row, placement seq) apply schedule, sorted in place. */
+        std::vector<std::pair<uint64_t, uint32_t>> applyOrder;
+    };
+    IngestScratch ingest_;
+
     // Placement statistics.
     std::vector<uint32_t> homeDemandPerBucket;
     Histogram distanceHist;
@@ -260,6 +391,10 @@ class CaRamSlice
     // Search accounting.
     uint64_t searchCount = 0;
     uint64_t accessCount = 0;
+
+    // Batched-search accounting (sort-skip effectiveness).
+    uint64_t batchChunks_ = 0;
+    uint64_t batchSortsSkipped_ = 0;
 };
 
 } // namespace caram::core

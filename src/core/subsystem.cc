@@ -121,6 +121,18 @@ CaRamSubsystem::submitErase(unsigned port, const Key &key, uint64_t tag)
     return queueFor(port).tryPush(std::move(req));
 }
 
+bool
+CaRamSubsystem::submitRebuild(unsigned port, uint64_t tag)
+{
+    if (port >= databases.size())
+        fatal(strprintf("submit to unknown virtual port %u", port));
+    PortRequest req;
+    req.port = port;
+    req.op = PortOp::Rebuild; // the key field is unused for rebuilds
+    req.tag = tag;
+    return queueFor(port).tryPush(std::move(req));
+}
+
 std::size_t
 CaRamSubsystem::submitBatch(std::span<const PortRequest> requests)
 {
@@ -165,6 +177,16 @@ executePortRequest(Database &db, const PortRequest &req)
         resp.data = db.erase(req.key);
         resp.hit = resp.data > 0;
         break;
+      case PortOp::Rebuild: {
+        if (!db.canRebuild()) {
+            resp.ok = false;
+            break;
+        }
+        const Database::RebuildSummary s = db.rebuild();
+        resp.hit = s.ok;
+        resp.data = s.records;
+        break;
+      }
     }
     return resp;
 }

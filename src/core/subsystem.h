@@ -28,12 +28,16 @@ namespace caram::core {
 
 /** CAM-mode operation carried by a request (paper section 3.2: "There
  *  are three main operations defined for the CAM mode: (1) search,
- *  (2) insert, and (3) delete"). */
+ *  (2) insert, and (3) delete").  Rebuild is a maintenance operation
+ *  on top of those: repack a database in place (Database::rebuild())
+ *  through the same queued protocol, so an engine worker that owns the
+ *  database can run it between batches. */
 enum class PortOp
 {
     Search,
     Insert,
     Erase,
+    Rebuild,
 };
 
 /** A queued CAM-mode request submitted through a virtual port. */
@@ -122,6 +126,12 @@ class CaRamSubsystem
 
     /** Submit a CAM-mode delete. */
     bool submitErase(unsigned port, const Key &key, uint64_t tag);
+
+    /** Submit a database repack (Database::rebuild()).  The response
+     *  reports ok == false when the database cannot be rebuilt, hit
+     *  when every record was re-placed, and the logical record count
+     *  in data. */
+    bool submitRebuild(unsigned port, uint64_t tag);
 
     /**
      * Submit a batch of pre-built requests, stopping at the first one

@@ -33,6 +33,21 @@ struct ParallelSearchEngine::Worker
     /** Batched-run scratch (sized once, reused across runs). */
     std::vector<const Key *> keyPtrs;
     std::vector<core::SearchResult> batchResults;
+    /** Bulk-ingest scratch (sized once, reused across runs). */
+    std::vector<core::Record> records;
+    std::vector<int> priorities;
+    std::vector<core::InsertOutcome> outcomes;
+    /** Merged row-op accounting of this worker's insert runs. */
+    core::InsertBatchSummary ingest;
+    /** Run counters (EngineReport). */
+    uint64_t batchedSearchRuns = 0;
+    uint64_t adaptiveSerialRuns = 0;
+    uint64_t batchedInsertRuns = 0;
+    /** Adaptive controller: smoothed keys-per-fetch of recent batched
+     *  runs, and search runs left in the current serial back-off. */
+    double sharingEwma = 0.0;
+    bool sharingSeeded = false;
+    unsigned serialHold = 0;
 };
 
 ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
@@ -167,6 +182,21 @@ ParallelSearchEngine::executeSearchRun(const Job *jobs, std::size_t count,
     PortState &port = *ports[port_no];
     port.stats.modeledCycles += cycles;
     self.modeledCycles += cycles;
+    ++self.batchedSearchRuns;
+
+    if (cfg.adaptiveBatch) {
+        // Keys per distinct row fetch: ~1 on uniform traffic, up to the
+        // group width on bursty traffic.  EWMA so one quiet run does
+        // not flap the strategy.
+        const double sharing = static_cast<double>(count) /
+                               std::max<uint64_t>(1, fetches);
+        self.sharingEwma = self.sharingSeeded
+            ? 0.75 * self.sharingEwma + 0.25 * sharing
+            : sharing;
+        self.sharingSeeded = true;
+        if (self.sharingEwma < cfg.adaptiveMinSharing)
+            self.serialHold = cfg.adaptiveHoldRuns;
+    }
 
     for (std::size_t i = 0; i < count; ++i) {
         const core::SearchResult &r = self.batchResults[i];
@@ -178,6 +208,57 @@ ParallelSearchEngine::executeSearchRun(const Job *jobs, std::size_t count,
         resp.data = r.data;
         resp.key = r.key;
         resp.bucketsAccessed = r.bucketsAccessed;
+        finishResponse(std::move(resp), jobs[i].enqueued);
+    }
+}
+
+void
+ParallelSearchEngine::executeInsertRun(const Job *jobs, std::size_t count,
+                                       unsigned worker_index)
+{
+    const unsigned port_no = jobs[0].request.port;
+    core::Database &db = sys->database(port_no);
+    if (db.powerState() != core::PowerState::Active) {
+        // Retained database: the serial path produces the per-request
+        // error responses.
+        for (std::size_t i = 0; i < count; ++i)
+            execute(jobs[i].request, jobs[i].enqueued, worker_index);
+        return;
+    }
+
+    Worker &self = *workers[worker_index];
+    self.records.clear();
+    self.priorities.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+        self.records.push_back(
+            core::Record{jobs[i].request.key, jobs[i].request.data});
+        self.priorities.push_back(jobs[i].request.priority);
+    }
+    if (self.outcomes.size() < count)
+        self.outcomes.resize(count);
+    const core::InsertBatchSummary sum = db.insertBatch(
+        std::span<const core::Record>(self.records), self.outcomes.data(),
+        self.priorities.data());
+    self.ingest.merge(sum);
+    ++self.batchedInsertRuns;
+
+    // Modeled cost: a serial CAM-mode insert occupies the bank for one
+    // access slot per request (inserts report no bucketsAccessed), so
+    // the run charges exactly what serial execution would -- modeled
+    // accounting stays bit-identical, and the row-op economy of the
+    // bulk path is reported through the ingest summary instead.
+    const uint64_t cycles =
+        count * std::max(1u, cfg.timing.minCycleGap);
+    PortState &port = *ports[port_no];
+    port.stats.modeledCycles += cycles;
+    self.modeledCycles += cycles;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        core::PortResponse resp;
+        resp.tag = jobs[i].request.tag;
+        resp.port = port_no;
+        resp.op = core::PortOp::Insert;
+        resp.hit = self.outcomes[i].ok;
         finishResponse(std::move(resp), jobs[i].enqueued);
     }
 }
@@ -199,21 +280,38 @@ ParallelSearchEngine::workerMain(unsigned index)
     while (self.queue.popBatch(batch, cfg.drainBatch) > 0) {
         std::size_t i = 0;
         while (i < batch.size()) {
-            // Extend a run of same-port searches up to batchSize; any
-            // other request (or a port change) flushes the run, so
-            // mutations never reorder against the searches around them.
+            // Extend a run of same-port searches -- or same-port
+            // inserts -- up to batchSize; any other request (or a port
+            // change) flushes the run, so mutations never reorder
+            // against the requests around them.
             std::size_t j = i;
-            if (cfg.batchSize > 1 &&
-                batch[i].request.op == core::PortOp::Search) {
+            const core::PortOp op = batch[i].request.op;
+            if (cfg.batchSize > 1 && (op == core::PortOp::Search ||
+                                      op == core::PortOp::Insert)) {
                 while (j + 1 < batch.size() &&
                        j + 1 - i < cfg.batchSize &&
-                       batch[j + 1].request.op == core::PortOp::Search &&
+                       batch[j + 1].request.op == op &&
                        batch[j + 1].request.port ==
                            batch[i].request.port)
                     ++j;
             }
-            if (j > i) {
+            if (j > i && op == core::PortOp::Search &&
+                cfg.adaptiveBatch && self.serialHold > 0) {
+                // Backed off: recent runs found too little row sharing
+                // to amortize the grouping work -- execute serially
+                // (results identical) until the hold expires.
+                --self.serialHold;
+                ++self.adaptiveSerialRuns;
+                for (std::size_t k = i; k <= j; ++k) {
+                    execute(batch[k].request, batch[k].enqueued, index);
+                    noteCompletion();
+                }
+            } else if (j > i && op == core::PortOp::Search) {
                 executeSearchRun(batch.data() + i, j - i + 1, index);
+                for (std::size_t k = i; k <= j; ++k)
+                    noteCompletion();
+            } else if (j > i) {
+                executeInsertRun(batch.data() + i, j - i + 1, index);
                 for (std::size_t k = i; k <= j; ++k)
                     noteCompletion();
             } else {
@@ -302,6 +400,30 @@ ParallelSearchEngine::submitBatch(
     return accepted;
 }
 
+bool
+ParallelSearchEngine::submitRebuild(unsigned port, uint64_t tag)
+{
+    core::PortRequest req;
+    req.port = port;
+    req.op = core::PortOp::Rebuild;
+    req.tag = tag;
+    return submitRequest(req);
+}
+
+core::InsertBatchSummary
+ParallelSearchEngine::bulkLoad(unsigned port,
+                               std::span<const core::Record> records,
+                               core::InsertOutcome *outcomes,
+                               const int *priorities)
+{
+    if (port >= ports.size())
+        fatal(strprintf("bulk load to unknown virtual port %u", port));
+    if (running)
+        fatal("bulkLoad needs a stopped engine: a running port's "
+              "database belongs to its worker thread");
+    return sys->database(port).insertBatch(records, outcomes, priorities);
+}
+
 void
 ParallelSearchEngine::drain()
 {
@@ -361,6 +483,10 @@ ParallelSearchEngine::report() const
     for (const auto &w : workers) {
         total_cycles += w->modeledCycles;
         max_cycles = std::max(max_cycles, w->modeledCycles);
+        out.batchedSearchRuns += w->batchedSearchRuns;
+        out.adaptiveSerialRuns += w->adaptiveSerialRuns;
+        out.batchedInsertRuns += w->batchedInsertRuns;
+        out.ingest.merge(w->ingest);
     }
     for (const auto &p : ports)
         out.completed += p->stats.completed;

@@ -73,8 +73,32 @@ struct EngineConfig
      * change flushes the run.  1 disables batching (serial execution,
      * the default); ignored in inline mode (workers == 0), which
      * executes at submit time.
+     *
+     * Consecutive same-port *Insert* requests batch the same way into
+     * one Database::insertBatch call (row-ordered bulk ingest): the
+     * stored table and the response stream stay bit-identical to
+     * serial execution, and the row-op economy is reported in the
+     * engine report's ingest summary.
      */
     std::size_t batchSize = 1;
+
+    /**
+     * Adaptive batch controller: each worker measures how much row
+     * sharing its search runs actually find (keys per distinct row
+     * fetch, EWMA-smoothed).  When the sharing drops below
+     * adaptiveMinSharing -- uniform, low-burstiness traffic that
+     * cannot amortize the grouping work -- the worker executes the
+     * next adaptiveHoldRuns search runs serially, then runs one
+     * batched probe run to re-measure.  Result streams stay
+     * bit-identical either way; only the execution strategy (and the
+     * per-distinct-row modeled accounting a batched run enjoys)
+     * changes.
+     */
+    bool adaptiveBatch = false;
+    /** Minimum keys-per-fetch to keep batching (>= 1). */
+    double adaptiveMinSharing = 1.2;
+    /** Search runs executed serially per back-off. */
+    unsigned adaptiveHoldRuns = 64;
 };
 
 /** Per-port instrumentation (single-writer: the port's owning worker,
@@ -111,6 +135,14 @@ struct EngineReport
     /** Host wall-clock throughput (start() .. drain()), Msps. */
     double wallMsps = 0.0;
     double wallSeconds = 0.0;
+    /** Search runs executed through Database::searchBatch. */
+    uint64_t batchedSearchRuns = 0;
+    /** Search runs the adaptive controller forced serial. */
+    uint64_t adaptiveSerialRuns = 0;
+    /** Insert runs executed through Database::insertBatch. */
+    uint64_t batchedInsertRuns = 0;
+    /** Merged row-op accounting of every batched insert run. */
+    core::InsertBatchSummary ingest;
 };
 
 /** Shards a CaRamSubsystem's ports across worker threads. */
@@ -151,6 +183,24 @@ class ParallelSearchEngine
      */
     std::size_t submitBatch(std::span<const core::PortRequest> requests);
 
+    /** Submit a database repack (Database::rebuild()); the response
+     *  carries ok/hit/record-count as executePortRequest defines.  Like
+     *  any non-Search request it flushes the owning worker's batch
+     *  runs, so it never reorders against surrounding traffic. */
+    bool submitRebuild(unsigned port, uint64_t tag);
+
+    /**
+     * Construct @p port's table through the row-ordered bulk ingest
+     * pipeline, bypassing the request protocol (no responses, no
+     * stats).  Only valid while the workers are not running -- a
+     * running port's database belongs to its worker thread.  Returns
+     * the ingest summary (row-op economy vs record-at-a-time).
+     */
+    core::InsertBatchSummary bulkLoad(
+        unsigned port, std::span<const core::Record> records,
+        core::InsertOutcome *outcomes = nullptr,
+        const int *priorities = nullptr);
+
     /** Block until every submitted request has produced a result. */
     void drain();
 
@@ -177,6 +227,9 @@ class ParallelSearchEngine
                  unsigned worker_index);
     /** Execute @p count same-port Search jobs as one batched lookup. */
     void executeSearchRun(const Job *jobs, std::size_t count,
+                          unsigned worker_index);
+    /** Execute @p count same-port Insert jobs as one bulk ingest. */
+    void executeInsertRun(const Job *jobs, std::size_t count,
                           unsigned worker_index);
     /** Publish one finished response: stats, latency, result stream. */
     void finishResponse(core::PortResponse resp,

@@ -617,6 +617,56 @@ TEST(BatchSearchEquivalence, DuplicateKeysShareRowFetches)
     }
 }
 
+TEST(BatchSearchEquivalence, RunOrderedChunkSkipsReorderWork)
+{
+    // A chunk whose keys already arrive grouped by home row must pay
+    // zero reorder work: the O(n) pre-scan detects the run order and
+    // skips the group-by sort entirely.
+    SliceConfig cfg;
+    cfg.indexBits = 6;
+    cfg.logicalKeyBits = 32;
+    cfg.slotsPerBucket = 8;
+    cfg.dataBits = 16;
+    cfg.maxProbeDistance = 8;
+    cfg.validate();
+    CaRamSlice slice(cfg, std::make_unique<hash::LowBitsIndex>(32, 6));
+    Rng rng(31);
+    // Keys emitted bucket-by-bucket: home rows are non-decreasing
+    // across the whole stream, so every chunk is run-ordered.
+    std::vector<Key> stream;
+    for (uint64_t bucket = 0; bucket < cfg.rows(); ++bucket) {
+        for (int r = 0; r < 6; ++r) {
+            const Key k = Key::fromUint(
+                bucket | (rng.below(1u << 20) << cfg.indexBits), 32);
+            if (r % 2 == 0)
+                slice.insert(Record{k, rng.below(1u << 16)});
+            stream.push_back(k);
+        }
+    }
+    std::vector<SearchResult> out(stream.size());
+
+    const uint64_t chunks0 = slice.batchChunksProcessed();
+    const uint64_t skips0 = slice.batchSortsSkipped();
+    slice.searchBatch(stream, out.data());
+    const uint64_t ordered_chunks =
+        slice.batchChunksProcessed() - chunks0;
+    EXPECT_GT(ordered_chunks, 1u); // several chunks, all detected
+    EXPECT_EQ(slice.batchSortsSkipped() - skips0, ordered_chunks);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const SearchResult ref = slice.search(stream[i]);
+        EXPECT_EQ(out[i].hit, ref.hit) << "key " << i;
+        EXPECT_EQ(out[i].data, ref.data) << "key " << i;
+    }
+
+    // The reversed stream is bucket-descending: chunks are NOT
+    // run-ordered and must fall back to the sort (no false skips).
+    std::vector<Key> reversed(stream.rbegin(), stream.rend());
+    const uint64_t skips1 = slice.batchSortsSkipped();
+    slice.searchBatch(reversed, out.data());
+    EXPECT_GT(slice.batchChunksProcessed() - chunks0, ordered_chunks);
+    EXPECT_EQ(slice.batchSortsSkipped(), skips1);
+}
+
 // massUpdate/massCount share the packed predicate; pin them too.
 TEST(MatchPathEquivalence, MassEvaluationMatchesReferenceCount)
 {

@@ -295,6 +295,27 @@ TEST(SearchNoAlloc, MassCountLoop)
     EXPECT_EQ(n, 0u);
 }
 
+TEST(SearchNoAlloc, BulkIngestSteadyStateLoop)
+{
+    // Steady-state ingest: after one warm-up cycle has sized the
+    // per-slice IngestScratch (row cache, placement log, apply
+    // schedule, open-addressed row table), an insertBatch/erase cycle
+    // runs allocation-free.  300 records crosses the kMaxIngestBatch
+    // chunk boundary, so the scratch reuse across chunks is covered.
+    Fixture f(64, false, false);
+    Rng rng(4242);
+    std::vector<Record> records;
+    for (unsigned i = 0; i < 300; ++i)
+        records.push_back(Record{Key::fromUint(rng.next64(), 64),
+                                 rng.below(1u << 16)});
+    const uint64_t n = allocationsIn([&] {
+        f.slice->insertBatch(records);
+        for (const Record &rec : records)
+            f.slice->erase(rec.key);
+    });
+    EXPECT_EQ(n, 0u);
+}
+
 // The hook itself must observe ordinary allocation, or every
 // EXPECT_EQ(n, 0) above would pass vacuously.
 TEST(SearchNoAlloc, HookCountsAllocations)

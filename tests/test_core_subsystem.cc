@@ -312,6 +312,111 @@ TEST(Database, ParallelSliceDenserThanVictimTcam)
     EXPECT_LT(with_slice.areaUm2(), with_tcam.areaUm2());
 }
 
+TEST(Database, RebuildRepacksAfterChurn)
+{
+    Database db(smallDbConfig());
+    ASSERT_TRUE(db.canRebuild());
+    Rng rng(11);
+    std::vector<Key> keys;
+    for (unsigned i = 0; i < 28; ++i) {
+        const Key k = Key::fromUint(rng.below(1u << 24), 32);
+        if (db.insert(Record{k, i}))
+            keys.push_back(k);
+    }
+    for (std::size_t i = 0; i < keys.size(); i += 2)
+        db.erase(keys[i]);
+    const uint64_t live = db.size();
+
+    const Database::RebuildSummary s = db.rebuild();
+    EXPECT_TRUE(s.ok);
+    EXPECT_EQ(s.records, live);
+    EXPECT_EQ(s.failedRecords, 0u);
+    EXPECT_EQ(s.ingest.accepted, live);
+    EXPECT_EQ(db.size(), live);
+    for (std::size_t i = 1; i < keys.size(); i += 2)
+        EXPECT_TRUE(db.search(keys[i]).hit) << "key " << i;
+    for (std::size_t i = 0; i < keys.size(); i += 2)
+        EXPECT_FALSE(db.search(keys[i]).hit) << "key " << i;
+}
+
+TEST(Database, RebuildCoversBinaryParallelSlice)
+{
+    DatabaseConfig cfg = smallDbConfig();
+    cfg.overflow = OverflowPolicy::ParallelSlice;
+    cfg.overflowIndexBits = 2;
+    cfg.overflowSlots = 4;
+    Database db(cfg);
+    ASSERT_TRUE(db.canRebuild());
+    // Three colliding records: one lives in the victim slice.
+    for (unsigned i = 0; i < 3; ++i)
+        ASSERT_TRUE(db.insert(Record{Key::fromUint(3 | (i << 4), 32), i}));
+    ASSERT_EQ(db.overflowEntries(), 1u);
+
+    const Database::RebuildSummary s = db.rebuild();
+    EXPECT_TRUE(s.ok);
+    EXPECT_EQ(s.records, 3u);
+    EXPECT_EQ(db.size(), 3u);
+    for (unsigned i = 0; i < 3; ++i) {
+        const auto r = db.search(Key::fromUint(3 | (i << 4), 32));
+        ASSERT_TRUE(r.hit) << i;
+        EXPECT_EQ(r.data, i);
+    }
+}
+
+TEST(Database, RebuildUnsupportedModes)
+{
+    DatabaseConfig tcam_cfg = smallDbConfig();
+    tcam_cfg.overflow = OverflowPolicy::ParallelTcam;
+    tcam_cfg.overflowCapacity = 8;
+    Database with_tcam(tcam_cfg);
+    // TCAM entries/priorities are not enumerable for re-ingest.
+    EXPECT_FALSE(with_tcam.canRebuild());
+
+    DatabaseConfig tern_cfg = smallDbConfig();
+    tern_cfg.sliceShape.ternary = true;
+    tern_cfg.overflow = OverflowPolicy::ParallelSlice;
+    tern_cfg.overflowIndexBits = 2;
+    tern_cfg.overflowSlots = 4;
+    Database ternary_victim(tern_cfg);
+    // Ternary multiplicity cannot be split between main and victim.
+    EXPECT_FALSE(ternary_victim.canRebuild());
+}
+
+TEST(Subsystem, RebuildPortOp)
+{
+    CaRamSubsystem sys(16, 16);
+    Database &db = sys.addDatabase(smallDbConfig("a"));
+    DatabaseConfig tcam_cfg = smallDbConfig("b");
+    tcam_cfg.overflow = OverflowPolicy::ParallelTcam;
+    tcam_cfg.overflowCapacity = 8;
+    sys.addDatabase(tcam_cfg);
+
+    for (unsigned i = 0; i < 10; ++i)
+        ASSERT_TRUE(db.insert(Record{Key::fromUint(i * 5, 32), i}));
+    db.erase(Key::fromUint(10, 32));
+
+    ASSERT_TRUE(sys.submitRebuild(0, 42));
+    ASSERT_TRUE(sys.submitRebuild(1, 43));
+    EXPECT_EQ(sys.process(), 2u);
+
+    bool saw_ok = false, saw_unsupported = false;
+    while (auto r = sys.fetchResult()) {
+        EXPECT_EQ(r->op, PortOp::Rebuild);
+        if (r->tag == 42) {
+            EXPECT_TRUE(r->ok);
+            EXPECT_TRUE(r->hit);
+            EXPECT_EQ(r->data, 9u); // 10 inserted, 1 erased
+            saw_ok = true;
+        } else {
+            EXPECT_EQ(r->tag, 43u);
+            EXPECT_FALSE(r->ok); // ParallelTcam cannot rebuild
+            saw_unsupported = true;
+        }
+    }
+    EXPECT_TRUE(saw_ok);
+    EXPECT_TRUE(saw_unsupported);
+}
+
 TEST(Database, ParallelSliceRequiresShape)
 {
     DatabaseConfig cfg = smallDbConfig();

@@ -358,6 +358,186 @@ TEST(Engine, BatchedRetainedDatabaseStillYieldsErrors)
         EXPECT_FALSE(r->ok);
 }
 
+/** Bit-identical stored tables (raw rows + size). */
+void
+expectSameTable(core::Database &a, core::Database &b)
+{
+    const mem::MemoryArray &ma = a.slice().array();
+    const mem::MemoryArray &mb = b.slice().array();
+    ASSERT_EQ(ma.rows(), mb.rows());
+    ASSERT_EQ(ma.wordsPerRow(), mb.wordsPerRow());
+    for (uint64_t row = 0; row < ma.rows(); ++row) {
+        for (uint64_t w = 0; w < ma.wordsPerRow(); ++w) {
+            ASSERT_EQ(ma.rowData(row)[w], mb.rowData(row)[w])
+                << "row " << row << " word " << w;
+        }
+    }
+    EXPECT_EQ(a.size(), b.size());
+}
+
+/** Bursty insert trains (same home bucket repeated) over the ports. */
+std::vector<PortRequest>
+insertStream(unsigned nports, std::size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<PortRequest> stream;
+    uint64_t tag = 0;
+    while (stream.size() < count) {
+        const unsigned p = static_cast<unsigned>(rng.below(nports));
+        const uint64_t bucket = rng.below(64);
+        const unsigned train = 1 + static_cast<unsigned>(rng.below(6));
+        for (unsigned t = 0; t < train && stream.size() < count; ++t) {
+            PortRequest req;
+            req.port = p;
+            req.op = PortOp::Insert;
+            req.key = Key::fromUint(bucket | (rng.below(1u << 20) << 6),
+                                    32);
+            req.data = rng.below(1u << 16);
+            req.tag = ++tag;
+            stream.push_back(std::move(req));
+        }
+    }
+    return stream;
+}
+
+TEST(Engine, BatchedIngestMatchesSerial)
+{
+    // Consecutive same-port inserts run through Database::insertBatch;
+    // the stored tables and the response streams must stay
+    // bit-identical to serial execution, while the ingest accounting
+    // shows the row-op economy.
+    const auto stream = insertStream(2, 500, 17);
+    auto serial_sys = buildLoaded(2, 0);
+    const auto reference = serialReference(*serial_sys, stream);
+
+    auto sys = buildLoaded(2, 0);
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.batchSize = 32;
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    EXPECT_EQ(eng.submitBatch(stream), stream.size());
+    eng.drain();
+    expectMatchesReference(eng, reference);
+    eng.stop();
+
+    const EngineReport rep = eng.report();
+    EXPECT_GT(rep.batchedInsertRuns, 0u);
+    EXPECT_GT(rep.ingest.accepted, 0u);
+    EXPECT_LE(rep.ingest.rowFetches, rep.ingest.serialRowFetches);
+    expectSameTable(sys->database(0), serial_sys->database(0));
+    expectSameTable(sys->database(1), serial_sys->database(1));
+}
+
+TEST(Engine, AdaptiveBatchBacksOffOnUniformTraffic)
+{
+    // Uniform wide-keyspace searches find almost no row sharing: the
+    // adaptive controller must fall back to serial runs (and the
+    // result stream must not change).  The bursty counterpart keeps
+    // the sharing high and must never trigger the backoff.
+    auto serial_sys = buildLoaded(1, 150);
+    const auto uniform = searchStream(1, 2000, 21);
+    const auto reference = serialReference(*serial_sys, uniform);
+
+    auto sys = buildLoaded(1, 150);
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.batchSize = 32;
+    cfg.adaptiveBatch = true;
+    cfg.adaptiveMinSharing = 1.5;
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    EXPECT_EQ(eng.submitBatch(uniform), uniform.size());
+    eng.drain();
+    expectMatchesReference(eng, reference);
+    eng.stop();
+    EXPECT_GT(eng.report().adaptiveSerialRuns, 0u);
+
+    // Bursty: long same-key trains share one chain walk per train.
+    Rng rng(23);
+    std::vector<PortRequest> bursty;
+    uint64_t tag = 0;
+    while (bursty.size() < 2000) {
+        const Key k = Key::fromUint(rng.below(1u << 26), 32);
+        for (unsigned t = 0; t < 8 && bursty.size() < 2000; ++t) {
+            PortRequest req;
+            req.port = 0;
+            req.op = PortOp::Search;
+            req.key = k;
+            req.tag = ++tag;
+            bursty.push_back(std::move(req));
+        }
+    }
+    auto sys2 = buildLoaded(1, 150);
+    ParallelSearchEngine eng2(*sys2, cfg);
+    eng2.start();
+    EXPECT_EQ(eng2.submitBatch(bursty), bursty.size());
+    eng2.drain();
+    eng2.stop();
+    EXPECT_EQ(eng2.report().adaptiveSerialRuns, 0u);
+    EXPECT_GT(eng2.report().batchedSearchRuns, 0u);
+}
+
+TEST(Engine, RebuildRepacksThroughPort)
+{
+    auto sys = buildLoaded(1, 0);
+    core::Database &db = sys->database(0);
+    Rng rng(5);
+    std::vector<Key> keys;
+    for (unsigned i = 0; i < 120; ++i) {
+        const Key k = Key::fromUint(rng.next64() & 0xffffffffu, 32);
+        if (db.insert(Record{k, i}))
+            keys.push_back(k);
+    }
+    // Erase a third: the rebuild scrubs the holes and repacks.
+    for (std::size_t i = 0; i < keys.size(); i += 3)
+        db.erase(keys[i]);
+    const uint64_t live = db.size();
+
+    EngineConfig cfg;
+    cfg.workers = 1;
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    EXPECT_TRUE(eng.submitRebuild(0, 99));
+    eng.drain();
+    eng.stop();
+
+    auto r = eng.fetchResult(0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->tag, 99u);
+    EXPECT_EQ(r->op, PortOp::Rebuild);
+    EXPECT_TRUE(r->ok);
+    EXPECT_TRUE(r->hit);
+    EXPECT_EQ(r->data, live);
+    EXPECT_EQ(db.size(), live);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (i % 3 == 0)
+            continue; // erased
+        EXPECT_TRUE(db.search(keys[i]).hit) << "key " << i;
+    }
+}
+
+TEST(Engine, BulkLoadMatchesSerialConstruction)
+{
+    Rng rng(77);
+    std::vector<Record> records;
+    for (unsigned i = 0; i < 400; ++i) {
+        records.push_back(
+            Record{Key::fromUint(rng.next64() & 0xffffffffu, 32),
+                   rng.below(1u << 16)});
+    }
+    auto serial_sys = buildLoaded(1, 0);
+    for (const Record &rec : records)
+        serial_sys->database(0).insert(rec);
+
+    auto sys = buildLoaded(1, 0);
+    ParallelSearchEngine eng(*sys, EngineConfig{});
+    const core::InsertBatchSummary sum = eng.bulkLoad(0, records);
+    EXPECT_EQ(sum.accepted + sum.failed, records.size());
+    EXPECT_LE(sum.rowFetches, sum.serialRowFetches);
+    expectSameTable(sys->database(0), serial_sys->database(0));
+}
+
 TEST(Engine, BatchingReducesModeledCyclesOnDuplicateKeys)
 {
     // Bursts of the same key share chain walks inside a batched run:
