@@ -17,6 +17,12 @@
 # are opt-in via CARAM_BENCH_WALL=1 because the CI host's LLC swallows
 # the working set (the numbers print as info lines either way).
 #
+# The row fan-out section runs ext_row_fanout, which self-gates on the
+# modeled-cycle reduction of intra-lookup shard fan-out (>= 2x at 32
+# and 64 candidate homes) and on bit-identity of fan-out responses
+# against Database::search; its 64-home reduction is also compared
+# against the checked-in baseline.
+#
 # The baselines were measured on the CI host; re-capture them after an
 # intentional perf change with:
 #   build/bench/micro_match_path 100000 \
@@ -24,6 +30,8 @@
 #       --simd-json bench/baselines/BENCH_simd_batch.baseline.json
 #   build/bench/ext_bulk_ingest \
 #       --json bench/baselines/BENCH_bulk_ingest.baseline.json
+#   build/bench/ext_row_fanout 2000 \
+#       --json bench/baselines/BENCH_row_fanout.baseline.json
 #
 # Usage: scripts/ci_bench_smoke.sh [build-dir]   (default build)
 set -euo pipefail
@@ -33,11 +41,12 @@ BUILD_DIR="${1:-build}"
 BASELINE="bench/baselines/BENCH_match_path.baseline.json"
 SIMD_BASELINE="bench/baselines/BENCH_simd_batch.baseline.json"
 INGEST_BASELINE="bench/baselines/BENCH_bulk_ingest.baseline.json"
+FANOUT_BASELINE="bench/baselines/BENCH_row_fanout.baseline.json"
 MAX_REGRESSION="${MAX_REGRESSION:-2.0}"
 LOOKUPS="${LOOKUPS:-100000}"
 
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path ext_bulk_ingest
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path ext_bulk_ingest ext_row_fanout
 
 "$BUILD_DIR"/bench/micro_match_path "$LOOKUPS" \
     --json "$BUILD_DIR"/BENCH_match_path.json \
@@ -49,3 +58,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path ext_bulk_inges
 "$BUILD_DIR"/bench/ext_bulk_ingest \
     --json "$BUILD_DIR"/BENCH_bulk_ingest.json \
     --baseline "$INGEST_BASELINE"
+
+"$BUILD_DIR"/bench/ext_row_fanout 2000 \
+    --json "$BUILD_DIR"/BENCH_row_fanout.json \
+    --baseline "$FANOUT_BASELINE"

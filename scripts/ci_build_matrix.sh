@@ -14,6 +14,13 @@
 # available kernel per test, so leg 2 plus the default ctest run cover
 # every dispatch combination the host supports.
 #
+#   3. The SIMD build rerun with CARAM_ROW_FANOUT_MIN=1: every engine
+#      whose config leaves rowFanoutMin at 0 now fans out EVERY
+#      eligible ternary lookup through the shard path, so the whole
+#      suite doubles as a fan-out equivalence sweep.  Tests that need
+#      a serial baseline pin an explicit unreachable threshold, which
+#      always wins over the environment floor.
+#
 # Usage: scripts/ci_build_matrix.sh [scalar-build-dir] [simd-build-dir]
 #        (defaults build-scalar and build)
 set -euo pipefail
@@ -33,4 +40,8 @@ cmake --build "$SIMD_DIR" -j"$(nproc)"
 CARAM_MATCH_KERNEL=scalar ctest --test-dir "$SIMD_DIR" \
     --output-on-failure
 
-echo "build matrix: both legs passed"
+echo "=== leg 3: SIMD build, row fan-out forced on ==="
+CARAM_ROW_FANOUT_MIN=1 ctest --test-dir "$SIMD_DIR" \
+    --output-on-failure
+
+echo "build matrix: all legs passed"

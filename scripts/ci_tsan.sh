@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # ThreadSanitizer gate for the concurrency layer: builds with
-# -DCARAM_TSAN=ON and runs the concurrent-queue and parallel-engine
-# tests under TSan.  The Engine suite includes the batched multi-key
-# pipeline tests (Engine.Batched*), so worker-side group execution and
-# flush-around-mutation paths are raced too, and the bulk-ingest tests
-# (Engine.BatchedIngestMatchesSerial, Engine.BulkLoadMatchesSerial*,
-# Engine.Rebuild*, Engine.AdaptiveBatch*) race worker-side insertBatch
-# runs, port-driven rebuilds, and the adaptive batch controller.  Any
-# data race fails the script.
+# -DCARAM_TSAN=ON and runs the concurrent-queue, completion-latch and
+# parallel-engine tests under TSan.  The Engine suite includes the
+# batched multi-key pipeline tests (Engine.Batched*), so worker-side
+# group execution and flush-around-mutation paths are raced too, the
+# bulk-ingest tests (Engine.BatchedIngestMatchesSerial,
+# Engine.BulkLoadMatchesSerial*, Engine.Rebuild*, Engine.AdaptiveBatch*)
+# race worker-side insertBatch runs, port-driven rebuilds, and the
+# adaptive batch controller, and the intra-lookup fan-out tests
+# (Engine.Fanout*) race shard stealing off the shared sub-task queue,
+# worker doorbells, and the help-first CompletionLatch join.  Any data
+# race fails the script.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default build-tsan)
 set -euo pipefail
@@ -19,4 +22,4 @@ cmake -B "$BUILD_DIR" -S . -DCARAM_TSAN=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --target test_concurrent_queue test_engine
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$BUILD_DIR" \
-    -R 'ConcurrentQueue|Engine' --output-on-failure
+    -R 'ConcurrentQueue|CompletionLatch|Engine' --output-on-failure

@@ -319,6 +319,14 @@ Database::mergeOverflow(const Key &search_key, SearchResult &result,
     }
 }
 
+uint64_t
+Database::mergeOverflowResult(const Key &search_key, SearchResult &result)
+{
+    uint64_t overflow_fetches = 0;
+    mergeOverflow(search_key, result, overflow_fetches);
+    return overflow_fetches;
+}
+
 SearchResult
 Database::search(const Key &search_key)
 {

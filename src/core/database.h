@@ -183,6 +183,19 @@ class Database
     uint64_t searchBatch(const Key *const *keys, unsigned n,
                          SearchResult *out);
 
+    /**
+     * Fold the parallel overflow area's verdict into a main-slice
+     * search result -- the public tail of search() for callers that
+     * produced @p result themselves via the shard-scoped fan-out path
+     * (CaRamSlice::searchRows + mergeShardResults).  Applying this to
+     * the merged shard result reproduces search() bit-identically,
+     * including the ParallelSlice max-of-both-paths bucketsAccessed.
+     * Returns the overflow-area row fetches (0 for ParallelTcam and
+     * Probing), which overlap the main-slice shards in modeled time.
+     */
+    uint64_t mergeOverflowResult(const Key &search_key,
+                                 SearchResult &result);
+
     /** Remove all copies of @p key; returns the number removed. */
     unsigned erase(const Key &key);
 

@@ -25,6 +25,19 @@ mixRow(uint64_t x)
 
 } // namespace
 
+CaRamSlice::ScratchUse::ScratchUse(const CaRamSlice &s) : slice_(s)
+{
+    if (slice_.scratchGuard_.fetch_add(1, std::memory_order_acq_rel) != 0)
+        panic("concurrent use of per-slice scratch: shard workers must "
+              "use packSearchKey/candidateHomes/searchRows with "
+              "shard-local scratch, never search/searchBatch/erase");
+}
+
+CaRamSlice::ScratchUse::~ScratchUse()
+{
+    slice_.scratchGuard_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
 CaRamSlice::CaRamSlice(const SliceConfig &config,
                        std::unique_ptr<hash::IndexGenerator> index_gen)
     : cfg(config),
@@ -198,6 +211,7 @@ CaRamSlice::insertBatchChunk(const Record *records, unsigned n,
     // key/data residue and unrestored reach a rolled-back insert()
     // leaves behind -- while a row shared by many records is fetched
     // and written back once instead of once per record.
+    const ScratchUse guard(*this);
     InsertBatchSummary sum;
     auto &ig = ingest_;
     const unsigned slots = cfg.slotsPerBucket;
@@ -495,6 +509,7 @@ CaRamSlice::searchChain(uint64_t home,
 SearchResult
 CaRamSlice::search(const Key &search_key)
 {
+    const ScratchUse guard(*this);
     ++searchCount;
     SearchResult best;
     matcher.pack(search_key, packedKey_);
@@ -512,6 +527,7 @@ SearchResult
 CaRamSlice::searchTraced(const Key &search_key,
                          std::vector<uint64_t> &rows_accessed)
 {
+    const ScratchUse guard(*this);
     ++searchCount;
     SearchResult best;
     matcher.pack(search_key, packedKey_);
@@ -521,6 +537,83 @@ CaRamSlice::searchTraced(const Key &search_key,
     }
     accessCount += best.bucketsAccessed;
     return best;
+}
+
+void
+CaRamSlice::packSearchKey(const Key &search_key,
+                          MatchProcessor::PackedKey &out) const
+{
+    if (search_key.bits() != cfg.logicalKeyBits)
+        fatal("key width does not match the slice configuration");
+    matcher.pack(search_key, out);
+}
+
+void
+CaRamSlice::candidateHomes(const Key &search_key,
+                           std::vector<uint64_t> &out) const
+{
+    if (search_key.bits() != cfg.logicalKeyBits)
+        fatal("key width does not match the slice configuration");
+    out.clear();
+    // Same fast path and ordering as homeRowsInto().
+    if (search_key.fullySpecified())
+        out.push_back(idxGen->index(search_key.valueWords(),
+                                    search_key.bits()));
+    else
+        idxGen->candidateIndices(search_key.valueWords(),
+                                 search_key.careWords(),
+                                 search_key.bits(), out);
+}
+
+SearchResult
+CaRamSlice::searchRows(const MatchProcessor::PackedKey &packed,
+                       const uint64_t *homes, unsigned n)
+{
+    SearchResult best;
+    for (unsigned i = 0; i < n; ++i) {
+        if (searchChain(homes[i], packed, best, nullptr))
+            break; // non-LPM first hit within this shard
+    }
+    return best;
+}
+
+SearchResult
+CaRamSlice::mergeShardResults(const SearchResult *shards, unsigned n,
+                              bool lpm)
+{
+    SearchResult merged;
+    unsigned accesses = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const SearchResult &s = shards[i];
+        accesses += s.bucketsAccessed;
+        if (!lpm) {
+            // Serial early exit: the first hitting shard is where the
+            // serial chain would have stopped -- its bucketsAccessed
+            // already ends at the hit row, and later shards' walks are
+            // speculative work the serial cost never pays.
+            if (s.hit) {
+                merged = s;
+                merged.bucketsAccessed = accesses;
+                return merged;
+            }
+            continue;
+        }
+        // LPM walks everything; first-max-wins across shards in home
+        // order, matching searchChain()'s strictly-greater rule.
+        if (s.hit && (!merged.hit ||
+                      s.key.carePopcount() > merged.key.carePopcount())) {
+            merged = s;
+        }
+    }
+    merged.bucketsAccessed = accesses;
+    return merged;
+}
+
+void
+CaRamSlice::noteFanoutSearch(unsigned buckets_accessed)
+{
+    ++searchCount;
+    accessCount += buckets_accessed;
 }
 
 uint64_t
@@ -599,6 +692,7 @@ uint64_t
 CaRamSlice::searchBatchChunk(const Key *const *keys, unsigned n,
                              SearchResult *out)
 {
+    const ScratchUse guard(*this);
     auto &sc = batch_;
     uint64_t fetches = 0;
     unsigned groupable = 0;
@@ -745,6 +839,7 @@ CaRamSlice::eraseAt(uint64_t home, const Key &key)
 unsigned
 CaRamSlice::erase(const Key &key)
 {
+    const ScratchUse guard(*this);
     unsigned removed = 0;
     for (uint64_t home : homeRowsInto(key))
         removed += eraseAt(home, key) ? 1 : 0;
@@ -756,6 +851,7 @@ CaRamSlice::countMatching(const Key &pattern)
 {
     if (pattern.bits() != cfg.logicalKeyBits)
         fatal("pattern width does not match the slice configuration");
+    const ScratchUse guard(*this);
     uint64_t matched = 0;
     matcher.pack(pattern, packedKey_);
     for (uint64_t row = 0; row < cfg.rows(); ++row) {
@@ -772,6 +868,7 @@ CaRamSlice::updateMatching(const Key &pattern, uint64_t new_data)
         fatal("pattern width does not match the slice configuration");
     if (cfg.dataBits == 0)
         fatal("slice stores no data field to update");
+    const ScratchUse guard(*this);
     uint64_t updated = 0;
     matcher.pack(pattern, packedKey_);
     for (uint64_t row = 0; row < cfg.rows(); ++row) {

@@ -15,6 +15,7 @@
  */
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -156,6 +157,72 @@ class CaRamSlice
      */
     SearchResult searchTraced(const Key &search_key,
                               std::vector<uint64_t> &rows_accessed);
+
+    /// @name Shard-scoped search (intra-lookup row fan-out)
+    /// @{
+    /**
+     * Pack @p search_key into @p out, the match processor's step-1
+     * template, using *caller-owned* scratch instead of the per-slice
+     * packedKey_.  Shard workers pack once per lookup and then hand the
+     * same (read-only) packed key to every shard.
+     */
+    void packSearchKey(const Key &search_key,
+                       MatchProcessor::PackedKey &out) const;
+
+    /**
+     * Candidate home buckets of @p search_key into @p out -- the
+     * caller-scratch variant of homeRows().  @p out is cleared and
+     * refilled; it retains capacity across calls, so a pre-sized vector
+     * makes this allocation-free.  Order matches homeRowsInto(), which
+     * is the order the serial search visits homes in.
+     */
+    void candidateHomes(const Key &search_key,
+                        std::vector<uint64_t> &out) const;
+
+    /**
+     * Search a subset of candidate home chains -- the shard entry point
+     * of the intra-lookup row fan-out.  Walks @p homes[0..n) through
+     * the same chain logic search() uses (probing, overflow reach, LPM
+     * best-so-far, first-hit early exit in exact mode) but touches *no*
+     * per-slice scratch and *no* search counters: the packed key and
+     * the result are caller-owned, so concurrent searchRows() calls on
+     * one slice are safe against each other (they only read the memory
+     * array) as long as no mutation and no scratch-using entry point
+     * (search/searchBatch/erase/...) runs concurrently.
+     *
+     * The returned bucketsAccessed counts only the rows this shard
+     * walked.  Recombine shards with mergeShardResults() and account
+     * the merged lookup with noteFanoutSearch() to stay bit-identical
+     * to a serial search() over the full home set.
+     */
+    SearchResult searchRows(const MatchProcessor::PackedKey &packed,
+                            const uint64_t *homes, unsigned n);
+
+    /**
+     * Merge per-shard bests back into what a serial search() over the
+     * concatenated home ranges would have returned.  Shards must be
+     * ordered: shard i covers homes strictly before shard i+1's in
+     * candidateHomes() order.
+     *
+     * Exact (non-LPM) mode replays the serial early exit: sum the
+     * accesses of leading no-hit shards, then stop at the first hitting
+     * shard and take its match (later shards' speculative work is
+     * discarded).  LPM mode sums every shard's accesses and keeps the
+     * first shard-best with the strictly longest care popcount -- the
+     * same first-max-wins rule searchChain() applies per bucket.
+     */
+    static SearchResult mergeShardResults(const SearchResult *shards,
+                                          unsigned n, bool lpm);
+
+    /**
+     * Account one fan-out lookup: advances searchesPerformed() by one
+     * and searchAccesses() by @p buckets_accessed, exactly as a serial
+     * search() reporting that many accesses would.  Call from the
+     * coordinating thread after the merge -- the counters share the
+     * single-owner rule of the per-slice scratch.
+     */
+    void noteFanoutSearch(unsigned buckets_accessed);
+    /// @}
 
     /** Keys one searchBatch() chunk groups (scratch sizing). */
     static constexpr unsigned kMaxBatch = 32;
@@ -322,12 +389,32 @@ class CaRamSlice
 
     // Per-slice scratch reused across lookups so a steady-state search
     // performs no heap allocation: the expanded search key (the match
-    // processor's step-1 template) and the candidate home rows.  A
-    // slice therefore must not serve concurrent searches -- the same
-    // ownership rule the search counters below already impose (the
-    // parallel engine gives each database to exactly one worker).
+    // processor's step-1 template) and the candidate home rows
+    // (homeRowsInto()'s backing store).  A slice therefore must not
+    // serve concurrent scratch-using calls -- the same ownership rule
+    // the search counters below already impose (the parallel engine
+    // gives each database to exactly one worker).  Intra-lookup shard
+    // workers must NOT route through these: they use packSearchKey()/
+    // candidateHomes()/searchRows() with shard-local scratch instead.
+    // scratchGuard_ enforces the rule in every build (two uncontended
+    // atomic ops per operation -- noise next to a row walk): each
+    // scratch-using entry point panics if it observes another one in
+    // flight, so aliasing bugs surface deterministically in tests
+    // instead of relying on TSan luck.
     MatchProcessor::PackedKey packedKey_;
     std::vector<uint64_t> homesScratch;
+    mutable std::atomic<int> scratchGuard_{0};
+
+    /** RAII concurrent-entry detector for the per-slice scratch. */
+    class [[nodiscard]] ScratchUse
+    {
+      public:
+        explicit ScratchUse(const CaRamSlice &s);
+        ~ScratchUse();
+
+      private:
+        const CaRamSlice &slice_;
+    };
 
     /** searchBatch() scratch, sized once: per-key packed templates and
      *  grouping tables for one chunk, plus the transposed key group.

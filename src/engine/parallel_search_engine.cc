@@ -1,18 +1,68 @@
 #include "engine/parallel_search_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "sim/completion_latch.h"
 
 namespace caram::engine {
+
+namespace {
+
+/** CARAM_ROW_FANOUT_MIN parsed once; nullopt = unset/garbage.  The
+ *  forced-fan-out CI leg sets it to 1 so every engine in the test
+ *  suite routes lookups through the shard scheduler. */
+std::optional<unsigned>
+envRowFanoutMin()
+{
+    static const std::optional<unsigned> parsed =
+        []() -> std::optional<unsigned> {
+        const char *env = std::getenv("CARAM_ROW_FANOUT_MIN");
+        if (!env || !*env)
+            return std::nullopt;
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end == env || *end != '\0') {
+            warn(strprintf("CARAM_ROW_FANOUT_MIN=%s is not a number; "
+                           "fan-out stays config-controlled",
+                           env));
+            return std::nullopt;
+        }
+        return static_cast<unsigned>(v);
+    }();
+    return parsed;
+}
+
+} // namespace
 
 /** A request travelling through a worker queue, stamped at enqueue. */
 struct ParallelSearchEngine::Job
 {
     core::PortRequest request;
     std::chrono::steady_clock::time_point enqueued;
+};
+
+/**
+ * One shard of a fanned-out lookup: match @p count candidate home
+ * chains starting at @p homes against the coordinator's packed key,
+ * deposit the shard-best into @p out, and arrive at @p latch.  All
+ * pointed-to state lives in the coordinating worker's scratch, which
+ * stays pinned until the latch completes; the queue's mutex publishes
+ * it to stealing workers.
+ */
+struct ParallelSearchEngine::FanoutTask
+{
+    core::CaRamSlice *slice;
+    const core::MatchProcessor::PackedKey *packed;
+    const uint64_t *homes;
+    unsigned count;
+    core::SearchResult *out;
+    sim::CompletionLatch *latch;
 };
 
 /** Per-port result stream and instrumentation. */
@@ -48,6 +98,23 @@ struct ParallelSearchEngine::Worker
     double sharingEwma = 0.0;
     bool sharingSeeded = false;
     unsigned serialHold = 0;
+    /** Fan-out coordinator scratch: the packed key every shard reads,
+     *  the candidate home rows, and one result slot per shard.  All
+     *  pre-sized after the first fan-out, so steady-state fan-out
+     *  lookups allocate nothing -- and strictly worker-local, never
+     *  the slice's own scratch (CaRamSlice's single-owner rule). */
+    core::MatchProcessor::PackedKey fanoutPacked;
+    std::vector<uint64_t> fanoutHomes;
+    std::array<core::SearchResult, kMaxFanoutShards> shardResults;
+    sim::CompletionLatch fanoutLatch;
+    /** Fan-out counters (EngineReport). */
+    uint64_t fanoutLookups = 0;
+    uint64_t fanoutShards = 0;
+    uint64_t fanoutSerialFallbacks = 0;
+    /** Doorbell: the worker parks here when both its request queue and
+     *  the shared shard queue are empty; producers ring after pushing. */
+    std::mutex bellMutex;
+    std::condition_variable bell;
 };
 
 ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
@@ -61,6 +128,17 @@ ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
         fatal("engine queue capacity must be nonzero");
     if (cfg.drainBatch == 0)
         cfg.drainBatch = 1;
+    cfg.rowFanoutMaxShards =
+        std::clamp(cfg.rowFanoutMaxShards, 1u, kMaxFanoutShards);
+    rowFanoutMin_ = cfg.rowFanoutMin;
+    if (rowFanoutMin_ == 0) {
+        if (const auto env = envRowFanoutMin())
+            rowFanoutMin_ = *env;
+    }
+    fanoutTasks = std::make_unique<sim::ConcurrentBoundedQueue<FanoutTask>>(
+        std::max<std::size_t>(16,
+                              std::size_t{workerCount} *
+                                  cfg.rowFanoutMaxShards));
     for (std::size_t p = 0; p < sys->databaseCount(); ++p)
         ports.push_back(std::make_unique<PortState>());
     for (unsigned w = 0; w < workerCount; ++w)
@@ -125,11 +203,138 @@ ParallelSearchEngine::finishResponse(
         std::memory_order_relaxed);
 }
 
+bool
+ParallelSearchEngine::fanoutEligible(core::Database &db, const Key &key,
+                                     Worker &self)
+{
+    if (rowFanoutMin_ == 0)
+        return false;
+    // Fully specified keys have exactly one candidate home: only a
+    // forced threshold of <= 1 routes them through the shard scheduler
+    // (single-shard coverage of the fan-out machinery).
+    if (rowFanoutMin_ > 1 && key.fullySpecified())
+        return false;
+    if (key.bits() != db.slice().config().logicalKeyBits)
+        return false; // let the serial path report the width mismatch
+    db.slice().candidateHomes(key, self.fanoutHomes);
+    return self.fanoutHomes.size() >= rowFanoutMin_;
+}
+
+void
+ParallelSearchEngine::runFanoutTask(const FanoutTask &task)
+{
+    *task.out = task.slice->searchRows(*task.packed, task.homes,
+                                       task.count);
+    task.latch->arrive();
+}
+
+void
+ParallelSearchEngine::executeFanoutSearch(
+    core::Database &db, const core::PortRequest &request,
+    std::chrono::steady_clock::time_point enqueued, unsigned worker_index)
+{
+    Worker &self = *workers[worker_index];
+    core::CaRamSlice &sl = db.slice();
+    const auto nhomes = static_cast<unsigned>(self.fanoutHomes.size());
+    const unsigned nshards = std::min(cfg.rowFanoutMaxShards, nhomes);
+    ++self.fanoutLookups;
+    if (nshards <= 1)
+        ++self.fanoutSerialFallbacks;
+    else
+        self.fanoutShards += nshards;
+
+    sl.packSearchKey(request.key, self.fanoutPacked);
+    self.fanoutLatch.reset(nshards);
+    const uint64_t *homes = self.fanoutHomes.data();
+    const unsigned base = nhomes / nshards;
+    const unsigned rem = nhomes % nshards;
+    // Shard 0 (the first home range) runs on this thread; the rest go
+    // to the shared sub-task queue for idle workers to steal.  A full
+    // queue just means this shard runs here too -- the push never
+    // blocks, so fan-out cannot deadlock.
+    const unsigned local_count = base + (0 < rem ? 1 : 0);
+    unsigned offset = local_count;
+    for (unsigned s = 1; s < nshards; ++s) {
+        const unsigned count = base + (s < rem ? 1 : 0);
+        const FanoutTask task{&sl,
+                              &self.fanoutPacked,
+                              homes + offset,
+                              count,
+                              &self.shardResults[s],
+                              &self.fanoutLatch};
+        offset += count;
+        if (cfg.workers == 0 || !fanoutTasks->tryPush(task))
+            runFanoutTask(task);
+    }
+    if (nshards > 1 && cfg.workers != 0)
+        ringAll();
+    self.shardResults[0] =
+        sl.searchRows(self.fanoutPacked, homes, local_count);
+    self.fanoutLatch.arrive();
+    // Help-first join: while our shards are outstanding, run queued
+    // shard tasks (ours or another coordinator's) instead of blocking.
+    // Shard tasks never block or fan out themselves, so every queued
+    // task makes progress even when all workers coordinate lookups at
+    // once; once the queue is empty our remaining shards are already
+    // running on other workers and the wait is finite.
+    while (!self.fanoutLatch.tryWait()) {
+        if (const auto task = fanoutTasks->tryPop())
+            runFanoutTask(*task);
+        else
+            self.fanoutLatch.wait();
+    }
+
+    core::SearchResult merged = core::CaRamSlice::mergeShardResults(
+        self.shardResults.data(), nshards, sl.config().lpm);
+    // The slice's counters advance exactly as one serial search()
+    // reporting this many accesses would (we are the port's owning
+    // worker, so the single-owner rule holds).
+    sl.noteFanoutSearch(merged.bucketsAccessed);
+    uint64_t slowest = 0;
+    for (unsigned s = 0; s < nshards; ++s)
+        slowest = std::max<uint64_t>(slowest,
+                                     self.shardResults[s].bucketsAccessed);
+    const uint64_t overflow_fetches =
+        db.mergeOverflowResult(request.key, merged);
+
+    // Modeled cost: the shards fetch from independent banks
+    // simultaneously (the paper's multi-bank overlap), so the lookup
+    // occupies the port for the *slowest* shard's chain -- including
+    // shards the serial early exit would have skipped, because the
+    // hardware dispatches every bank before any verdict is known.  A
+    // parallel overflow area overlaps the same way.
+    const uint64_t accesses =
+        std::max<uint64_t>(1, std::max(slowest, overflow_fetches));
+    const uint64_t cycles =
+        accesses * std::max(1u, cfg.timing.minCycleGap);
+    PortState &port = *ports[request.port];
+    port.stats.modeledCycles += cycles;
+    self.modeledCycles += cycles;
+
+    core::PortResponse resp;
+    resp.tag = request.tag;
+    resp.port = request.port;
+    resp.op = core::PortOp::Search;
+    resp.hit = merged.hit;
+    resp.data = merged.data;
+    resp.key = merged.key;
+    resp.bucketsAccessed = merged.bucketsAccessed;
+    finishResponse(std::move(resp), enqueued);
+}
+
 void
 ParallelSearchEngine::execute(
     const core::PortRequest &request,
     std::chrono::steady_clock::time_point enqueued, unsigned worker_index)
 {
+    if (request.op == core::PortOp::Search && rowFanoutMin_ > 0) {
+        core::Database &db = sys->database(request.port);
+        if (db.powerState() == core::PowerState::Active &&
+            fanoutEligible(db, request.key, *workers[worker_index])) {
+            executeFanoutSearch(db, request, enqueued, worker_index);
+            return;
+        }
+    }
     core::PortResponse resp =
         core::executePortRequest(sys->database(request.port), request);
 
@@ -161,6 +366,44 @@ ParallelSearchEngine::executeSearchRun(const Job *jobs, std::size_t count,
         return;
     }
 
+    if (rowFanoutMin_ == 0) {
+        executeBatchSegment(db, jobs, count, worker_index);
+        return;
+    }
+
+    // Fan-out-eligible keys leave the batch: searchBatch would walk
+    // their many home chains serially inside the chunk (its multi-home
+    // fallback), exactly the blow-up the fan-out exists to parallelize.
+    // The segments between them still batch, and responses are
+    // published in submission order either way -- results and per-key
+    // bucketsAccessed are bit-identical under any split.
+    Worker &self = *workers[worker_index];
+    std::size_t seg = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        // Single-home (fully specified) keys always stay in the batch,
+        // even under a forced threshold of 1: sharding a one-home chain
+        // cannot help, and pulling the key out would destroy the run's
+        // row sharing.
+        if (jobs[k].request.key.fullySpecified() ||
+            !fanoutEligible(db, jobs[k].request.key, self))
+            continue;
+        if (k > seg)
+            executeBatchSegment(db, jobs + seg, k - seg, worker_index);
+        executeFanoutSearch(db, jobs[k].request, jobs[k].enqueued,
+                            worker_index);
+        seg = k + 1;
+    }
+    if (count > seg)
+        executeBatchSegment(db, jobs + seg, count - seg, worker_index);
+}
+
+void
+ParallelSearchEngine::executeBatchSegment(core::Database &db,
+                                          const Job *jobs,
+                                          std::size_t count,
+                                          unsigned worker_index)
+{
+    const unsigned port_no = jobs[0].request.port;
     Worker &self = *workers[worker_index];
     self.keyPtrs.clear();
     for (std::size_t i = 0; i < count; ++i)
@@ -273,12 +516,64 @@ ParallelSearchEngine::noteCompletion()
 }
 
 void
+ParallelSearchEngine::ring(unsigned worker_index)
+{
+    Worker &w = *workers[worker_index];
+    // The empty critical section orders the ring after the waiter's
+    // predicate check: either the waiter saw the pushed work, or it is
+    // already parked and this notify wakes it.
+    { std::lock_guard<std::mutex> lock(w.bellMutex); }
+    w.bell.notify_one();
+}
+
+void
+ParallelSearchEngine::ringAll()
+{
+    for (unsigned w = 0; w < workerCount; ++w)
+        ring(w);
+}
+
+void
 ParallelSearchEngine::workerMain(unsigned index)
 {
     Worker &self = *workers[index];
     std::vector<Job> batch;
-    while (self.queue.popBatch(batch, cfg.drainBatch) > 0) {
-        std::size_t i = 0;
+    for (;;) {
+        // Shard sub-tasks first: they unblock coordinators (possibly
+        // this worker's own producers) and are always short.
+        bool progressed = false;
+        while (const auto task = fanoutTasks->tryPop()) {
+            runFanoutTask(*task);
+            progressed = true;
+        }
+        if (self.queue.tryPopBatch(batch, cfg.drainBatch) > 0) {
+            processJobs(batch, index);
+            progressed = true;
+        }
+        if (progressed)
+            continue;
+        // Nothing anywhere: park on the doorbell.  Producers (submits
+        // to this worker's queue, fan-out shard pushes, stop()) ring
+        // after publishing, and the predicate re-checks both queues
+        // under the bell mutex, so no wakeup can be lost.
+        std::unique_lock<std::mutex> lock(self.bellMutex);
+        if (self.queue.closed() && self.queue.empty() &&
+            fanoutTasks->empty())
+            break;
+        self.bell.wait(lock, [&] {
+            return self.queue.closed() || !self.queue.empty() ||
+                   !fanoutTasks->empty();
+        });
+    }
+}
+
+void
+ParallelSearchEngine::processJobs(const std::vector<Job> &batch,
+                                  unsigned index)
+{
+    Worker &self = *workers[index];
+    std::size_t i = 0;
+    {
         while (i < batch.size()) {
             // Extend a run of same-port searches -- or same-port
             // inserts -- up to batchSize; any other request (or a port
@@ -345,6 +640,7 @@ ParallelSearchEngine::submitRequest(const core::PortRequest &request)
         return false;
     }
     ++ports[request.port]->stats.submitted;
+    ring(workerOf(request.port));
     return true;
 }
 
@@ -384,6 +680,7 @@ ParallelSearchEngine::trySubmit(unsigned port, const Key &key,
         return false;
     }
     ++ports[port]->stats.submitted;
+    ring(workerOf(port));
     return true;
 }
 
@@ -445,6 +742,8 @@ ParallelSearchEngine::stop()
     stopped = true;
     for (auto &w : workers)
         w->queue.close();
+    fanoutTasks->close(); // drained already: no shard can be in flight
+    ringAll();            // wake parked workers so they observe close
     for (std::thread &t : threads)
         t.join();
     threads.clear();
@@ -487,6 +786,9 @@ ParallelSearchEngine::report() const
         out.adaptiveSerialRuns += w->adaptiveSerialRuns;
         out.batchedInsertRuns += w->batchedInsertRuns;
         out.ingest.merge(w->ingest);
+        out.fanoutLookups += w->fanoutLookups;
+        out.fanoutShards += w->fanoutShards;
+        out.fanoutSerialFallbacks += w->fanoutSerialFallbacks;
     }
     for (const auto &p : ports)
         out.completed += p->stats.completed;

@@ -30,6 +30,16 @@
  * the calling thread -- a deterministic single-threaded fallback with
  * identical result streams and modeled accounting, used by tier-1
  * tests.
+ *
+ * EngineConfig::rowFanoutMin additionally enables *intra-lookup*
+ * parallelism: a lookup whose ternary key duplicates across many home
+ * rows is split into home-range shards that idle workers steal from a
+ * shared sub-task queue (CaRamSlice::searchRows + shard-local scratch),
+ * merged back bit-identically to the serial chain.  The one-port-one-
+ * worker ownership rule is preserved: only the port's owning worker
+ * touches the database's scratch, counters and overflow area, and it
+ * does not move to its next request until every shard completed, so
+ * mutations still never overlap a fanned-out lookup.
  */
 
 #include <atomic>
@@ -99,6 +109,28 @@ struct EngineConfig
     double adaptiveMinSharing = 1.2;
     /** Search runs executed serially per back-off. */
     unsigned adaptiveHoldRuns = 64;
+
+    /**
+     * Intra-lookup row fan-out: a Search key whose candidate home set
+     * (ternary don't-cares in hash positions duplicate a key across
+     * many home rows, paper section 4.2) has at least this many homes
+     * is split into up to rowFanoutMaxShards contiguous home-range
+     * shards.  The coordinating worker runs one shard itself, posts
+     * the rest to a shared sub-task queue idle workers steal from, and
+     * merges the shard bests by the serial priority rule -- results
+     * stay bit-identical to the serial chain (hit/miss, matched
+     * record, LPM winner, bucketsAccessed).  Modeled cycles charge the
+     * *slowest shard* instead of the serial chain sum: the shards
+     * overlap in modeled time like the paper's multi-bank fetch.
+     *
+     * 0 disables fan-out unless the CARAM_ROW_FANOUT_MIN environment
+     * variable supplies a floor (parsed once; an explicit nonzero
+     * config always wins over the environment, so tests that pin a
+     * threshold behave identically under the forced-fan-out CI leg).
+     */
+    unsigned rowFanoutMin = 0;
+    /** Most shards one lookup fans out into (clamped to [1, 32]). */
+    unsigned rowFanoutMaxShards = 8;
 };
 
 /** Per-port instrumentation (single-writer: the port's owning worker,
@@ -143,6 +175,12 @@ struct EngineReport
     uint64_t batchedInsertRuns = 0;
     /** Merged row-op accounting of every batched insert run. */
     core::InsertBatchSummary ingest;
+    /** Lookups routed through the intra-lookup row fan-out. */
+    uint64_t fanoutLookups = 0;
+    /** Shards those lookups split into (incl. the coordinator's). */
+    uint64_t fanoutShards = 0;
+    /** Fan-out-eligible lookups that collapsed to a single shard. */
+    uint64_t fanoutSerialFallbacks = 0;
 };
 
 /** Shards a CaRamSubsystem's ports across worker threads. */
@@ -215,19 +253,47 @@ class ParallelSearchEngine
     /** Aggregate throughput/latency accounting for the run so far. */
     EngineReport report() const;
 
+    /** Upper bound on rowFanoutMaxShards (scratch sizing). */
+    static constexpr unsigned kMaxFanoutShards = 32;
+
   private:
     struct PortState;
     struct Worker;
 
     struct Job;
+    struct FanoutTask;
 
     void workerMain(unsigned index);
+    /** Run one popped batch through the run-extension loop. */
+    void processJobs(const std::vector<Job> &batch, unsigned index);
     void execute(const core::PortRequest &request,
                  std::chrono::steady_clock::time_point enqueued,
                  unsigned worker_index);
     /** Execute @p count same-port Search jobs as one batched lookup. */
     void executeSearchRun(const Job *jobs, std::size_t count,
                           unsigned worker_index);
+    /** One contiguous no-fan-out segment of a search run. */
+    void executeBatchSegment(core::Database &db, const Job *jobs,
+                             std::size_t count, unsigned worker_index);
+    /**
+     * True when @p key should fan out; fills the worker's fanoutHomes
+     * scratch (which executeFanoutSearch then consumes) as a side
+     * effect.
+     */
+    bool fanoutEligible(core::Database &db, const Key &key,
+                        Worker &self);
+    /** Shard, steal, merge and publish one fan-out lookup.  Expects
+     *  the worker's fanoutHomes scratch filled by fanoutEligible(). */
+    void executeFanoutSearch(core::Database &db,
+                             const core::PortRequest &request,
+                             std::chrono::steady_clock::time_point
+                                 enqueued,
+                             unsigned worker_index);
+    /** Match one shard and arrive at its lookup's latch. */
+    void runFanoutTask(const FanoutTask &task);
+    /** Wake one parked worker / all parked workers (doorbell). */
+    void ring(unsigned worker_index);
+    void ringAll();
     /** Execute @p count same-port Insert jobs as one bulk ingest. */
     void executeInsertRun(const Job *jobs, std::size_t count,
                           unsigned worker_index);
@@ -239,6 +305,10 @@ class ParallelSearchEngine
     core::CaRamSubsystem *sys;
     EngineConfig cfg;
     unsigned workerCount;  ///< sharding groups (>= 1 even when inline)
+    /** Resolved fan-out threshold (config, or CARAM_ROW_FANOUT_MIN). */
+    unsigned rowFanoutMin_ = 0;
+    /** Shared shard sub-task queue the workers steal from. */
+    std::unique_ptr<sim::ConcurrentBoundedQueue<FanoutTask>> fanoutTasks;
     std::vector<std::unique_ptr<PortState>> ports;
     std::vector<std::unique_ptr<Worker>> workers;
     std::vector<std::thread> threads;

@@ -1,0 +1,76 @@
+#ifndef CARAM_SIM_COMPLETION_LATCH_H_
+#define CARAM_SIM_COMPLETION_LATCH_H_
+
+/**
+ * @file
+ * A resettable completion latch for fork/join sub-tasks: the engine's
+ * intra-lookup row fan-out posts one shard per latch count, workers
+ * arrive() as shards finish, and the coordinating thread waits for the
+ * count to reach zero before merging.  Unlike std::latch it is
+ * reusable (reset() between lookups, so a per-worker latch allocates
+ * once) and offers a non-blocking tryWait() for help-first coordinators
+ * that steal queued shards while waiting.
+ */
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace caram::sim {
+
+/** Counted down by arrive(); wait() blocks until the count hits zero. */
+class CompletionLatch
+{
+  public:
+    /**
+     * Arm the latch for @p count arrivals.  Only call between
+     * completed waits -- resetting while arrivals or waiters are
+     * outstanding is a logic error (the coordinator owns the latch and
+     * never republishes it before wait() returns).
+     */
+    void
+    reset(unsigned count)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        remaining = count;
+    }
+
+    /** Record one completed sub-task; wakes waiters on the last one. */
+    void
+    arrive()
+    {
+        std::unique_lock<std::mutex> lock(m);
+        if (remaining == 0)
+            panic("latch arrive() without a matching reset() count");
+        if (--remaining == 0) {
+            lock.unlock();
+            done.notify_all();
+        }
+    }
+
+    /** True when every expected arrival has happened; never blocks. */
+    bool
+    tryWait() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return remaining == 0;
+    }
+
+    /** Block until every expected arrival has happened. */
+    void
+    wait() const
+    {
+        std::unique_lock<std::mutex> lock(m);
+        done.wait(lock, [&] { return remaining == 0; });
+    }
+
+  private:
+    mutable std::mutex m;
+    mutable std::condition_variable done;
+    unsigned remaining = 0;
+};
+
+} // namespace caram::sim
+
+#endif // CARAM_SIM_COMPLETION_LATCH_H_

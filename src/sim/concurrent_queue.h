@@ -111,6 +111,24 @@ class ConcurrentBoundedQueue
     }
 
     /**
+     * popBatch() without the blocking wait: pop up to @p max items into
+     * @p out (cleared first) and return immediately.  Returns the
+     * number popped -- 0 when the queue is currently empty, closed or
+     * not.  Consumers multiplexing several queues (the engine's workers
+     * poll their request queue *and* the shared fan-out task queue) use
+     * this and park on an external doorbell instead of blocking here.
+     */
+    std::size_t
+    tryPopBatch(std::vector<T> &out, std::size_t max)
+    {
+        out.clear();
+        std::lock_guard<std::mutex> lock(m);
+        while (!items.empty() && out.size() < max)
+            out.push_back(popLocked());
+        return out.size();
+    }
+
+    /**
      * Close the queue: subsequent pushes fail, blocked producers and
      * consumers wake up, and pop() returns std::nullopt once the
      * remaining items are drained.

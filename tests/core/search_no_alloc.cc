@@ -285,6 +285,47 @@ TEST(SearchNoAlloc, BatchedLpmSpanLoop)
     EXPECT_EQ(n, 0u);
 }
 
+TEST(SearchNoAlloc, FanoutShardLoop)
+{
+    // Steady-state intra-lookup fan-out: candidate-home expansion into
+    // a caller-owned (pre-sized) vector, caller-scratch key packing,
+    // per-shard searchRows over home ranges, the priority merge and
+    // the counter accounting must all be allocation-free -- this is
+    // the loop an engine worker runs per fanned-out lookup.
+    Fixture f(65, true, false);
+    std::vector<Key> wild = f.keys;
+    for (Key &k : wild) {
+        for (unsigned p = 0; p < 3; ++p)
+            k.setBitAt(p, false, false); // wildcard hash taps
+    }
+    std::vector<uint64_t> homes;
+    MatchProcessor::PackedKey packed;
+    std::array<SearchResult, 8> shard;
+    const uint64_t n = allocationsIn([&] {
+        for (int i = 0; i < 1000; ++i) {
+            const Key &k = wild[i % wild.size()];
+            f.slice->candidateHomes(k, homes);
+            f.slice->packSearchKey(k, packed);
+            const auto nhomes = static_cast<unsigned>(homes.size());
+            const unsigned nshards =
+                std::min<unsigned>(nhomes, shard.size());
+            const unsigned base = nhomes / nshards;
+            const unsigned rem = nhomes % nshards;
+            unsigned offset = 0;
+            for (unsigned s = 0; s < nshards; ++s) {
+                const unsigned count = base + (s < rem ? 1 : 0);
+                shard[s] = f.slice->searchRows(
+                    packed, homes.data() + offset, count);
+                offset += count;
+            }
+            const SearchResult merged = CaRamSlice::mergeShardResults(
+                shard.data(), nshards, f.cfg.lpm);
+            f.slice->noteFanoutSearch(merged.bucketsAccessed);
+        }
+    });
+    EXPECT_EQ(n, 0u);
+}
+
 TEST(SearchNoAlloc, MassCountLoop)
 {
     Fixture f(63, true, false);

@@ -1,5 +1,7 @@
-/** @file Tests for sim::ConcurrentBoundedQueue, including MPMC stress. */
+/** @file Tests for sim::ConcurrentBoundedQueue (including MPMC stress)
+ *  and sim::CompletionLatch. */
 
+#include "sim/completion_latch.h"
 #include "sim/concurrent_queue.h"
 
 #include <gtest/gtest.h>
@@ -100,6 +102,104 @@ TEST(ConcurrentQueue, PopBatchAmortizesLocking)
     EXPECT_EQ(batch, (std::vector<int>{4, 5}));
     q.close();
     EXPECT_EQ(q.popBatch(batch, 4), 0u);
+}
+
+TEST(ConcurrentQueue, TryPopBatchNeverBlocks)
+{
+    ConcurrentBoundedQueue<int> q(8);
+    std::vector<int> batch;
+    // Empty queue: returns 0 immediately instead of waiting.
+    EXPECT_EQ(q.tryPopBatch(batch, 4), 0u);
+    EXPECT_TRUE(batch.empty());
+    for (int i = 0; i < 6; ++i)
+        q.tryPush(i);
+    EXPECT_EQ(q.tryPopBatch(batch, 4), 4u);
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(q.tryPopBatch(batch, 4), 2u);
+    EXPECT_EQ(batch, (std::vector<int>{4, 5}));
+    // Closed and drained: still 0, still no blocking.
+    q.close();
+    EXPECT_EQ(q.tryPopBatch(batch, 4), 0u);
+}
+
+TEST(ConcurrentQueue, TryPopBatchDrainsAfterClose)
+{
+    // Items pushed before close() are still delivered -- consumers
+    // multiplexing queues via tryPopBatch must not lose the tail.
+    ConcurrentBoundedQueue<int> q(4);
+    q.tryPush(7);
+    q.tryPush(8);
+    q.close();
+    std::vector<int> batch;
+    EXPECT_EQ(q.tryPopBatch(batch, 8), 2u);
+    EXPECT_EQ(batch, (std::vector<int>{7, 8}));
+}
+
+TEST(CompletionLatch, WaitReturnsAfterAllArrivals)
+{
+    CompletionLatch latch;
+    latch.reset(3);
+    EXPECT_FALSE(latch.tryWait());
+    latch.arrive();
+    latch.arrive();
+    EXPECT_FALSE(latch.tryWait());
+    latch.arrive();
+    EXPECT_TRUE(latch.tryWait());
+    latch.wait(); // already complete: returns immediately
+}
+
+TEST(CompletionLatch, ZeroCountIsImmediatelyComplete)
+{
+    CompletionLatch latch;
+    latch.reset(0);
+    EXPECT_TRUE(latch.tryWait());
+    latch.wait();
+}
+
+TEST(CompletionLatch, ArriveWithoutResetPanics)
+{
+    CompletionLatch latch;
+    EXPECT_DEATH(latch.arrive(), "without a matching reset");
+    latch.reset(1);
+    latch.arrive();
+    EXPECT_DEATH(latch.arrive(), "without a matching reset");
+}
+
+TEST(CompletionLatch, CrossThreadForkJoin)
+{
+    // The engine's shape: a coordinator arms the latch, worker threads
+    // arrive as sub-tasks finish, the coordinator blocks in wait().
+    // Reused across rounds without reallocation.
+    CompletionLatch latch;
+    std::atomic<int> done{0};
+    for (int round = 0; round < 50; ++round) {
+        constexpr int kTasks = 4;
+        latch.reset(kTasks);
+        std::vector<std::thread> tasks;
+        for (int t = 0; t < kTasks; ++t) {
+            tasks.emplace_back([&] {
+                done.fetch_add(1, std::memory_order_relaxed);
+                latch.arrive();
+            });
+        }
+        latch.wait();
+        EXPECT_EQ(done.load(), (round + 1) * kTasks);
+        for (auto &t : tasks)
+            t.join();
+    }
+}
+
+TEST(CompletionLatch, HelpFirstJoinObservesCompletion)
+{
+    // tryWait() polled from a help-first loop must flip exactly when
+    // the last arrival lands, even when that arrival races the poll.
+    CompletionLatch latch;
+    latch.reset(1);
+    std::thread worker([&] { latch.arrive(); });
+    while (!latch.tryWait())
+        std::this_thread::yield();
+    worker.join();
+    EXPECT_TRUE(latch.tryWait());
 }
 
 TEST(ConcurrentQueue, MultiProducerMultiConsumerStress)

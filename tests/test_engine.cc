@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -658,6 +660,346 @@ TEST(Engine, ModeledSpeedupScalesWithWorkersOnBalancedLoad)
     // One modeled controller cannot beat the serial drain.
     EXPECT_NEAR(rep.modeledSerialMsps * rep.modeledSpeedup,
                 rep.modeledMsps, 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// Intra-lookup row fan-out: ternary keys with don't-care bits in hash
+// tap positions duplicate across many candidate home rows; the engine
+// shards those lookups across idle workers and must stay bit-identical
+// to the serial subsystem drain.
+
+/** Hash taps of the ternary test databases; a search key leaving the
+ *  first w of them don't-care expands to exactly 2^w home rows. */
+constexpr std::array<unsigned, 6> kFanoutTaps = {0, 5, 11, 17, 23, 29};
+
+DatabaseConfig
+ternaryDbConfig(const std::string &name)
+{
+    DatabaseConfig cfg;
+    cfg.name = name;
+    cfg.sliceShape.indexBits = 6;
+    cfg.sliceShape.logicalKeyBits = 32;
+    cfg.sliceShape.ternary = true;
+    cfg.sliceShape.slotsPerBucket = 4;
+    cfg.sliceShape.dataBits = 16;
+    cfg.sliceShape.maxProbeDistance = 16;
+    cfg.indexFactory = [](const core::SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        return std::make_unique<hash::BitSelectIndex>(
+            eff.logicalKeyBits,
+            std::vector<unsigned>(kFanoutTaps.begin(),
+                                  kFanoutTaps.end()));
+    };
+    return cfg;
+}
+
+/** A random ternary key with the first @p wild_taps hash taps
+ *  don't-care (2^wild_taps candidate homes). */
+Key
+ternaryKey(Rng &rng, unsigned wild_taps)
+{
+    Key k(32);
+    for (unsigned p = 0; p < 32; ++p)
+        k.setBitAt(p, rng.chance(0.5), true);
+    for (unsigned w = 0; w < wild_taps && w < kFanoutTaps.size(); ++w)
+        k.setBitAt(kFanoutTaps[w], false, false);
+    return k;
+}
+
+/** Ternary databases loaded with mostly-specified records (some
+ *  duplicated across homes via one or two wildcard taps). */
+std::unique_ptr<CaRamSubsystem>
+buildLoadedTernary(unsigned nports, uint64_t records_per_db,
+                   uint64_t seed = 31)
+{
+    auto sys = std::make_unique<CaRamSubsystem>(1024, 1024, true);
+    Rng rng(seed);
+    for (unsigned p = 0; p < nports; ++p) {
+        auto &db =
+            sys->addDatabase(ternaryDbConfig("tdb" + std::to_string(p)));
+        for (uint64_t i = 0; i < records_per_db; ++i)
+            db.insert(Record{ternaryKey(rng, i % 7 == 0 ? 1 : 0),
+                             rng.below(1u << 16)});
+    }
+    return sys;
+}
+
+/** Search stream mixing fully specified keys with wildcard lookups of
+ *  up to @p max_wild don't-care taps (up to 2^max_wild homes). */
+std::vector<PortRequest>
+wildSearchStream(unsigned nports, std::size_t per_port,
+                 unsigned max_wild, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<PortRequest> stream;
+    uint64_t tag = 0;
+    for (std::size_t i = 0; i < per_port; ++i) {
+        for (unsigned p = 0; p < nports; ++p) {
+            PortRequest req;
+            req.port = p;
+            req.op = PortOp::Search;
+            req.key = ternaryKey(
+                rng, static_cast<unsigned>(rng.below(max_wild + 1)));
+            req.tag = ++tag;
+            stream.push_back(std::move(req));
+        }
+    }
+    return stream;
+}
+
+/** Mixed mutating stream: inserts, wildcard searches and erases, so
+ *  fan-out lookups drain before same-port mutations. */
+std::vector<PortRequest>
+wildMutationStream(unsigned nports, std::size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<PortRequest> stream;
+    std::vector<std::vector<Key>> pool(nports);
+    uint64_t tag = 0;
+    while (stream.size() < count) {
+        const unsigned p = static_cast<unsigned>(rng.below(nports));
+        PortRequest req;
+        req.port = p;
+        req.tag = ++tag;
+        const double roll = rng.uniform();
+        if (roll < 0.25) {
+            req.op = PortOp::Insert;
+            req.key = ternaryKey(rng, rng.chance(0.2) ? 1 : 0);
+            req.data = rng.below(1u << 16);
+            pool[p].push_back(req.key);
+        } else if (roll < 0.35 && !pool[p].empty()) {
+            req.op = PortOp::Erase;
+            req.key = pool[p][rng.below(pool[p].size())];
+        } else {
+            req.op = PortOp::Search;
+            req.key = ternaryKey(
+                rng, static_cast<unsigned>(rng.below(7)));
+        }
+        stream.push_back(std::move(req));
+    }
+    return stream;
+}
+
+TEST(Engine, FanoutInlineMatchesSerial)
+{
+    // workers == 0: the shards run sequentially inline through the
+    // same scheduler code path -- deterministic, and bit-identical to
+    // the serial subsystem drain.
+    const auto stream = wildSearchStream(2, 150, 6, 91);
+    auto serial_sys = buildLoadedTernary(2, 120);
+    const auto reference = serialReference(*serial_sys, stream);
+
+    auto sys = buildLoadedTernary(2, 120);
+    EngineConfig cfg;
+    cfg.workers = 0;
+    cfg.rowFanoutMin = 2;
+    cfg.rowFanoutMaxShards = 8;
+    ParallelSearchEngine eng(*sys, cfg);
+    EXPECT_EQ(eng.submitBatch(stream), stream.size());
+    expectMatchesReference(eng, reference);
+    EXPECT_GT(eng.report().fanoutLookups, 0u);
+    EXPECT_GT(eng.report().fanoutShards, eng.report().fanoutLookups);
+}
+
+TEST(Engine, FanoutThreadedMatchesSerialWithMutations)
+{
+    // Four workers stealing each other's shards under concurrent
+    // multi-port traffic with interleaved mutations: the per-port
+    // response streams and final table sizes must stay bit-identical
+    // to serial execution (fan-out drains before Insert/Erase on the
+    // same port).  This is the primary TSan target for the fan-out
+    // scheduler.
+    const auto stream = wildMutationStream(4, 1200, 77);
+    auto serial_sys = buildLoadedTernary(4, 80);
+    const auto reference = serialReference(*serial_sys, stream);
+
+    auto sys = buildLoadedTernary(4, 80);
+    EngineConfig cfg;
+    cfg.workers = 4;
+    cfg.rowFanoutMin = 2;
+    cfg.rowFanoutMaxShards = 4;
+    cfg.queueCapacity = 64; // backpressure while shards are in flight
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    EXPECT_EQ(eng.submitBatch(stream), stream.size());
+    eng.drain();
+    eng.stop();
+    expectMatchesReference(eng, reference);
+    for (unsigned p = 0; p < 4; ++p)
+        EXPECT_EQ(sys->database(p).size(),
+                  serial_sys->database(p).size())
+            << "port " << p;
+    EXPECT_GT(eng.report().fanoutLookups, 0u);
+}
+
+TEST(Engine, FanoutConcurrentProducersMatchSerial)
+{
+    // Two producer threads submitting disjoint port sets while four
+    // workers coordinate and steal shards: per-port FIFO order is
+    // still deterministic, so every port's response stream must match
+    // the serial reference.
+    const auto streamA = wildMutationStream(2, 600, 101); // ports 0..1
+    auto streamB = wildMutationStream(2, 600, 202);       // ports 2..3
+    for (PortRequest &req : streamB)
+        req.port += 2;
+
+    std::vector<PortRequest> combined = streamA;
+    combined.insert(combined.end(), streamB.begin(), streamB.end());
+    auto serial_sys = buildLoadedTernary(4, 60);
+    const auto reference = serialReference(*serial_sys, combined);
+
+    auto sys = buildLoadedTernary(4, 60);
+    EngineConfig cfg;
+    cfg.workers = 4;
+    cfg.rowFanoutMin = 2;
+    cfg.rowFanoutMaxShards = 4;
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    std::thread producerA(
+        [&] { EXPECT_EQ(eng.submitBatch(streamA), streamA.size()); });
+    std::thread producerB(
+        [&] { EXPECT_EQ(eng.submitBatch(streamB), streamB.size()); });
+    producerA.join();
+    producerB.join();
+    eng.drain();
+    eng.stop();
+    expectMatchesReference(eng, reference);
+}
+
+TEST(Engine, FanoutStatsAccounted)
+{
+    // Deterministic shard accounting: ten 4-home lookups at maxShards
+    // 8 fan out into exactly 4 shards each; fully specified keys stay
+    // off the fan-out path at a threshold of 2.
+    auto sys = buildLoadedTernary(1, 60);
+    EngineConfig cfg;
+    cfg.workers = 0;
+    cfg.rowFanoutMin = 2;
+    cfg.rowFanoutMaxShards = 8;
+    ParallelSearchEngine eng(*sys, cfg);
+    Rng rng(9);
+    uint64_t tag = 0;
+    for (int i = 0; i < 10; ++i) {
+        PortRequest req;
+        req.port = 0;
+        req.op = PortOp::Search;
+        req.key = ternaryKey(rng, 2); // 4 homes
+        req.tag = ++tag;
+        ASSERT_TRUE(eng.submitRequest(req));
+    }
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(eng.submit(0, ternaryKey(rng, 0), ++tag));
+    const EngineReport rep = eng.report();
+    EXPECT_EQ(rep.fanoutLookups, 10u);
+    EXPECT_EQ(rep.fanoutShards, 40u);
+    EXPECT_EQ(rep.fanoutSerialFallbacks, 0u);
+    EXPECT_EQ(rep.completed, 15u);
+
+    // A forced threshold of 1 routes even single-home keys through the
+    // scheduler; they collapse to one shard and are counted as serial
+    // fallbacks (the forced-fan-out CI leg's configuration).
+    auto sys2 = buildLoadedTernary(1, 60);
+    EngineConfig cfg2;
+    cfg2.workers = 0;
+    cfg2.rowFanoutMin = 1;
+    ParallelSearchEngine eng2(*sys2, cfg2);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(eng2.submit(0, ternaryKey(rng, 0), ++tag));
+    EXPECT_EQ(eng2.report().fanoutLookups, 5u);
+    EXPECT_EQ(eng2.report().fanoutSerialFallbacks, 5u);
+}
+
+TEST(Engine, FanoutReducesModeledCyclesOnWideLookups)
+{
+    // 64-home lookups: serially the port walks all 64 candidate
+    // chains back to back; fanned out across 8 shards the banks fetch
+    // concurrently and the lookup occupies the port only for the
+    // slowest shard's chain.  The modeled cycles must drop by >= 2x
+    // (the bench gates the same ratio on bigger tables).
+    std::vector<PortRequest> stream;
+    Rng rng(13);
+    uint64_t tag = 0;
+    for (int i = 0; i < 200; ++i) {
+        PortRequest req;
+        req.port = 0;
+        req.op = PortOp::Search;
+        req.key = ternaryKey(rng, 6); // 2^6 = 64 candidate homes
+        req.tag = ++tag;
+        stream.push_back(std::move(req));
+    }
+    auto run = [&](unsigned fanout_min) {
+        auto sys = buildLoadedTernary(1, 100);
+        EngineConfig cfg;
+        cfg.workers = 1;
+        // An explicit nonzero threshold always wins over the
+        // CARAM_ROW_FANOUT_MIN environment floor, so the serial
+        // baseline stays serial under the forced CI leg too.
+        cfg.rowFanoutMin = fanout_min;
+        cfg.rowFanoutMaxShards = 8;
+        cfg.queueCapacity = stream.size() + 1;
+        ParallelSearchEngine eng(*sys, cfg);
+        eng.start();
+        eng.submitBatch(stream);
+        eng.drain();
+        eng.stop();
+        return eng.portStats(0).modeledCycles;
+    };
+    const uint64_t serial_cycles = run(1u << 20); // threshold unreachable
+    const uint64_t fanout_cycles = run(2);
+    EXPECT_GT(fanout_cycles, 0u);
+    EXPECT_LE(fanout_cycles * 2, serial_cycles);
+}
+
+TEST(Engine, FanoutBatchInteractionMatchesSerial)
+{
+    // Batched runs with fan-out keys interspersed: eligible keys leave
+    // the batch and fan out, the segments between them still batch,
+    // and the response stream stays bit-identical in submission order.
+    Rng rng(37);
+    std::vector<PortRequest> stream;
+    uint64_t tag = 0;
+    while (stream.size() < 800) {
+        // Bursts of one fully specified key (row sharing for the
+        // batch), then an occasional wide wildcard lookup.
+        const Key k = ternaryKey(rng, 0);
+        for (int c = 0; c < 6 && stream.size() < 800; ++c) {
+            PortRequest req;
+            req.port = 0;
+            req.op = PortOp::Search;
+            req.key = k;
+            req.tag = ++tag;
+            stream.push_back(std::move(req));
+        }
+        if (rng.chance(0.5)) {
+            PortRequest req;
+            req.port = 0;
+            req.op = PortOp::Search;
+            req.key = ternaryKey(
+                rng, 2 + static_cast<unsigned>(rng.below(5)));
+            req.tag = ++tag;
+            stream.push_back(std::move(req));
+        }
+    }
+    auto serial_sys = buildLoadedTernary(1, 100);
+    const auto reference = serialReference(*serial_sys, stream);
+
+    for (std::size_t batch : {8u, 32u}) {
+        auto sys = buildLoadedTernary(1, 100);
+        EngineConfig cfg;
+        cfg.workers = 2; // port 0's owner plus one shard thief
+        cfg.batchSize = batch;
+        cfg.rowFanoutMin = 4;
+        cfg.rowFanoutMaxShards = 8;
+        ParallelSearchEngine eng(*sys, cfg);
+        eng.start();
+        EXPECT_EQ(eng.submitBatch(stream), stream.size());
+        eng.drain();
+        eng.stop();
+        expectMatchesReference(eng, reference);
+        const EngineReport rep = eng.report();
+        EXPECT_GT(rep.batchedSearchRuns, 0u);
+        EXPECT_GT(rep.fanoutLookups, 0u);
+    }
 }
 
 TEST(Engine, ReportIsDeterministicAcrossRuns)
