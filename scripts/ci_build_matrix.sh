@@ -21,6 +21,13 @@
 #      a serial baseline pin an explicit unreachable threshold, which
 #      always wins over the environment floor.
 #
+#   4. The SIMD build rerun with CARAM_SEQLOCK_TEAR=2: every slice
+#      constructed with the torn-read injection hook armed, so each
+#      concurrent row snapshot anywhere in the suite survives at least
+#      one forced retry of the seqlock validation loop.  The serial
+#      search path never snapshots, so single-threaded tests are
+#      unaffected.
+#
 # Usage: scripts/ci_build_matrix.sh [scalar-build-dir] [simd-build-dir]
 #        (defaults build-scalar and build)
 set -euo pipefail
@@ -42,6 +49,10 @@ CARAM_MATCH_KERNEL=scalar ctest --test-dir "$SIMD_DIR" \
 
 echo "=== leg 3: SIMD build, row fan-out forced on ==="
 CARAM_ROW_FANOUT_MIN=1 ctest --test-dir "$SIMD_DIR" \
+    --output-on-failure
+
+echo "=== leg 4: SIMD build, torn-read injection forced on ==="
+CARAM_SEQLOCK_TEAR=2 ctest --test-dir "$SIMD_DIR" \
     --output-on-failure
 
 echo "build matrix: all legs passed"

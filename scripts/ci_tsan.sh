@@ -9,8 +9,14 @@
 # race worker-side insertBatch runs, port-driven rebuilds, and the
 # adaptive batch controller, and the intra-lookup fan-out tests
 # (Engine.Fanout*) race shard stealing off the shared sub-task queue,
-# worker doorbells, and the help-first CompletionLatch join.  Any data
-# race fails the script.
+# worker doorbells, and the help-first CompletionLatch join.  The
+# concurrent-mutation layer rides along: the per-row seqlock
+# differentials (SeqlockConcurrent.*), the epoch-based reclamation
+# domain (Epoch.*), the writer-lane engine differentials
+# (ConcurrentMutationDifferential.*), and the live-polling stats /
+# peek regressions (Engine.ReportAndStats*, Engine.PeekStableKeys*)
+# all race readers against in-place mutation and slice swaps.  Any
+# data race fails the script.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default build-tsan)
 set -euo pipefail
@@ -20,6 +26,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DCARAM_TSAN=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target test_concurrent_queue test_engine
+    --target test_concurrent_queue test_engine test_epoch \
+    seqlock_concurrent concurrent_mutation_differential
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$BUILD_DIR" \
-    -R 'ConcurrentQueue|CompletionLatch|Engine' --output-on-failure
+    -R 'ConcurrentQueue|CompletionLatch|Engine|Epoch|SeqlockConcurrent|ConcurrentMutation' \
+    --output-on-failure

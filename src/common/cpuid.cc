@@ -34,22 +34,26 @@ cpuSupports(MatchKernel kernel)
 #endif
 }
 
-/** CARAM_MATCH_KERNEL parsed once; nullopt = unset/auto/garbage. */
+/** CARAM_MATCH_KERNEL parsed fresh on every call -- a function-local
+ *  cache would pin the first value seen and silently ignore later
+ *  environment changes (a MatchProcessor built after a setenv() kept
+ *  the stale kernel).  nullopt = unset/auto/garbage; garbage warns
+ *  once per process, not once per slice construction. */
 std::optional<MatchKernel>
 envKernel()
 {
-    static const std::optional<MatchKernel> parsed = [] {
-        const char *env = std::getenv("CARAM_MATCH_KERNEL");
-        if (!env)
-            return std::optional<MatchKernel>{};
-        const std::optional<MatchKernel> k = parseKernelName(env);
-        if (!k && std::string(env) != "auto")
+    const char *env = std::getenv("CARAM_MATCH_KERNEL");
+    if (!env)
+        return std::nullopt;
+    const std::optional<MatchKernel> k = parseKernelName(env);
+    if (!k && std::string(env) != "auto") {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true, std::memory_order_relaxed))
             warn(strprintf("CARAM_MATCH_KERNEL=%s not understood; "
                            "using auto selection",
                            env));
-        return k;
-    }();
-    return parsed;
+    }
+    return k;
 }
 
 MatchKernel

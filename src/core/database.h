@@ -14,6 +14,7 @@
  * becomes 1" (section 4.3), and the cost/performance model hooks.
  */
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -25,6 +26,10 @@
 #include "core/record.h"
 #include "core/slice.h"
 #include "mem/timing.h"
+
+namespace caram::sim {
+class EpochDomain;
+}
 
 namespace caram::core {
 
@@ -170,6 +175,33 @@ class Database
      */
     RebuildSummary rebuild();
 
+    /**
+     * rebuild() variant that never blocks concurrent readers: collects
+     * the records, bulk-ingests them into a *fresh* slice, atomically
+     * publishes the new slice, and retires the old one into @p domain
+     * (it is deleted once every epoch-guarded reader that could still
+     * hold it has exited).  The resulting table is bit-identical to
+     * rebuild()'s.  Probing-only (the overflow areas have no concurrent
+     * read path); returns ok == false without touching the contents
+     * otherwise.  Single-writer: the caller must serialize this against
+     * every other mutation on the database, exactly as for rebuild().
+     */
+    RebuildSummary rebuildSwap(sim::EpochDomain &domain);
+
+    /**
+     * Wait-free lookup against the live slice, safe under a concurrent
+     * rebuildSwap()/insert/erase by the (single) writer thread.  The
+     * caller MUST hold a sim::EpochDomain::Guard on the domain passed
+     * to rebuildSwap() for the whole call, or the slice could be
+     * reclaimed mid-read.  Probing-only (fatal otherwise).  Returns a
+     * miss without touching the array when the database is in
+     * retention.  No search counters are advanced (see
+     * CaRamSlice::searchConcurrent).
+     */
+    SearchResult searchConcurrent(
+        const Key &search_key,
+        CaRamSlice::ConcurrentSearchScratch &scratch) const;
+
     /** Search the CA-RAM (and the overflow TCAM, in parallel). */
     SearchResult search(const Key &search_key);
 
@@ -255,11 +287,19 @@ class Database
 
     /// @name Power management (section 3.2)
     /// @{
-    PowerState powerState() const { return powerState_; }
+    PowerState
+    powerState() const
+    {
+        return powerState_.load(std::memory_order_acquire);
+    }
 
     /** Enter/leave the data-retention mode.  CAM-mode operations on a
      *  retained database throw FatalError. */
-    void setPowerState(PowerState state) { powerState_ = state; }
+    void
+    setPowerState(PowerState state)
+    {
+        powerState_.store(state, std::memory_order_release);
+    }
     /// @}
 
   private:
@@ -276,7 +316,14 @@ class Database
     std::unique_ptr<CaRamSlice> slice_;
     std::unique_ptr<cam::Tcam> overflow_;
     std::unique_ptr<CaRamSlice> overflowSlice_;
-    PowerState powerState_ = PowerState::Active;
+    /** The slice searchConcurrent() readers see.  Equal to slice_.get()
+     *  except transiently inside rebuildSwap(), which publishes the
+     *  fresh slice here before retiring the old one.  seq_cst with the
+     *  epoch slots so publish/pin interleavings totally order. */
+    std::atomic<const CaRamSlice *> liveSlice_{nullptr};
+    /** Atomic: read by concurrent-search readers while the owner flips
+     *  retention (powerState()/checkAccessible() vs setPowerState()). */
+    std::atomic<PowerState> powerState_{PowerState::Active};
 };
 
 } // namespace caram::core

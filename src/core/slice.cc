@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 
 #include "common/bitops.h"
 #include "common/logging.h"
@@ -23,7 +24,63 @@ mixRow(uint64_t x)
     return x ^ (x >> 31);
 }
 
+/** Seqlock stripe count for @p rows: next power of two, capped. */
+uint64_t
+seqStripes(uint64_t rows)
+{
+    constexpr uint64_t kMaxStripes = uint64_t{1} << 16;
+    return std::min(std::bit_ceil(rows), kMaxStripes);
+}
+
+/** CARAM_SEQLOCK_TEAR: inject a snapshot retry every Nth row copy. */
+unsigned
+envTornReadEvery()
+{
+    const char *env = std::getenv("CARAM_SEQLOCK_TEAR");
+    if (!env || !*env)
+        return 0;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (!end || *end != '\0' || v > ~0u) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn(strprintf("ignoring invalid CARAM_SEQLOCK_TEAR=%s", env));
+        return 0;
+    }
+    return static_cast<unsigned>(v);
+}
+
 } // namespace
+
+CaRamSlice::RowWriteGuard::RowWriteGuard(CaRamSlice &s, uint64_t row)
+    : seq_(s.rowSeqs_[row & s.seqMask_].v)
+{
+    // Relaxed increment then release fence: the fence keeps the data
+    // stores below the odd sequence value, so a reader that starts its
+    // snapshot after loading an even sequence and still observes a new
+    // data word is guaranteed to see the odd (or advanced) sequence on
+    // its validation re-read.
+    seq_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+}
+
+CaRamSlice::RowWriteGuard::~RowWriteGuard()
+{
+    seq_.fetch_add(1, std::memory_order_release);
+}
+
+CaRamSlice::AllRowsWriteGuard::AllRowsWriteGuard(CaRamSlice &s) : slice_(s)
+{
+    for (RowSeq &rs : slice_.rowSeqs_)
+        rs.v.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+}
+
+CaRamSlice::AllRowsWriteGuard::~AllRowsWriteGuard()
+{
+    for (RowSeq &rs : slice_.rowSeqs_)
+        rs.v.fetch_add(1, std::memory_order_release);
+}
 
 CaRamSlice::ScratchUse::ScratchUse(const CaRamSlice &s) : slice_(s)
 {
@@ -43,7 +100,10 @@ CaRamSlice::CaRamSlice(const SliceConfig &config,
     : cfg(config),
       idxGen(std::move(index_gen)),
       array_(config.rows(), config.storageRowBits()),
-      matcher(cfg)
+      matcher(cfg),
+      rowSeqs_(seqStripes(config.rows())),
+      seqMask_(seqStripes(config.rows()) - 1),
+      tearEvery_(envTornReadEvery())
 {
     cfg.validate();
     if (!idxGen)
@@ -137,10 +197,19 @@ CaRamSlice::insertAt(uint64_t home_row, const Record &record)
             slot = b.firstFreeSlot();
         if (slot < 0)
             continue;
-        b.writeSlot(static_cast<unsigned>(slot), record.key, record.data);
-        b.setUsedCount(b.usedCount() + 1);
-        BucketView home = bucket(home_row);
-        home.setReach(std::max(home.reach(), d));
+        {
+            const RowWriteGuard wg(*this, row);
+            b.writeSlot(static_cast<unsigned>(slot), record.key,
+                        record.data);
+            b.setUsedCount(b.usedCount() + 1);
+        }
+        // Separate guard scope: home_row may share the placed row's
+        // seqlock stripe, and guards must not nest (see RowWriteGuard).
+        {
+            BucketView home = bucket(home_row);
+            const RowWriteGuard wg(*this, home_row);
+            home.setReach(std::max(home.reach(), d));
+        }
         ++homeDemandPerBucket[home_row];
         distanceHist.add(d);
         ++recordCount;
@@ -163,8 +232,11 @@ CaRamSlice::removePlacement(const InsertResult &placement)
     BucketView b = bucket(placement.placedRow);
     if (!b.slotValid(placement.slot))
         panic("placement slot is no longer valid");
-    b.clearSlot(placement.slot);
-    b.setUsedCount(b.usedCount() - 1);
+    {
+        const RowWriteGuard wg(*this, placement.placedRow);
+        b.clearSlot(placement.slot);
+        b.setUsedCount(b.usedCount() - 1);
+    }
     --homeDemandPerBucket[placement.homeRow];
     distanceHist.remove(placement.distance);
     --recordCount;
@@ -410,9 +482,13 @@ CaRamSlice::insertBatchChunk(const Record *records, unsigned n,
         const auto &pl = ig.placements[pidx];
         const Record &rec = records[pl.rec];
         BucketView b = bucket(row);
-        b.writeSlot(pl.slot, rec.key, rec.data);
+        {
+            const RowWriteGuard wg(*this, row);
+            b.writeSlot(pl.slot, rec.key, rec.data);
+            if (pl.dead)
+                b.clearSlot(pl.slot);
+        }
         if (pl.dead) {
-            b.clearSlot(pl.slot);
             // Serial rollback adds the distance sample and then removes
             // it; Histogram::remove never shrinks the bin vector, so
             // replay the pair to keep loadStats() bins bit-identical.
@@ -434,6 +510,7 @@ CaRamSlice::insertBatchChunk(const Record *records, unsigned n,
                                  ig.reach[e] != ig.reachAtFetch[e];
         if (aux_changed) {
             BucketView b = bucket(ig.row[e]);
+            const RowWriteGuard wg(*this, ig.row[e]);
             b.setUsedCount(ig.used[e]);
             b.setReach(ig.reach[e]);
         }
@@ -614,6 +691,117 @@ CaRamSlice::noteFanoutSearch(unsigned buckets_accessed)
 {
     ++searchCount;
     accessCount += buckets_accessed;
+}
+
+bool
+CaRamSlice::tearPending() const
+{
+    const unsigned every = tearEvery_.load(std::memory_order_relaxed);
+    if (every == 0)
+        return false;
+    return snapshotTick_.fetch_add(1, std::memory_order_relaxed) % every ==
+           every - 1;
+}
+
+void
+CaRamSlice::setTornReadInjection(unsigned every)
+{
+    tearEvery_.store(every, std::memory_order_relaxed);
+}
+
+uint64_t
+CaRamSlice::tornReadRetries() const
+{
+    return tornRetries_.load(std::memory_order_relaxed);
+}
+
+void
+CaRamSlice::snapshotRowConcurrent(uint64_t row, uint64_t *dst) const
+{
+    const std::atomic<uint64_t> &seq = rowSeqs_[row & seqMask_].v;
+    // Injection fires at most once per snapshot, or every==1 would
+    // retry forever.
+    bool inject = tearPending();
+    for (;;) {
+        const uint64_t s1 = seq.load(std::memory_order_acquire);
+        if (s1 & 1)
+            continue; // writer mid-row: wait for the even value
+        array_.snapshotRowInto(row, dst);
+        // Acquire fence before the validation re-read: if any copied
+        // word came from inside or after a write section, the re-read
+        // is guaranteed to observe that writer's odd/advanced sequence.
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const uint64_t s2 = seq.load(std::memory_order_relaxed);
+        if (s1 == s2) {
+            if (!inject)
+                return;
+            inject = false;
+        }
+        tornRetries_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+SearchResult
+CaRamSlice::searchConcurrent(const Key &search_key,
+                             ConcurrentSearchScratch &scratch) const
+{
+    if (search_key.bits() != cfg.logicalKeyBits)
+        fatal("key width does not match the slice configuration");
+    if (!scratch.row || scratch.rowBits != cfg.storageRowBits()) {
+        scratch.row =
+            std::make_unique<mem::MemoryArray>(1, cfg.storageRowBits());
+        scratch.rowBits = cfg.storageRowBits();
+    }
+    matcher.pack(search_key, scratch.packed);
+    candidateHomes(search_key, scratch.homes);
+
+    // Every row the chain touches is matched against the validated
+    // snapshot in scratch.row, so the existing matcher and aux-decode
+    // paths run unchanged over row 0 of the private one-row array.
+    uint64_t *dst = scratch.row->rowData(0);
+    BucketView sb(*scratch.row, cfg, 0);
+    SearchResult best;
+    for (uint64_t home : scratch.homes) {
+        // One snapshot serves both the reach read and the d == 0 match,
+        // so the home row's observation is internally consistent (the
+        // serial path reads the row twice; between-mutation states are
+        // indistinguishable row-locally).
+        snapshotRowConcurrent(home, dst);
+        const unsigned reach = sb.reach();
+        bool early_exit = false;
+        for (unsigned d = 0; d <= reach; ++d) {
+            if (d > 0)
+                snapshotRowConcurrent(probeRow(home, d, search_key), dst);
+            ++best.bucketsAccessed;
+            const BucketMatch m = cfg.lpm
+                ? matcher.searchBucketBestPacked(sb, scratch.packed)
+                : matcher.searchBucketPacked(sb, scratch.packed);
+            if (!m.hit)
+                continue;
+            if (!cfg.lpm) {
+                best.hit = true;
+                best.multipleMatch = m.multipleMatch;
+                best.row = probeRow(home, d, search_key);
+                best.slot = m.slot;
+                best.data = m.data;
+                best.key = m.key;
+                early_exit = true;
+                break;
+            }
+            const unsigned pop = m.key.carePopcount();
+            if (!best.hit || pop > best.key.carePopcount()) {
+                best.hit = true;
+                best.multipleMatch = m.multipleMatch;
+                best.row = probeRow(home, d, search_key);
+                best.slot = m.slot;
+                best.data = m.data;
+                best.key = m.key;
+            }
+        }
+        if (early_exit)
+            break;
+    }
+    return best;
 }
 
 uint64_t
@@ -821,8 +1009,11 @@ CaRamSlice::eraseAt(uint64_t home, const Key &key)
         for (unsigned i = 0; i < b.slots(); ++i) {
             if (!b.slotValid(i) || b.slotKey(i) != key)
                 continue;
-            b.clearSlot(i);
-            b.setUsedCount(b.usedCount() - 1);
+            {
+                const RowWriteGuard wg(*this, row);
+                b.clearSlot(i);
+                b.setUsedCount(b.usedCount() - 1);
+            }
             // The home bucket's reach is left unchanged (a conservative
             // over-approximation); adoptRamContents() tightens it.
             --homeDemandPerBucket[home];
@@ -877,7 +1068,10 @@ CaRamSlice::updateMatching(const Key &pattern, uint64_t new_data)
         for (unsigned i = 0; i < b.slots(); ++i) {
             if (!matcher.slotMatchesPacked(b, i, packedKey_))
                 continue;
-            b.writeSlot(i, b.slotKey(i), new_data);
+            {
+                const RowWriteGuard wg(*this, row);
+                b.writeSlot(i, b.slotKey(i), new_data);
+            }
             ++updated;
         }
     }
@@ -893,12 +1087,14 @@ CaRamSlice::ramLoad(uint64_t word_addr) const
 void
 CaRamSlice::ramStore(uint64_t word_addr, uint64_t value)
 {
+    const RowWriteGuard wg(*this, word_addr / array_.wordsPerRow());
     array_.storeWord(word_addr, value);
 }
 
 void
 CaRamSlice::adoptRamContents()
 {
+    const AllRowsWriteGuard wg(*this);
     homeDemandPerBucket.assign(cfg.rows(), 0);
     distanceHist = Histogram();
     recordCount = 0;
@@ -991,6 +1187,7 @@ CaRamSlice::occupancyHistogram() const
 void
 CaRamSlice::clear()
 {
+    const AllRowsWriteGuard wg(*this);
     array_.clearAll();
     homeDemandPerBucket.assign(cfg.rows(), 0);
     distanceHist = Histogram();

@@ -224,6 +224,65 @@ class CaRamSlice
     void noteFanoutSearch(unsigned buckets_accessed);
     /// @}
 
+    /// @name Concurrent search (wait-free readers under mutation)
+    /// @{
+    /**
+     * Caller-owned scratch for searchConcurrent(): the packed search
+     * template, the candidate-home list, and a one-row memory array
+     * receiving seqlock-validated row snapshots.  The row buffer is
+     * (re)sized lazily to the slice's row shape, so one scratch (e.g. a
+     * thread_local) serves slices of different configurations.  All
+     * members retain capacity, so steady-state concurrent lookups
+     * allocate nothing.
+     */
+    struct ConcurrentSearchScratch
+    {
+        MatchProcessor::PackedKey packed;
+        std::vector<uint64_t> homes;
+        std::unique_ptr<mem::MemoryArray> row;
+        uint64_t rowBits = 0; ///< shape the row buffer was sized for
+    };
+
+    /**
+     * Lookup that is safe against concurrent mutations on *other*
+     * threads: every row is copied through a per-row sequence-lock
+     * validated snapshot (writers bump the row's sequence odd/even
+     * around their stores; a reader that observes an odd or changed
+     * sequence retries the row), and the match processors then run over
+     * the private snapshot.  Wait-free for readers in practice: a retry
+     * only happens while a writer is mid-row.
+     *
+     * Semantics match search() exactly for any interleaving in which
+     * each observed row is in a before-or-after-mutation state: a probe
+     * chain reads the home row once (reach and slots from the same
+     * snapshot), so every row-level observation is consistent.  Unlike
+     * search(), this path touches *no* per-slice scratch and *no*
+     * search counters (it is const) -- accounting belongs to the
+     * caller, as with searchRows().
+     */
+    SearchResult searchConcurrent(const Key &search_key,
+                                  ConcurrentSearchScratch &scratch) const;
+
+    /**
+     * Torn-read fault injection: force every @p every-th row snapshot
+     * to retry once as if the sequence check had failed (0 disables).
+     * Also settable at construction via the CARAM_SEQLOCK_TEAR
+     * environment variable; the CI build matrix uses it to prove the
+     * retry path preserves results, not just the happy path.
+     */
+    void setTornReadInjection(unsigned every);
+
+    /** The active injection period (0 = disabled).  Database's
+     *  rebuildSwap() copies it onto the replacement slice. */
+    unsigned tornReadInjection() const
+    {
+        return tearEvery_.load(std::memory_order_relaxed);
+    }
+
+    /** Row snapshot retries taken (sequence mismatch or injection). */
+    uint64_t tornReadRetries() const;
+    /// @}
+
     /** Keys one searchBatch() chunk groups (scratch sizing). */
     static constexpr unsigned kMaxBatch = 32;
 
@@ -382,6 +441,49 @@ class CaRamSlice
     /** Remove one copy homed at @p home; returns true when found. */
     bool eraseAt(uint64_t home, const Key &key);
 
+    /**
+     * Writer side of the row seqlock: bump the row's (striped) sequence
+     * to odd on entry, back to even on exit, with the fences the
+     * TSan-clean seqlock recipe requires (entry: relaxed increment then
+     * release fence, so the data stores cannot float above the odd
+     * value; exit: release increment, so they cannot sink below the
+     * even one).  Guards must NOT nest -- a second guard on the same
+     * stripe would flip the sequence back to even mid-write -- so every
+     * mutation site takes disjoint, sequential guard scopes.
+     */
+    class [[nodiscard]] RowWriteGuard
+    {
+      public:
+        RowWriteGuard(CaRamSlice &s, uint64_t row);
+        ~RowWriteGuard();
+        RowWriteGuard(const RowWriteGuard &) = delete;
+        RowWriteGuard &operator=(const RowWriteGuard &) = delete;
+
+      private:
+        std::atomic<uint64_t> &seq_;
+    };
+
+    /** Whole-array writer guard for clear()/adoptRamContents(): marks
+     *  every stripe busy for the duration. */
+    class [[nodiscard]] AllRowsWriteGuard
+    {
+      public:
+        explicit AllRowsWriteGuard(CaRamSlice &s);
+        ~AllRowsWriteGuard();
+        AllRowsWriteGuard(const AllRowsWriteGuard &) = delete;
+        AllRowsWriteGuard &operator=(const AllRowsWriteGuard &) = delete;
+
+      private:
+        CaRamSlice &slice_;
+    };
+
+    /** Seqlock-validated snapshot of @p row into @p dst (wordsPerRow
+     *  words); retries until a consistent copy is read. */
+    void snapshotRowConcurrent(uint64_t row, uint64_t *dst) const;
+
+    /** True when fault injection wants the next snapshot to retry. */
+    bool tearPending() const;
+
     SliceConfig cfg;
     std::unique_ptr<hash::IndexGenerator> idxGen;
     mem::MemoryArray array_;
@@ -482,6 +584,28 @@ class CaRamSlice
     // Batched-search accounting (sort-skip effectiveness).
     uint64_t batchChunks_ = 0;
     uint64_t batchSortsSkipped_ = 0;
+
+    // Striped per-row sequence locks: stripe count is the row count
+    // rounded up to a power of two, capped at 64 Ki stripes (1 MiB of
+    // padded counters).  False sharing between adjacent stripes is
+    // avoided by cache-line alignment; false *conflicts* (two rows on
+    // one stripe) only cost a reader retry, never correctness.  The
+    // writer side assumes a single mutating thread per slice -- the
+    // ownership rule the scratch guard already enforces -- so the
+    // sequence bump needs no CAS.
+    struct alignas(64) RowSeq
+    {
+        std::atomic<uint64_t> v{0};
+    };
+    std::vector<RowSeq> rowSeqs_;
+    uint64_t seqMask_ = 0;
+
+    // Torn-read fault injection (CARAM_SEQLOCK_TEAR / the setter) and
+    // the retry observability counter.  Mutable: the reader side is
+    // const.
+    std::atomic<unsigned> tearEvery_{0};
+    mutable std::atomic<uint64_t> snapshotTick_{0};
+    mutable std::atomic<uint64_t> tornRetries_{0};
 };
 
 } // namespace caram::core

@@ -82,6 +82,19 @@ struct PortResponse
  */
 PortResponse executePortRequest(Database &db, const PortRequest &req);
 
+/**
+ * executePortRequest() variant for the concurrent-mutation engine: when
+ * @p domain is non-null and the request is a Rebuild a Probing database
+ * can serve concurrently (canRebuild()), the rebuild routes through
+ * Database::rebuildSwap() -- readers keep searching the old slice while
+ * the fresh one is packed, and the old slice is retired into @p domain.
+ * Every other combination behaves exactly like the two-argument form,
+ * and the response is bit-identical either way (rebuildSwap repacks the
+ * same record stream into the same table).
+ */
+PortResponse executePortRequest(Database &db, const PortRequest &req,
+                                sim::EpochDomain *domain);
+
 /** The full CA-RAM memory subsystem. */
 class CaRamSubsystem
 {

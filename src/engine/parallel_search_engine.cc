@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <optional>
@@ -14,28 +15,30 @@ namespace caram::engine {
 
 namespace {
 
-/** CARAM_ROW_FANOUT_MIN parsed once; nullopt = unset/garbage.  The
- *  forced-fan-out CI leg sets it to 1 so every engine in the test
- *  suite routes lookups through the shard scheduler. */
+/** CARAM_ROW_FANOUT_MIN parsed fresh on every call (i.e. at each
+ *  engine's construction) -- a function-local cache would pin whatever
+ *  value the first engine in the process saw and silently ignore later
+ *  environment changes, which broke tests that build engines under
+ *  different settings.  nullopt = unset/garbage (garbage warns once per
+ *  process).  The forced-fan-out CI leg sets it to 1 so every engine in
+ *  the test suite routes lookups through the shard scheduler. */
 std::optional<unsigned>
 envRowFanoutMin()
 {
-    static const std::optional<unsigned> parsed =
-        []() -> std::optional<unsigned> {
-        const char *env = std::getenv("CARAM_ROW_FANOUT_MIN");
-        if (!env || !*env)
-            return std::nullopt;
-        char *end = nullptr;
-        const unsigned long v = std::strtoul(env, &end, 10);
-        if (end == env || *end != '\0') {
+    const char *env = std::getenv("CARAM_ROW_FANOUT_MIN");
+    if (!env || !*env)
+        return std::nullopt;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
             warn(strprintf("CARAM_ROW_FANOUT_MIN=%s is not a number; "
                            "fan-out stays config-controlled",
                            env));
-            return std::nullopt;
-        }
-        return static_cast<unsigned>(v);
-    }();
-    return parsed;
+        return std::nullopt;
+    }
+    return static_cast<unsigned>(v);
 }
 
 } // namespace
@@ -71,6 +74,25 @@ struct ParallelSearchEngine::PortState
     std::mutex resultMutex;
     std::deque<core::PortResponse> results;
     PortStats stats;
+    /** concurrentMutation hand-off flag: true from the moment the
+     *  owning worker passes a mutation run to the writer lane until the
+     *  writer releases the port.  Set by the owner (release), cleared
+     *  by the writer (release), read by the owner (acquire) -- the
+     *  clear/read pair is what serializes the two threads' access to
+     *  the port's database and non-atomic stats aggregates. */
+    std::atomic<bool> busy{false};
+    /** Jobs deferred while the writer lane holds the port, in
+     *  submission order.  Touched only by the owning worker. */
+    std::deque<Job> pending;
+};
+
+/** One writer-lane hand-off: a run of same-port non-Search jobs in
+ *  submission order.  The receiving writer thread executes it with its
+ *  own scratch (the trailing Worker), then clears the port's busy flag
+ *  and rings the owner. */
+struct ParallelSearchEngine::MutationRun
+{
+    std::vector<Job> jobs;
 };
 
 /** One worker: its request queue and its private modeled clock. */
@@ -78,8 +100,10 @@ struct ParallelSearchEngine::Worker
 {
     explicit Worker(std::size_t capacity) : queue(capacity) {}
     sim::ConcurrentBoundedQueue<Job> queue;
-    /** Busy cycles of this worker's modeled input controller. */
-    uint64_t modeledCycles = 0;
+    /** Busy cycles of this worker's modeled input controller.  Atomic
+     *  (like the run counters below) because report() sums them while
+     *  the run is still in flight. */
+    std::atomic<uint64_t> modeledCycles{0};
     /** Batched-run scratch (sized once, reused across runs). */
     std::vector<const Key *> keyPtrs;
     std::vector<core::SearchResult> batchResults;
@@ -87,12 +111,14 @@ struct ParallelSearchEngine::Worker
     std::vector<core::Record> records;
     std::vector<int> priorities;
     std::vector<core::InsertOutcome> outcomes;
-    /** Merged row-op accounting of this worker's insert runs. */
+    /** Merged row-op accounting of this worker's insert runs, under
+     *  ingestMutex (a struct of counters cannot be read atomically). */
+    std::mutex ingestMutex;
     core::InsertBatchSummary ingest;
     /** Run counters (EngineReport). */
-    uint64_t batchedSearchRuns = 0;
-    uint64_t adaptiveSerialRuns = 0;
-    uint64_t batchedInsertRuns = 0;
+    std::atomic<uint64_t> batchedSearchRuns{0};
+    std::atomic<uint64_t> adaptiveSerialRuns{0};
+    std::atomic<uint64_t> batchedInsertRuns{0};
     /** Adaptive controller: smoothed keys-per-fetch of recent batched
      *  runs, and search runs left in the current serial back-off. */
     double sharingEwma = 0.0;
@@ -108,9 +134,9 @@ struct ParallelSearchEngine::Worker
     std::array<core::SearchResult, kMaxFanoutShards> shardResults;
     sim::CompletionLatch fanoutLatch;
     /** Fan-out counters (EngineReport). */
-    uint64_t fanoutLookups = 0;
-    uint64_t fanoutShards = 0;
-    uint64_t fanoutSerialFallbacks = 0;
+    std::atomic<uint64_t> fanoutLookups{0};
+    std::atomic<uint64_t> fanoutShards{0};
+    std::atomic<uint64_t> fanoutSerialFallbacks{0};
     /** Doorbell: the worker parks here when both its request queue and
      *  the shared shard queue are empty; producers ring after pushing. */
     std::mutex bellMutex;
@@ -128,6 +154,8 @@ ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
         fatal("engine queue capacity must be nonzero");
     if (cfg.drainBatch == 0)
         cfg.drainBatch = 1;
+    if (cfg.workers == 0)
+        cfg.concurrentMutation = false; // inline mode is serial already
     cfg.rowFanoutMaxShards =
         std::clamp(cfg.rowFanoutMaxShards, 1u, kMaxFanoutShards);
     rowFanoutMin_ = cfg.rowFanoutMin;
@@ -143,6 +171,15 @@ ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
         ports.push_back(std::make_unique<PortState>());
     for (unsigned w = 0; w < workerCount; ++w)
         workers.push_back(std::make_unique<Worker>(cfg.queueCapacity));
+    if (cfg.concurrentMutation) {
+        writerQueue =
+            std::make_unique<sim::ConcurrentBoundedQueue<MutationRun>>(
+                std::max<std::size_t>(16, ports.size()));
+        // The writer lane's scratch and counters live in one trailing
+        // Worker (index workerCount, request queue unused) so report()
+        // folds its modeled cycles and ingest accounting in unchanged.
+        workers.push_back(std::make_unique<Worker>(1));
+    }
     wallStart = std::chrono::steady_clock::now();
 }
 
@@ -166,6 +203,8 @@ ParallelSearchEngine::start()
     wallStart = std::chrono::steady_clock::now();
     for (unsigned w = 0; w < cfg.workers; ++w)
         threads.emplace_back([this, w] { workerMain(w); });
+    if (cfg.concurrentMutation)
+        writerThread = std::thread([this] { writerMain(); });
 }
 
 void
@@ -174,11 +213,8 @@ ParallelSearchEngine::finishResponse(
     std::chrono::steady_clock::time_point enqueued)
 {
     PortState &port = *ports[resp.port];
-    ++port.stats.completed;
-    if (resp.hit)
-        ++port.stats.hits;
-    if (!resp.ok)
-        ++port.stats.errors;
+    const bool hit = resp.hit;
+    const bool ok = resp.ok;
     if (resp.op == core::PortOp::Search)
         port.stats.bucketsAccessed.add(resp.bucketsAccessed);
 
@@ -196,11 +232,29 @@ ParallelSearchEngine::finishResponse(
         std::lock_guard<std::mutex> lock(port.resultMutex);
         port.results.push_back(std::move(resp));
     }
-    wallEndNs.store(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            now - wallStart)
-            .count(),
-        std::memory_order_relaxed);
+
+    // Push the wall-clock end stamp (monotonic max -- completions from
+    // different threads finish out of order) *before* advancing the
+    // completion counters: report() reads `completed` first, so every
+    // completion it counts has already published its end stamp, and a
+    // mid-run wallMsps can understate but never inflate the
+    // throughput.  The old order paired a fresh completed count with a
+    // stale end stamp.
+    const uint64_t end_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                             wallStart)
+            .count());
+    uint64_t prev = wallEndNs.load(std::memory_order_relaxed);
+    while (prev < end_ns &&
+           !wallEndNs.compare_exchange_weak(prev, end_ns,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+    }
+    if (hit)
+        port.stats.hits.fetch_add(1, std::memory_order_relaxed);
+    if (!ok)
+        port.stats.errors.fetch_add(1, std::memory_order_relaxed);
+    port.stats.completed.fetch_add(1, std::memory_order_release);
 }
 
 bool
@@ -237,11 +291,12 @@ ParallelSearchEngine::executeFanoutSearch(
     core::CaRamSlice &sl = db.slice();
     const auto nhomes = static_cast<unsigned>(self.fanoutHomes.size());
     const unsigned nshards = std::min(cfg.rowFanoutMaxShards, nhomes);
-    ++self.fanoutLookups;
+    self.fanoutLookups.fetch_add(1, std::memory_order_relaxed);
     if (nshards <= 1)
-        ++self.fanoutSerialFallbacks;
+        self.fanoutSerialFallbacks.fetch_add(1,
+                                             std::memory_order_relaxed);
     else
-        self.fanoutShards += nshards;
+        self.fanoutShards.fetch_add(nshards, std::memory_order_relaxed);
 
     sl.packSearchKey(request.key, self.fanoutPacked);
     self.fanoutLatch.reset(nshards);
@@ -308,8 +363,8 @@ ParallelSearchEngine::executeFanoutSearch(
     const uint64_t cycles =
         accesses * std::max(1u, cfg.timing.minCycleGap);
     PortState &port = *ports[request.port];
-    port.stats.modeledCycles += cycles;
-    self.modeledCycles += cycles;
+    port.stats.modeledCycles.fetch_add(cycles, std::memory_order_relaxed);
+    self.modeledCycles.fetch_add(cycles, std::memory_order_relaxed);
 
     core::PortResponse resp;
     resp.tag = request.tag;
@@ -335,8 +390,13 @@ ParallelSearchEngine::execute(
             return;
         }
     }
-    core::PortResponse resp =
-        core::executePortRequest(sys->database(request.port), request);
+    // Under concurrentMutation the engine's epoch domain rides along so
+    // a Rebuild (which only ever executes on the writer lane in that
+    // mode) becomes a non-blocking rebuildSwap; everything else, and
+    // every request in the default mode, behaves exactly as before.
+    core::PortResponse resp = core::executePortRequest(
+        sys->database(request.port), request,
+        cfg.concurrentMutation ? &epochDomain_ : nullptr);
 
     // Modeled cost: the lookup occupies this worker's bank for n_mem
     // cycles per bucket accessed (probe chains are sequential); every
@@ -346,8 +406,9 @@ ParallelSearchEngine::execute(
         accesses * std::max(1u, cfg.timing.minCycleGap);
 
     PortState &port = *ports[request.port];
-    port.stats.modeledCycles += cycles;
-    workers[worker_index]->modeledCycles += cycles;
+    port.stats.modeledCycles.fetch_add(cycles, std::memory_order_relaxed);
+    workers[worker_index]->modeledCycles.fetch_add(
+        cycles, std::memory_order_relaxed);
 
     finishResponse(std::move(resp), enqueued);
 }
@@ -423,9 +484,9 @@ ParallelSearchEngine::executeBatchSegment(core::Database &db,
     const uint64_t cycles = std::max<uint64_t>(1, fetches) *
                             std::max(1u, cfg.timing.minCycleGap);
     PortState &port = *ports[port_no];
-    port.stats.modeledCycles += cycles;
-    self.modeledCycles += cycles;
-    ++self.batchedSearchRuns;
+    port.stats.modeledCycles.fetch_add(cycles, std::memory_order_relaxed);
+    self.modeledCycles.fetch_add(cycles, std::memory_order_relaxed);
+    self.batchedSearchRuns.fetch_add(1, std::memory_order_relaxed);
 
     if (cfg.adaptiveBatch) {
         // Keys per distinct row fetch: ~1 on uniform traffic, up to the
@@ -482,8 +543,11 @@ ParallelSearchEngine::executeInsertRun(const Job *jobs, std::size_t count,
     const core::InsertBatchSummary sum = db.insertBatch(
         std::span<const core::Record>(self.records), self.outcomes.data(),
         self.priorities.data());
-    self.ingest.merge(sum);
-    ++self.batchedInsertRuns;
+    {
+        std::lock_guard<std::mutex> lock(self.ingestMutex);
+        self.ingest.merge(sum);
+    }
+    self.batchedInsertRuns.fetch_add(1, std::memory_order_relaxed);
 
     // Modeled cost: a serial CAM-mode insert occupies the bank for one
     // access slot per request (inserts report no bucketsAccessed), so
@@ -493,8 +557,8 @@ ParallelSearchEngine::executeInsertRun(const Job *jobs, std::size_t count,
     const uint64_t cycles =
         count * std::max(1u, cfg.timing.minCycleGap);
     PortState &port = *ports[port_no];
-    port.stats.modeledCycles += cycles;
-    self.modeledCycles += cycles;
+    port.stats.modeledCycles.fetch_add(cycles, std::memory_order_relaxed);
+    self.modeledCycles.fetch_add(cycles, std::memory_order_relaxed);
 
     for (std::size_t i = 0; i < count; ++i) {
         core::PortResponse resp;
@@ -550,21 +614,82 @@ ParallelSearchEngine::workerMain(unsigned index)
             processJobs(batch, index);
             progressed = true;
         }
+        // Jobs deferred behind a writer-lane hand-off whose port has
+        // been released come next (the writer rang this bell).
+        if (drainPending(index))
+            progressed = true;
         if (progressed)
             continue;
         // Nothing anywhere: park on the doorbell.  Producers (submits
-        // to this worker's queue, fan-out shard pushes, stop()) ring
-        // after publishing, and the predicate re-checks both queues
-        // under the bell mutex, so no wakeup can be lost.
+        // to this worker's queue, fan-out shard pushes, writer-lane
+        // releases, stop()) ring after publishing, and the predicate
+        // re-checks every source under the bell mutex, so no wakeup
+        // can be lost.
         std::unique_lock<std::mutex> lock(self.bellMutex);
         if (self.queue.closed() && self.queue.empty() &&
-            fanoutTasks->empty())
+            fanoutTasks->empty() && !pendingReady(index))
             break;
         self.bell.wait(lock, [&] {
             return self.queue.closed() || !self.queue.empty() ||
-                   !fanoutTasks->empty();
+                   !fanoutTasks->empty() || pendingReady(index);
         });
     }
+}
+
+void
+ParallelSearchEngine::writerMain()
+{
+    for (;;) {
+        std::optional<MutationRun> run = writerQueue->pop();
+        if (!run)
+            break; // closed and drained
+        const unsigned port_no = run->jobs[0].request.port;
+        // Execute with the writer lane's own scratch and counters (the
+        // trailing Worker) through the normal run loop -- consecutive
+        // Insert jobs still combine into one bulk ingest -- then
+        // release the port back to its owner and ring its doorbell so
+        // deferred jobs resume.
+        processJobs(run->jobs, workerCount);
+        ports[port_no]->busy.store(false, std::memory_order_release);
+        ring(workerOf(port_no));
+    }
+}
+
+bool
+ParallelSearchEngine::drainPending(unsigned index)
+{
+    if (!cfg.concurrentMutation)
+        return false;
+    bool progressed = false;
+    for (std::size_t p = index; p < ports.size(); p += workerCount) {
+        PortState &port = *ports[p];
+        if (port.pending.empty() ||
+            port.busy.load(std::memory_order_acquire))
+            continue;
+        // Re-dispatch through the normal run loop.  If a deferred
+        // mutation hands the port off again, the jobs behind it land
+        // back in pending -- the deque was emptied first, so the FIFO
+        // order is preserved.
+        std::vector<Job> local(port.pending.begin(), port.pending.end());
+        port.pending.clear();
+        processJobs(local, index);
+        progressed = true;
+    }
+    return progressed;
+}
+
+bool
+ParallelSearchEngine::pendingReady(unsigned index) const
+{
+    if (!cfg.concurrentMutation)
+        return false;
+    for (std::size_t p = index; p < ports.size(); p += workerCount) {
+        const PortState &port = *ports[p];
+        if (!port.pending.empty() &&
+            !port.busy.load(std::memory_order_acquire))
+            return true;
+    }
+    return false;
 }
 
 void
@@ -590,13 +715,48 @@ ParallelSearchEngine::processJobs(const std::vector<Job> &batch,
                            batch[i].request.port)
                     ++j;
             }
+            // Writer-lane routing (the writer itself, index ==
+            // workerCount, executes what it is handed).
+            if (cfg.concurrentMutation && index < workerCount) {
+                PortState &port = *ports[batch[i].request.port];
+                if (port.busy.load(std::memory_order_acquire) ||
+                    !port.pending.empty()) {
+                    // A hand-off for this port is still in flight (or
+                    // older deferred jobs wait behind one): defer the
+                    // whole run so the port's FIFO order survives, and
+                    // keep serving the batch's other ports.
+                    for (std::size_t k = i; k <= j; ++k)
+                        port.pending.push_back(batch[k]);
+                    i = j + 1;
+                    continue;
+                }
+                if (op != core::PortOp::Search) {
+                    // Hand the mutation run to the writer lane and move
+                    // on to the next run instead of stalling on it.
+                    MutationRun run;
+                    run.jobs.assign(batch.begin() +
+                                        static_cast<std::ptrdiff_t>(i),
+                                    batch.begin() +
+                                        static_cast<std::ptrdiff_t>(j) +
+                                        1);
+                    port.busy.store(true, std::memory_order_release);
+                    if (writerQueue->push(std::move(run))) {
+                        i = j + 1;
+                        continue;
+                    }
+                    // Queue closed (a stop() raced a straggler): fall
+                    // through and execute the run right here.
+                    port.busy.store(false, std::memory_order_release);
+                }
+            }
             if (j > i && op == core::PortOp::Search &&
                 cfg.adaptiveBatch && self.serialHold > 0) {
                 // Backed off: recent runs found too little row sharing
                 // to amortize the grouping work -- execute serially
                 // (results identical) until the hold expires.
                 --self.serialHold;
-                ++self.adaptiveSerialRuns;
+                self.adaptiveSerialRuns.fetch_add(
+                    1, std::memory_order_relaxed);
                 for (std::size_t k = i; k <= j; ++k) {
                     execute(batch[k].request, batch[k].enqueued, index);
                     noteCompletion();
@@ -633,13 +793,21 @@ ParallelSearchEngine::submitRequest(const core::PortRequest &request)
         execute(request, now, workerOf(request.port));
         return true;
     }
+    // Count the submission *before* publishing the job: once the push
+    // succeeds the owning worker can complete the request at any
+    // moment, and a submitted count that trails the push lets a
+    // concurrent report() observe completed > submitted (and tears a
+    // plain counter under TSan).  A rejected push rolls it back.
     inflight.fetch_add(1, std::memory_order_acq_rel);
+    PortStats &stats = ports[request.port]->stats;
+    stats.submitted.fetch_add(1, std::memory_order_relaxed);
     if (!workers[workerOf(request.port)]->queue.push(
             Job{request, now})) {
-        noteCompletion(); // queue closed: roll the count back
+        // Queue closed: roll both counts back.
+        stats.submitted.fetch_sub(1, std::memory_order_relaxed);
+        noteCompletion();
         return false;
     }
-    ++ports[request.port]->stats.submitted;
     ring(workerOf(request.port));
     return true;
 }
@@ -674,12 +842,15 @@ ParallelSearchEngine::trySubmit(unsigned port, const Key &key,
         execute(req, now, workerOf(port));
         return true;
     }
+    // Same submitted-before-push protocol as submitRequest().
     inflight.fetch_add(1, std::memory_order_acq_rel);
+    PortStats &stats = ports[port]->stats;
+    stats.submitted.fetch_add(1, std::memory_order_relaxed);
     if (!workers[workerOf(port)]->queue.tryPush(Job{req, now})) {
+        stats.submitted.fetch_sub(1, std::memory_order_relaxed);
         noteCompletion();
         return false;
     }
-    ++ports[port]->stats.submitted;
     ring(workerOf(port));
     return true;
 }
@@ -742,11 +913,15 @@ ParallelSearchEngine::stop()
     stopped = true;
     for (auto &w : workers)
         w->queue.close();
+    if (writerQueue)
+        writerQueue->close(); // drained already: writer lane is idle
     fanoutTasks->close(); // drained already: no shard can be in flight
     ringAll();            // wake parked workers so they observe close
     for (std::thread &t : threads)
         t.join();
     threads.clear();
+    if (writerThread.joinable())
+        writerThread.join();
     running = false;
 }
 
@@ -762,6 +937,20 @@ ParallelSearchEngine::fetchResult(unsigned port)
     core::PortResponse out = std::move(state.results.front());
     state.results.pop_front();
     return out;
+}
+
+core::SearchResult
+ParallelSearchEngine::peek(unsigned port, const Key &key) const
+{
+    if (port >= ports.size())
+        fatal(strprintf("peek at unknown virtual port %u", port));
+    // Thread-local scratch: peek() may run on any number of threads at
+    // once, and the scratch re-sizes itself to each call's row shape.
+    static thread_local core::CaRamSlice::ConcurrentSearchScratch scratch;
+    // Pin the epoch for the whole lookup so a concurrent rebuildSwap()
+    // cannot reclaim the slice we are reading.
+    const sim::EpochDomain::Guard guard(epochDomain_);
+    return sys->database(port).searchConcurrent(key, scratch);
 }
 
 const PortStats &
@@ -780,18 +969,35 @@ ParallelSearchEngine::report() const
     uint64_t total_cycles = 0;
     uint64_t max_cycles = 0;
     for (const auto &w : workers) {
-        total_cycles += w->modeledCycles;
-        max_cycles = std::max(max_cycles, w->modeledCycles);
-        out.batchedSearchRuns += w->batchedSearchRuns;
-        out.adaptiveSerialRuns += w->adaptiveSerialRuns;
-        out.batchedInsertRuns += w->batchedInsertRuns;
-        out.ingest.merge(w->ingest);
-        out.fanoutLookups += w->fanoutLookups;
-        out.fanoutShards += w->fanoutShards;
-        out.fanoutSerialFallbacks += w->fanoutSerialFallbacks;
+        const uint64_t wc =
+            w->modeledCycles.load(std::memory_order_relaxed);
+        total_cycles += wc;
+        max_cycles = std::max(max_cycles, wc);
+        out.batchedSearchRuns +=
+            w->batchedSearchRuns.load(std::memory_order_relaxed);
+        out.adaptiveSerialRuns +=
+            w->adaptiveSerialRuns.load(std::memory_order_relaxed);
+        out.batchedInsertRuns +=
+            w->batchedInsertRuns.load(std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(w->ingestMutex);
+            out.ingest.merge(w->ingest);
+        }
+        out.fanoutLookups +=
+            w->fanoutLookups.load(std::memory_order_relaxed);
+        out.fanoutShards +=
+            w->fanoutShards.load(std::memory_order_relaxed);
+        out.fanoutSerialFallbacks +=
+            w->fanoutSerialFallbacks.load(std::memory_order_relaxed);
     }
+    // `completed` before `wallEndNs`: each completion publishes its end
+    // stamp before incrementing completed (finishResponse), so the
+    // stamp read below covers every completion counted here and the
+    // wall throughput cannot be inflated by a half-published
+    // completion.
     for (const auto &p : ports)
-        out.completed += p->stats.completed;
+        out.completed += p->stats.completed.load(
+            std::memory_order_acquire);
     // cycles / f_clk[MHz] = microseconds; lookups per microsecond = Msps.
     if (max_cycles > 0)
         out.modeledMsps = static_cast<double>(out.completed) /
@@ -807,7 +1013,7 @@ ParallelSearchEngine::report() const
                 .searchBandwidthMsps(cfg.timing);
     }
     out.wallSeconds =
-        wallEndNs.load(std::memory_order_relaxed) / 1e9;
+        wallEndNs.load(std::memory_order_acquire) / 1e9;
     if (out.wallSeconds > 0.0)
         out.wallMsps = out.completed / out.wallSeconds / 1e6;
     return out;

@@ -58,6 +58,7 @@
 #include "core/subsystem.h"
 #include "mem/timing.h"
 #include "sim/concurrent_queue.h"
+#include "sim/epoch.h"
 
 namespace caram::engine {
 
@@ -124,31 +125,59 @@ struct EngineConfig
      * overlap in modeled time like the paper's multi-bank fetch.
      *
      * 0 disables fan-out unless the CARAM_ROW_FANOUT_MIN environment
-     * variable supplies a floor (parsed once; an explicit nonzero
-     * config always wins over the environment, so tests that pin a
-     * threshold behave identically under the forced-fan-out CI leg).
+     * variable supplies a floor (re-read at each engine's construction
+     * -- see resolvedRowFanoutMin(); an explicit nonzero config always
+     * wins over the environment, so tests that pin a threshold behave
+     * identically under the forced-fan-out CI leg).
      */
     unsigned rowFanoutMin = 0;
     /** Most shards one lookup fans out into (clamped to [1, 32]). */
     unsigned rowFanoutMaxShards = 8;
+
+    /**
+     * Non-blocking mutations: route every Insert/Erase/Rebuild run to a
+     * dedicated writer thread instead of executing it on the
+     * port-owning worker.  The worker keeps serving its other ports'
+     * Search runs while the mutation is in flight; the mutating port's
+     * own requests are deferred (per-port FIFO response order is
+     * preserved exactly) until the writer finishes and rings the owner.
+     * Rebuilds route through Database::rebuildSwap() under the engine's
+     * epoch domain, so peek() readers are never stalled and never
+     * observe a half-repacked slice.  Result streams stay bit-identical
+     * to the default path -- only *when* the work runs changes, not
+     * what it computes.  Ignored in inline mode (workers == 0), which
+     * is serial by construction.
+     */
+    bool concurrentMutation = false;
 };
 
-/** Per-port instrumentation (single-writer: the port's owning worker,
- *  except `submitted`, written by the producer). */
+/**
+ * Per-port instrumentation.  The counters are atomic because they are
+ * written from the producer (`submitted`), the port's executing thread
+ * (its owning worker, or the writer lane under
+ * EngineConfig::concurrentMutation) and read live by report()/
+ * portStats() -- reading them mid-run is race-free and each value is
+ * individually consistent.  The latency/AMAL aggregates below the
+ * counters are NOT atomic: they have exactly one writer at a time (the
+ * owner, or the writer lane while the port is handed off -- the two
+ * are serialized by the hand-off itself), and they are only meaningful
+ * once the engine is drained.
+ */
 struct PortStats
 {
-    uint64_t submitted = 0;
-    uint64_t completed = 0;
-    uint64_t hits = 0;
-    uint64_t errors = 0;  ///< responses with ok == false
-    /** Wall-clock enqueue -> result latency, microseconds. */
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> errors{0}; ///< responses with ok == false
+    /** Wall-clock enqueue -> result latency, microseconds.  Read only
+     *  after drain(). */
     Summary latencyUs;
     /** The same latencies, log2-binned (bin = floor(log2(1 + us))). */
     Histogram latencyLog2Us;
     /** Buckets accessed per search (the per-request AMAL sample). */
     Histogram bucketsAccessed;
     /** Modeled busy cycles this port's requests cost its worker. */
-    uint64_t modeledCycles = 0;
+    std::atomic<uint64_t> modeledCycles{0};
 };
 
 /** Aggregate numbers for one engine run (between start and drain). */
@@ -248,7 +277,26 @@ class ParallelSearchEngine
     /** Pop the next result of @p port (per-port FIFO order). */
     std::optional<core::PortResponse> fetchResult(unsigned port);
 
+    /**
+     * Out-of-band wait-free lookup against @p port's live table from
+     * any thread, without queueing a request: the caller's answer to
+     * "is this key searchable right now?" while the engine (and, under
+     * EngineConfig::concurrentMutation, the writer lane) keeps running.
+     * Reads travel the seqlock'd row-snapshot path
+     * (Database::searchConcurrent) under the engine's epoch domain, so
+     * a concurrent insert/erase/rebuildSwap can never tear the read or
+     * free the slice mid-lookup.  Probing databases only (fatal
+     * otherwise); returns a miss while the database is in retention.
+     * No engine or slice counters are advanced and no response is
+     * queued -- peek() is invisible to stats and FIFO streams.
+     */
+    core::SearchResult peek(unsigned port, const Key &key) const;
+
     const PortStats &portStats(unsigned port) const;
+
+    /** The fan-out threshold this engine resolved at construction
+     *  (config value, or CARAM_ROW_FANOUT_MIN read at that moment). */
+    unsigned resolvedRowFanoutMin() const { return rowFanoutMin_; }
 
     /** Aggregate throughput/latency accounting for the run so far. */
     EngineReport report() const;
@@ -262,8 +310,17 @@ class ParallelSearchEngine
 
     struct Job;
     struct FanoutTask;
+    struct MutationRun;
 
     void workerMain(unsigned index);
+    /** Writer-lane thread body (concurrentMutation only). */
+    void writerMain();
+    /** Re-dispatch deferred jobs of @p index's ports whose writer-lane
+     *  hand-off has completed.  Returns true when any job ran. */
+    bool drainPending(unsigned index);
+    /** True when some port of @p index has deferred jobs ready to run
+     *  (hand-off finished). */
+    bool pendingReady(unsigned index) const;
     /** Run one popped batch through the run-extension loop. */
     void processJobs(const std::vector<Job> &batch, unsigned index);
     void execute(const core::PortRequest &request,
@@ -309,9 +366,19 @@ class ParallelSearchEngine
     unsigned rowFanoutMin_ = 0;
     /** Shared shard sub-task queue the workers steal from. */
     std::unique_ptr<sim::ConcurrentBoundedQueue<FanoutTask>> fanoutTasks;
+    /** Writer-lane hand-off queue (concurrentMutation only). */
+    std::unique_ptr<sim::ConcurrentBoundedQueue<MutationRun>> writerQueue;
     std::vector<std::unique_ptr<PortState>> ports;
+    /** One per worker thread, plus one trailing scratch set for the
+     *  writer lane when concurrentMutation is on (index workerCount). */
     std::vector<std::unique_ptr<Worker>> workers;
     std::vector<std::thread> threads;
+    std::thread writerThread;
+    /** Grace-period domain for rebuildSwap() retirements; peek()
+     *  readers pin it for the duration of their lookup (mutable: a
+     *  read-side pin mutates only the domain's bookkeeping, never the
+     *  engine). */
+    mutable sim::EpochDomain epochDomain_;
     bool running = false;
     bool stopped = false;
 

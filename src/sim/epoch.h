@@ -1,0 +1,230 @@
+#ifndef CARAM_SIM_EPOCH_H_
+#define CARAM_SIM_EPOCH_H_
+
+/**
+ * @file
+ * Epoch-based reclamation for reader-visible structure swaps.
+ *
+ * The concurrent-mutation engine replaces a database's slice wholesale
+ * on rebuild (build fresh, publish the pointer, retire the old slice).
+ * Readers that race the swap may still hold the retired pointer, so it
+ * cannot be freed until every reader that could have observed it has
+ * finished.  EpochDomain implements the classic scheme: readers pin the
+ * current global epoch in a per-reader slot for the duration of their
+ * critical section, writers stamp retired objects with the epoch at
+ * retirement, and a retired object is reclaimed once every active slot
+ * has advanced past its stamp.
+ *
+ * All epoch loads/stores are seq_cst: entry/exit happen once per
+ * engine-level lookup (not per row), so the fence cost is noise next to
+ * the modeled memory accesses, and the single total order makes the
+ * publish-then-read / swap-then-retire interleaving argument airtight.
+ */
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace caram::sim {
+
+/** A reclamation domain: readers Guard it, writers retire() into it. */
+class EpochDomain
+{
+  public:
+    /** Upper bound on concurrently pinned readers (engine workers plus
+     *  producers; far more than any engine configuration spawns). */
+    static constexpr unsigned kSlots = 64;
+
+    EpochDomain() = default;
+    EpochDomain(const EpochDomain &) = delete;
+    EpochDomain &operator=(const EpochDomain &) = delete;
+    ~EpochDomain() { drain(); }
+
+    /** RAII read-side critical section.  While alive, no object retired
+     *  at or after construction time is reclaimed. */
+    class Guard
+    {
+      public:
+        Guard() = default;
+        explicit Guard(EpochDomain &domain)
+            : domain_(&domain), slot_(domain.enter()) {}
+        Guard(Guard &&other) noexcept
+            : domain_(other.domain_), slot_(other.slot_)
+        {
+            other.domain_ = nullptr;
+        }
+        Guard &
+        operator=(Guard &&other) noexcept
+        {
+            if (this != &other) {
+                release();
+                domain_ = other.domain_;
+                slot_ = other.slot_;
+                other.domain_ = nullptr;
+            }
+            return *this;
+        }
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+        ~Guard() { release(); }
+
+        bool active() const { return domain_ != nullptr; }
+
+        void
+        release()
+        {
+            if (domain_) {
+                domain_->exit(slot_);
+                domain_ = nullptr;
+            }
+        }
+
+      private:
+        EpochDomain *domain_ = nullptr;
+        unsigned slot_ = 0;
+    };
+
+    /**
+     * Pin the current epoch into a free slot and return the slot index.
+     * The slot publish is seq_cst, so any retire() whose stamp was taken
+     * after this publish will see the pin and hold the object.
+     */
+    unsigned
+    enter()
+    {
+        for (;;) {
+            const uint64_t e = globalEpoch_.load(std::memory_order_seq_cst);
+            for (unsigned i = 0; i < kSlots; ++i) {
+                uint64_t expected = 0;
+                if (slots_[i].epoch.compare_exchange_strong(
+                        expected, e, std::memory_order_seq_cst))
+                    return i;
+            }
+            // All slots busy: only possible with > kSlots simultaneous
+            // readers, which no engine configuration produces.  Spin
+            // rather than corrupt a live slot.
+        }
+    }
+
+    /** Unpin the slot taken by enter(). */
+    void
+    exit(unsigned slot)
+    {
+        slots_[slot].epoch.store(0, std::memory_order_seq_cst);
+    }
+
+    /**
+     * Hand an object's deleter to the domain.  The deleter runs from a
+     * later reclaim()/drain() call once no reader pinned an epoch at or
+     * before the retirement instant remains.  Advances the global epoch
+     * so subsequent readers pin a strictly newer value.
+     */
+    void
+    retire(std::function<void()> deleter)
+    {
+        const uint64_t stamp =
+            globalEpoch_.fetch_add(1, std::memory_order_seq_cst);
+        std::lock_guard<std::mutex> lock(retireMutex_);
+        retired_.push_back(Retired{stamp, std::move(deleter)});
+    }
+
+    /**
+     * Run the deleters of every retired object no pinned reader can
+     * still observe.  Returns how many were reclaimed.  Safe to call
+     * from any thread; deleters run outside the internal lock.
+     */
+    std::size_t
+    reclaim()
+    {
+        std::vector<Retired> ready;
+        {
+            std::lock_guard<std::mutex> lock(retireMutex_);
+            if (retired_.empty())
+                return 0;
+            const uint64_t floor = minActiveEpoch();
+            auto keep = retired_.begin();
+            for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+                // A reader pinned at epoch e blocks stamps >= e (it may
+                // have entered just before a retire at the same epoch).
+                if (it->epoch < floor)
+                    ready.push_back(std::move(*it));
+                else
+                    *keep++ = std::move(*it);
+            }
+            retired_.erase(keep, retired_.end());
+        }
+        for (auto &r : ready)
+            r.deleter();
+        return ready.size();
+    }
+
+    /** Reclaim until the retired list is empty, spinning out readers.
+     *  Call only when no new readers can enter (shutdown). */
+    void
+    drain()
+    {
+        while (pendingRetired() > 0)
+            reclaim();
+    }
+
+    /** Retired-but-not-yet-reclaimed object count (observability). */
+    std::size_t
+    pendingRetired() const
+    {
+        std::lock_guard<std::mutex> lock(retireMutex_);
+        return retired_.size();
+    }
+
+    /** Number of currently pinned reader slots (observability). */
+    unsigned
+    activeReaders() const
+    {
+        unsigned n = 0;
+        for (const Slot &s : slots_)
+            if (s.epoch.load(std::memory_order_seq_cst) != 0)
+                ++n;
+        return n;
+    }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> epoch{0};
+    };
+
+    struct Retired
+    {
+        uint64_t epoch;
+        std::function<void()> deleter;
+    };
+
+    /** Smallest pinned epoch, or +inf when no reader is active. */
+    uint64_t
+    minActiveEpoch() const
+    {
+        uint64_t floor = ~uint64_t{0};
+        for (const Slot &s : slots_) {
+            const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+            if (e != 0 && e < floor)
+                floor = e;
+        }
+        return floor;
+    }
+
+    std::array<Slot, kSlots> slots_;
+    /** Starts at 1 so slot value 0 can mean "free". */
+    std::atomic<uint64_t> globalEpoch_{1};
+    mutable std::mutex retireMutex_;
+    std::vector<Retired> retired_;
+};
+
+} // namespace caram::sim
+
+#endif // CARAM_SIM_EPOCH_H_

@@ -4,8 +4,10 @@
  * and the override/env/auto selection priority (common/cpuid.h).
  */
 
+#include <cstdlib>
 #include <optional>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -79,6 +81,34 @@ TEST(Cpuid, OverrideWinsAndReleases)
         EXPECT_EQ(activeMatchKernel(), MatchKernel::Avx512);
     setMatchKernelOverride(std::nullopt);
     EXPECT_EQ(activeMatchKernel(), before);
+}
+
+TEST(Cpuid, EnvSelectionReReadOnEveryQuery)
+{
+    // CARAM_MATCH_KERNEL is parsed fresh per query, not latched by the
+    // first caller: flipping the variable mid-process retargets the
+    // very next activeMatchKernel() call.
+    const char *old = std::getenv("CARAM_MATCH_KERNEL");
+    const std::string saved = old ? old : "";
+    const bool had = old != nullptr;
+    setMatchKernelOverride(std::nullopt);
+    setenv("CARAM_MATCH_KERNEL", "scalar", 1);
+    EXPECT_EQ(activeMatchKernel(), MatchKernel::Scalar);
+    if (kernelAvailable(MatchKernel::Avx2)) {
+        setenv("CARAM_MATCH_KERNEL", "avx2", 1);
+        EXPECT_EQ(activeMatchKernel(), MatchKernel::Avx2);
+    }
+    unsetenv("CARAM_MATCH_KERNEL");
+    EXPECT_EQ(activeMatchKernel(), bestAvailableKernel());
+    // A programmatic override still beats whatever the env says.
+    setenv("CARAM_MATCH_KERNEL", "scalar", 1);
+    setMatchKernelOverride(bestAvailableKernel());
+    EXPECT_EQ(activeMatchKernel(), bestAvailableKernel());
+    setMatchKernelOverride(std::nullopt);
+    if (had)
+        setenv("CARAM_MATCH_KERNEL", saved.c_str(), 1);
+    else
+        unsetenv("CARAM_MATCH_KERNEL");
 }
 
 } // namespace

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -572,7 +575,7 @@ TEST(Engine, BatchingReducesModeledCyclesOnDuplicateKeys)
         eng.start();
         eng.drain();
         eng.stop();
-        return eng.portStats(0).modeledCycles;
+        return eng.portStats(0).modeledCycles.load();
     };
     const uint64_t serial_cycles = run(1);
     const uint64_t batched_cycles = run(32);
@@ -942,7 +945,7 @@ TEST(Engine, FanoutReducesModeledCyclesOnWideLookups)
         eng.submitBatch(stream);
         eng.drain();
         eng.stop();
-        return eng.portStats(0).modeledCycles;
+        return eng.portStats(0).modeledCycles.load();
     };
     const uint64_t serial_cycles = run(1u << 20); // threshold unreachable
     const uint64_t fanout_cycles = run(2);
@@ -1021,6 +1024,260 @@ TEST(Engine, ReportIsDeterministicAcrossRuns)
     const auto b = run();
     EXPECT_DOUBLE_EQ(a.first, b.first);
     EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST(Engine, ReportAndStatsConsistentWhilePolledMidRun)
+{
+    // report() and portStats() from the submitting thread while the
+    // workers are busy: every snapshot must be internally consistent
+    // (wall throughput derived from the completions it counted, both
+    // monotonically non-decreasing poll over poll, and a port never
+    // reporting more completions than submissions).  ci_tsan.sh runs
+    // this as the data-race regression for the counter fields.
+    auto sys = buildLoaded(4, 200);
+    EngineConfig cfg;
+    cfg.workers = 4;
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    const auto stream = searchStream(4, 2000, 0x7011);
+    std::atomic<bool> done{false};
+    std::thread submitter([&] {
+        eng.submitBatch(stream);
+        eng.drain();
+        done.store(true, std::memory_order_release);
+    });
+    uint64_t last_completed = 0;
+    double last_wall = 0.0;
+    while (!done.load(std::memory_order_acquire)) {
+        const EngineReport r = eng.report();
+        EXPECT_GE(r.completed, last_completed);
+        EXPECT_GE(r.wallSeconds, last_wall);
+        if (r.wallSeconds > 0.0) {
+            EXPECT_NEAR(r.wallMsps, r.completed / r.wallSeconds / 1e6,
+                        1e-9);
+        }
+        last_completed = r.completed;
+        last_wall = r.wallSeconds;
+        for (unsigned p = 0; p < 4; ++p) {
+            // completed before submitted: a counted completion's
+            // submission increment always precedes it, so this order
+            // can never observe completed > submitted.
+            const PortStats &s = eng.portStats(p);
+            const uint64_t comp =
+                s.completed.load(std::memory_order_acquire);
+            const uint64_t sub =
+                s.submitted.load(std::memory_order_relaxed);
+            EXPECT_LE(comp, sub) << "port " << p;
+        }
+    }
+    submitter.join();
+    const EngineReport final_report = eng.report();
+    eng.stop();
+    EXPECT_EQ(final_report.completed, stream.size());
+    ASSERT_GT(final_report.wallSeconds, 0.0);
+    EXPECT_NEAR(final_report.wallMsps,
+                final_report.completed / final_report.wallSeconds / 1e6,
+                1e-9);
+    EXPECT_GE(final_report.wallSeconds, last_wall);
+}
+
+TEST(Engine, RowFanoutMinEnvReReadAtEachConstruction)
+{
+    // CARAM_ROW_FANOUT_MIN must be consulted fresh by every engine
+    // construction, not latched process-wide by the first: two engines
+    // in one process with different environments resolve differently.
+    const char *old = std::getenv("CARAM_ROW_FANOUT_MIN");
+    const std::string saved = old ? old : "";
+    const bool had = old != nullptr;
+    auto sys = buildLoaded(1, 10);
+    EngineConfig cfg;
+    cfg.workers = 0;
+    setenv("CARAM_ROW_FANOUT_MIN", "3", 1);
+    {
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_EQ(eng.resolvedRowFanoutMin(), 3u);
+    }
+    setenv("CARAM_ROW_FANOUT_MIN", "7", 1);
+    {
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_EQ(eng.resolvedRowFanoutMin(), 7u);
+    }
+    unsetenv("CARAM_ROW_FANOUT_MIN");
+    {
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_EQ(eng.resolvedRowFanoutMin(), 0u);
+    }
+    // An explicit config value always beats the environment.
+    setenv("CARAM_ROW_FANOUT_MIN", "5", 1);
+    {
+        EngineConfig forced = cfg;
+        forced.rowFanoutMin = 2;
+        ParallelSearchEngine eng(*sys, forced);
+        EXPECT_EQ(eng.resolvedRowFanoutMin(), 2u);
+    }
+    if (had)
+        setenv("CARAM_ROW_FANOUT_MIN", saved.c_str(), 1);
+    else
+        unsetenv("CARAM_ROW_FANOUT_MIN");
+}
+
+TEST(Engine, ConcurrentMutationMixedOperationsMatchSerial)
+{
+    // The writer-lane hand-off must be invisible to results: the same
+    // mixed stream as MixedOperationsMatchSerial, with the non-blocking
+    // mutation mode enabled, still reproduces the serial per-port FIFO
+    // streams and final tables bit for bit.
+    std::vector<PortRequest> stream;
+    uint64_t tag = 0;
+    for (unsigned p = 0; p < 3; ++p) {
+        for (uint64_t i = 0; i < 40; ++i) {
+            PortRequest ins;
+            ins.port = p;
+            ins.op = PortOp::Insert;
+            ins.key = Key::fromUint(i * 13 + p, 32);
+            ins.data = i;
+            ins.tag = ++tag;
+            stream.push_back(ins);
+        }
+        for (uint64_t i = 0; i < 40; ++i) {
+            PortRequest s;
+            s.port = p;
+            s.op = PortOp::Search;
+            s.key = Key::fromUint(i * 13 + p, 32);
+            s.tag = ++tag;
+            stream.push_back(s);
+            if (i % 3 == 0) {
+                PortRequest e;
+                e.port = p;
+                e.op = PortOp::Erase;
+                e.key = Key::fromUint(i * 13 + p, 32);
+                e.tag = ++tag;
+                stream.push_back(e);
+            }
+            if (i % 16 == 0) {
+                PortRequest r;
+                r.port = p;
+                r.op = PortOp::Rebuild;
+                r.tag = ++tag;
+                stream.push_back(r);
+            }
+        }
+    }
+
+    auto serial_sys = buildLoaded(3, 0);
+    const auto reference = serialReference(*serial_sys, stream);
+
+    auto sys = buildLoaded(3, 0);
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.batchSize = 4;
+    cfg.concurrentMutation = true;
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    EXPECT_EQ(eng.submitBatch(stream), stream.size());
+    eng.drain();
+    expectMatchesReference(eng, reference);
+    for (unsigned p = 0; p < 3; ++p)
+        EXPECT_EQ(sys->database(p).size(),
+                  serial_sys->database(p).size());
+    eng.stop();
+}
+
+TEST(Engine, PeekStableKeysWhileMutationStreamRuns)
+{
+    // peek() from threads the engine does not own, racing a live
+    // concurrent-mutation stream that churns inserts, erases and
+    // swap-rebuilds on the same rows: stable keys must always resolve
+    // to their exact record.  ci_tsan.sh runs this against the seqlock
+    // and epoch machinery end to end.
+    constexpr unsigned kPorts = 2;
+    constexpr uint64_t kStable = 24;
+    auto sys = buildLoaded(kPorts, 0);
+    for (unsigned p = 0; p < kPorts; ++p) {
+        for (uint64_t i = 0; i < kStable; ++i) {
+            ASSERT_TRUE(sys->database(p).insert(
+                Record{Key::fromUint(0x100 + i, 32), 0x0a00 + i}));
+        }
+    }
+    // Volatile churn on overlapping home rows; live volatile records
+    // stay near 50 per port so swap-rebuilds never shed anything.
+    std::vector<PortRequest> stream;
+    uint64_t tag = 0;
+    for (uint64_t i = 0; i < 400; ++i) {
+        for (unsigned p = 0; p < kPorts; ++p) {
+            PortRequest ins;
+            ins.port = p;
+            ins.op = PortOp::Insert;
+            ins.key = Key::fromUint(0x10000 + i, 32);
+            ins.data = i & 0xffff;
+            ins.tag = ++tag;
+            stream.push_back(ins);
+            if (i >= 50) {
+                PortRequest e;
+                e.port = p;
+                e.op = PortOp::Erase;
+                e.key = Key::fromUint(0x10000 + (i - 50), 32);
+                e.tag = ++tag;
+                stream.push_back(e);
+            }
+            if (i % 40 == 0) {
+                PortRequest r;
+                r.port = p;
+                r.op = PortOp::Rebuild;
+                r.tag = ++tag;
+                stream.push_back(r);
+            }
+        }
+    }
+
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.batchSize = 4;
+    cfg.concurrentMutation = true;
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> failures{0};
+    std::vector<std::thread> readers;
+    for (unsigned t = 0; t < 2; ++t) {
+        readers.emplace_back([&, t] {
+            Rng rng(0x9ee7 + t);
+            uint64_t i = 0;
+            // Run until the stream drains AND a read quota proves the
+            // race actually overlapped; stable keys outlive the drain,
+            // so the tail reads still validate.
+            while ((!done.load(std::memory_order_acquire) ||
+                    reads.load(std::memory_order_relaxed) < 1000) &&
+                   failures.load(std::memory_order_relaxed) == 0 &&
+                   i < 4000000) {
+                ++i;
+                const uint64_t k = rng.below(kStable);
+                const unsigned port =
+                    static_cast<unsigned>(rng.below(kPorts));
+                const auto r =
+                    eng.peek(port, Key::fromUint(0x100 + k, 32));
+                if (!r.hit || r.data != 0x0a00 + k)
+                    failures.fetch_add(1, std::memory_order_relaxed);
+                reads.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    EXPECT_EQ(eng.submitBatch(stream), stream.size());
+    eng.drain();
+    done.store(true, std::memory_order_release);
+    for (auto &r : readers)
+        r.join();
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_GE(reads.load(), 1000u);
+    // Out-of-band misses stay misses, and peek never touched stats.
+    EXPECT_FALSE(eng.peek(0, Key::fromUint(0xdead00, 32)).hit);
+    uint64_t completed = 0;
+    for (unsigned p = 0; p < kPorts; ++p)
+        completed += eng.portStats(p).completed.load();
+    EXPECT_EQ(completed, stream.size());
+    eng.stop();
 }
 
 } // namespace
