@@ -453,9 +453,9 @@ measureKernel(simd::MatchKernel kernel, std::size_t lookups)
     // batch path only costs its bookkeeping.
     std::vector<Key> bursts;
     bursts.reserve(lookups);
-    ZipfSampler zipf(w.stream.size(), 1.1);
+    ZipfStream zipf(w.stream.size(), 1.1);
     while (bursts.size() < lookups) {
-        const Key &k = w.stream[zipf(rng)];
+        const Key &k = w.stream[zipf.next(rng)];
         const std::size_t train = 1 + rng.below(G);
         for (std::size_t c = 0; c < train && bursts.size() < lookups;
              ++c)

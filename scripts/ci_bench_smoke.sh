@@ -23,6 +23,14 @@
 # against Database::search; its 64-home reduction is also compared
 # against the checked-in baseline.
 #
+# The result-cache section runs ext_parallel_engine, which self-gates
+# on the engine speedup/batching/writer-lane targets and on the hot-key
+# result cache: >= 60% hit rate and >= 1.5x modeled uplift at Zipf
+# s=0.99, bit-identical cached result streams, and mixed 90/10 churn
+# with the cache on staying within 10% of the read-only writer-lane
+# throughput.  Its s=0.99 hit rate and uplift are also compared against
+# the checked-in baseline (within 10%).
+#
 # The baselines were measured on the CI host; re-capture them after an
 # intentional perf change with:
 #   build/bench/micro_match_path 100000 \
@@ -32,6 +40,8 @@
 #       --json bench/baselines/BENCH_bulk_ingest.baseline.json
 #   build/bench/ext_row_fanout 2000 \
 #       --json bench/baselines/BENCH_row_fanout.baseline.json
+#   build/bench/ext_parallel_engine 10000 \
+#       --json bench/baselines/BENCH_result_cache.baseline.json
 #
 # Usage: scripts/ci_bench_smoke.sh [build-dir]   (default build)
 set -euo pipefail
@@ -42,11 +52,12 @@ BASELINE="bench/baselines/BENCH_match_path.baseline.json"
 SIMD_BASELINE="bench/baselines/BENCH_simd_batch.baseline.json"
 INGEST_BASELINE="bench/baselines/BENCH_bulk_ingest.baseline.json"
 FANOUT_BASELINE="bench/baselines/BENCH_row_fanout.baseline.json"
+CACHE_BASELINE="bench/baselines/BENCH_result_cache.baseline.json"
 MAX_REGRESSION="${MAX_REGRESSION:-2.0}"
 LOOKUPS="${LOOKUPS:-100000}"
 
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path ext_bulk_ingest ext_row_fanout
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path ext_bulk_ingest ext_row_fanout ext_parallel_engine
 
 "$BUILD_DIR"/bench/micro_match_path "$LOOKUPS" \
     --json "$BUILD_DIR"/BENCH_match_path.json \
@@ -62,3 +73,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path ext_bulk_inges
 "$BUILD_DIR"/bench/ext_row_fanout 2000 \
     --json "$BUILD_DIR"/BENCH_row_fanout.json \
     --baseline "$FANOUT_BASELINE"
+
+"$BUILD_DIR"/bench/ext_parallel_engine 10000 \
+    --json "$BUILD_DIR"/BENCH_result_cache.json \
+    --baseline "$CACHE_BASELINE"

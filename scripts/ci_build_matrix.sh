@@ -28,6 +28,15 @@
 #      search path never snapshots, so single-threaded tests are
 #      unaffected.
 #
+#   5. The SIMD build rerun with CARAM_RESULT_CACHE_ENTRIES=4096: every
+#      engine whose config leaves resultCacheEntries unset now fronts
+#      search dispatch with the hot-key result cache, so the whole
+#      suite doubles as a cache-coherence equivalence sweep (every
+#      differential and modeled-accounting expectation must hold with
+#      cached hits short-circuiting repeat lookups).  Tests that
+#      measure per-lookup slice work pin an explicit 0, which always
+#      wins over the environment knob.
+#
 # Usage: scripts/ci_build_matrix.sh [scalar-build-dir] [simd-build-dir]
 #        (defaults build-scalar and build)
 set -euo pipefail
@@ -53,6 +62,10 @@ CARAM_ROW_FANOUT_MIN=1 ctest --test-dir "$SIMD_DIR" \
 
 echo "=== leg 4: SIMD build, torn-read injection forced on ==="
 CARAM_SEQLOCK_TEAR=2 ctest --test-dir "$SIMD_DIR" \
+    --output-on-failure
+
+echo "=== leg 5: SIMD build, result cache forced on ==="
+CARAM_RESULT_CACHE_ENTRIES=4096 ctest --test-dir "$SIMD_DIR" \
     --output-on-failure
 
 echo "build matrix: all legs passed"

@@ -15,8 +15,13 @@
 # domain (Epoch.*), the writer-lane engine differentials
 # (ConcurrentMutationDifferential.*), and the live-polling stats /
 # peek regressions (Engine.ReportAndStats*, Engine.PeekStableKeys*)
-# all race readers against in-place mutation and slice swaps.  Any
-# data race fails the script.
+# all race readers against in-place mutation and slice swaps.  The
+# hot-key result cache is covered twice: the engine-level cache
+# differentials (ResultCacheDifferential.*, ResultCacheGeneration.*)
+# race cached search dispatch against writer-lane mutations, and the
+# ResultCacheHammer drives raw probe/fill/invalidate from concurrent
+# threads straight into the per-entry seqlocks.  Any data race fails
+# the script.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default build-tsan)
 set -euo pipefail
@@ -27,7 +32,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DCARAM_TSAN=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --target test_concurrent_queue test_engine test_epoch \
-    seqlock_concurrent concurrent_mutation_differential
+    seqlock_concurrent concurrent_mutation_differential \
+    result_cache_differential
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$BUILD_DIR" \
-    -R 'ConcurrentQueue|CompletionLatch|Engine|Epoch|SeqlockConcurrent|ConcurrentMutation' \
+    -R 'ConcurrentQueue|CompletionLatch|Engine|Epoch|SeqlockConcurrent|ConcurrentMutation|ResultCache' \
     --output-on-failure

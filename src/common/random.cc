@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <numeric>
 
 namespace caram {
 
@@ -100,6 +101,41 @@ ZipfSampler::pmf(std::size_t rank) const
 {
     assert(rank < cdf.size());
     return rank == 0 ? cdf[0] : cdf[rank] - cdf[rank - 1];
+}
+
+ZipfStream::ZipfStream(std::size_t n, double exponent)
+    : sampler(n, exponent)
+{
+    weights_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        weights_[i] = sampler.pmf(i);
+}
+
+ZipfStream::ZipfStream(std::size_t n, double exponent, uint64_t seed)
+    : sampler(n, exponent)
+{
+    // The exact rank/permutation pattern IpCaRamMapper used: iota, a
+    // backwards Fisher-Yates drawing rng.below(i), weights by the
+    // permuted rank.  Kept draw-for-draw identical so the mapper's
+    // tables and figures do not move.
+    Rng rng(seed);
+    std::vector<std::size_t> ranks(n);
+    std::iota(ranks.begin(), ranks.end(), 0);
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(ranks[i - 1], ranks[rng.below(i)]);
+    weights_.resize(n);
+    itemOfRank.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        weights_[i] = sampler.pmf(ranks[i]);
+        itemOfRank[ranks[i]] = i;
+    }
+}
+
+std::size_t
+ZipfStream::next(Rng &rng) const
+{
+    const std::size_t rank = sampler(rng);
+    return itemOfRank.empty() ? rank : itemOfRank[rank];
 }
 
 } // namespace caram

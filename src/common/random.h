@@ -72,6 +72,47 @@ class ZipfSampler
     std::vector<double> cdf;
 };
 
+/**
+ * A Zipf-skewed stream over items {0, ..., n-1}: popularity ranks are
+ * assigned to items (identity by default, or a seeded random
+ * permutation -- the rank/permutation pattern originally hand-rolled in
+ * ip::IpCaRamMapper), and next() draws items with Zipf(s) popularity,
+ * spending exactly one uniform draw per sample.  One audited
+ * implementation for every bench, test and traffic generator that
+ * needs skewed key traffic, bit-identical to both prior ad-hoc copies:
+ * the unshuffled form draws the same stream as a bare ZipfSampler, and
+ * weights() reproduces IpCaRamMapper's per-item access weights word
+ * for word.
+ */
+class ZipfStream
+{
+  public:
+    /** Ranks assigned in order: item 0 is the most popular. */
+    ZipfStream(std::size_t n, double exponent);
+
+    /** Ranks assigned by a Fisher-Yates shuffle seeded with @p seed,
+     *  so the hot items scatter across the key space. */
+    ZipfStream(std::size_t n, double exponent, uint64_t seed);
+
+    /** Draw an item according to its rank's Zipf popularity (one
+     *  rng.uniform() per call). */
+    std::size_t next(Rng &rng) const;
+
+    /** Probability mass of item @p item (pmf of its rank). */
+    double weight(std::size_t item) const { return weights_[item]; }
+
+    /** Per-item access weights, parallel to the item indices. */
+    const std::vector<double> &weights() const { return weights_; }
+
+    std::size_t size() const { return weights_.size(); }
+
+  private:
+    ZipfSampler sampler;
+    /** rank -> item; empty = identity (item == rank). */
+    std::vector<std::size_t> itemOfRank;
+    std::vector<double> weights_;
+};
+
 } // namespace caram
 
 #endif // CARAM_COMMON_RANDOM_H_

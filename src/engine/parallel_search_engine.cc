@@ -41,6 +41,30 @@ envRowFanoutMin()
     return static_cast<unsigned>(v);
 }
 
+/** CARAM_RESULT_CACHE_ENTRIES, parsed fresh on every call like
+ *  CARAM_ROW_FANOUT_MIN above.  The forced-cache CI leg sets it so
+ *  every engine whose config leaves resultCacheEntries unset runs the
+ *  whole suite with the hot-key cache on. */
+std::optional<std::size_t>
+envResultCacheEntries()
+{
+    const char *env = std::getenv("CARAM_RESULT_CACHE_ENTRIES");
+    if (!env || !*env)
+        return std::nullopt;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn(strprintf("CARAM_RESULT_CACHE_ENTRIES=%s is not a "
+                           "number; result cache stays "
+                           "config-controlled",
+                           env));
+        return std::nullopt;
+    }
+    return static_cast<std::size_t>(v);
+}
+
 } // namespace
 
 /** A request travelling through a worker queue, stamped at enqueue. */
@@ -162,6 +186,18 @@ ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
     if (rowFanoutMin_ == 0) {
         if (const auto env = envRowFanoutMin())
             rowFanoutMin_ = *env;
+    }
+    // Result cache: an explicit config value (including an explicit 0,
+    // which pins the cache off) always wins over the environment.
+    std::size_t cache_entries = cfg.resultCacheEntries.value_or(0);
+    if (!cfg.resultCacheEntries.has_value()) {
+        if (const auto env = envResultCacheEntries())
+            cache_entries = *env;
+    }
+    if (cache_entries > 0) {
+        resultCache_ = std::make_unique<ResultCache>(
+            cache_entries, cfg.resultCacheWays,
+            static_cast<unsigned>(sys->databaseCount()));
     }
     fanoutTasks = std::make_unique<sim::ConcurrentBoundedQueue<FanoutTask>>(
         std::max<std::size_t>(16,
@@ -289,6 +325,8 @@ ParallelSearchEngine::executeFanoutSearch(
 {
     Worker &self = *workers[worker_index];
     core::CaRamSlice &sl = db.slice();
+    const uint64_t cache_gen =
+        resultCache_ ? resultCache_->generation(request.port) : 0;
     const auto nhomes = static_cast<unsigned>(self.fanoutHomes.size());
     const unsigned nshards = std::min(cfg.rowFanoutMaxShards, nhomes);
     self.fanoutLookups.fetch_add(1, std::memory_order_relaxed);
@@ -351,6 +389,8 @@ ParallelSearchEngine::executeFanoutSearch(
                                      self.shardResults[s].bucketsAccessed);
     const uint64_t overflow_fetches =
         db.mergeOverflowResult(request.key, merged);
+    if (resultCache_)
+        resultCache_->fill(request.port, request.key, merged, cache_gen);
 
     // Modeled cost: the shards fetch from independent banks
     // simultaneously (the paper's multi-bank overlap), so the lookup
@@ -377,19 +417,91 @@ ParallelSearchEngine::executeFanoutSearch(
     finishResponse(std::move(resp), enqueued);
 }
 
+bool
+ParallelSearchEngine::probeCache(const core::PortRequest &request,
+                                 core::SearchResult &out)
+{
+    if (!resultCache_)
+        return false;
+    PortStats &stats = ports[request.port]->stats;
+    if (resultCache_->probe(request.port, request.key, out)) {
+        stats.cacheHits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    stats.cacheMisses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+ParallelSearchEngine::publishCached(
+    const core::PortRequest &request, const core::SearchResult &cached,
+    std::chrono::steady_clock::time_point enqueued)
+{
+    // Zero modeled cycles: the cached reply activates no rows, so the
+    // port's bank is never occupied -- this is the entire throughput
+    // claim of the hot-key cache.  The response fields (including the
+    // replayed bucketsAccessed, which keeps the AMAL histogram
+    // identical to the uncached engine's) are bit-identical to what
+    // the slice search would have produced on the unmutated table.
+    core::PortResponse resp;
+    resp.tag = request.tag;
+    resp.port = request.port;
+    resp.op = core::PortOp::Search;
+    resp.hit = cached.hit;
+    resp.data = cached.data;
+    resp.key = cached.key;
+    resp.bucketsAccessed = cached.bucketsAccessed;
+    finishResponse(std::move(resp), enqueued);
+}
+
+void
+ParallelSearchEngine::invalidateCache(unsigned port)
+{
+    if (!resultCache_)
+        return;
+    resultCache_->invalidate(port);
+    ports[port]->stats.cacheInvalidations.fetch_add(
+        1, std::memory_order_relaxed);
+}
+
 void
 ParallelSearchEngine::execute(
     const core::PortRequest &request,
     std::chrono::steady_clock::time_point enqueued, unsigned worker_index)
 {
-    if (request.op == core::PortOp::Search && rowFanoutMin_ > 0) {
-        core::Database &db = sys->database(request.port);
-        if (db.powerState() == core::PowerState::Active &&
-            fanoutEligible(db, request.key, *workers[worker_index])) {
-            executeFanoutSearch(db, request, enqueued, worker_index);
-            return;
+    if (request.op == core::PortOp::Search) {
+        if (resultCache_ || rowFanoutMin_ > 0) {
+            core::Database &db = sys->database(request.port);
+            if (db.powerState() == core::PowerState::Active) {
+                // Cache probe first: a hit short-circuits the slice
+                // search *and* the fan-out machinery.
+                core::SearchResult cached;
+                if (probeCache(request, cached)) {
+                    publishCached(request, cached, enqueued);
+                    return;
+                }
+                if (rowFanoutMin_ > 0 &&
+                    fanoutEligible(db, request.key,
+                                   *workers[worker_index])) {
+                    executeFanoutSearch(db, request, enqueued,
+                                        worker_index);
+                    return;
+                }
+            }
         }
+    } else {
+        // Conservative coherence: any mutation (even one that fails)
+        // bumps the port's generation before it touches the table.
+        invalidateCache(request.port);
     }
+    // Generation capture *before* the search runs: a mutation slipping
+    // in between (impossible on the engine's serialized ports, but the
+    // discipline is what the cache's coherence argument rests on)
+    // would make the fill below unservable rather than stale.
+    const uint64_t cache_gen =
+        resultCache_ && request.op == core::PortOp::Search
+            ? resultCache_->generation(request.port)
+            : 0;
     // Under concurrentMutation the engine's epoch domain rides along so
     // a Rebuild (which only ever executes on the writer lane in that
     // mode) becomes a non-blocking rebuildSwap; everything else, and
@@ -397,6 +509,14 @@ ParallelSearchEngine::execute(
     core::PortResponse resp = core::executePortRequest(
         sys->database(request.port), request,
         cfg.concurrentMutation ? &epochDomain_ : nullptr);
+    if (resultCache_ && request.op == core::PortOp::Search && resp.ok) {
+        core::SearchResult r;
+        r.hit = resp.hit;
+        r.data = resp.data;
+        r.key = resp.key;
+        r.bucketsAccessed = resp.bucketsAccessed;
+        resultCache_->fill(request.port, request.key, r, cache_gen);
+    }
 
     // Modeled cost: the lookup occupies this worker's bank for n_mem
     // cycles per bucket accessed (probe chains are sequential); every
@@ -427,20 +547,34 @@ ParallelSearchEngine::executeSearchRun(const Job *jobs, std::size_t count,
         return;
     }
 
-    if (rowFanoutMin_ == 0) {
+    if (rowFanoutMin_ == 0 && !resultCache_) {
         executeBatchSegment(db, jobs, count, worker_index);
         return;
     }
 
-    // Fan-out-eligible keys leave the batch: searchBatch would walk
-    // their many home chains serially inside the chunk (its multi-home
-    // fallback), exactly the blow-up the fan-out exists to parallelize.
-    // The segments between them still batch, and responses are
-    // published in submission order either way -- results and per-key
-    // bucketsAccessed are bit-identical under any split.
+    // Cache hits and fan-out-eligible keys leave the batch.  A hit
+    // never touches the slice at all; a fan-out key would make
+    // searchBatch walk its many home chains serially inside the chunk
+    // (its multi-home fallback), exactly the blow-up the fan-out
+    // exists to parallelize.  The segments between them still batch,
+    // and responses are published in submission order under any split
+    // -- the preceding miss segment always flushes before a cached
+    // response goes out, so per-port FIFO (and bit-identity against
+    // the serial oracle) is preserved.
     Worker &self = *workers[worker_index];
     std::size_t seg = 0;
     for (std::size_t k = 0; k < count; ++k) {
+        core::SearchResult cached;
+        if (probeCache(jobs[k].request, cached)) {
+            if (k > seg)
+                executeBatchSegment(db, jobs + seg, k - seg,
+                                    worker_index);
+            publishCached(jobs[k].request, cached, jobs[k].enqueued);
+            seg = k + 1;
+            continue;
+        }
+        if (rowFanoutMin_ == 0)
+            continue;
         // Single-home (fully specified) keys always stay in the batch,
         // even under a forced threshold of 1: sharding a one-home chain
         // cannot help, and pulling the key out would destroy the run's
@@ -471,9 +605,18 @@ ParallelSearchEngine::executeBatchSegment(core::Database &db,
         self.keyPtrs.push_back(&jobs[i].request.key);
     if (self.batchResults.size() < count)
         self.batchResults.resize(count);
+    const uint64_t cache_gen =
+        resultCache_ ? resultCache_->generation(port_no) : 0;
     const uint64_t fetches =
         db.searchBatch(self.keyPtrs.data(), static_cast<unsigned>(count),
                        self.batchResults.data());
+    if (resultCache_) {
+        // Negative results are cached too: a repeated miss replays the
+        // same (deterministic) empty-handed chain walk.
+        for (std::size_t i = 0; i < count; ++i)
+            resultCache_->fill(port_no, jobs[i].request.key,
+                               self.batchResults[i], cache_gen);
+    }
 
     // Modeled cost of the whole run: the bank is occupied once per
     // *distinct* row fetch -- a row matched for a whole group of keys
@@ -529,6 +672,10 @@ ParallelSearchEngine::executeInsertRun(const Job *jobs, std::size_t count,
             execute(jobs[i].request, jobs[i].enqueued, worker_index);
         return;
     }
+
+    // One generation bump covers the whole ingest run: everything the
+    // run stores lands before any later search on this port executes.
+    invalidateCache(port_no);
 
     Worker &self = *workers[worker_index];
     self.records.clear();
@@ -889,6 +1036,7 @@ ParallelSearchEngine::bulkLoad(unsigned port,
     if (running)
         fatal("bulkLoad needs a stopped engine: a running port's "
               "database belongs to its worker thread");
+    invalidateCache(port);
     return sys->database(port).insertBatch(records, outcomes, priorities);
 }
 
@@ -995,9 +1143,16 @@ ParallelSearchEngine::report() const
     // stamp read below covers every completion counted here and the
     // wall throughput cannot be inflated by a half-published
     // completion.
-    for (const auto &p : ports)
+    for (const auto &p : ports) {
         out.completed += p->stats.completed.load(
             std::memory_order_acquire);
+        out.cacheHits +=
+            p->stats.cacheHits.load(std::memory_order_relaxed);
+        out.cacheMisses +=
+            p->stats.cacheMisses.load(std::memory_order_relaxed);
+        out.cacheInvalidations += p->stats.cacheInvalidations.load(
+            std::memory_order_relaxed);
+    }
     // cycles / f_clk[MHz] = microseconds; lookups per microsecond = Msps.
     if (max_cycles > 0)
         out.modeledMsps = static_cast<double>(out.completed) /

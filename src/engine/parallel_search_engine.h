@@ -31,6 +31,14 @@
  * identical result streams and modeled accounting, used by tier-1
  * tests.
  *
+ * EngineConfig::resultCacheEntries fronts search dispatch with a
+ * lock-free hot-key result cache (result_cache.h): a repeat of a
+ * recently answered key replays the cached response -- bit-identical
+ * fields, zero modeled bucket accesses -- and any mutation on the port
+ * conservatively invalidates the port's partition through a generation
+ * bump, so result streams stay bit-identical to the uncached engine on
+ * every stream, including mixed mutation streams.
+ *
  * EngineConfig::rowFanoutMin additionally enables *intra-lookup*
  * parallelism: a lookup whose ternary key duplicates across many home
  * rows is split into home-range shards that idle workers steal from a
@@ -56,6 +64,7 @@
 
 #include "common/stats.h"
 #include "core/subsystem.h"
+#include "engine/result_cache.h"
 #include "mem/timing.h"
 #include "sim/concurrent_queue.h"
 #include "sim/epoch.h"
@@ -144,11 +153,30 @@ struct EngineConfig
      * Rebuilds route through Database::rebuildSwap() under the engine's
      * epoch domain, so peek() readers are never stalled and never
      * observe a half-repacked slice.  Result streams stay bit-identical
-     * to the default path -- only *when* the work runs changes, not
-     * what it computes.  Ignored in inline mode (workers == 0), which
-     * is serial by construction.
+     * to the blocking path -- only *when* the work runs changes, not
+     * what it computes.  On by default since the PR 6 bench gate
+     * soaked (mixed 90/10 search throughput within 10% of read-only);
+     * set false to select the old blocking in-run path.  Ignored in
+     * inline mode (workers == 0), which is serial by construction.
      */
-    bool concurrentMutation = false;
+    bool concurrentMutation = true;
+
+    /**
+     * Hot-key result cache: total entry budget of the front-side
+     * ResultCache (see result_cache.h).  A Search whose exact key
+     * (value, care, width) was answered since the port's last
+     * mutation replays the cached response -- bit-identical fields,
+     * zero modeled bucket accesses -- and any Insert/Erase/Rebuild on
+     * the port conservatively invalidates its whole partition through
+     * a generation bump.  nullopt (the default) defers to the
+     * CARAM_RESULT_CACHE_ENTRIES environment variable, re-read at each
+     * engine's construction like CARAM_ROW_FANOUT_MIN (see
+     * resolvedResultCacheEntries()); an explicit value always wins, so
+     * 0 pins the cache off even under the forced-cache CI leg.
+     */
+    std::optional<std::size_t> resultCacheEntries{};
+    /** Cache set associativity (clamped to [1, ResultCache::kMaxWays]). */
+    unsigned resultCacheWays = 4;
 };
 
 /**
@@ -178,6 +206,12 @@ struct PortStats
     Histogram bucketsAccessed;
     /** Modeled busy cycles this port's requests cost its worker. */
     std::atomic<uint64_t> modeledCycles{0};
+    /** Searches served from the result cache (zero modeled cycles). */
+    std::atomic<uint64_t> cacheHits{0};
+    /** Searches that probed the result cache and fell through. */
+    std::atomic<uint64_t> cacheMisses{0};
+    /** Generation bumps (one per mutation run on this port). */
+    std::atomic<uint64_t> cacheInvalidations{0};
 };
 
 /** Aggregate numbers for one engine run (between start and drain). */
@@ -210,6 +244,12 @@ struct EngineReport
     uint64_t fanoutShards = 0;
     /** Fan-out-eligible lookups that collapsed to a single shard. */
     uint64_t fanoutSerialFallbacks = 0;
+    /** Searches served from the hot-key result cache. */
+    uint64_t cacheHits = 0;
+    /** Searches that probed the cache and ran the slice search. */
+    uint64_t cacheMisses = 0;
+    /** Per-port generation bumps charged by mutation runs. */
+    uint64_t cacheInvalidations = 0;
 };
 
 /** Shards a CaRamSubsystem's ports across worker threads. */
@@ -298,6 +338,22 @@ class ParallelSearchEngine
      *  (config value, or CARAM_ROW_FANOUT_MIN read at that moment). */
     unsigned resolvedRowFanoutMin() const { return rowFanoutMin_; }
 
+    /** The result-cache entry budget this engine resolved at
+     *  construction (config value, or CARAM_RESULT_CACHE_ENTRIES read
+     *  at that moment; 0 = cache off). */
+    std::size_t resolvedResultCacheEntries() const
+    {
+        return resultCache_ ? resultCache_->entryCount() : 0;
+    }
+
+    /** True when mutations route through the writer lane (the config
+     *  flag after the inline-mode override -- workers == 0 forces the
+     *  serial path regardless of the default). */
+    bool concurrentMutationActive() const
+    {
+        return cfg.concurrentMutation;
+    }
+
     /** Aggregate throughput/latency accounting for the run so far. */
     EngineReport report() const;
 
@@ -354,6 +410,17 @@ class ParallelSearchEngine
     /** Execute @p count same-port Insert jobs as one bulk ingest. */
     void executeInsertRun(const Job *jobs, std::size_t count,
                           unsigned worker_index);
+    /** Probe the result cache for a Search on an Active database;
+     *  counts the hit/miss and fills @p out on a hit. */
+    bool probeCache(const core::PortRequest &request,
+                    core::SearchResult &out);
+    /** Publish a cached search result: bit-identical response fields,
+     *  zero modeled cycles (the paper's row activations never happen). */
+    void publishCached(const core::PortRequest &request,
+                       const core::SearchResult &cached,
+                       std::chrono::steady_clock::time_point enqueued);
+    /** Bump @p port's cache generation before a mutation executes. */
+    void invalidateCache(unsigned port);
     /** Publish one finished response: stats, latency, result stream. */
     void finishResponse(core::PortResponse resp,
                         std::chrono::steady_clock::time_point enqueued);
@@ -364,6 +431,8 @@ class ParallelSearchEngine
     unsigned workerCount;  ///< sharding groups (>= 1 even when inline)
     /** Resolved fan-out threshold (config, or CARAM_ROW_FANOUT_MIN). */
     unsigned rowFanoutMin_ = 0;
+    /** Hot-key result cache (null = off; see resultCacheEntries). */
+    std::unique_ptr<ResultCache> resultCache_;
     /** Shared shard sub-task queue the workers steal from. */
     std::unique_ptr<sim::ConcurrentBoundedQueue<FanoutTask>> fanoutTasks;
     /** Writer-lane hand-off queue (concurrentMutation only). */

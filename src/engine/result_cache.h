@@ -1,0 +1,148 @@
+#ifndef CARAM_ENGINE_RESULT_CACHE_H_
+#define CARAM_ENGINE_RESULT_CACHE_H_
+
+/**
+ * @file
+ * A fixed-size, set-associative, lock-free hot-key result cache.
+ *
+ * Zipf-skewed traffic (the IP/BGP generators, any millions-of-users
+ * front end) re-asks the same handful of keys over and over; every
+ * repeat walks the same probe chain and fetches the same rows.  The
+ * ResultCache short-circuits those lookups before they touch a slice:
+ * a hit replays the exact response-visible fields of the original
+ * search (hit/miss verdict, matched key, stored data, bucketsAccessed)
+ * without a single modeled bucket access.
+ *
+ * Coherence is generation-based and deliberately conservative: the
+ * caller bumps a per-port generation counter (invalidate()) before any
+ * mutation of that port's table, captures the current generation
+ * before running a slice search (generation()), and stamps the fill
+ * with it.  A probe serves an entry only when its stamp still equals
+ * the port's current generation -- any intervening insert/erase/
+ * rebuild, whether or not it touched the cached key, turns every older
+ * entry of that port into a miss that falls through to the normal
+ * slice search.  Conservative invalidation trades hit rate under churn
+ * for a correctness argument that needs no knowledge of which rows a
+ * mutation touched (see DESIGN.md §4d).
+ *
+ * Entries are protected by per-entry seqlocks with the same fence
+ * discipline as CaRamSlice's row seqlocks: a writer claims the entry
+ * with a CAS from an even sequence (fill is best-effort -- a lost race
+ * skips the fill rather than waiting), publishes the payload words with
+ * relaxed std::atomic_ref stores between a release fence and a release
+ * sequence store, and a reader validates the sequence before and after
+ * its relaxed word copy with an acquire fence in between.  A torn or
+ * in-flight entry reads as a miss; probe and fill never block, spin or
+ * allocate, so the cache is safe (and wait-free on the read side)
+ * under fully concurrent use from any number of threads.
+ *
+ * Sets are partitioned per port: a port's entries live in their own
+ * region of the array, so one port's fills can never evict another
+ * port's hot keys.  This keeps the engine's modeled accounting
+ * deterministic -- port p's hits depend only on port p's own serialized
+ * request sequence, never on cross-port thread scheduling -- while the
+ * seqlock machinery still guards the general multi-threaded API (and
+ * the TSan hammer in tests/core/result_cache_differential.cc drives it
+ * without any external serialization).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/key.h"
+#include "core/record.h"
+
+namespace caram::engine {
+
+/** Lock-free set-associative cache of search results, keyed on the
+ *  full ternary search key (value, care mask, width) plus port. */
+class ResultCache
+{
+  public:
+    /** Most ways a set can have (entry layout / clamp bound). */
+    static constexpr unsigned kMaxWays = 16;
+
+    /**
+     * @param entries total entry budget across all ports (rounded so
+     *                each port owns a power-of-two number of sets;
+     *                at least one set per port survives any budget)
+     * @param ways    set associativity, clamped to [1, kMaxWays]
+     * @param nports  number of ports sharing the cache
+     */
+    ResultCache(std::size_t entries, unsigned ways, unsigned nports);
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Look @p key up in @p port's partition.  On a hit whose
+     * generation stamp is still current, fills the response-visible
+     * fields of @p out (hit, data, key, bucketsAccessed; row/slot/
+     * multipleMatch are not cached and come back zeroed) and returns
+     * true.  A stale, torn or absent entry returns false -- the caller
+     * falls through to the normal slice search.  Wait-free, never
+     * allocates.
+     */
+    bool probe(unsigned port, const Key &key, core::SearchResult &out);
+
+    /**
+     * The port's current generation.  Capture it *before* running the
+     * slice search whose result will be filled: a mutation that slips
+     * between the capture and the fill bumps the counter, so the stale
+     * fill can never be served.
+     */
+    uint64_t generation(unsigned port) const;
+
+    /**
+     * Install @p result for @p key, stamped with @p gen (from
+     * generation(), read before the search ran).  Best-effort: a
+     * concurrent fill of the same entry makes this one a silent no-op.
+     * Never blocks or allocates.
+     */
+    void fill(unsigned port, const Key &key,
+              const core::SearchResult &result, uint64_t gen);
+
+    /** Bump @p port's generation: every entry filled before this call
+     *  becomes unservable.  Call before mutating the port's table. */
+    void invalidate(unsigned port);
+
+    std::size_t entryCount() const { return setsPerPort_ * ways_ * nports_; }
+    unsigned wayCount() const { return ways_; }
+    std::size_t setsPerPort() const { return setsPerPort_; }
+
+  private:
+    /** Payload words per entry (see layout constants in the .cc). */
+    static constexpr unsigned kPayloadWords = 21;
+
+    struct Entry
+    {
+        /** Seqlock: even = stable, odd = fill in flight. */
+        std::atomic<uint64_t> seq{0};
+        /** Payload, accessed only through relaxed std::atomic_ref. */
+        uint64_t words[kPayloadWords] = {};
+    };
+
+    /** Per-port generation counter, padded to its own cache line so
+     *  one port's invalidation storm never false-shares another's. */
+    struct alignas(64) PortGeneration
+    {
+        std::atomic<uint64_t> value{0};
+    };
+
+    /** First entry of the set @p key maps to within @p port's region. */
+    Entry *setFor(unsigned port, const Key &key);
+
+    std::size_t setsPerPort_ = 1;
+    unsigned ways_ = 1;
+    unsigned nports_ = 1;
+    std::unique_ptr<Entry[]> entries_;
+    std::unique_ptr<PortGeneration[]> generations_;
+    /** Per-set round-robin victim cursors (relaxed; only steer
+     *  replacement, never correctness). */
+    std::unique_ptr<std::atomic<uint32_t>[]> cursors_;
+};
+
+} // namespace caram::engine
+
+#endif // CARAM_ENGINE_RESULT_CACHE_H_

@@ -17,19 +17,13 @@ IpCaRamMapper::IpCaRamMapper(const RoutingTable &table, uint64_t seed,
 {
     // Skewed access pattern: Zipf popularity over a random permutation
     // of the prefixes (the paper's AMALs column; "although the skewed
-    // access pattern we use is an artifact...").
+    // access pattern we use is an artifact...").  ZipfStream reproduces
+    // this mapper's original rank/permutation pattern bit for bit.
     const std::size_t n = table.size();
     weights.assign(n, 1.0);
     if (n == 0)
         return;
-    caram::Rng rng(seed);
-    std::vector<std::size_t> ranks(n);
-    std::iota(ranks.begin(), ranks.end(), 0);
-    for (std::size_t i = n; i > 1; --i)
-        std::swap(ranks[i - 1], ranks[rng.below(i)]);
-    caram::ZipfSampler zipf(n, skew);
-    for (std::size_t i = 0; i < n; ++i)
-        weights[i] = zipf.pmf(ranks[i]);
+    weights = caram::ZipfStream(n, skew, seed).weights();
 }
 
 IpMappingResult

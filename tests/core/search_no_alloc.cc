@@ -26,6 +26,7 @@
 
 #include "common/random.h"
 #include "core/slice.h"
+#include "engine/result_cache.h"
 #include "hash/bit_select.h"
 
 namespace {
@@ -353,6 +354,51 @@ TEST(SearchNoAlloc, BulkIngestSteadyStateLoop)
         f.slice->insertBatch(records);
         for (const Record &rec : records)
             f.slice->erase(rec.key);
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(SearchNoAlloc, ResultCacheProbeAndFillLoop)
+{
+    // Steady-state hot-key caching: probe (hit and miss), fill and the
+    // generation reads the engine wraps around every search must all
+    // run out of the cache's fixed entry array.  Key reconstruction on
+    // a hit goes through Key::fromWords, which is alloc-free by
+    // design.
+    Fixture f(64, false, false);
+    engine::ResultCache cache(512, 4, 1);
+    const uint64_t n = allocationsIn([&] {
+        for (int i = 0; i < 1000; ++i) {
+            const Key &k = f.keys[i % f.keys.size()];
+            SearchResult out;
+            if (cache.probe(0, k, out))
+                continue; // cached lookup: zero slice work
+            const uint64_t gen = cache.generation(0);
+            const SearchResult fresh = f.slice->search(k);
+            cache.fill(0, k, fresh, gen);
+        }
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(SearchNoAlloc, ResultCacheUncachedFallthroughLoop)
+{
+    // Invalidation-heavy steady state: every probe misses (the
+    // generation keeps moving), so the loop alternates miss, slice
+    // search, dead fill -- still zero allocations.
+    Fixture f(64, false, false);
+    engine::ResultCache cache(512, 4, 1);
+    const uint64_t n = allocationsIn([&] {
+        for (int i = 0; i < 500; ++i) {
+            const Key &k = f.keys[i % f.keys.size()];
+            SearchResult out;
+            const bool hit = cache.probe(0, k, out);
+            const uint64_t gen = cache.generation(0);
+            const SearchResult fresh = f.slice->search(k);
+            cache.invalidate(0); // mutation between search and fill
+            cache.fill(0, k, fresh, gen);
+            (void)hit;
+        }
     });
     EXPECT_EQ(n, 0u);
 }

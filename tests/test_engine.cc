@@ -568,6 +568,9 @@ TEST(Engine, BatchingReducesModeledCyclesOnDuplicateKeys)
         cfg.workers = 1;
         cfg.batchSize = batch;
         cfg.queueCapacity = stream.size() + 1;
+        // Pin the result cache off: this test measures chain-walk
+        // sharing, which a hot-key cache would short-circuit entirely.
+        cfg.resultCacheEntries = 0;
         ParallelSearchEngine eng(*sys, cfg);
         // Queue everything before starting the worker so the popped
         // batches (and thus the grouped runs) are deterministic.
@@ -1181,6 +1184,127 @@ TEST(Engine, ConcurrentMutationMixedOperationsMatchSerial)
         EXPECT_EQ(sys->database(p).size(),
                   serial_sys->database(p).size());
     eng.stop();
+}
+
+TEST(Engine, ConcurrentMutationIsTheDefault)
+{
+    // PR 6 shipped the writer lane opt-in; it is now the default.  A
+    // default-constructed config selects it, a threaded engine reports
+    // it active, and inline mode (workers == 0, serial already) must
+    // still degrade to the plain path.
+    EXPECT_TRUE(EngineConfig{}.concurrentMutation);
+
+    auto sys = buildLoaded(2, 10);
+    {
+        EngineConfig cfg;
+        cfg.workers = 2;
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_TRUE(eng.concurrentMutationActive());
+    }
+    {
+        EngineConfig cfg;
+        cfg.workers = 0;
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_FALSE(eng.concurrentMutationActive());
+    }
+    {
+        EngineConfig cfg;
+        cfg.workers = 2;
+        cfg.concurrentMutation = false; // blocking path stays selectable
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_FALSE(eng.concurrentMutationActive());
+    }
+}
+
+TEST(Engine, DefaultConfigMixedOperationsMatchSerial)
+{
+    // The same mixed insert/search/erase/rebuild stream as the explicit
+    // writer-lane differential, but through an untouched EngineConfig:
+    // the flipped default must not change any response or table.
+    Rng rng(31);
+    std::vector<PortRequest> stream;
+    uint64_t tag = 0;
+    for (unsigned p = 0; p < 2; ++p) {
+        for (uint64_t i = 0; i < 30; ++i) {
+            PortRequest ins;
+            ins.port = p;
+            ins.op = PortOp::Insert;
+            ins.key = Key::fromUint(i * 29 + p, 32);
+            ins.data = i;
+            ins.tag = ++tag;
+            stream.push_back(ins);
+            PortRequest s;
+            s.port = p;
+            s.op = PortOp::Search;
+            s.key = Key::fromUint(rng.below(30) * 29 + p, 32);
+            s.tag = ++tag;
+            stream.push_back(s);
+            if (i % 7 == 0) {
+                PortRequest e;
+                e.port = p;
+                e.op = PortOp::Erase;
+                e.key = Key::fromUint(rng.below(30) * 29 + p, 32);
+                e.tag = ++tag;
+                stream.push_back(e);
+            }
+            if (i % 11 == 0) {
+                PortRequest r;
+                r.port = p;
+                r.op = PortOp::Rebuild;
+                r.tag = ++tag;
+                stream.push_back(r);
+            }
+        }
+    }
+    auto serial_sys = buildLoaded(2, 0);
+    const auto reference = serialReference(*serial_sys, stream);
+
+    auto sys = buildLoaded(2, 0);
+    EngineConfig cfg;
+    cfg.workers = 2; // everything else at its defaults
+    ParallelSearchEngine eng(*sys, cfg);
+    ASSERT_TRUE(eng.concurrentMutationActive());
+    eng.start();
+    EXPECT_EQ(eng.submitBatch(stream), stream.size());
+    eng.drain();
+    expectMatchesReference(eng, reference);
+    for (unsigned p = 0; p < 2; ++p)
+        EXPECT_EQ(sys->database(p).size(),
+                  serial_sys->database(p).size());
+    eng.stop();
+}
+
+TEST(Engine, ResultCacheCountersSurfaceInReport)
+{
+    // Engine-level view of the cache counters: repeats of a hot key
+    // hit, mutations invalidate, and the totals roll up from the
+    // per-port stats into the report.
+    auto sys = buildLoaded(2, 40);
+    EngineConfig cfg;
+    cfg.workers = 0;
+    cfg.resultCacheEntries = 512;
+    ParallelSearchEngine eng(*sys, cfg);
+    EXPECT_GT(eng.resolvedResultCacheEntries(), 0u);
+
+    const Key hot = Key::fromUint(3, 32);
+    uint64_t tag = 0;
+    for (int i = 0; i < 5; ++i)
+        eng.submit(0, hot, ++tag);
+    PortRequest ins;
+    ins.port = 0;
+    ins.op = PortOp::Insert;
+    ins.key = Key::fromUint(9999, 32);
+    ins.tag = ++tag;
+    eng.submitRequest(ins);
+    eng.submit(0, hot, ++tag);
+    eng.submit(1, hot, ++tag); // other port: its own partition, a miss
+
+    const EngineReport rep = eng.report();
+    EXPECT_EQ(rep.cacheHits, 4u);          // 5 repeats, first fills
+    EXPECT_EQ(rep.cacheMisses, 3u);        // fill, post-insert, port 1
+    EXPECT_EQ(rep.cacheInvalidations, 1u); // the insert
+    EXPECT_EQ(eng.portStats(0).cacheHits.load(), 4u);
+    EXPECT_EQ(eng.portStats(1).cacheMisses.load(), 1u);
 }
 
 TEST(Engine, PeekStableKeysWhileMutationStreamRuns)

@@ -127,5 +127,70 @@ TEST(Zipf, ExponentZeroIsUniform)
         EXPECT_NEAR(zipf.pmf(r), 0.1, 1e-9);
 }
 
+TEST(ZipfStream, UnshuffledMatchesBareSampler)
+{
+    // The identity-permutation stream must spend exactly one uniform
+    // draw per sample and return the same items as a bare ZipfSampler
+    // on the same Rng state -- micro_match_path's traffic cannot move.
+    ZipfSampler sampler(64, 1.1);
+    ZipfStream stream(64, 1.1);
+    Rng a(77), b(77);
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_EQ(stream.next(a), sampler(b));
+}
+
+TEST(ZipfStream, ShuffledWeightsMatchAdHocPattern)
+{
+    // Bit-for-bit replication of the rank/permutation pattern hoisted
+    // out of ip::IpCaRamMapper: iota ranks, backwards Fisher-Yates via
+    // rng.below(i), weight = pmf(rank of item).
+    const std::size_t n = 257;
+    const double skew = 0.8;
+    const uint64_t seed = 20260808;
+
+    Rng rng(seed);
+    std::vector<std::size_t> ranks(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ranks[i] = i;
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(ranks[i - 1], ranks[rng.below(i)]);
+    ZipfSampler zipf(n, skew);
+    std::vector<double> want(n);
+    for (std::size_t i = 0; i < n; ++i)
+        want[i] = zipf.pmf(ranks[i]);
+
+    const ZipfStream stream(n, skew, seed);
+    ASSERT_EQ(stream.weights().size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(stream.weights()[i], want[i]) << "item " << i;
+}
+
+TEST(ZipfStream, ShuffledDrawFrequencyTracksWeights)
+{
+    // next() must draw each item proportionally to its weight() -- the
+    // permutation applied to the ranks and the inverse applied to the
+    // draws have to be the same permutation.
+    const ZipfStream stream(32, 1.0, 99);
+    Rng rng(5);
+    std::vector<int> counts(32, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[stream.next(rng)];
+    for (std::size_t i = 0; i < 32; ++i) {
+        EXPECT_NEAR(static_cast<double>(counts[i]) / n,
+                    stream.weight(i), 0.01)
+            << "item " << i;
+    }
+}
+
+TEST(ZipfStream, WeightsSumToOne)
+{
+    const ZipfStream stream(100, 1.2, 4);
+    double total = 0.0;
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        total += stream.weight(i);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
 } // namespace
 } // namespace caram
