@@ -56,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/strings.h"
@@ -115,15 +116,6 @@ burstyRecords(std::size_t count, uint64_t seed)
     return out;
 }
 
-double
-seconds(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now() - t0)
-               .count() /
-           1e9;
-}
-
 /** Search stream: trains of @p max_train same-key lookups, ~60% keys
  *  drawn from the loaded records (train = 1 gives uniform traffic). */
 std::vector<Key>
@@ -168,11 +160,11 @@ compareSearch(CaRamSlice &slice, const std::vector<Key> &stream)
         auto t0 = std::chrono::steady_clock::now();
         for (std::size_t i = 0; i < stream.size(); ++i)
             serial[i] = slice.search(stream[i]);
-        cmp.serialSeconds = std::min(cmp.serialSeconds, seconds(t0));
+        cmp.serialSeconds = std::min(cmp.serialSeconds, bench::secondsSince(t0));
 
         t0 = std::chrono::steady_clock::now();
         slice.searchBatch(std::span<const Key>(stream), batched.data());
-        cmp.batchSeconds = std::min(cmp.batchSeconds, seconds(t0));
+        cmp.batchSeconds = std::min(cmp.batchSeconds, bench::secondsSince(t0));
     }
     for (std::size_t i = 0; i < stream.size(); ++i) {
         cmp.hits += serial[i].hit ? 1 : 0;
@@ -182,17 +174,6 @@ compareSearch(CaRamSlice &slice, const std::vector<Key> &stream)
             cmp.identical = false;
     }
     return cmp;
-}
-
-/** Ad-hoc field lookup in our own JSON output format. */
-double
-baselineField(const std::string &json, const std::string &name)
-{
-    const std::string field = "\"" + name + "\": ";
-    const auto at = json.find(field);
-    if (at == std::string::npos)
-        return -1.0;
-    return std::strtod(json.c_str() + at + field.size(), nullptr);
 }
 
 } // namespace
@@ -239,13 +220,13 @@ main(int argc, char **argv)
         const auto t0 = std::chrono::steady_clock::now();
         for (const Record &rec : records)
             serial_accepted += slice->insert(rec).ok ? 1 : 0;
-        serial_ingest_s = seconds(t0);
+        serial_ingest_s = bench::secondsSince(t0);
     }
 
     auto slice = makeSlice();
     const auto t0 = std::chrono::steady_clock::now();
     const InsertBatchSummary sum = slice->insertBatch(records);
-    const double batch_ingest_s = seconds(t0);
+    const double batch_ingest_s = bench::secondsSince(t0);
     const double ingest_speedup = serial_ingest_s / batch_ingest_s;
 
     TextTable it({"ingest path", "wall s", "Mrec/s", "row ops",
@@ -303,19 +284,13 @@ main(int argc, char **argv)
          << fixed(uc.batchSeconds / uc.serialSeconds, 3) << "\n}\n";
     std::ofstream(json_path) << json.str();
 
-    int rc = 0;
-    const auto gate = [&rc](bool pass, const std::string &line) {
-        std::cout << (pass ? "PASS: " : "FAIL: ") << line << "\n";
-        if (!pass)
-            rc = 1;
+    bench::Gates gates;
+    const auto gate = [&gates](bool pass, const std::string &line) {
+        gates.gate(pass, line);
     };
-    const bool wall_gates = std::getenv("CARAM_BENCH_WALL") != nullptr;
-    const auto wall_gate = [&](bool pass, const std::string &line) {
-        if (wall_gates)
-            gate(pass, line);
-        else
-            std::cout << (pass ? "info: " : "info (below target): ")
-                      << line << "\n";
+    const auto wall_gate = [&gates](bool pass,
+                                    const std::string &line) {
+        gates.wallGate(pass, line);
     };
     std::cout << "\n";
     gate(sum.rowOpReduction() >= 4.0,
@@ -335,13 +310,11 @@ main(int argc, char **argv)
          "batched results bit-identical to the serial loop");
 
     if (!baseline_path.empty()) {
-        std::ifstream in(baseline_path);
-        std::stringstream buf;
-        buf << in.rdbuf();
+        const std::string base = bench::readFile(baseline_path);
         const double base_records =
-            baselineField(buf.str(), "records");
+            bench::baselineField(base, "records");
         const double base_reduction =
-            baselineField(buf.str(), "row_op_reduction");
+            bench::baselineField(base, "row_op_reduction");
         if (base_reduction > 0.0 &&
             base_records == static_cast<double>(nrecords)) {
             gate(sum.rowOpReduction() >= 0.9 * base_reduction,
@@ -352,5 +325,5 @@ main(int argc, char **argv)
                          "unreadable)\n";
         }
     }
-    return rc;
+    return gates.rc();
 }

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -262,17 +263,6 @@ buildZipfStream(std::size_t searches_per_port, double skew)
         }
     }
     return stream;
-}
-
-/** Ad-hoc field lookup in our own JSON output format. */
-double
-baselineField(const std::string &json, const std::string &name)
-{
-    const std::string field = "\"" + name + "\": ";
-    const auto at = json.find(field);
-    if (at == std::string::npos)
-        return -1.0;
-    return std::strtod(json.c_str() + at + field.size(), nullptr);
 }
 
 /** Fields that must match between serial and parallel result streams. */
@@ -705,43 +695,24 @@ main(int argc, char **argv)
         lt.print(std::cout);
     }
 
-    int rc = 0;
-    if (speedup_at_4 >= 3.0) {
-        std::cout << "\nPASS: " << fixed(speedup_at_4, 2)
-                  << "x aggregate modeled throughput at 4 workers "
-                     "(>= 3x target)\n";
-    } else {
-        std::cout << "\nFAIL: modeled speedup at 4 workers = "
-                  << fixed(speedup_at_4, 2) << "x (< 3x target)\n";
-        rc = 1;
-    }
-    if (batch_gain >= 1.5) {
-        std::cout << "PASS: " << fixed(batch_gain, 2)
-                  << "x modeled throughput from batch=32 on bursty "
-                     "traffic (>= 1.5x target)\n";
-    } else {
-        std::cout << "FAIL: batch=32 modeled gain on bursty traffic = "
-                  << fixed(batch_gain, 2) << "x (< 1.5x target)\n";
-        rc = 1;
-    }
-    if (ro_msps > 0.0 && mixed_search_msps >= 0.9 * ro_msps) {
-        std::cout << "PASS: mixed 90/10 search throughput "
-                  << fixed(mixed_search_msps, 2) << " Msps within 10% "
-                     "of read-only "
-                  << fixed(ro_msps, 2) << " Msps under the writer "
-                     "lane\n";
-    } else {
-        std::cout << "FAIL: mixed 90/10 search throughput = "
-                  << fixed(mixed_search_msps, 2) << " Msps vs "
-                  << fixed(ro_msps, 2)
-                  << " Msps read-only (> 10% drop)\n";
-        rc = 1;
-    }
-    const auto gate = [&rc](bool pass, const std::string &line) {
-        std::cout << (pass ? "PASS: " : "FAIL: ") << line << "\n";
-        if (!pass)
-            rc = 1;
+    bench::Gates gates;
+    const auto gate = [&gates](bool pass, const std::string &line) {
+        gates.gate(pass, line);
     };
+    std::cout << "\n";
+    gate(speedup_at_4 >= 3.0,
+         fixed(speedup_at_4, 2) +
+             "x aggregate modeled throughput at 4 workers (>= 3x "
+             "target)");
+    gate(batch_gain >= 1.5,
+         fixed(batch_gain, 2) +
+             "x modeled throughput from batch=32 on bursty traffic "
+             "(>= 1.5x target)");
+    gate(ro_msps > 0.0 && mixed_search_msps >= 0.9 * ro_msps,
+         "mixed 90/10 search throughput " +
+             fixed(mixed_search_msps, 2) + " Msps within 10% of "
+             "read-only " +
+             fixed(ro_msps, 2) + " Msps under the writer lane");
     gate(hit_rate_099 >= 0.60,
          percent(hit_rate_099) +
              " cache hit rate at Zipf s=0.99 (>= 60% target)");
@@ -770,15 +741,13 @@ main(int argc, char **argv)
     std::ofstream(json_path) << json.str();
 
     if (!baseline_path.empty()) {
-        std::ifstream in(baseline_path);
-        std::stringstream buf;
-        buf << in.rdbuf();
+        const std::string base = bench::readFile(baseline_path);
         const double base_per_port =
-            baselineField(buf.str(), "searches_per_port");
+            bench::baselineField(base, "searches_per_port");
         const double base_hit =
-            baselineField(buf.str(), "zipf_hit_rate_s099");
+            bench::baselineField(base, "zipf_hit_rate_s099");
         const double base_uplift =
-            baselineField(buf.str(), "zipf_uplift_s099");
+            bench::baselineField(base, "zipf_uplift_s099");
         if (base_hit > 0.0 && base_uplift > 0.0 &&
             base_per_port == static_cast<double>(per_port)) {
             gate(hit_rate_099 >= 0.9 * base_hit,
@@ -792,5 +761,5 @@ main(int argc, char **argv)
                          "unreadable)\n";
         }
     }
-    return rc;
+    return gates.rc();
 }

@@ -41,10 +41,10 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/strings.h"
@@ -101,15 +101,6 @@ ternaryKey(Rng &rng, unsigned wild)
     return k;
 }
 
-double
-seconds(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now() - t0)
-               .count() /
-           1e9;
-}
-
 struct RunResult
 {
     uint64_t modeledCycles = 0;
@@ -137,24 +128,13 @@ runEngine(CaRamSubsystem &sys, const std::vector<PortRequest> &stream,
     eng.submitBatch(stream);
     eng.drain();
     RunResult out;
-    out.wallSeconds = seconds(t0);
+    out.wallSeconds = bench::secondsSince(t0);
     out.modeledCycles = eng.portStats(0).modeledCycles;
     out.fanoutLookups = eng.report().fanoutLookups;
     while (auto r = eng.fetchResult(0))
         out.responses.push_back(std::move(*r));
     eng.stop();
     return out;
-}
-
-/** Ad-hoc field lookup in our own JSON output format. */
-double
-baselineField(const std::string &json, const std::string &name)
-{
-    const std::string field = "\"" + name + "\": ";
-    const auto at = json.find(field);
-    if (at == std::string::npos)
-        return -1.0;
-    return std::strtod(json.c_str() + at + field.size(), nullptr);
 }
 
 } // namespace
@@ -268,46 +248,34 @@ main(int argc, char **argv)
          << fixed(wall64, 2) << "\n}\n";
     std::ofstream(json_path) << json.str();
 
-    int rc = 0;
-    const auto gate = [&rc](bool pass, const std::string &line) {
-        std::cout << (pass ? "PASS: " : "FAIL: ") << line << "\n";
-        if (!pass)
-            rc = 1;
-    };
-    const bool wall_gates = std::getenv("CARAM_BENCH_WALL") != nullptr;
+    bench::Gates gates;
     std::cout << "\n";
-    gate(reduction32 >= 2.0,
-         fixed(reduction32, 2) +
-             "x modeled-cycle reduction at 32 homes (>= 2x)");
-    gate(reduction64 >= 2.0,
-         fixed(reduction64, 2) +
-             "x modeled-cycle reduction at 64 homes (>= 2x)");
-    gate(identical,
-         "fan-out responses bit-identical to Database::search");
-    if (wall_gates)
-        gate(wall64 >= 1.0,
-             fixed(wall64, 2) + "x wall-clock speedup at 64 homes");
-    else
-        std::cout << "info: " << fixed(wall64, 2)
-                  << "x wall-clock speedup at 64 homes (gate with "
-                     "CARAM_BENCH_WALL=1)\n";
+    gates.gate(reduction32 >= 2.0,
+               fixed(reduction32, 2) +
+                   "x modeled-cycle reduction at 32 homes (>= 2x)");
+    gates.gate(reduction64 >= 2.0,
+               fixed(reduction64, 2) +
+                   "x modeled-cycle reduction at 64 homes (>= 2x)");
+    gates.gate(identical,
+               "fan-out responses bit-identical to Database::search");
+    gates.wallGate(wall64 >= 1.0,
+                   fixed(wall64, 2) +
+                       "x wall-clock speedup at 64 homes");
 
     if (!baseline_path.empty()) {
-        std::ifstream in(baseline_path);
-        std::stringstream buf;
-        buf << in.rdbuf();
-        const double base_lookups = baselineField(buf.str(), "lookups");
+        const std::string base = bench::readFile(baseline_path);
+        const double base_lookups = bench::baselineField(base, "lookups");
         const double base_reduction =
-            baselineField(buf.str(), "cycle_reduction_64");
+            bench::baselineField(base, "cycle_reduction_64");
         if (base_reduction > 0.0 &&
             base_lookups == static_cast<double>(nlookups)) {
-            gate(reduction64 >= 0.9 * base_reduction,
-                 "64-home reduction within 10% of baseline (" +
-                     fixed(base_reduction, 2) + "x)");
+            gates.gate(reduction64 >= 0.9 * base_reduction,
+                       "64-home reduction within 10% of baseline (" +
+                           fixed(base_reduction, 2) + "x)");
         } else {
             std::cout << "baseline skipped (different lookup count or "
                          "unreadable)\n";
         }
     }
-    return rc;
+    return gates.rc();
 }

@@ -62,6 +62,7 @@
 #include "cam/priority_encoder.h"
 #include "common/bitops.h"
 #include "common/cpuid.h"
+#include "bench_common.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -282,15 +283,6 @@ struct Measurement
     std::size_t lookups = 0;
 };
 
-double
-secondsSince(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now() - t0)
-               .count() /
-           1e9;
-}
-
 Measurement
 measure(const Variant &v, std::size_t lookups)
 {
@@ -326,13 +318,13 @@ measure(const Variant &v, std::size_t lookups)
             for (std::size_t i = lo; i < hi; ++i)
                 fsum = resultChecksum(fsum, slice.search(w.stream[i]));
             m.fastNs = std::min(m.fastNs,
-                                secondsSince(t0) * 1e9 / (hi - lo));
+                                bench::secondsSince(t0) * 1e9 / (hi - lo));
             t0 = std::chrono::steady_clock::now();
             for (std::size_t i = lo; i < hi; ++i)
                 lsum = resultChecksum(lsum,
                                       legacySearch(slice, w.stream[i]));
             m.legacyNs = std::min(m.legacyNs,
-                                  secondsSince(t0) * 1e9 / (hi - lo));
+                                  bench::secondsSince(t0) * 1e9 / (hi - lo));
         }
         fast_sum = fsum;
         legacy_sum = lsum;
@@ -416,7 +408,7 @@ measureKernel(simd::MatchKernel kernel, std::size_t lookups)
                     psum, mp.searchBucketPacked(b, packed[g * G + k]));
         }
         km.perKeyNs = std::min(
-            km.perKeyNs, secondsSince(t0) * 1e9 / (groups * G));
+            km.perKeyNs, bench::secondsSince(t0) * 1e9 / (groups * G));
 
         uint64_t gsum = 0;
         MatchProcessor::PackedKeyGroup group;
@@ -433,7 +425,7 @@ measureKernel(simd::MatchKernel kernel, std::size_t lookups)
                 gsum = bucketChecksum(gsum, out[k]);
         }
         km.groupNs = std::min(km.groupNs,
-                              secondsSince(t0) * 1e9 / (groups * G));
+                              bench::secondsSince(t0) * 1e9 / (groups * G));
         perkey_sum = psum;
         group_sum = gsum;
     }
@@ -475,7 +467,7 @@ measureKernel(simd::MatchKernel kernel, std::size_t lookups)
             acc += r.bucketsAccessed;
         }
         km.batchSerialNs = std::min(
-            km.batchSerialNs, secondsSince(t0) * 1e9 / bursts.size());
+            km.batchSerialNs, bench::secondsSince(t0) * 1e9 / bursts.size());
 
         uint64_t bsum = 0, f = 0;
         t0 = std::chrono::steady_clock::now();
@@ -490,7 +482,7 @@ measureKernel(simd::MatchKernel kernel, std::size_t lookups)
         for (const SearchResult &r : results)
             bsum = resultChecksum(bsum, r);
         km.batchNs = std::min(km.batchNs,
-                              secondsSince(t0) * 1e9 / bursts.size());
+                              bench::secondsSince(t0) * 1e9 / bursts.size());
         serial_sum = ssum;
         batch_sum = bsum;
         serial_accesses = acc;
@@ -508,27 +500,12 @@ measureKernel(simd::MatchKernel kernel, std::size_t lookups)
 }
 
 // ---------------------------------------------------------------------
-// Baseline comparison (ad-hoc parse of our own JSON format).
-
-double
-baselineField(const std::string &json, const std::string &name,
-              const std::string &field_name)
-{
-    const std::string tag = "\"name\": \"" + name + "\"";
-    const auto at = json.find(tag);
-    if (at == std::string::npos)
-        return -1.0;
-    const std::string field = "\"" + field_name + "\":";
-    const auto f = json.find(field, at);
-    if (f == std::string::npos)
-        return -1.0;
-    return std::strtod(json.c_str() + f + field.size(), nullptr);
-}
+// Baseline comparison (bench_common.h parses our own JSON format).
 
 double
 baselineFastNs(const std::string &json, const std::string &variant)
 {
-    return baselineField(json, variant, "fast_ns_per_lookup");
+    return bench::baselineField(json, variant, "fast_ns_per_lookup");
 }
 
 } // namespace
@@ -636,15 +613,12 @@ main(int argc, char **argv)
 
     int rc = 0;
     if (!baseline_path.empty()) {
-        std::ifstream in(baseline_path);
-        if (!in) {
+        const std::string base = bench::readFile(baseline_path);
+        if (base.empty()) {
             std::cout << "FAIL: cannot read baseline " << baseline_path
                       << "\n";
             return 1;
         }
-        std::stringstream buf;
-        buf << in.rdbuf();
-        const std::string base = buf.str();
         std::cout << "\n--- baseline check (max regression "
                   << fixed(max_regression, 2) << "x vs " << baseline_path
                   << ") ---\n";
@@ -769,15 +743,12 @@ main(int argc, char **argv)
     std::cout << "wrote " << simd_json_path << "\n";
 
     if (!simd_baseline_path.empty()) {
-        std::ifstream in(simd_baseline_path);
-        if (!in) {
+        const std::string base = bench::readFile(simd_baseline_path);
+        if (base.empty()) {
             std::cout << "FAIL: cannot read baseline "
                       << simd_baseline_path << "\n";
             return 1;
         }
-        std::stringstream buf;
-        buf << in.rdbuf();
-        const std::string base = buf.str();
         const std::string current = sj.str();
         std::cout << "\n--- simd baseline check (max regression "
                   << fixed(max_regression, 2) << "x vs "
@@ -785,9 +756,10 @@ main(int argc, char **argv)
         for (const KernelMeasurement &km : kms) {
             const std::string name = simd::kernelName(km.kernel);
             const double ref =
-                baselineField(base, name, "group_ns_per_key");
+                bench::baselineField(base, name, "group_ns_per_key");
             const double cur =
-                baselineField(current, name, "group_ns_per_key");
+                bench::baselineField(current, name,
+                                     "group_ns_per_key");
             if (ref <= 0.0) {
                 std::cout << "FAIL: no baseline entry for " << name
                           << "\n";

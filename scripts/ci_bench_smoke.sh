@@ -31,6 +31,18 @@
 # throughput.  Its s=0.99 hit rate and uplift are also compared against
 # the checked-in baseline (within 10%).
 #
+# The pre-filter section runs ext_prefilter, which self-gates on the
+# per-row counting pre-filter: >= 2x modeled-cycle reduction on
+# 90%-miss and 99%-miss binary uniform traffic, bit-identical filtered
+# result streams on every hit-rate/distribution/kernel cell, and <= 5%
+# modeled overhead on 100%-hit traffic; its 90%-miss reduction is also
+# compared against the checked-in baseline.
+#
+# Every bench emits standardized "PASS: " / "FAIL: " gate lines
+# (bench/bench_common.h); this script scrapes them into a per-metric
+# summary table at the end, so a red run names the offending metric
+# and its measured-vs-target delta without digging through the logs.
+#
 # The baselines were measured on the CI host; re-capture them after an
 # intentional perf change with:
 #   build/bench/micro_match_path 100000 \
@@ -42,6 +54,8 @@
 #       --json bench/baselines/BENCH_row_fanout.baseline.json
 #   build/bench/ext_parallel_engine 10000 \
 #       --json bench/baselines/BENCH_result_cache.baseline.json
+#   build/bench/ext_prefilter \
+#       --json bench/baselines/BENCH_prefilter.baseline.json
 #
 # Usage: scripts/ci_bench_smoke.sh [build-dir]   (default build)
 set -euo pipefail
@@ -53,27 +67,92 @@ SIMD_BASELINE="bench/baselines/BENCH_simd_batch.baseline.json"
 INGEST_BASELINE="bench/baselines/BENCH_bulk_ingest.baseline.json"
 FANOUT_BASELINE="bench/baselines/BENCH_row_fanout.baseline.json"
 CACHE_BASELINE="bench/baselines/BENCH_result_cache.baseline.json"
+PREFILTER_BASELINE="bench/baselines/BENCH_prefilter.baseline.json"
 MAX_REGRESSION="${MAX_REGRESSION:-2.0}"
 LOOKUPS="${LOOKUPS:-100000}"
 
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path ext_bulk_ingest ext_row_fanout ext_parallel_engine
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path \
+    ext_bulk_ingest ext_row_fanout ext_parallel_engine ext_prefilter
 
-"$BUILD_DIR"/bench/micro_match_path "$LOOKUPS" \
+LOG_DIR="$BUILD_DIR/bench-logs"
+mkdir -p "$LOG_DIR"
+rm -f "$LOG_DIR"/*.log
+FAILED_BENCHES=()
+
+# run_bench <name> <cmd...>: tee output to a per-bench log, keep going
+# on failure so the summary table covers every section.
+run_bench() {
+    local name="$1"
+    shift
+    echo
+    echo "=== $name ==="
+    if "$@" 2>&1 | tee "$LOG_DIR/$name.log"; then
+        :
+    else
+        FAILED_BENCHES+=("$name")
+    fi
+}
+
+run_bench match_path \
+    "$BUILD_DIR"/bench/micro_match_path "$LOOKUPS" \
     --json "$BUILD_DIR"/BENCH_match_path.json \
     --baseline "$BASELINE" \
     --simd-json "$BUILD_DIR"/BENCH_simd_batch.json \
     --simd-baseline "$SIMD_BASELINE" \
     --max-regression "$MAX_REGRESSION"
 
-"$BUILD_DIR"/bench/ext_bulk_ingest \
+run_bench bulk_ingest \
+    "$BUILD_DIR"/bench/ext_bulk_ingest \
     --json "$BUILD_DIR"/BENCH_bulk_ingest.json \
     --baseline "$INGEST_BASELINE"
 
-"$BUILD_DIR"/bench/ext_row_fanout 2000 \
+run_bench row_fanout \
+    "$BUILD_DIR"/bench/ext_row_fanout 2000 \
     --json "$BUILD_DIR"/BENCH_row_fanout.json \
     --baseline "$FANOUT_BASELINE"
 
-"$BUILD_DIR"/bench/ext_parallel_engine 10000 \
+run_bench result_cache \
+    "$BUILD_DIR"/bench/ext_parallel_engine 10000 \
     --json "$BUILD_DIR"/BENCH_result_cache.json \
     --baseline "$CACHE_BASELINE"
+
+run_bench prefilter \
+    "$BUILD_DIR"/bench/ext_prefilter \
+    --json "$BUILD_DIR"/BENCH_prefilter.json \
+    --baseline "$PREFILTER_BASELINE"
+
+# ---------------------------------------------------------------------
+# Per-metric summary: one row per gate line, offending metrics last so
+# a red run ends with the metric name and its measured-vs-target delta.
+echo
+echo "=== bench smoke summary ==="
+printf '%-14s %-6s %s\n' "bench" "gate" "metric"
+printf '%-14s %-6s %s\n' "-----" "----" "------"
+rc=0
+for log in "$LOG_DIR"/*.log; do
+    name="$(basename "$log" .log)"
+    while IFS= read -r line; do
+        printf '%-14s %-6s %s\n' "$name" "PASS" "${line#PASS: }"
+    done < <(grep '^PASS: ' "$log" || true)
+done
+for log in "$LOG_DIR"/*.log; do
+    name="$(basename "$log" .log)"
+    while IFS= read -r line; do
+        printf '%-14s %-6s %s\n' "$name" "FAIL" "${line#FAIL: }"
+        rc=1
+    done < <(grep '^FAIL: ' "$log" || true)
+done
+# micro_match_path's per-variant baseline regressions print as table
+# rows rather than "FAIL: " lines; its recorded nonzero exit (and any
+# other bench that died without a FAIL line) is covered here.
+if [ "${#FAILED_BENCHES[@]}" -gt 0 ]; then
+    echo
+    echo "failed benches: ${FAILED_BENCHES[*]}"
+    rc=1
+fi
+if [ "$rc" -eq 0 ]; then
+    echo
+    echo "all bench gates green"
+fi
+exit "$rc"

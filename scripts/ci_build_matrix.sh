@@ -37,6 +37,16 @@
 #      measure per-lookup slice work pin an explicit 0, which always
 #      wins over the environment knob.
 #
+#   6. The SIMD build rerun with CARAM_PREFILTER=1: every engine whose
+#      config leaves EngineConfig::prefilter unset now consults the
+#      per-row counting pre-filter on every search path, and the
+#      engine-vs-serial differentials mirror the knob onto their
+#      oracle subsystems -- so the whole suite doubles as a
+#      filtered-vs-filtered equivalence sweep, bucketsAccessed
+#      accounting included.  Tests that assert exact unfiltered fetch
+#      counts pin an explicit false, which always wins over the
+#      environment knob.
+#
 # Usage: scripts/ci_build_matrix.sh [scalar-build-dir] [simd-build-dir]
 #        (defaults build-scalar and build)
 set -euo pipefail
@@ -66,6 +76,10 @@ CARAM_SEQLOCK_TEAR=2 ctest --test-dir "$SIMD_DIR" \
 
 echo "=== leg 5: SIMD build, result cache forced on ==="
 CARAM_RESULT_CACHE_ENTRIES=4096 ctest --test-dir "$SIMD_DIR" \
+    --output-on-failure
+
+echo "=== leg 6: SIMD build, pre-filter forced on ==="
+CARAM_PREFILTER=1 ctest --test-dir "$SIMD_DIR" \
     --output-on-failure
 
 echo "build matrix: all legs passed"

@@ -20,8 +20,13 @@
 # differentials (ResultCacheDifferential.*, ResultCacheGeneration.*)
 # race cached search dispatch against writer-lane mutations, and the
 # ResultCacheHammer drives raw probe/fill/invalidate from concurrent
-# threads straight into the per-entry seqlocks.  Any data race fails
-# the script.
+# threads straight into the per-entry seqlocks.  The per-row counting
+# pre-filter is raced by the filtered differentials
+# (PrefilterDifferential.*, PrefilterUnit.*) and by
+# PrefilterConcurrent.StableKeysAlwaysHitUnderChurn, where reader
+# threads run the validated concurrent filter consult against
+# insert/erase/rebuildSwap churn on the same rows.  Any data race
+# fails the script.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default build-tsan)
 set -euo pipefail
@@ -33,7 +38,7 @@ cmake -B "$BUILD_DIR" -S . -DCARAM_TSAN=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --target test_concurrent_queue test_engine test_epoch \
     seqlock_concurrent concurrent_mutation_differential \
-    result_cache_differential
+    result_cache_differential prefilter_differential
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$BUILD_DIR" \
-    -R 'ConcurrentQueue|CompletionLatch|Engine|Epoch|SeqlockConcurrent|ConcurrentMutation|ResultCache' \
+    -R 'ConcurrentQueue|CompletionLatch|Engine|Epoch|SeqlockConcurrent|ConcurrentMutation|ResultCache|Prefilter' \
     --output-on-failure

@@ -328,6 +328,10 @@ Database::rebuildSwap(sim::EpochDomain &domain)
     // it must survive the swap or an injection test loses its fault
     // stream at the first rebuild.
     fresh->setTornReadInjection(slice_->tornReadInjection());
+    // The pre-filter flag likewise: the fresh slice's filter is built
+    // by the ingest below and published together with the slice under
+    // the epoch domain, so readers switch slice and filter atomically.
+    fresh->setPrefilterEnabled(slice_->prefilterEnabled());
     out.records = todo.size();
     out.ingest = fresh->insertBatch(todo);
     out.failedRecords = out.ingest.failed;

@@ -1,0 +1,94 @@
+#include "core/prefilter.h"
+
+namespace caram::core {
+
+void
+RowPrefilter::reset(uint64_t rows)
+{
+    words_ = std::vector<std::atomic<uint64_t>>(rows * kWordsPerRow);
+    suspended_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t
+RowPrefilter::signatureOf(const Key &key)
+{
+    // splitmix64-style finalizer folded over the value words: the low
+    // 12 bits (two 6-bit counter indices) must be well mixed even for
+    // keys differing in a single high bit.
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (uint64_t w : key.valueWords()) {
+        h ^= w;
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+        h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+        h ^= h >> 31;
+    }
+    return h;
+}
+
+void
+RowPrefilter::bump(uint64_t row, uint64_t c, bool up)
+{
+    std::atomic<uint64_t> &w = words_[row * kWordsPerRow + (c >> 4)];
+    const unsigned shift = static_cast<unsigned>(c & 15) * 4;
+    uint64_t v = w.load(std::memory_order_relaxed);
+    const uint64_t nib = (v >> shift) & kCounterMax;
+    // Sticky saturation: a counter that ever hit 15 lost its exact
+    // contributor count -- it must never move again (a decrement could
+    // otherwise reach 0 while masked contributors remain, turning the
+    // one-sided error into a missed hit).
+    if (nib == kCounterMax)
+        return;
+    const uint64_t next = up ? nib + 1 : nib - 1;
+    w.store((v & ~(kCounterMax << shift)) | (next << shift),
+            std::memory_order_relaxed);
+}
+
+void
+RowPrefilter::add(uint64_t row, const Key &key)
+{
+    std::atomic<uint64_t> &m = meta(row);
+    uint64_t v = m.load(std::memory_order_relaxed);
+    if (key.fullySpecified()) {
+        const uint64_t sig = signatureOf(key);
+        bump(row, sig & 63, true);
+        bump(row, (sig >> 6) & 63, true);
+    } else {
+        v += uint64_t{1} << 16; // wildcard keys gate the counter block
+    }
+    m.store(v + 1, std::memory_order_relaxed); // occupancy
+}
+
+void
+RowPrefilter::remove(uint64_t row, const Key &key)
+{
+    std::atomic<uint64_t> &m = meta(row);
+    uint64_t v = m.load(std::memory_order_relaxed);
+    if (key.fullySpecified()) {
+        const uint64_t sig = signatureOf(key);
+        bump(row, sig & 63, false);
+        bump(row, (sig >> 6) & 63, false);
+    } else {
+        v -= uint64_t{1} << 16;
+    }
+    m.store(v - 1, std::memory_order_relaxed);
+}
+
+void
+RowPrefilter::setReach(uint64_t row, unsigned reach)
+{
+    std::atomic<uint64_t> &m = meta(row);
+    const uint64_t v = m.load(std::memory_order_relaxed);
+    m.store((v & ~(uint64_t{0xffff} << 32)) |
+                (static_cast<uint64_t>(reach & 0xffff) << 32),
+            std::memory_order_relaxed);
+}
+
+void
+RowPrefilter::clearAll()
+{
+    for (std::atomic<uint64_t> &w : words_)
+        w.store(0, std::memory_order_relaxed);
+    suspended_.store(false, std::memory_order_relaxed);
+}
+
+} // namespace caram::core

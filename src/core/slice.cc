@@ -114,6 +114,7 @@ CaRamSlice::CaRamSlice(const SliceConfig &config,
                         (unsigned long long)idxGen->rowCount(),
                         (unsigned long long)cfg.rows()));
     homeDemandPerBucket.assign(cfg.rows(), 0);
+    filter_.reset(cfg.rows());
 }
 
 uint64_t
@@ -202,13 +203,16 @@ CaRamSlice::insertAt(uint64_t home_row, const Record &record)
             b.writeSlot(static_cast<unsigned>(slot), record.key,
                         record.data);
             b.setUsedCount(b.usedCount() + 1);
+            filter_.add(row, record.key);
         }
         // Separate guard scope: home_row may share the placed row's
         // seqlock stripe, and guards must not nest (see RowWriteGuard).
         {
             BucketView home = bucket(home_row);
             const RowWriteGuard wg(*this, home_row);
-            home.setReach(std::max(home.reach(), d));
+            const unsigned reach = std::max(home.reach(), d);
+            home.setReach(reach);
+            filter_.setReach(home_row, reach);
         }
         ++homeDemandPerBucket[home_row];
         distanceHist.add(d);
@@ -234,6 +238,9 @@ CaRamSlice::removePlacement(const InsertResult &placement)
         panic("placement slot is no longer valid");
     {
         const RowWriteGuard wg(*this, placement.placedRow);
+        // The placement carries no key: read it back before the clear
+        // so the filter's counters can be lowered for the right key.
+        filter_.remove(placement.placedRow, b.slotKey(placement.slot));
         b.clearSlot(placement.slot);
         b.setUsedCount(b.usedCount() - 1);
     }
@@ -485,8 +492,15 @@ CaRamSlice::insertBatchChunk(const Record *records, unsigned n,
         {
             const RowWriteGuard wg(*this, row);
             b.writeSlot(pl.slot, rec.key, rec.data);
-            if (pl.dead)
+            // The filter replays the serial order: insert() added the
+            // copy, and -- for dead placements -- removePlacement()
+            // took it back out (sticky counter saturation makes the
+            // add/remove pair idempotent-at-worst, never unsound).
+            filter_.add(row, rec.key);
+            if (pl.dead) {
                 b.clearSlot(pl.slot);
+                filter_.remove(row, rec.key);
+            }
         }
         if (pl.dead) {
             // Serial rollback adds the distance sample and then removes
@@ -513,6 +527,7 @@ CaRamSlice::insertBatchChunk(const Record *records, unsigned n,
             const RowWriteGuard wg(*this, ig.row[e]);
             b.setUsedCount(ig.used[e]);
             b.setReach(ig.reach[e]);
+            filter_.setReach(ig.row[e], ig.reach[e]);
         }
         if (aux_changed || ig.dirty[e])
             ++sum.rowWritebacks;
@@ -546,9 +561,33 @@ CaRamSlice::searchChain(uint64_t home,
                         const MatchProcessor::PackedKey &packed,
                         SearchResult &best, std::vector<uint64_t> *trace)
 {
-    const unsigned reach = bucket(home).reach();
+    // With the pre-filter consulted, the chain length comes from the
+    // filter's reach mirror (no home-row touch) and provably-miss rows
+    // are skipped before the fetch and the bucketsAccessed charge --
+    // only the skip changes; a row that is fetched is matched exactly
+    // as before, so hit payloads and non-skipped accounting are
+    // bit-identical to the unfiltered walk.
+    const bool pf = prefilterActive();
+    uint64_t sig = 0;
+    bool sig_usable = false;
+    unsigned reach;
+    if (pf) {
+        sig_usable = packed.key.fullySpecified();
+        sig = RowPrefilter::signatureOf(packed.key);
+        reach = filter_.reach(home);
+    } else {
+        reach = bucket(home).reach();
+    }
     for (unsigned d = 0; d <= reach; ++d) {
         const uint64_t row = probeRow(home, d, packed.key);
+        if (pf) {
+            prefilterProbes_.fetch_add(1, std::memory_order_relaxed);
+            if (!filter_.mayMatch(row, sig, sig_usable)) {
+                prefilterSkips_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                continue;
+            }
+        }
         ++best.bucketsAccessed;
         if (trace)
             trace->push_back(row);
@@ -640,6 +679,33 @@ CaRamSlice::candidateHomes(const Key &search_key,
         idxGen->candidateIndices(search_key.valueWords(),
                                  search_key.careWords(),
                                  search_key.bits(), out);
+}
+
+void
+CaRamSlice::prefilterPruneHomes(const Key &search_key,
+                                std::vector<uint64_t> &homes)
+{
+    if (!prefilterActive())
+        return;
+    const uint64_t sig = RowPrefilter::signatureOf(search_key);
+    const bool sig_usable = search_key.fullySpecified();
+    std::size_t w = 0;
+    for (const uint64_t home : homes) {
+        unsigned reach = 0;
+        const bool may =
+            filter_.consultHome(home, sig, sig_usable, reach);
+        if (!may && reach == 0) {
+            // The chain is this single row and it provably cannot
+            // match: a shard walk would have consulted it once and
+            // skipped -- charge exactly that, and drop the home so no
+            // sub-task is enqueued for it.
+            prefilterProbes_.fetch_add(1, std::memory_order_relaxed);
+            prefilterSkips_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        homes[w++] = home;
+    }
+    homes.resize(w);
 }
 
 SearchResult
@@ -741,6 +807,46 @@ CaRamSlice::snapshotRowConcurrent(uint64_t row, uint64_t *dst) const
     }
 }
 
+bool
+CaRamSlice::prefilterMayMatchConcurrent(uint64_t row, uint64_t sig,
+                                        bool sig_usable) const
+{
+    // Same validation shape as snapshotRowConcurrent(), but a failed
+    // validation declines to prune instead of retrying: every filter
+    // write happens inside the row's writer section, so a quiescent
+    // stripe across the read means the words form a published filter
+    // state, whose verdict is sound (one-sided error, DESIGN.md 4e).
+    const std::atomic<uint64_t> &seq = rowSeqs_[row & seqMask_].v;
+    const uint64_t s1 = seq.load(std::memory_order_acquire);
+    if (s1 & 1)
+        return true; // writer mid-row
+    const bool may = filter_.mayMatch(row, sig, sig_usable);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t s2 = seq.load(std::memory_order_relaxed);
+    return s1 != s2 || may;
+}
+
+bool
+CaRamSlice::prefilterConsultHomeConcurrent(uint64_t home, uint64_t sig,
+                                           bool sig_usable,
+                                           unsigned &reach_out,
+                                           bool &valid) const
+{
+    const std::atomic<uint64_t> &seq = rowSeqs_[home & seqMask_].v;
+    const uint64_t s1 = seq.load(std::memory_order_acquire);
+    valid = false;
+    if (s1 & 1)
+        return true;
+    const bool may =
+        filter_.consultHome(home, sig, sig_usable, reach_out);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t s2 = seq.load(std::memory_order_relaxed);
+    if (s1 != s2)
+        return true;
+    valid = true;
+    return may;
+}
+
 SearchResult
 CaRamSlice::searchConcurrent(const Key &search_key,
                              ConcurrentSearchScratch &scratch) const
@@ -760,18 +866,62 @@ CaRamSlice::searchConcurrent(const Key &search_key,
     // paths run unchanged over row 0 of the private one-row array.
     uint64_t *dst = scratch.row->rowData(0);
     BucketView sb(*scratch.row, cfg, 0);
+    const bool pf = prefilterActive();
+    uint64_t sig = 0;
+    bool sig_usable = false;
+    if (pf) {
+        sig = RowPrefilter::signatureOf(search_key);
+        sig_usable = search_key.fullySpecified();
+    }
     SearchResult best;
     for (uint64_t home : scratch.homes) {
-        // One snapshot serves both the reach read and the d == 0 match,
-        // so the home row's observation is internally consistent (the
-        // serial path reads the row twice; between-mutation states are
-        // indistinguishable row-locally).
-        snapshotRowConcurrent(home, dst);
-        const unsigned reach = sb.reach();
+        // A validated home consult that fails skips the home row's
+        // snapshot and walks the rest of the chain with the mirrored
+        // reach (which only ever grows outside whole-array rewrites,
+        // and those hold every stripe odd -- the consult declines).
+        // Any failed validation falls back to the snapshot path.
+        unsigned reach;
+        bool home_skipped = false;
+        bool consulted = false;
+        if (pf) {
+            bool valid = false;
+            prefilterProbes_.fetch_add(1, std::memory_order_relaxed);
+            const bool may = prefilterConsultHomeConcurrent(
+                home, sig, sig_usable, reach, valid);
+            if (valid && !may) {
+                prefilterSkips_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                home_skipped = true;
+                consulted = true;
+            }
+        }
+        if (!consulted) {
+            // One snapshot serves both the reach read and the d == 0
+            // match, so the home row's observation is internally
+            // consistent (the serial path reads the row twice;
+            // between-mutation states are indistinguishable
+            // row-locally).
+            snapshotRowConcurrent(home, dst);
+            reach = sb.reach();
+        }
         bool early_exit = false;
         for (unsigned d = 0; d <= reach; ++d) {
-            if (d > 0)
-                snapshotRowConcurrent(probeRow(home, d, search_key), dst);
+            if (d == 0 && home_skipped)
+                continue;
+            if (d > 0) {
+                const uint64_t row = probeRow(home, d, search_key);
+                if (pf) {
+                    prefilterProbes_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (!prefilterMayMatchConcurrent(row, sig,
+                                                     sig_usable)) {
+                        prefilterSkips_.fetch_add(
+                            1, std::memory_order_relaxed);
+                        continue;
+                    }
+                }
+                snapshotRowConcurrent(row, dst);
+            }
             ++best.bucketsAccessed;
             const BucketMatch m = cfg.lpm
                 ? matcher.searchBucketBestPacked(sb, scratch.packed)
@@ -807,13 +957,36 @@ CaRamSlice::searchConcurrent(const Key &search_key,
 uint64_t
 CaRamSlice::searchGroupChain(uint64_t home, unsigned reach,
                              const uint32_t *idx, unsigned group_size,
-                             SearchResult *out)
+                             SearchResult *out, bool pf)
 {
     auto &sc = batch_;
     const MatchProcessor::PackedKey *ptrs[kernels::kMaxGroupKeys];
     for (unsigned k = 0; k < group_size; ++k)
         ptrs[k] = &sc.packed[idx[k]];
     matcher.packGroup(ptrs, group_size, sc.group);
+
+    // Pre-filter each live lane against the shared row: a lane that
+    // fails is exactly the key a serial filtered searchChain() would
+    // have skipped the row for (no bucketsAccessed charge, no match
+    // attempt), and the row is fetched only when at least one lane
+    // still needs it -- whole groups skip guaranteed-miss rows.
+    auto passMask = [&](uint64_t row, uint32_t lanes) -> uint32_t {
+        if (!pf)
+            return lanes;
+        uint32_t pass = lanes;
+        for (uint32_t m = lanes; m; m &= m - 1) {
+            const unsigned k =
+                static_cast<unsigned>(std::countr_zero(m));
+            prefilterProbes_.fetch_add(1, std::memory_order_relaxed);
+            if (!filter_.mayMatch(row, sc.sig[idx[k]],
+                                  sc.sigUsable[idx[k]] != 0)) {
+                prefilterSkips_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                pass &= ~(1u << k);
+            }
+        }
+        return pass;
+    };
 
     uint64_t fetches = 0;
     if (!cfg.lpm) {
@@ -824,12 +997,15 @@ CaRamSlice::searchGroupChain(uint64_t home, unsigned reach,
             // The probe row is key-independent on this path (d == 0, or
             // Linear probing) -- any group member's key works.
             const uint64_t row = probeRow(home, d, ptrs[0]->key);
+            const uint32_t pass = passMask(row, alive);
+            if (!pass)
+                continue;
             ++fetches;
-            for (uint32_t m = alive; m; m &= m - 1)
+            for (uint32_t m = pass; m; m &= m - 1)
                 ++out[idx[std::countr_zero(m)]].bucketsAccessed;
-            matcher.searchBucketKeys(bucket(row), sc.group, alive,
+            matcher.searchBucketKeys(bucket(row), sc.group, pass,
                                      sc.groupOut.data());
-            for (uint32_t m = alive; m; m &= m - 1) {
+            for (uint32_t m = pass; m; m &= m - 1) {
                 const unsigned k =
                     static_cast<unsigned>(std::countr_zero(m));
                 const BucketMatch &bm = sc.groupOut[k];
@@ -850,13 +1026,17 @@ CaRamSlice::searchGroupChain(uint64_t home, unsigned reach,
         // by specified-bit count (same merge as searchChain).
         for (unsigned d = 0; d <= reach; ++d) {
             const uint64_t row = probeRow(home, d, ptrs[0]->key);
+            const uint32_t pass = passMask(row, sc.group.keyMask);
+            if (!pass)
+                continue;
             ++fetches;
-            for (unsigned k = 0; k < group_size; ++k)
-                ++out[idx[k]].bucketsAccessed;
-            matcher.searchBucketBestKeys(bucket(row), sc.group,
-                                         sc.group.keyMask,
+            for (uint32_t m = pass; m; m &= m - 1)
+                ++out[idx[std::countr_zero(m)]].bucketsAccessed;
+            matcher.searchBucketBestKeys(bucket(row), sc.group, pass,
                                          sc.groupOut.data());
-            for (unsigned k = 0; k < group_size; ++k) {
+            for (uint32_t m = pass; m; m &= m - 1) {
+                const unsigned k =
+                    static_cast<unsigned>(std::countr_zero(m));
                 const BucketMatch &bm = sc.groupOut[k];
                 if (!bm.hit)
                     continue;
@@ -885,6 +1065,7 @@ CaRamSlice::searchBatchChunk(const Key *const *keys, unsigned n,
     uint64_t fetches = 0;
     unsigned groupable = 0;
     ++batchChunks_;
+    const bool pf = prefilterActive();
     // Prefetch cap: the slot windows a lookup touches first live at the
     // front of the row; very wide rows are not worth the request-buffer
     // pressure.
@@ -894,6 +1075,12 @@ CaRamSlice::searchBatchChunk(const Key *const *keys, unsigned n,
         ++searchCount;
         out[i] = SearchResult{};
         matcher.pack(*keys[i], sc.packed[i]);
+        if (pf) {
+            // Signatures computed once per key, alongside packing --
+            // every row the grouped walk consults reuses them.
+            sc.sig[i] = RowPrefilter::signatureOf(*keys[i]);
+            sc.sigUsable[i] = keys[i]->fullySpecified() ? 1 : 0;
+        }
         const auto &homes = homeRowsInto(*keys[i]);
         if (homes.size() == 1) {
             sc.home[i] = homes[0];
@@ -941,7 +1128,10 @@ CaRamSlice::searchBatchChunk(const Key *const *keys, unsigned n,
         unsigned end = pos + 1;
         while (end < groupable && sc.home[sc.order[end]] == home)
             ++end;
-        const unsigned reach = bucket(home).reach();
+        // The filtered serial walk reads reach from the filter mirror
+        // (no home-row touch); the grouped walk must match it.
+        const unsigned reach =
+            pf ? filter_.reach(home) : bucket(home).reach();
         // SecondHash probe rows depend on the key, so a chain that
         // leaves the home bucket cannot be shared.
         const bool shareable =
@@ -960,7 +1150,7 @@ CaRamSlice::searchBatchChunk(const Key *const *keys, unsigned n,
                     kernels::kMaxGroupKeys, end - j);
                 fetches += searchGroupChain(home, reach,
                                             sc.order.data() + j, gsz,
-                                            out);
+                                            out, pf);
                 for (unsigned k = 0; k < gsz; ++k) {
                     accessCount +=
                         out[sc.order[j + k]].bucketsAccessed;
@@ -1011,6 +1201,7 @@ CaRamSlice::eraseAt(uint64_t home, const Key &key)
                 continue;
             {
                 const RowWriteGuard wg(*this, row);
+                filter_.remove(row, key);
                 b.clearSlot(i);
                 b.setUsedCount(b.usedCount() - 1);
             }
@@ -1087,6 +1278,9 @@ CaRamSlice::ramLoad(uint64_t word_addr) const
 void
 CaRamSlice::ramStore(uint64_t word_addr, uint64_t value)
 {
+    // Raw stores rewrite row bits behind the filter's back: declare it
+    // stale until adoptRamContents()/clear() rebuild it wholesale.
+    filter_.suspend();
     const RowWriteGuard wg(*this, word_addr / array_.wordsPerRow());
     array_.storeWord(word_addr, value);
 }
@@ -1099,6 +1293,9 @@ CaRamSlice::adoptRamContents()
     distanceHist = Histogram();
     recordCount = 0;
     spilledCount = 0;
+    // Wholesale filter rebuild from the adopted bits; also lifts a
+    // ramStore() suspension (the only way to lift one).
+    filter_.clearAll();
 
     // First pass: fix every row's used count and clear its reach.
     for (uint64_t row = 0; row < cfg.rows(); ++row) {
@@ -1148,8 +1345,11 @@ CaRamSlice::adoptRamContents()
             ++recordCount;
             if (dist > 0)
                 ++spilledCount;
+            filter_.add(row, key);
             BucketView home_bucket = bucket(home);
-            home_bucket.setReach(std::max(home_bucket.reach(), dist));
+            const unsigned reach = std::max(home_bucket.reach(), dist);
+            home_bucket.setReach(reach);
+            filter_.setReach(home, reach);
         }
     }
 }
@@ -1189,6 +1389,7 @@ CaRamSlice::clear()
 {
     const AllRowsWriteGuard wg(*this);
     array_.clearAll();
+    filter_.clearAll();
     homeDemandPerBucket.assign(cfg.rows(), 0);
     distanceHist = Histogram();
     recordCount = 0;
@@ -1197,6 +1398,8 @@ CaRamSlice::clear()
     accessCount = 0;
     batchChunks_ = 0;
     batchSortsSkipped_ = 0;
+    prefilterProbes_.store(0, std::memory_order_relaxed);
+    prefilterSkips_.store(0, std::memory_order_relaxed);
 }
 
 void

@@ -25,6 +25,7 @@
 #include "core/config.h"
 #include "core/load_stats.h"
 #include "core/match_processor.h"
+#include "core/prefilter.h"
 #include "core/record.h"
 #include "hash/index_generator.h"
 #include "mem/memory_array.h"
@@ -283,6 +284,68 @@ class CaRamSlice
     uint64_t tornReadRetries() const;
     /// @}
 
+    /// @name Per-row counting pre-filter (guaranteed-miss short-circuit)
+    /// @{
+    /**
+     * Gate *consultation* of the per-row pre-filter (RowPrefilter; see
+     * DESIGN.md section 4e).  The filter's counters are maintained by
+     * every mutation path regardless of this flag -- a handful of
+     * relaxed atomic stores per placed or erased copy -- so flipping
+     * consultation on or off never requires a rebuild, and the default
+     * (off) leaves every search path's row fetches and access
+     * accounting exactly as they were.  With consultation on, rows the
+     * filter proves empty of any possible match are skipped before the
+     * fetch and before the bucketsAccessed charge; result payloads
+     * (hit/data/key, LPM winner) are unchanged.  Engine-owned slices
+     * get this set from EngineConfig::prefilter / CARAM_PREFILTER;
+     * Database::rebuildSwap() copies it onto the replacement slice.
+     */
+    void
+    setPrefilterEnabled(bool on)
+    {
+        prefilterEnabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool
+    prefilterEnabled() const
+    {
+        return prefilterEnabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Rows consulted / rows skipped by the filter across all search
+     *  paths (EngineReport surfaces the per-engine sums). */
+    uint64_t
+    prefilterProbes() const
+    {
+        return prefilterProbes_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    prefilterSkips() const
+    {
+        return prefilterSkips_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Drop candidate homes whose whole probe chain the filter proves
+     * empty (mirrored reach 0 and a failing home-row consult) from
+     * @p homes, preserving order -- the fan-out path's shard pruning.
+     * Counts one probe and one skip per *pruned* home only; surviving
+     * homes are consulted again inside the shard walks, so the counter
+     * totals match a serial filtered search of the same key.  No-op
+     * while consultation is disabled or the filter is suspended.
+     */
+    void prefilterPruneHomes(const Key &search_key,
+                             std::vector<uint64_t> &homes);
+
+    /** Filter memory footprint, bytes (overhead accounting). */
+    uint64_t
+    prefilterMemoryBytes() const
+    {
+        return filter_.memoryBytes();
+    }
+    /// @}
+
     /** Keys one searchBatch() chunk groups (scratch sizing). */
     static constexpr unsigned kMaxBatch = 32;
 
@@ -432,11 +495,14 @@ class CaRamSlice
     /**
      * Walk one shared probe chain for a group of same-home keys
      * (d-th row identical for every key: Linear/None probing, or a
-     * zero-reach home).  Returns the row fetches performed.
+     * zero-reach home).  @p pf routes each lane through the pre-filter
+     * (sig/sigUsable scratch must be filled); a row is fetched only
+     * when at least one live lane passes.  Returns the row fetches
+     * performed.
      */
     uint64_t searchGroupChain(uint64_t home, unsigned reach,
                               const uint32_t *idx, unsigned group_size,
-                              SearchResult *out);
+                              SearchResult *out, bool pf);
 
     /** Remove one copy homed at @p home; returns true when found. */
     bool eraseAt(uint64_t home, const Key &key);
@@ -484,6 +550,34 @@ class CaRamSlice
     /** True when fault injection wants the next snapshot to retry. */
     bool tearPending() const;
 
+    /** Consultation on and the filter trustworthy (not suspended by a
+     *  RAM-mode store)?  Checked once per search entry point. */
+    bool
+    prefilterActive() const
+    {
+        return prefilterEnabled_.load(std::memory_order_relaxed) &&
+               !filter_.suspended();
+    }
+
+    /**
+     * Filter consult for concurrent readers: the verdict is trusted
+     * only when @p row's seqlock stripe was quiescent across the read
+     * (every filter write happens inside a writer section, so a
+     * validated read observes a published filter state).  Returns true
+     * -- fetch the row -- whenever validation fails; the error stays
+     * one-sided (see DESIGN.md section 4e).
+     */
+    bool prefilterMayMatchConcurrent(uint64_t row, uint64_t sig,
+                                     bool sig_usable) const;
+
+    /** Validated home consult: mayMatch plus the mirrored reach.  When
+     *  validation fails, returns false with @p valid cleared -- the
+     *  caller snapshots the home row and reads its reach instead. */
+    bool prefilterConsultHomeConcurrent(uint64_t home, uint64_t sig,
+                                        bool sig_usable,
+                                        unsigned &reach_out,
+                                        bool &valid) const;
+
     SliceConfig cfg;
     std::unique_ptr<hash::IndexGenerator> idxGen;
     mem::MemoryArray array_;
@@ -526,6 +620,10 @@ class CaRamSlice
         std::array<MatchProcessor::PackedKey, kMaxBatch> packed;
         std::array<uint64_t, kMaxBatch> home;
         std::array<uint32_t, kMaxBatch> order;
+        /** Per-key pre-filter signature + usability, filled only when
+         *  the filter is consulted for the chunk. */
+        std::array<uint64_t, kMaxBatch> sig;
+        std::array<uint8_t, kMaxBatch> sigUsable;
         MatchProcessor::PackedKeyGroup group;
         std::array<BucketMatch, kernels::kMaxGroupKeys> groupOut;
     };
@@ -606,6 +704,17 @@ class CaRamSlice
     std::atomic<unsigned> tearEvery_{0};
     mutable std::atomic<uint64_t> snapshotTick_{0};
     mutable std::atomic<uint64_t> tornRetries_{0};
+
+    // The per-row counting pre-filter.  Maintained unconditionally by
+    // every mutation path (inside the rows' seqlock writer sections);
+    // consulted by the search paths only when prefilterEnabled_ says
+    // so and no RAM-mode store has suspended it.  The skip/probe
+    // counters are atomic because fan-out shard workers walk chains
+    // concurrently (relaxed: they are observability, not ordering).
+    RowPrefilter filter_;
+    std::atomic<bool> prefilterEnabled_{false};
+    mutable std::atomic<uint64_t> prefilterProbes_{0};
+    mutable std::atomic<uint64_t> prefilterSkips_{0};
 };
 
 } // namespace caram::core

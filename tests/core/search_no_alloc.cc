@@ -403,6 +403,65 @@ TEST(SearchNoAlloc, ResultCacheUncachedFallthroughLoop)
     EXPECT_EQ(n, 0u);
 }
 
+TEST(SearchNoAlloc, PrefilteredSearchLoop)
+{
+    // Pre-filter consultation on the serial, batched and fan-out-prune
+    // paths: signature hashing, counter reads and the skip accounting
+    // are all fixed-size atomics -- enabling the filter must not add a
+    // single allocation to any steady-state search loop.
+    Fixture f(64, false, false);
+    f.slice->setPrefilterEnabled(true);
+    Rng rng(99);
+    std::vector<Key> mixed = f.keys;
+    for (int i = 0; i < 100; ++i)
+        mixed.push_back(Key::fromUint(rng.next64(), 64)); // mostly absent
+    std::array<SearchResult, 32> out;
+    std::vector<uint64_t> homes;
+    const uint64_t n = allocationsIn([&] {
+        for (int i = 0; i < 1000; ++i)
+            f.slice->search(mixed[i % mixed.size()]);
+        for (int iter = 0; iter < 40; ++iter) {
+            std::array<const Key *, 32> ptrs;
+            for (unsigned i = 0; i < 32; ++i)
+                ptrs[i] = &mixed[(iter * 32 + i) % mixed.size()];
+            f.slice->searchBatch(ptrs.data(), 32, out.data());
+        }
+        for (int i = 0; i < 200; ++i) {
+            f.slice->candidateHomes(mixed[i % mixed.size()], homes);
+            f.slice->prefilterPruneHomes(mixed[i % mixed.size()],
+                                         homes);
+        }
+    });
+    EXPECT_EQ(n, 0u);
+    EXPECT_GT(f.slice->prefilterSkips(), 0u);
+}
+
+TEST(SearchNoAlloc, PrefilterMaintainLoop)
+{
+    // Filter maintenance rides the mutation paths: the batch ingest
+    // and erase keep the counters, occupancy and reach mirror current
+    // without touching the heap once the ingest scratch is warm.
+    // (Single-record insert() allocates displacement scratch with the
+    // filter off too, so it is not part of this loop.)
+    Fixture f(64, false, false);
+    f.slice->setPrefilterEnabled(true);
+    Rng rng(4242);
+    std::vector<Record> records;
+    for (unsigned i = 0; i < 300; ++i)
+        records.push_back(Record{Key::fromUint(rng.next64(), 64),
+                                 rng.below(1u << 16)});
+    const uint64_t n = allocationsIn([&] {
+        f.slice->insertBatch(records);
+        for (unsigned i = 0; i < 64; ++i)
+            f.slice->search(records[i].key);
+        for (const Record &rec : records)
+            f.slice->erase(rec.key);
+        for (unsigned i = 0; i < 64; ++i)
+            f.slice->search(records[i].key); // all skipped now
+    });
+    EXPECT_EQ(n, 0u);
+}
+
 // The hook itself must observe ordinary allocation, or every
 // EXPECT_EQ(n, 0) above would pass vacuously.
 TEST(SearchNoAlloc, HookCountsAllocations)
