@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Extension: port-sharded writer lanes and writer-side mutation
+ * combining (EngineConfig::writerLanes / writerCombining), the
+ * mutation-path counterpart of ext_parallel_engine's search scaling.
+ *
+ * Section 1 sweeps lane counts {1, 2, 4} over a mutation-only churn
+ * stream spread across 8 ports.  Every mutation executes on its port's
+ * lane (port % lanes), so the modeled makespan is set by the busiest
+ * lane: one lane serializes all eight ports' writes, four lanes run
+ * them four-abreast.  Per-port response streams are verified
+ * bit-identical to the strictly serial oracle and across lane counts.
+ *
+ * Section 2 drives same-row insert bursts (trains of 8 fresh keys
+ * sharing one home row) through a single lane at batchSize 1, with
+ * combining on and off.  With combining on, owners stage follow-up
+ * runs onto the checked-out port and the lane drains the whole backlog
+ * as one bulk ingest -- one row fetch and one seqlock writer section
+ * per distinct row -- so the writer's row-op count collapses against
+ * the per-record serial path (InsertBatchSummary::rowOpReduction over
+ * EngineReport::writerIngest).
+ *
+ * Usage: ext_writer_lanes [ops_per_port]
+ *                         [--json PATH] [--baseline PATH]
+ *        (default 20000 ops per port)
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "core/subsystem.h"
+#include "engine/parallel_search_engine.h"
+#include "hash/bit_select.h"
+
+using namespace caram;
+using namespace caram::core;
+
+namespace {
+
+constexpr unsigned kPorts = 8;
+constexpr unsigned kKeyBits = 32;
+constexpr uint64_t kRecordsPerDb = 2000; // ~24% load: bursts fit rows
+
+DatabaseConfig
+benchDbConfig(const std::string &name)
+{
+    DatabaseConfig cfg;
+    cfg.name = name;
+    cfg.sliceShape.indexBits = 10; // 1024 buckets
+    cfg.sliceShape.logicalKeyBits = kKeyBits;
+    cfg.sliceShape.ternary = false;
+    cfg.sliceShape.slotsPerBucket = 8;
+    cfg.sliceShape.dataBits = 16;
+    cfg.sliceShape.maxProbeDistance = 16;
+    cfg.indexFactory = [](const SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        return std::make_unique<hash::LowBitsIndex>(eff.logicalKeyBits,
+                                                    eff.indexBits);
+    };
+    return cfg;
+}
+
+std::unique_ptr<CaRamSubsystem>
+buildSubsystem()
+{
+    auto sys = std::make_unique<CaRamSubsystem>(8192, 8192, true);
+    Rng rng(24680);
+    for (unsigned p = 0; p < kPorts; ++p) {
+        Database &db =
+            sys->addDatabase(benchDbConfig("lane" + std::to_string(p)));
+        for (uint64_t i = 0; i < kRecordsPerDb; ++i) {
+            const uint64_t v = rng.next64() & 0xffffffffu;
+            db.insert(Record{Key::fromUint(v, kKeyBits), i & 0xffffu});
+        }
+    }
+    return sys;
+}
+
+/**
+ * Mutation-only churn, port-interleaved: fresh-key inserts alternating
+ * with erases of the oldest insert once a small per-port pool fills,
+ * so table load holds steady and every run is reproducible.
+ */
+std::vector<PortRequest>
+buildChurnStream(std::size_t ops_per_port)
+{
+    std::vector<PortRequest> stream;
+    stream.reserve(ops_per_port * kPorts);
+    std::vector<std::vector<uint64_t>> pool(kPorts);
+    std::vector<std::size_t> next_erase(kPorts, 0);
+    Rng pick(1357);
+    uint64_t tag = 0;
+    for (std::size_t i = 0; i < ops_per_port; ++i) {
+        for (unsigned p = 0; p < kPorts; ++p) {
+            PortRequest req;
+            req.port = p;
+            req.tag = ++tag;
+            auto &pending = pool[p];
+            if (pending.size() - next_erase[p] >= 256) {
+                req.op = PortOp::Erase;
+                req.key =
+                    Key::fromUint(pending[next_erase[p]++], kKeyBits);
+            } else {
+                req.op = PortOp::Insert;
+                const uint64_t v = pick.next64() & 0xffffffffu;
+                req.key = Key::fromUint(v, kKeyBits);
+                req.data = static_cast<uint64_t>(i) & 0xffffu;
+                pending.push_back(v);
+            }
+            stream.push_back(std::move(req));
+        }
+    }
+    return stream;
+}
+
+/**
+ * Same-row insert bursts: trains of 8 fresh keys per port sharing one
+ * home row (same low 10 bits under LowBitsIndex, distinct upper bits),
+ * ports interleaved so every train arrives as 8 consecutive same-port
+ * requests.  Erases of whole old trains keep the load steady.
+ */
+std::vector<PortRequest>
+buildBurstStream(std::size_t ops_per_port)
+{
+    constexpr std::size_t kTrain = 8;
+    std::vector<std::vector<PortRequest>> per(kPorts);
+    std::vector<std::vector<uint64_t>> pool(kPorts);
+    std::vector<std::size_t> next_erase(kPorts, 0);
+    Rng pick(8642);
+    for (unsigned p = 0; p < kPorts; ++p) {
+        uint64_t serial = 1;
+        while (per[p].size() < ops_per_port) {
+            auto &pending = pool[p];
+            if (pending.size() - next_erase[p] >= 512) {
+                for (std::size_t c = 0;
+                     c < kTrain && per[p].size() < ops_per_port; ++c) {
+                    PortRequest req;
+                    req.port = p;
+                    req.op = PortOp::Erase;
+                    req.key = Key::fromUint(pending[next_erase[p]++],
+                                            kKeyBits);
+                    per[p].push_back(std::move(req));
+                }
+                continue;
+            }
+            const uint64_t row = pick.below(1024);
+            for (std::size_t c = 0;
+                 c < kTrain && per[p].size() < ops_per_port; ++c) {
+                // Distinct upper bits, shared home row.
+                const uint64_t v =
+                    ((serial++ << 10) | row) & 0xffffffffu;
+                PortRequest req;
+                req.port = p;
+                req.op = PortOp::Insert;
+                req.key = Key::fromUint(v, kKeyBits);
+                req.data = static_cast<uint64_t>(c) & 0xffffu;
+                pending.push_back(v);
+                per[p].push_back(std::move(req));
+            }
+        }
+    }
+    std::vector<PortRequest> stream;
+    stream.reserve(ops_per_port * kPorts);
+    uint64_t tag = 0;
+    for (std::size_t i = 0; i < ops_per_port; ++i)
+        for (unsigned p = 0; p < kPorts; ++p) {
+            per[p][i].tag = ++tag;
+            stream.push_back(std::move(per[p][i]));
+        }
+    return stream;
+}
+
+/** The strictly serial oracle: submission order, one at a time. */
+std::vector<std::vector<PortResponse>>
+serialOracle(CaRamSubsystem &sys, const std::vector<PortRequest> &stream)
+{
+    std::vector<std::vector<PortResponse>> per_port(sys.databaseCount());
+    for (const PortRequest &req : stream)
+        per_port[req.port].push_back(
+            executePortRequest(sys.database(req.port), req));
+    return per_port;
+}
+
+bool
+sameResponse(const PortResponse &a, const PortResponse &b)
+{
+    return a.tag == b.tag && a.port == b.port && a.op == b.op &&
+           a.ok == b.ok && a.hit == b.hit && a.data == b.data &&
+           a.bucketsAccessed == b.bucketsAccessed && a.key == b.key;
+}
+
+struct LaneRun
+{
+    engine::EngineReport rep;
+    uint64_t mismatches = 0;
+};
+
+LaneRun
+runEngine(const std::vector<PortRequest> &stream,
+          const std::vector<std::vector<PortResponse>> &want,
+          const mem::MemTiming &timing, unsigned lanes, bool combining,
+          std::size_t batch_size)
+{
+    auto sys = buildSubsystem();
+    engine::EngineConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = 8192;
+    cfg.timing = timing;
+    cfg.batchSize = batch_size;
+    cfg.concurrentMutation = true;
+    cfg.writerLanes = lanes;
+    cfg.writerCombining = combining;
+    cfg.resultCacheEntries = 0;
+    engine::ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    eng.submitBatch(stream);
+    eng.drain();
+    LaneRun out;
+    out.rep = eng.report();
+    for (unsigned p = 0; p < kPorts; ++p) {
+        std::size_t i = 0;
+        while (auto r = eng.fetchResult(p)) {
+            if (i >= want[p].size() || !sameResponse(*r, want[p][i]))
+                ++out.mismatches;
+            ++i;
+        }
+        if (i != want[p].size())
+            ++out.mismatches;
+    }
+    eng.stop();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::size_t per_port = 20000;
+    std::string json_path = "BENCH_writer_lanes.json";
+    std::string baseline_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else if (arg == "--baseline" && i + 1 < argc)
+            baseline_path = argv[++i];
+        else
+            per_port = std::strtoull(argv[i], nullptr, 10);
+    }
+
+    std::cout << "=== Extension: port-sharded writer lanes and "
+                 "mutation combining ===\n\n";
+    const mem::MemTiming timing = mem::MemTiming::embeddedDram(200.0, 6);
+    std::cout << kPorts << " databases, "
+              << withCommas(kRecordsPerDb) << " records each, "
+              << withCommas(per_port)
+              << " mutation ops per port, eDRAM 200 MHz, n_mem 6\n";
+
+    // --- section 1: lane-count sweep on port-spread churn ---
+    std::cout << "\n--- writer-lane sweep (mutation-only churn, "
+                 "4 workers, batch 8) ---\n\n";
+    const std::vector<PortRequest> churn = buildChurnStream(per_port);
+    std::vector<std::vector<PortResponse>> churn_want;
+    {
+        auto oracle = buildSubsystem();
+        churn_want = serialOracle(*oracle, churn);
+    }
+    TextTable lt({"lanes", "modeled mutation Msps", "speedup",
+                  "staged runs", "wall Msps", "results"});
+    double lane_base_msps = 0.0;
+    double lane_speedup_4 = 0.0;
+    bool identical = true;
+    for (unsigned lanes : {1u, 2u, 4u}) {
+        const LaneRun run =
+            runEngine(churn, churn_want, timing, lanes, true, 8);
+        identical = identical && run.mismatches == 0;
+        if (lanes == 1)
+            lane_base_msps = run.rep.modeledMsps;
+        const double speedup = lane_base_msps > 0.0
+            ? run.rep.modeledMsps / lane_base_msps
+            : 0.0;
+        if (lanes == 4)
+            lane_speedup_4 = speedup;
+        lt.addRow({std::to_string(lanes), fixed(run.rep.modeledMsps, 2),
+                   fixed(speedup, 2) + "x",
+                   withCommas(run.rep.stagedMutationRuns),
+                   fixed(run.rep.wallMsps, 2),
+                   run.mismatches == 0
+                       ? "identical"
+                       : withCommas(run.mismatches) + " diffs"});
+    }
+    lt.print(std::cout);
+    std::cout <<
+        "\nmodeled mutation Msps: ops over the busiest worker's modeled "
+        "cycles; every\nmutation executes on its port's lane "
+        "(port % lanes), so one lane chains all\neight ports and four "
+        "lanes run them four-abreast.\n";
+
+    // --- section 2: combining on same-row insert bursts ---
+    std::cout << "\n--- writer combining (same-row insert bursts, "
+                 "1 lane, batch 1) ---\n\n";
+    const std::vector<PortRequest> bursts = buildBurstStream(per_port);
+    std::vector<std::vector<PortResponse>> burst_want;
+    {
+        auto oracle = buildSubsystem();
+        burst_want = serialOracle(*oracle, bursts);
+    }
+    TextTable ct({"combining", "row ops (fetch+wb)", "serial row ops",
+                  "reduction", "rows combined", "staged runs",
+                  "results"});
+    double row_op_reduction = 0.0;
+    uint64_t rows_combined = 0, staged_runs = 0;
+    for (const bool combining : {false, true}) {
+        const LaneRun run =
+            runEngine(bursts, burst_want, timing, 1, combining, 1);
+        identical = identical && run.mismatches == 0;
+        const auto &wi = run.rep.writerIngest;
+        const double reduction = wi.rowOpReduction();
+        if (combining) {
+            row_op_reduction = reduction;
+            rows_combined = run.rep.rowsCombined;
+            staged_runs = run.rep.stagedMutationRuns;
+        }
+        ct.addRow({combining ? "on" : "off",
+                   withCommas(wi.rowFetches + wi.rowWritebacks),
+                   withCommas(wi.serialRowFetches +
+                              wi.serialRowWritebacks),
+                   fixed(reduction, 2) + "x",
+                   withCommas(run.rep.rowsCombined),
+                   withCommas(run.rep.stagedMutationRuns),
+                   run.mismatches == 0
+                       ? "identical"
+                       : withCommas(run.mismatches) + " diffs"});
+    }
+    ct.print(std::cout);
+    std::cout <<
+        "\nreduction: the serial controller's per-record row ops over "
+        "the combined bulk\npath's (one fetch + one writeback per "
+        "distinct row per drained backlog);\nstaged runs: mutation runs "
+        "owners appended to a checked-out port instead of\nparking "
+        "them in the pending queue.\n";
+
+    bench::Gates gates;
+    std::cout << "\n";
+    gates.gate(lane_speedup_4 >= 2.0,
+               fixed(lane_speedup_4, 2) +
+                   "x modeled mutation throughput at 4 lanes vs 1 "
+                   "(>= 2x target)");
+    gates.gate(row_op_reduction >= 3.0,
+               fixed(row_op_reduction, 2) +
+                   "x writer row-op reduction from combining on "
+                   "same-row bursts (>= 3x target)");
+    gates.gate(rows_combined > 0 && staged_runs > 0,
+               "combining engaged (" + withCommas(rows_combined) +
+                   " row ops saved over " + withCommas(staged_runs) +
+                   " staged runs)");
+    gates.gate(identical,
+               "all engine result streams bit-identical to the serial "
+               "oracle");
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"writer_lanes\",\n"
+         << "  \"ops_per_port\": " << per_port << ",\n"
+         << "  \"lane_speedup_4\": " << fixed(lane_speedup_4, 2)
+         << ",\n  \"row_op_reduction\": " << fixed(row_op_reduction, 2)
+         << "\n}\n";
+    std::ofstream(json_path) << json.str();
+
+    if (!baseline_path.empty()) {
+        const std::string base = bench::readFile(baseline_path);
+        const double base_ops = bench::baselineField(base, "ops_per_port");
+        const double base_speedup =
+            bench::baselineField(base, "lane_speedup_4");
+        if (base_speedup > 0.0 &&
+            base_ops == static_cast<double>(per_port)) {
+            gates.gate(lane_speedup_4 >= 0.9 * base_speedup,
+                       "4-lane speedup within 10% of baseline (" +
+                           fixed(base_speedup, 2) + "x)");
+        } else {
+            std::cout << "baseline skipped (different op count or "
+                         "unreadable)\n";
+        }
+    }
+    return gates.rc();
+}

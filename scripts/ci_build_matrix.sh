@@ -47,6 +47,17 @@
 #      counts pin an explicit false, which always wins over the
 #      environment knob.
 #
+#   7. The SIMD build rerun with CARAM_WRITER_LANES=4 and
+#      CARAM_RESULT_CACHE_ENTRIES=4096: every concurrent-mutation
+#      engine whose config leaves writerLanes unset now shards its
+#      ports across four writer lanes (with writer combining on by
+#      default), and the forced result cache rides along so
+#      row-granular invalidation is exercised against lane-executed
+#      mutations -- the whole suite doubles as a multi-lane
+#      coherence-and-FIFO equivalence sweep.  Tests that need the
+#      single PR 6 lane pin writerLanes = 1 explicitly, which always
+#      wins over the environment knob.
+#
 # Usage: scripts/ci_build_matrix.sh [scalar-build-dir] [simd-build-dir]
 #        (defaults build-scalar and build)
 set -euo pipefail
@@ -81,5 +92,9 @@ CARAM_RESULT_CACHE_ENTRIES=4096 ctest --test-dir "$SIMD_DIR" \
 echo "=== leg 6: SIMD build, pre-filter forced on ==="
 CARAM_PREFILTER=1 ctest --test-dir "$SIMD_DIR" \
     --output-on-failure
+
+echo "=== leg 7: SIMD build, 4 writer lanes + result cache forced ==="
+CARAM_WRITER_LANES=4 CARAM_RESULT_CACHE_ENTRIES=4096 \
+    ctest --test-dir "$SIMD_DIR" --output-on-failure
 
 echo "build matrix: all legs passed"

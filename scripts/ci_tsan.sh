@@ -13,8 +13,11 @@
 # concurrent-mutation layer rides along: the per-row seqlock
 # differentials (SeqlockConcurrent.*), the epoch-based reclamation
 # domain (Epoch.*), the writer-lane engine differentials
-# (ConcurrentMutationDifferential.*), and the live-polling stats /
-# peek regressions (Engine.ReportAndStats*, Engine.PeekStableKeys*)
+# (ConcurrentMutationDifferential.*, including the *Lanes* legs that
+# shard ports across multiple writer threads and race owner-side
+# staging of combined mutation runs against the lanes' drain loops),
+# and the live-polling stats / peek regressions
+# (Engine.ReportAndStats*, Engine.PeekStableKeys*)
 # all race readers against in-place mutation and slice swaps.  The
 # hot-key result cache is covered twice: the engine-level cache
 # differentials (ResultCacheDifferential.*, ResultCacheGeneration.*)
@@ -22,7 +25,9 @@
 # ResultCacheHammer drives raw probe/fill/invalidate from concurrent
 # threads straight into the per-entry seqlocks.  The per-row counting
 # pre-filter is raced by the filtered differentials
-# (PrefilterDifferential.*, PrefilterUnit.*) and by
+# (PrefilterDifferential.*, whose *CombinedWriterSections legs race
+# filter maintenance inside combined bulk-ingest writer sections,
+# PrefilterUnit.*) and by
 # PrefilterConcurrent.StableKeysAlwaysHitUnderChurn, where reader
 # threads run the validated concurrent filter consult against
 # insert/erase/rebuildSwap churn on the same rows.  Any data race

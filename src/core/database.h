@@ -274,6 +274,33 @@ class Database
         return 0;
     }
 
+    /** True when lookups consult a parallel overflow area (victim TCAM
+     *  or overflow slice) whose writes the main slice's row regions do
+     *  not cover.  Row-granular cache coherence degrades to whole-port
+     *  semantics on such databases. */
+    bool hasOverflowArea() const { return overflow_ || overflowSlice_; }
+
+    /** Region coverage of a lookup (CaRamSlice::searchRegionMask) --
+     *  full coverage on databases with an overflow area, since an
+     *  overflow write can change any lookup's outcome. */
+    uint64_t
+    searchRegionMask(const Key &key, std::vector<uint64_t> &scratch)
+    {
+        if (hasOverflowArea())
+            return ~uint64_t{0};
+        return slice_->searchRegionMask(key, scratch);
+    }
+
+    /** Drain the main slice's dirty-region accumulator
+     *  (CaRamSlice::takeDirtyRegionMask); full coverage on databases
+     *  with an overflow area, which mutations may have touched. */
+    uint64_t
+    takeDirtyRegionMask()
+    {
+        const uint64_t mask = slice_->takeDirtyRegionMask();
+        return hasOverflowArea() ? ~uint64_t{0} : mask;
+    }
+
     /** Placement statistics of the CA-RAM part. */
     LoadStats loadStats() const { return slice_->loadStats(); }
 

@@ -55,6 +55,10 @@ envTornReadEvery()
 CaRamSlice::RowWriteGuard::RowWriteGuard(CaRamSlice &s, uint64_t row)
     : seq_(s.rowSeqs_[row & s.seqMask_].v)
 {
+    // Every store that can change a lookup's outcome runs inside a row
+    // writer section, so the guard is also the single collection point
+    // for the result cache's dirty-region accounting.
+    s.noteRowDirty(row);
     // Relaxed increment then release fence: the fence keeps the data
     // stores below the odd sequence value, so a reader that starts its
     // snapshot after loading an even sequence and still observes a new
@@ -71,6 +75,8 @@ CaRamSlice::RowWriteGuard::~RowWriteGuard()
 
 CaRamSlice::AllRowsWriteGuard::AllRowsWriteGuard(CaRamSlice &s) : slice_(s)
 {
+    // Whole-array rewrite: every cache region is dirty.
+    slice_.dirtyRegions_.store(~uint64_t{0}, std::memory_order_relaxed);
     for (RowSeq &rs : slice_.rowSeqs_)
         rs.v.fetch_add(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
@@ -115,6 +121,12 @@ CaRamSlice::CaRamSlice(const SliceConfig &config,
                         (unsigned long long)cfg.rows()));
     homeDemandPerBucket.assign(cfg.rows(), 0);
     filter_.reset(cfg.rows());
+    // Region shift: the highest row index must map below kCacheRegions.
+    // Computed from bit_width so non-power-of-two row counts
+    // (SliceConfig::rowOverride) land in range too.
+    const unsigned top_bits =
+        static_cast<unsigned>(std::bit_width(cfg.rows() - 1));
+    cacheRegionShift_ = top_bits > 6 ? top_bits - 6 : 0;
 }
 
 uint64_t
@@ -150,6 +162,49 @@ CaRamSlice::homeRowsInto(const Key &key)
         idxGen->candidateIndices(key.valueWords(), key.careWords(),
                                  key.bits(), homesScratch);
     return homesScratch;
+}
+
+uint64_t
+CaRamSlice::searchRegionMask(const Key &search_key,
+                             std::vector<uint64_t> &scratch)
+{
+    if (search_key.bits() != cfg.logicalKeyBits)
+        fatal("key width does not match the slice configuration");
+    // The FULL candidate home set, before any pre-filter pruning: a
+    // pruned home that later gains a matching record must still
+    // invalidate this lookup's cached entry, and its home row is where
+    // that insert writes (slot or reach/aux word).
+    scratch.clear();
+    if (search_key.fullySpecified()) {
+        scratch.push_back(
+            idxGen->index(search_key.valueWords(), search_key.bits()));
+    } else {
+        idxGen->candidateIndices(search_key.valueWords(),
+                                 search_key.careWords(),
+                                 search_key.bits(), scratch);
+    }
+    // Cost bound: a lookup wide enough to enumerate more rows than
+    // this is stamped with full coverage instead (strictly more
+    // conservative, never wrong).
+    constexpr std::size_t kMaxCoveredRows = 128;
+    if (scratch.size() > kMaxCoveredRows)
+        return ~uint64_t{0};
+    uint64_t mask = 0;
+    std::size_t covered = scratch.size();
+    for (const uint64_t home : scratch) {
+        // The home row itself is always covered: a reach extension
+        // beyond today's chain writes the home's aux word, so a future
+        // record this lookup could match always dirties a covered
+        // region even when it lands outside the current chain.
+        mask |= cacheRegionBit(home);
+        const unsigned reach = bucket(home).reach();
+        covered += reach;
+        if (covered > kMaxCoveredRows)
+            return ~uint64_t{0};
+        for (unsigned d = 1; d <= reach; ++d)
+            mask |= cacheRegionBit(probeRow(home, d, search_key));
+    }
+    return mask;
 }
 
 uint64_t

@@ -468,6 +468,52 @@ class CaRamSlice
 
     const mem::MemoryArray &array() const { return array_; }
 
+    /// @name Cache-region tracking (row-granular result-cache coherence)
+    /// @{
+    /** Rows are mapped onto at most this many power-of-two regions;
+     *  one bit of a 64-bit region mask per region (matches
+     *  engine::ResultCache::kRegions). */
+    static constexpr unsigned kCacheRegions = 64;
+
+    /** Region-mask bit covering @p row. */
+    uint64_t
+    cacheRegionBit(uint64_t row) const
+    {
+        return uint64_t{1} << ((row >> cacheRegionShift_) & 63);
+    }
+
+    /**
+     * Region coverage of a lookup for @p search_key: the union of
+     * cacheRegionBit() over every candidate home row (the full
+     * duplication set, pre-filter pruning NOT applied -- a pruned home
+     * that later gains a record must still invalidate) and every row
+     * its probe chain can currently touch (distances 0..reach).  A
+     * lookup whose enumeration would exceed an internal cost bound
+     * returns ~0 (all regions).  Any mutation that could change this
+     * lookup's result dirties at least one covered region: a plain
+     * slot write dirties the chain row itself, and a reach extension
+     * beyond the current chain writes the home row's aux word, whose
+     * region is always covered.  Uses the same single-owner discipline
+     * as search() (reads bucket aux words unvalidated); @p scratch is
+     * caller-owned home scratch, cleared and refilled.
+     */
+    uint64_t searchRegionMask(const Key &search_key,
+                              std::vector<uint64_t> &scratch);
+
+    /**
+     * Drain the accumulated dirty-region mask: every row seqlock
+     * writer section since the previous call OR-ed its row's region
+     * bit in (whole-array guards set all bits).  The engine's writer
+     * lane calls this after applying a mutation batch and bumps
+     * exactly those regions in the result cache.
+     */
+    uint64_t
+    takeDirtyRegionMask()
+    {
+        return dirtyRegions_.exchange(0, std::memory_order_relaxed);
+    }
+    /// @}
+
   private:
     /** Row probed at distance @p d from @p home for @p key. */
     uint64_t probeRow(uint64_t home, unsigned d, const Key &key) const;
@@ -528,6 +574,16 @@ class CaRamSlice
       private:
         std::atomic<uint64_t> &seq_;
     };
+
+    /** Record @p row as dirtied for cache-region accounting; called by
+     *  every RowWriteGuard construction (the guard brackets exactly
+     *  the stores that can change a lookup's outcome). */
+    void
+    noteRowDirty(uint64_t row)
+    {
+        dirtyRegions_.fetch_or(cacheRegionBit(row),
+                               std::memory_order_relaxed);
+    }
 
     /** Whole-array writer guard for clear()/adoptRamContents(): marks
      *  every stripe busy for the duration. */
@@ -697,6 +753,14 @@ class CaRamSlice
     };
     std::vector<RowSeq> rowSeqs_;
     uint64_t seqMask_ = 0;
+
+    // Cache-region accounting: rows map onto <= kCacheRegions
+    // power-of-two runs (shift chosen so the top region index fits in
+    // 6 bits for any row count, power of two or not); writer sections
+    // OR their row's region bit into the dirty accumulator, drained by
+    // takeDirtyRegionMask().
+    unsigned cacheRegionShift_ = 0;
+    std::atomic<uint64_t> dirtyRegions_{0};
 
     // Torn-read fault injection (CARAM_SEQLOCK_TEAR / the setter) and
     // the retry observability counter.  Mutable: the reader side is

@@ -65,6 +65,30 @@ envResultCacheEntries()
     return static_cast<std::size_t>(v);
 }
 
+/** CARAM_WRITER_LANES, parsed fresh on every call like the knobs
+ *  above.  The lane-forced CI leg sets it to 4 so every engine whose
+ *  config leaves writerLanes at 0 spreads its ports over four writer
+ *  threads. */
+std::optional<unsigned>
+envWriterLanes()
+{
+    const char *env = std::getenv("CARAM_WRITER_LANES");
+    if (!env || !*env)
+        return std::nullopt;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn(strprintf("CARAM_WRITER_LANES=%s is not a positive "
+                           "number; writer lanes stay "
+                           "config-controlled",
+                           env));
+        return std::nullopt;
+    }
+    return static_cast<unsigned>(v);
+}
+
 /** CARAM_PREFILTER, parsed fresh on every call like the knobs above.
  *  The forced-filter CI leg sets it to 1 so every engine whose config
  *  leaves `prefilter` unset runs the whole suite consulting the
@@ -115,6 +139,15 @@ struct ParallelSearchEngine::FanoutTask
     sim::CompletionLatch *latch;
 };
 
+/** One writer-lane hand-off: a run of same-port non-Search jobs in
+ *  submission order.  The receiving writer thread executes it with its
+ *  own scratch (the lane's trailing Worker), drains any runs staged
+ *  behind it, then clears the port's busy flag and rings the owner. */
+struct ParallelSearchEngine::MutationRun
+{
+    std::vector<Job> jobs;
+};
+
 /** Per-port result stream and instrumentation. */
 struct ParallelSearchEngine::PortState
 {
@@ -131,15 +164,19 @@ struct ParallelSearchEngine::PortState
     /** Jobs deferred while the writer lane holds the port, in
      *  submission order.  Touched only by the owning worker. */
     std::deque<Job> pending;
-};
-
-/** One writer-lane hand-off: a run of same-port non-Search jobs in
- *  submission order.  The receiving writer thread executes it with its
- *  own scratch (the trailing Worker), then clears the port's busy flag
- *  and rings the owner. */
-struct ParallelSearchEngine::MutationRun
-{
-    std::vector<Job> jobs;
+    /**
+     * Writer-combining staging: mutation runs the owner appended while
+     * the port's lane was already executing a hand-off for it.  The
+     * protocol that makes staging race-free: the owner appends only
+     * after re-checking `busy` under stageMutex, and the lane clears
+     * `busy` under the same mutex only when the staging is empty -- so
+     * every appended run is drained by the current hand-off, in
+     * submission order, before the port is released.  Staging is only
+     * entered while `pending` is empty, so a staged mutation can never
+     * jump ahead of a deferred search.
+     */
+    std::mutex stageMutex;
+    std::deque<MutationRun> staged;
 };
 
 /** One worker: its request queue and its private modeled clock. */
@@ -166,6 +203,16 @@ struct ParallelSearchEngine::Worker
     std::atomic<uint64_t> batchedSearchRuns{0};
     std::atomic<uint64_t> adaptiveSerialRuns{0};
     std::atomic<uint64_t> batchedInsertRuns{0};
+    /** Mutation runs this worker appended to a busy port's staging
+     *  deque (writer combining) instead of a fresh hand-off. */
+    std::atomic<uint64_t> stagedRuns{0};
+    /** Result-cache stamping scratch: candidate-home scratch for
+     *  Database::searchRegionMask, and the per-key region masks /
+     *  stamps of one batched segment (captured before the slice
+     *  search runs). */
+    std::vector<uint64_t> maskHomes;
+    std::vector<uint64_t> fillMasks;
+    std::vector<uint64_t> fillStamps;
     /** Adaptive controller: smoothed keys-per-fetch of recent batched
      *  runs, and search runs left in the current serial back-off. */
     double sharingEwma = 0.0;
@@ -203,6 +250,15 @@ ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
         cfg.drainBatch = 1;
     if (cfg.workers == 0)
         cfg.concurrentMutation = false; // inline mode is serial already
+    // Writer lanes: an explicit config value always wins over the
+    // environment; 0 defers to CARAM_WRITER_LANES, unset resolves to
+    // the single PR 6 lane.
+    if (cfg.concurrentMutation) {
+        unsigned lanes = cfg.writerLanes;
+        if (lanes == 0)
+            lanes = envWriterLanes().value_or(1);
+        writerLaneCount_ = std::clamp(lanes, 1u, 16u);
+    }
     cfg.rowFanoutMaxShards =
         std::clamp(cfg.rowFanoutMaxShards, 1u, kMaxFanoutShards);
     rowFanoutMin_ = cfg.rowFanoutMin;
@@ -244,13 +300,16 @@ ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
     for (unsigned w = 0; w < workerCount; ++w)
         workers.push_back(std::make_unique<Worker>(cfg.queueCapacity));
     if (cfg.concurrentMutation) {
-        writerQueue =
-            std::make_unique<sim::ConcurrentBoundedQueue<MutationRun>>(
-                std::max<std::size_t>(16, ports.size()));
-        // The writer lane's scratch and counters live in one trailing
-        // Worker (index workerCount, request queue unused) so report()
-        // folds its modeled cycles and ingest accounting in unchanged.
-        workers.push_back(std::make_unique<Worker>(1));
+        for (unsigned l = 0; l < writerLaneCount_; ++l) {
+            writerQueues.push_back(
+                std::make_unique<sim::ConcurrentBoundedQueue<MutationRun>>(
+                    std::max<std::size_t>(16, ports.size())));
+            // Each lane's scratch and counters live in one trailing
+            // Worker (index workerCount + lane, request queue unused)
+            // so report() folds its modeled cycles and ingest
+            // accounting in unchanged.
+            workers.push_back(std::make_unique<Worker>(1));
+        }
     }
     wallStart = std::chrono::steady_clock::now();
 }
@@ -275,8 +334,8 @@ ParallelSearchEngine::start()
     wallStart = std::chrono::steady_clock::now();
     for (unsigned w = 0; w < cfg.workers; ++w)
         threads.emplace_back([this, w] { workerMain(w); });
-    if (cfg.concurrentMutation)
-        writerThread = std::thread([this] { writerMain(); });
+    for (unsigned l = 0; l < writerLaneCount_; ++l)
+        writerThreads.emplace_back([this, l] { writerMain(l); });
 }
 
 void
@@ -367,8 +426,18 @@ ParallelSearchEngine::executeFanoutSearch(
 {
     Worker &self = *workers[worker_index];
     core::CaRamSlice &sl = db.slice();
-    const uint64_t cache_gen =
-        resultCache_ ? resultCache_->generation(request.port) : 0;
+    // Stamp capture before any shard touches the table.  The region
+    // mask is recomputed from the FULL candidate home set -- the
+    // pruned fanoutHomes scratch is not enough, because a pre-filter-
+    // pruned home that later gains a matching record must still
+    // invalidate this entry.
+    uint64_t cache_mask = 0;
+    uint64_t cache_stamp = 0;
+    if (resultCache_) {
+        cache_mask = db.searchRegionMask(request.key, self.maskHomes);
+        cache_stamp =
+            resultCache_->captureStamp(request.port, cache_mask);
+    }
     const auto nhomes = static_cast<unsigned>(self.fanoutHomes.size());
     const unsigned nshards = std::min(cfg.rowFanoutMaxShards, nhomes);
     self.fanoutLookups.fetch_add(1, std::memory_order_relaxed);
@@ -432,7 +501,8 @@ ParallelSearchEngine::executeFanoutSearch(
     const uint64_t overflow_fetches =
         db.mergeOverflowResult(request.key, merged);
     if (resultCache_)
-        resultCache_->fill(request.port, request.key, merged, cache_gen);
+        resultCache_->fill(request.port, request.key, merged,
+                           cache_stamp, cache_mask);
 
     // Modeled cost: the shards fetch from independent banks
     // simultaneously (the paper's multi-bank overlap), so the lookup
@@ -497,11 +567,25 @@ ParallelSearchEngine::publishCached(
 }
 
 void
-ParallelSearchEngine::invalidateCache(unsigned port)
+ParallelSearchEngine::invalidateCache(unsigned port, bool wholePort)
 {
     if (!resultCache_)
         return;
-    resultCache_->invalidate(port);
+    // The mutation already executed: drain the rows it dirtied and
+    // bump exactly their regions (rebuilds and bulk loads bump the
+    // whole port -- a repack moves records between rows wholesale, so
+    // even an untouched region's cached bucketsAccessed could change).
+    // Bumping *after* the mutation is safe because the port's requests
+    // are serialized -- by the owning worker in inline/blocking mode,
+    // and by the busy-flag hand-off under concurrentMutation -- so no
+    // probe of this port can run between the mutation and the bump.
+    // The dirty mask is drained even on the whole-port path so stale
+    // bits never leak into a later mutation's bump.
+    const uint64_t dirty = sys->database(port).takeDirtyRegionMask();
+    if (wholePort)
+        resultCache_->invalidate(port);
+    else
+        resultCache_->invalidateRegions(port, dirty);
     ports[port]->stats.cacheInvalidations.fetch_add(
         1, std::memory_order_relaxed);
 }
@@ -531,33 +615,48 @@ ParallelSearchEngine::execute(
                 }
             }
         }
-    } else {
-        // Conservative coherence: any mutation (even one that fails)
-        // bumps the port's generation before it touches the table.
-        invalidateCache(request.port);
     }
-    // Generation capture *before* the search runs: a mutation slipping
-    // in between (impossible on the engine's serialized ports, but the
+    // Stamp capture *before* the search runs: a mutation slipping in
+    // between (impossible on the engine's serialized ports, but the
     // discipline is what the cache's coherence argument rests on)
-    // would make the fill below unservable rather than stale.
-    const uint64_t cache_gen =
-        resultCache_ && request.op == core::PortOp::Search
-            ? resultCache_->generation(request.port)
-            : 0;
+    // would make the fill below unservable rather than stale.  The
+    // region mask covers the lookup's full candidate home set; a
+    // retained database or a width-mismatched key never reaches the
+    // fill (resp.ok is false), so the mask is only computed when the
+    // search will actually run.
+    uint64_t cache_mask = 0;
+    uint64_t cache_stamp = 0;
+    core::Database &req_db = sys->database(request.port);
+    if (resultCache_ && request.op == core::PortOp::Search &&
+        req_db.powerState() == core::PowerState::Active &&
+        request.key.bits() ==
+            req_db.slice().config().logicalKeyBits) {
+        cache_mask = req_db.searchRegionMask(
+            request.key, workers[worker_index]->maskHomes);
+        cache_stamp =
+            resultCache_->captureStamp(request.port, cache_mask);
+    }
     // Under concurrentMutation the engine's epoch domain rides along so
     // a Rebuild (which only ever executes on the writer lane in that
     // mode) becomes a non-blocking rebuildSwap; everything else, and
     // every request in the default mode, behaves exactly as before.
     core::PortResponse resp = core::executePortRequest(
-        sys->database(request.port), request,
+        req_db, request,
         cfg.concurrentMutation ? &epochDomain_ : nullptr);
-    if (resultCache_ && request.op == core::PortOp::Search && resp.ok) {
+    if (request.op != core::PortOp::Search) {
+        // Row-granular coherence: the mutation ran, its dirty rows are
+        // known -- bump exactly their regions (whole port for Rebuild:
+        // a repack can change any cached entry's bucketsAccessed).
+        invalidateCache(request.port,
+                        request.op == core::PortOp::Rebuild);
+    } else if (resultCache_ && resp.ok) {
         core::SearchResult r;
         r.hit = resp.hit;
         r.data = resp.data;
         r.key = resp.key;
         r.bucketsAccessed = resp.bucketsAccessed;
-        resultCache_->fill(request.port, request.key, r, cache_gen);
+        resultCache_->fill(request.port, request.key, r, cache_stamp,
+                           cache_mask);
     }
 
     // Modeled cost: the lookup occupies this worker's bank for n_mem
@@ -647,8 +746,22 @@ ParallelSearchEngine::executeBatchSegment(core::Database &db,
         self.keyPtrs.push_back(&jobs[i].request.key);
     if (self.batchResults.size() < count)
         self.batchResults.resize(count);
-    const uint64_t cache_gen =
-        resultCache_ ? resultCache_->generation(port_no) : 0;
+    if (resultCache_) {
+        // Per-key stamp capture before the batched walk runs: each
+        // fill is stamped with its own key's candidate home-row
+        // coverage, so a later mutation invalidates exactly the keys
+        // whose regions it dirtied.
+        if (self.fillMasks.size() < count) {
+            self.fillMasks.resize(count);
+            self.fillStamps.resize(count);
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+            self.fillMasks[i] = db.searchRegionMask(jobs[i].request.key,
+                                                    self.maskHomes);
+            self.fillStamps[i] =
+                resultCache_->captureStamp(port_no, self.fillMasks[i]);
+        }
+    }
     const uint64_t fetches =
         db.searchBatch(self.keyPtrs.data(), static_cast<unsigned>(count),
                        self.batchResults.data());
@@ -657,7 +770,8 @@ ParallelSearchEngine::executeBatchSegment(core::Database &db,
         // same (deterministic) empty-handed chain walk.
         for (std::size_t i = 0; i < count; ++i)
             resultCache_->fill(port_no, jobs[i].request.key,
-                               self.batchResults[i], cache_gen);
+                               self.batchResults[i], self.fillStamps[i],
+                               self.fillMasks[i]);
     }
 
     // Modeled cost of the whole run: the bank is occupied once per
@@ -715,10 +829,6 @@ ParallelSearchEngine::executeInsertRun(const Job *jobs, std::size_t count,
         return;
     }
 
-    // One generation bump covers the whole ingest run: everything the
-    // run stores lands before any later search on this port executes.
-    invalidateCache(port_no);
-
     Worker &self = *workers[worker_index];
     self.records.clear();
     self.priorities.clear();
@@ -737,6 +847,12 @@ ParallelSearchEngine::executeInsertRun(const Job *jobs, std::size_t count,
         self.ingest.merge(sum);
     }
     self.batchedInsertRuns.fetch_add(1, std::memory_order_relaxed);
+
+    // Invalidate *after* the batch lands: the slice accumulated the
+    // exact dirty-region mask while the guards ran, and per-port
+    // serialization guarantees no search on this port probes between
+    // the writes and this bump.
+    invalidateCache(port_no, /*wholePort=*/false);
 
     // Modeled cost: a serial CAM-mode insert occupies the bank for one
     // access slot per request (inserts report no bucketsAccessed), so
@@ -826,20 +942,48 @@ ParallelSearchEngine::workerMain(unsigned index)
 }
 
 void
-ParallelSearchEngine::writerMain()
+ParallelSearchEngine::writerMain(unsigned lane)
 {
+    auto &queue = *writerQueues[lane];
+    const unsigned scratch_index = workerCount + lane;
     for (;;) {
-        std::optional<MutationRun> run = writerQueue->pop();
+        std::optional<MutationRun> run = queue.pop();
         if (!run)
             break; // closed and drained
         const unsigned port_no = run->jobs[0].request.port;
-        // Execute with the writer lane's own scratch and counters (the
+        PortState &port = *ports[port_no];
+        // Execute with this lane's own scratch and counters (its
         // trailing Worker) through the normal run loop -- consecutive
-        // Insert jobs still combine into one bulk ingest -- then
-        // release the port back to its owner and ring its doorbell so
-        // deferred jobs resume.
-        processJobs(run->jobs, workerCount);
-        ports[port_no]->busy.store(false, std::memory_order_release);
+        // Insert jobs still combine into one bulk ingest.  While the
+        // port is checked out the owner may stage follow-up mutation
+        // runs directly onto it; drain the staging deque until it is
+        // empty at the moment the busy flag drops.  Both sides hold
+        // stageMutex -- an owner that saw busy re-checks under the
+        // mutex before appending, so no staged run can be stranded
+        // behind a cleared flag.
+        std::vector<Job> jobs = std::move(run->jobs);
+        for (;;) {
+            processJobs(jobs, scratch_index);
+            jobs.clear();
+            {
+                std::lock_guard<std::mutex> lock(port.stageMutex);
+                if (port.staged.empty()) {
+                    port.busy.store(false, std::memory_order_release);
+                    break;
+                }
+                // Concatenate every staged run into one batch: the
+                // run loop re-splits it, and adjacent same-port insert
+                // runs combine into a single bulk ingest.
+                while (!port.staged.empty()) {
+                    MutationRun &next = port.staged.front();
+                    jobs.insert(
+                        jobs.end(),
+                        std::make_move_iterator(next.jobs.begin()),
+                        std::make_move_iterator(next.jobs.end()));
+                    port.staged.pop_front();
+                }
+            }
+        }
         ring(workerOf(port_no));
     }
 }
@@ -895,21 +1039,60 @@ ParallelSearchEngine::processJobs(const std::vector<Job> &batch,
             // against the requests around them.
             std::size_t j = i;
             const core::PortOp op = batch[i].request.op;
-            if (cfg.batchSize > 1 && (op == core::PortOp::Search ||
-                                      op == core::PortOp::Insert)) {
+            // Writer lanes (index >= workerCount) execute what they
+            // are handed; with combining on they extend insert runs
+            // without the batchSize cap so a whole drained backlog
+            // becomes one bulk ingest (one row fetch + one seqlock
+            // writer section per distinct row).
+            const bool writer_lane = index >= workerCount;
+            const bool combine = writer_lane && cfg.writerCombining &&
+                                 op == core::PortOp::Insert;
+            if ((cfg.batchSize > 1 || combine) &&
+                (op == core::PortOp::Search ||
+                 op == core::PortOp::Insert)) {
                 while (j + 1 < batch.size() &&
-                       j + 1 - i < cfg.batchSize &&
+                       (combine || j + 1 - i < cfg.batchSize) &&
                        batch[j + 1].request.op == op &&
                        batch[j + 1].request.port ==
                            batch[i].request.port)
                     ++j;
             }
-            // Writer-lane routing (the writer itself, index ==
-            // workerCount, executes what it is handed).
-            if (cfg.concurrentMutation && index < workerCount) {
+            // Writer-lane routing (only owning workers route).
+            if (cfg.concurrentMutation && !writer_lane) {
                 PortState &port = *ports[batch[i].request.port];
-                if (port.busy.load(std::memory_order_acquire) ||
-                    !port.pending.empty()) {
+                bool busy_now =
+                    port.busy.load(std::memory_order_acquire);
+                if (busy_now && op != core::PortOp::Search &&
+                    cfg.writerCombining && port.pending.empty()) {
+                    // The port is checked out to its writer lane and
+                    // nothing older is deferred: stage the mutations
+                    // directly onto the lane instead of parking them.
+                    // The lane drains staging before releasing the
+                    // port, so the run still executes in FIFO
+                    // position.  Re-check busy under stageMutex -- the
+                    // lane clears the flag under the same mutex only
+                    // when staging is empty, so an append here is
+                    // guaranteed to be seen.
+                    std::lock_guard<std::mutex> lock(port.stageMutex);
+                    if (port.busy.load(std::memory_order_acquire)) {
+                        MutationRun run;
+                        run.jobs.assign(
+                            batch.begin() +
+                                static_cast<std::ptrdiff_t>(i),
+                            batch.begin() +
+                                static_cast<std::ptrdiff_t>(j) + 1);
+                        port.staged.push_back(std::move(run));
+                        self.stagedRuns.fetch_add(
+                            1, std::memory_order_relaxed);
+                        i = j + 1;
+                        continue;
+                    }
+                    // Lane released the port between the loads: hand
+                    // off fresh below.  (pending stays empty -- only
+                    // this owner appends to it.)
+                    busy_now = false;
+                }
+                if (busy_now || !port.pending.empty()) {
                     // A hand-off for this port is still in flight (or
                     // older deferred jobs wait behind one): defer the
                     // whole run so the port's FIFO order survives, and
@@ -920,8 +1103,8 @@ ParallelSearchEngine::processJobs(const std::vector<Job> &batch,
                     continue;
                 }
                 if (op != core::PortOp::Search) {
-                    // Hand the mutation run to the writer lane and move
-                    // on to the next run instead of stalling on it.
+                    // Hand the mutation run to the port's writer lane
+                    // and move on to the next run instead of stalling.
                     MutationRun run;
                     run.jobs.assign(batch.begin() +
                                         static_cast<std::ptrdiff_t>(i),
@@ -929,7 +1112,8 @@ ParallelSearchEngine::processJobs(const std::vector<Job> &batch,
                                         static_cast<std::ptrdiff_t>(j) +
                                         1);
                     port.busy.store(true, std::memory_order_release);
-                    if (writerQueue->push(std::move(run))) {
+                    const unsigned lane = laneOf(batch[i].request.port);
+                    if (writerQueues[lane]->push(std::move(run))) {
                         i = j + 1;
                         continue;
                     }
@@ -1078,7 +1262,9 @@ ParallelSearchEngine::bulkLoad(unsigned port,
     if (running)
         fatal("bulkLoad needs a stopped engine: a running port's "
               "database belongs to its worker thread");
-    invalidateCache(port);
+    // Whole-port: a bulk load can touch most of the table, and with
+    // the engine stopped no probe can race the bump anyway.
+    invalidateCache(port, /*wholePort=*/true);
     return sys->database(port).insertBatch(records, outcomes, priorities);
 }
 
@@ -1103,15 +1289,16 @@ ParallelSearchEngine::stop()
     stopped = true;
     for (auto &w : workers)
         w->queue.close();
-    if (writerQueue)
-        writerQueue->close(); // drained already: writer lane is idle
+    for (auto &q : writerQueues)
+        q->close();       // drained already: writer lanes are idle
     fanoutTasks->close(); // drained already: no shard can be in flight
     ringAll();            // wake parked workers so they observe close
     for (std::thread &t : threads)
         t.join();
     threads.clear();
-    if (writerThread.joinable())
-        writerThread.join();
+    for (std::thread &t : writerThreads)
+        t.join();
+    writerThreads.clear();
     running = false;
 }
 
@@ -1156,30 +1343,45 @@ ParallelSearchEngine::report() const
 {
     EngineReport out;
     out.workers = workerCount;
+    out.writerLanes = writerLaneCount_;
     uint64_t total_cycles = 0;
     uint64_t max_cycles = 0;
-    for (const auto &w : workers) {
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+        Worker &w = *workers[wi];
         const uint64_t wc =
-            w->modeledCycles.load(std::memory_order_relaxed);
+            w.modeledCycles.load(std::memory_order_relaxed);
         total_cycles += wc;
         max_cycles = std::max(max_cycles, wc);
         out.batchedSearchRuns +=
-            w->batchedSearchRuns.load(std::memory_order_relaxed);
+            w.batchedSearchRuns.load(std::memory_order_relaxed);
         out.adaptiveSerialRuns +=
-            w->adaptiveSerialRuns.load(std::memory_order_relaxed);
+            w.adaptiveSerialRuns.load(std::memory_order_relaxed);
         out.batchedInsertRuns +=
-            w->batchedInsertRuns.load(std::memory_order_relaxed);
+            w.batchedInsertRuns.load(std::memory_order_relaxed);
+        out.stagedMutationRuns +=
+            w.stagedRuns.load(std::memory_order_relaxed);
         {
-            std::lock_guard<std::mutex> lock(w->ingestMutex);
-            out.ingest.merge(w->ingest);
+            std::lock_guard<std::mutex> lock(w.ingestMutex);
+            out.ingest.merge(w.ingest);
+            // Trailing Workers are writer-lane scratch: break their
+            // ingest numbers out separately so the combining economy
+            // (rows fetched vs the serial controller) is visible.
+            if (wi >= workerCount)
+                out.writerIngest.merge(w.ingest);
         }
         out.fanoutLookups +=
-            w->fanoutLookups.load(std::memory_order_relaxed);
+            w.fanoutLookups.load(std::memory_order_relaxed);
         out.fanoutShards +=
-            w->fanoutShards.load(std::memory_order_relaxed);
+            w.fanoutShards.load(std::memory_order_relaxed);
         out.fanoutSerialFallbacks +=
-            w->fanoutSerialFallbacks.load(std::memory_order_relaxed);
+            w.fanoutSerialFallbacks.load(std::memory_order_relaxed);
     }
+    out.writerRowFetches = out.writerIngest.rowFetches;
+    out.writerSerialRowFetches = out.writerIngest.serialRowFetches;
+    out.rowsCombined =
+        out.writerSerialRowFetches > out.writerRowFetches
+            ? out.writerSerialRowFetches - out.writerRowFetches
+            : 0;
     // `completed` before `wallEndNs`: each completion publishes its end
     // stamp before incrementing completed (finishResponse), so the
     // stamp read below covers every completion counted here and the

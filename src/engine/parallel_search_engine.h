@@ -34,10 +34,22 @@
  * EngineConfig::resultCacheEntries fronts search dispatch with a
  * lock-free hot-key result cache (result_cache.h): a repeat of a
  * recently answered key replays the cached response -- bit-identical
- * fields, zero modeled bucket accesses -- and any mutation on the port
- * conservatively invalidates the port's partition through a generation
- * bump, so result streams stay bit-identical to the uncached engine on
- * every stream, including mixed mutation streams.
+ * fields, zero modeled bucket accesses.  Invalidation is row-granular:
+ * a fill is stamped with the lookup's candidate home-row region
+ * coverage, and a mutation bumps only the region counters of the rows
+ * it dirtied (whole-port for rebuilds and overflow-area databases), so
+ * hot keys survive churn on cold rows while result streams stay
+ * bit-identical to the uncached engine on every stream, including
+ * mixed mutation streams.
+ *
+ * EngineConfig::concurrentMutation routes mutations to dedicated
+ * writer lanes (EngineConfig::writerLanes, port % lanes) so
+ * independent ports' writes proceed in parallel with each other and
+ * with every port's searches; EngineConfig::writerCombining lets a
+ * lane absorb runs that arrive while their port is already mutating
+ * into a per-port staging deque and apply them as wider row-ordered
+ * insertBatch calls -- one row fetch + one seqlock writer section per
+ * distinct row -- still in exact submission order.
  *
  * EngineConfig::rowFanoutMin additionally enables *intra-lookup*
  * parallelism: a lookup whose ternary key duplicates across many home
@@ -162,13 +174,50 @@ struct EngineConfig
     bool concurrentMutation = true;
 
     /**
+     * Port-sharded writer lanes: the number of dedicated writer
+     * threads mutations are spread across under concurrentMutation.
+     * Ports map to lanes by the same modulo hash that maps ports to
+     * workers (port % lanes), so one port's mutations always execute
+     * on one lane -- per-port FIFO and the busy-flag/doorbell hand-off
+     * protocol are untouched -- while independent ports' mutations no
+     * longer serialize on a single writer thread.  0 (the default)
+     * defers to the CARAM_WRITER_LANES environment variable, re-read
+     * at each engine's construction like CARAM_ROW_FANOUT_MIN (see
+     * resolvedWriterLanes()); unset resolves to 1, the PR 6 single
+     * writer lane.  Clamped to [1, 16]; ignored when
+     * concurrentMutation is off or in inline mode.
+     */
+    unsigned writerLanes = 0;
+
+    /**
+     * Writer-lane combining: while a port's mutation run executes on
+     * its writer lane, further mutation runs arriving for that port
+     * are appended to a per-port staging deque instead of a new queue
+     * hand-off; the lane drains the staging before releasing the port
+     * and concatenates consecutive same-op jobs into wider
+     * Database::insertBatch calls, so same-row mutations cost one row
+     * fetch + one seqlock writer section per *distinct* row
+     * (insertBatch's simulate-then-apply machinery).  Submission order
+     * is preserved exactly -- staged runs execute on the same lane, in
+     * arrival order, before any later request of the port -- so the
+     * stored table and the response stream stay bit-identical to
+     * serial execution.  The row-op economy is surfaced in the
+     * report's writerIngest/rowsCombined fields.
+     */
+    bool writerCombining = true;
+
+    /**
      * Hot-key result cache: total entry budget of the front-side
      * ResultCache (see result_cache.h).  A Search whose exact key
-     * (value, care, width) was answered since the port's last
-     * mutation replays the cached response -- bit-identical fields,
-     * zero modeled bucket accesses -- and any Insert/Erase/Rebuild on
-     * the port conservatively invalidates its whole partition through
-     * a generation bump.  nullopt (the default) defers to the
+     * (value, care, width) was answered since the last mutation that
+     * touched any of its candidate home-row regions replays the cached
+     * response -- bit-identical fields, zero modeled bucket accesses.
+     * Invalidation is row-granular: fills are stamped with the
+     * lookup's candidate home-row coverage and an Insert/Erase bumps
+     * only the region counters of the rows it actually dirtied
+     * (Rebuild, and every mutation on a database with a parallel
+     * overflow area, still bumps the whole port), so hot keys survive
+     * churn on cold rows.  nullopt (the default) defers to the
      * CARAM_RESULT_CACHE_ENTRIES environment variable, re-read at each
      * engine's construction like CARAM_ROW_FANOUT_MIN (see
      * resolvedResultCacheEntries()); an explicit value always wins, so
@@ -252,6 +301,24 @@ struct EngineReport
     uint64_t batchedInsertRuns = 0;
     /** Merged row-op accounting of every batched insert run. */
     core::InsertBatchSummary ingest;
+    /** Writer lanes serving mutations (0 = blocking/inline path). */
+    unsigned writerLanes = 0;
+    /** Mutation runs appended to a busy port's staging deque instead
+     *  of a fresh queue hand-off (writer combining). */
+    uint64_t stagedMutationRuns = 0;
+    /** Row-op accounting of the writer lanes' insert batches only (a
+     *  subset of `ingest`): combining widens these batches, so
+     *  rowFetches here measures the combined write path. */
+    core::InsertBatchSummary writerIngest;
+    /** writerIngest.rowFetches -- rows the writer lanes actually
+     *  fetched, after same-row combining. */
+    uint64_t writerRowFetches = 0;
+    /** Rows a record-at-a-time writer would have fetched for the same
+     *  inserts (writerIngest.serialRowFetches). */
+    uint64_t writerSerialRowFetches = 0;
+    /** Row fetches combining saved the writer lanes
+     *  (writerSerialRowFetches - writerRowFetches). */
+    uint64_t rowsCombined = 0;
     /** Lookups routed through the intra-lookup row fan-out. */
     uint64_t fanoutLookups = 0;
     /** Shards those lookups split into (incl. the coordinator's). */
@@ -370,12 +437,24 @@ class ParallelSearchEngine
      *  (config value, or CARAM_PREFILTER read at that moment). */
     bool resolvedPrefilter() const { return prefilter_; }
 
-    /** True when mutations route through the writer lane (the config
+    /** True when mutations route through the writer lanes (the config
      *  flag after the inline-mode override -- workers == 0 forces the
      *  serial path regardless of the default). */
     bool concurrentMutationActive() const
     {
         return cfg.concurrentMutation;
+    }
+
+    /** The writer-lane count this engine resolved at construction
+     *  (config value, or CARAM_WRITER_LANES read at that moment;
+     *  0 when mutations do not route through writer lanes). */
+    unsigned resolvedWriterLanes() const { return writerLaneCount_; }
+
+    /** Writer lane that serves @p port's mutations (lanes active
+     *  only). */
+    unsigned laneOf(unsigned port) const
+    {
+        return port % writerLaneCount_;
     }
 
     /** Aggregate throughput/latency accounting for the run so far. */
@@ -394,7 +473,7 @@ class ParallelSearchEngine
 
     void workerMain(unsigned index);
     /** Writer-lane thread body (concurrentMutation only). */
-    void writerMain();
+    void writerMain(unsigned lane);
     /** Re-dispatch deferred jobs of @p index's ports whose writer-lane
      *  hand-off has completed.  Returns true when any job ran. */
     bool drainPending(unsigned index);
@@ -443,8 +522,13 @@ class ParallelSearchEngine
     void publishCached(const core::PortRequest &request,
                        const core::SearchResult &cached,
                        std::chrono::steady_clock::time_point enqueued);
-    /** Bump @p port's cache generation before a mutation executes. */
-    void invalidateCache(unsigned port);
+    /** Invalidate @p port's cached entries after a mutation run
+     *  executed: region-granular when the mutation's dirty-row mask
+     *  allows it, whole-port otherwise (@p wholePort, used by Rebuild
+     *  and bulk loads).  The port's own requests are serialized by the
+     *  busy-flag hand-off, so bumping after the mutation is safe: no
+     *  probe of this port can run in between. */
+    void invalidateCache(unsigned port, bool wholePort);
     /** Publish one finished response: stats, latency, result stream. */
     void finishResponse(core::PortResponse resp,
                         std::chrono::steady_clock::time_point enqueued);
@@ -461,14 +545,19 @@ class ParallelSearchEngine
     std::unique_ptr<ResultCache> resultCache_;
     /** Shared shard sub-task queue the workers steal from. */
     std::unique_ptr<sim::ConcurrentBoundedQueue<FanoutTask>> fanoutTasks;
-    /** Writer-lane hand-off queue (concurrentMutation only). */
-    std::unique_ptr<sim::ConcurrentBoundedQueue<MutationRun>> writerQueue;
+    /** Resolved writer-lane count (config, or CARAM_WRITER_LANES);
+     *  0 when mutations do not route through writer lanes. */
+    unsigned writerLaneCount_ = 0;
+    /** Per-lane hand-off queues (concurrentMutation only). */
+    std::vector<std::unique_ptr<sim::ConcurrentBoundedQueue<MutationRun>>>
+        writerQueues;
     std::vector<std::unique_ptr<PortState>> ports;
-    /** One per worker thread, plus one trailing scratch set for the
-     *  writer lane when concurrentMutation is on (index workerCount). */
+    /** One per worker thread, plus one trailing scratch set per writer
+     *  lane when concurrentMutation is on (indices workerCount ..
+     *  workerCount + lanes - 1). */
     std::vector<std::unique_ptr<Worker>> workers;
     std::vector<std::thread> threads;
-    std::thread writerThread;
+    std::vector<std::thread> writerThreads;
     /** Grace-period domain for rebuildSwap() retirements; peek()
      *  readers pin it for the duration of their lookup (mutable: a
      *  read-side pin mutates only the domain's bookkeeping, never the

@@ -27,10 +27,11 @@ enum : unsigned {
     kMatchMeta = kMatchCare0 + Key::kWords, // width | hit << 32
     kData = kMatchMeta + 1,
     kBuckets = kData + 1,
-    kStamp = kBuckets + 1,
+    kRegionMask = kBuckets + 1,
+    kStamp = kRegionMask + 1,
     kWordCount = kStamp + 1,
 };
-static_assert(kWordCount == 21, "payload layout drifted from header");
+static_assert(kWordCount == 22, "payload layout drifted from header");
 
 /** SplitMix64-style finalizer over the key words: the set index must
  *  depend on every value/care bit or wildcard families would pile into
@@ -88,6 +89,7 @@ ResultCache::ResultCache(std::size_t entries, unsigned ways,
     const std::size_t total_sets = setsPerPort_ * nports_;
     entries_ = std::make_unique<Entry[]>(total_sets * ways_);
     generations_ = std::make_unique<PortGeneration[]>(nports_);
+    regionGens_ = std::make_unique<RegionGenerations[]>(nports_);
     cursors_ = std::make_unique<std::atomic<uint32_t>[]>(total_sets);
 }
 
@@ -107,6 +109,21 @@ ResultCache::generation(unsigned port) const
     return generations_[port].value.load(std::memory_order_acquire);
 }
 
+uint64_t
+ResultCache::captureStamp(unsigned port, uint64_t regionMask) const
+{
+    if (port >= nports_)
+        fatal("result cache stamp capture for unknown port");
+    uint64_t stamp =
+        generations_[port].value.load(std::memory_order_acquire);
+    const std::atomic<uint64_t> *regions = regionGens_[port].value;
+    for (uint64_t m = regionMask; m != 0; m &= m - 1) {
+        stamp += regions[std::countr_zero(m)].load(
+            std::memory_order_acquire);
+    }
+    return stamp;
+}
+
 void
 ResultCache::invalidate(unsigned port)
 {
@@ -114,8 +131,29 @@ ResultCache::invalidate(unsigned port)
         fatal("result cache invalidation for unknown port");
     // Release: the bump is published before the caller starts mutating
     // the table, so a thread that still reads the old generation is
-    // guaranteed to also still see the old (valid) table.
+    // guaranteed to also still see the old (valid) table.  (The
+    // engine's writer lane bumps *after* mutating instead; there the
+    // per-port busy-flag hand-off serializes the port's requests, so
+    // no probe of that port can race the mutation at all.)
     generations_[port].value.fetch_add(1, std::memory_order_release);
+}
+
+void
+ResultCache::invalidateRegions(unsigned port, uint64_t regionMask)
+{
+    if (port >= nports_)
+        fatal("result cache region invalidation for unknown port");
+    if (regionMask == ~uint64_t{0}) {
+        // Full coverage: one whole-port bump beats 64 region bumps and
+        // invalidates mask-0 (legacy whole-port) entries too.
+        generations_[port].value.fetch_add(1, std::memory_order_release);
+        return;
+    }
+    std::atomic<uint64_t> *regions = regionGens_[port].value;
+    for (uint64_t m = regionMask; m != 0; m &= m - 1) {
+        regions[std::countr_zero(m)].fetch_add(
+            1, std::memory_order_release);
+    }
 }
 
 bool
@@ -160,10 +198,13 @@ ResultCache::probe(unsigned port, const Key &key, core::SearchResult &out)
         if (!match)
             continue;
 
-        // Generation check: any mutation of this port's table since
-        // the fill's pre-search capture makes the entry unservable.
-        if (words[kStamp] !=
-            generations_[port].value.load(std::memory_order_acquire))
+        // Generation check: recompute the stamp sum over the entry's
+        // stored region mask.  Every counter is monotonically
+        // non-decreasing, so equality holds iff no covered counter --
+        // whole-port or any covered region -- was bumped since the
+        // fill's pre-search capture; any such bump makes the entry
+        // unservable.
+        if (words[kStamp] != captureStamp(port, words[kRegionMask]))
             return false;
 
         out = core::SearchResult{};
@@ -181,7 +222,8 @@ ResultCache::probe(unsigned port, const Key &key, core::SearchResult &out)
 
 void
 ResultCache::fill(unsigned port, const Key &key,
-                  const core::SearchResult &result, uint64_t gen)
+                  const core::SearchResult &result, uint64_t stamp,
+                  uint64_t regionMask)
 {
     if (port >= nports_)
         fatal("result cache fill for unknown port");
@@ -193,11 +235,10 @@ ResultCache::fill(unsigned port, const Key &key,
 
     // Victim selection (advisory only -- relaxed reads are fine):
     // refresh the key's own entry if present, else take a way whose
-    // stamp is already stale, else round-robin.
+    // stamp no longer matches the recomputed sum over its own stored
+    // mask (it can never be served again), else round-robin.
     unsigned victim = kMaxWays;
     unsigned stale = kMaxWays;
-    const uint64_t current =
-        generations_[port].value.load(std::memory_order_relaxed);
     for (unsigned way = 0; way < ways_; ++way) {
         Entry &e = set[way];
         if (loadWord(e.words[kSearchMeta]) == want_meta) {
@@ -214,7 +255,9 @@ ResultCache::fill(unsigned port, const Key &key,
                 break;
             }
         }
-        if (stale == kMaxWays && loadWord(e.words[kStamp]) != current)
+        if (stale == kMaxWays &&
+            loadWord(e.words[kStamp]) !=
+                captureStamp(port, loadWord(e.words[kRegionMask])))
             stale = way;
     }
     if (victim == kMaxWays)
@@ -255,7 +298,8 @@ ResultCache::fill(unsigned port, const Key &key,
                   (uint64_t{result.hit ? 1u : 0u} << 32));
     storeWord(e.words[kData], result.data);
     storeWord(e.words[kBuckets], result.bucketsAccessed);
-    storeWord(e.words[kStamp], gen);
+    storeWord(e.words[kRegionMask], regionMask);
+    storeWord(e.words[kStamp], stamp);
 
     e.seq.store(s + 2, std::memory_order_release);
 }

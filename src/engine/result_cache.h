@@ -13,17 +13,24 @@
  * search (hit/miss verdict, matched key, stored data, bucketsAccessed)
  * without a single modeled bucket access.
  *
- * Coherence is generation-based and deliberately conservative: the
- * caller bumps a per-port generation counter (invalidate()) before any
- * mutation of that port's table, captures the current generation
- * before running a slice search (generation()), and stamps the fill
- * with it.  A probe serves an entry only when its stamp still equals
- * the port's current generation -- any intervening insert/erase/
- * rebuild, whether or not it touched the cached key, turns every older
- * entry of that port into a miss that falls through to the normal
- * slice search.  Conservative invalidation trades hit rate under churn
- * for a correctness argument that needs no knowledge of which rows a
- * mutation touched (see DESIGN.md §4d).
+ * Coherence is generation-based, at two granularities.  Each port owns
+ * one whole-port generation counter plus kRegions per-region counters
+ * (a region is a power-of-two run of slice rows; the engine maps rows
+ * to regions, the cache just treats the 64-bit region mask as opaque).
+ * A fill is stamped with the *sum* of the port counter and the region
+ * counters its lookup's candidate home rows cover (captureStamp(),
+ * taken before the slice search ran), and records the covering mask.
+ * A probe recomputes that sum over the entry's stored mask and serves
+ * the entry only when it still equals the stamp: because every counter
+ * is monotonically non-decreasing, equality holds iff no covered
+ * counter was bumped since the capture.  A mutation bumps only the
+ * region counters of the rows it actually dirtied
+ * (invalidateRegions()), so churn on cold rows no longer evicts hot
+ * keys that live elsewhere; invalidate() bumps the whole-port counter
+ * and remains the conservative fallback (rebuilds, bulk loads,
+ * overflow-area tables, and every pre-region caller).  An entry whose
+ * mask is 0 is stamped with the port counter alone -- bit-identical to
+ * the original whole-port protocol (see DESIGN.md §4d).
  *
  * Entries are protected by per-entry seqlocks with the same fence
  * discipline as CaRamSlice's row seqlocks: a writer claims the entry
@@ -63,6 +70,11 @@ class ResultCache
     /** Most ways a set can have (entry layout / clamp bound). */
     static constexpr unsigned kMaxWays = 16;
 
+    /** Per-port region counters: one bit of a region mask per counter.
+     *  The engine maps slice rows onto regions with a right shift, so
+     *  region r covers rows [r << shift, (r + 1) << shift). */
+    static constexpr unsigned kRegions = 64;
+
     /**
      * @param entries total entry budget across all ports (rounded so
      *                each port owns a power-of-two number of sets;
@@ -87,25 +99,56 @@ class ResultCache
     bool probe(unsigned port, const Key &key, core::SearchResult &out);
 
     /**
-     * The port's current generation.  Capture it *before* running the
-     * slice search whose result will be filled: a mutation that slips
+     * The port's current whole-port generation (captureStamp() with an
+     * empty region mask).  Capture it *before* running the slice
+     * search whose result will be filled: a mutation that slips
      * between the capture and the fill bumps the counter, so the stale
      * fill can never be served.
      */
     uint64_t generation(unsigned port) const;
 
     /**
-     * Install @p result for @p key, stamped with @p gen (from
-     * generation(), read before the search ran).  Best-effort: a
-     * concurrent fill of the same entry makes this one a silent no-op.
-     * Never blocks or allocates.
+     * The port's current stamp for a lookup whose candidate home rows
+     * cover @p regionMask: the whole-port generation plus the sum of
+     * every covered region counter.  Capture before the slice search
+     * runs; pass the same mask to fill().  Monotonic counters make the
+     * recomputed sum on probe equal the stamp iff no covered counter
+     * was bumped in between.
+     */
+    uint64_t captureStamp(unsigned port, uint64_t regionMask) const;
+
+    /**
+     * Install @p result for @p key, stamped with @p stamp (from
+     * captureStamp(port, regionMask), read before the search ran) and
+     * covered by @p regionMask.  Best-effort: a concurrent fill of the
+     * same entry makes this one a silent no-op.  Never blocks or
+     * allocates.
      */
     void fill(unsigned port, const Key &key,
-              const core::SearchResult &result, uint64_t gen);
+              const core::SearchResult &result, uint64_t stamp,
+              uint64_t regionMask);
 
-    /** Bump @p port's generation: every entry filled before this call
-     *  becomes unservable.  Call before mutating the port's table. */
+    /** Whole-port-protocol fill: stamp from generation(), mask 0. */
+    void fill(unsigned port, const Key &key,
+              const core::SearchResult &result, uint64_t gen)
+    {
+        fill(port, key, result, gen, 0);
+    }
+
+    /** Bump @p port's whole-port generation: every entry filled before
+     *  this call becomes unservable, whatever its mask.  Call before
+     *  (or after, if the port's requests are externally serialized)
+     *  mutating the port's table. */
     void invalidate(unsigned port);
+
+    /**
+     * Bump only the region counters set in @p regionMask: entries
+     * whose stored mask intersects it become unservable, the rest keep
+     * hitting.  A mask of ~0 degrades to invalidate(); a mask of 0 is
+     * a no-op (the mutation dirtied no rows, so nothing cached can be
+     * stale).
+     */
+    void invalidateRegions(unsigned port, uint64_t regionMask);
 
     std::size_t entryCount() const { return setsPerPort_ * ways_ * nports_; }
     unsigned wayCount() const { return ways_; }
@@ -113,7 +156,7 @@ class ResultCache
 
   private:
     /** Payload words per entry (see layout constants in the .cc). */
-    static constexpr unsigned kPayloadWords = 21;
+    static constexpr unsigned kPayloadWords = 22;
 
     struct Entry
     {
@@ -130,6 +173,13 @@ class ResultCache
         std::atomic<uint64_t> value{0};
     };
 
+    /** Per-port block of region counters, cache-line aligned so one
+     *  port's region bumps never false-share another port's block. */
+    struct alignas(64) RegionGenerations
+    {
+        std::atomic<uint64_t> value[kRegions] = {};
+    };
+
     /** First entry of the set @p key maps to within @p port's region. */
     Entry *setFor(unsigned port, const Key &key);
 
@@ -138,6 +188,7 @@ class ResultCache
     unsigned nports_ = 1;
     std::unique_ptr<Entry[]> entries_;
     std::unique_ptr<PortGeneration[]> generations_;
+    std::unique_ptr<RegionGenerations[]> regionGens_;
     /** Per-set round-robin victim cursors (relaxed; only steer
      *  replacement, never correctness). */
     std::unique_ptr<std::atomic<uint32_t>[]> cursors_;

@@ -14,7 +14,9 @@
  * data, key, bucketsAccessed), and the final tables must agree on
  * every key the stream ever touched.  Swept over worker counts x batch
  * widths x key spaces (binary probing and ternary multi-home with row
- * fan-out forced on, so shard stealing interleaves with hand-offs).
+ * fan-out forced on, so shard stealing interleaves with hand-offs) x
+ * writer-lane counts x combining on/off (staged runs drained by a
+ * checked-out lane must execute in FIFO position).
  * ci_tsan.sh runs this suite under TSan.
  */
 
@@ -200,12 +202,14 @@ expectSameResponse(const PortResponse &got, const PortResponse &want,
 void
 runDifferential(const Variant &v, unsigned nports, unsigned workers,
                 std::size_t batch_size, unsigned fanout_min,
-                uint64_t seed)
+                uint64_t seed, unsigned writer_lanes = 0,
+                bool combining = true)
 {
     SCOPED_TRACE(::testing::Message()
                  << "variant " << v.name << " workers " << workers
                  << " batch " << batch_size << " fanoutMin "
-                 << fanout_min << " seed " << seed);
+                 << fanout_min << " lanes " << writer_lanes
+                 << " combining " << combining << " seed " << seed);
     auto oracle_sys = buildSubsystem(v, nports, "oracle");
     auto subject_sys = buildSubsystem(v, nports, "subject");
     const std::vector<PortRequest> stream =
@@ -218,6 +222,8 @@ runDifferential(const Variant &v, unsigned nports, unsigned workers,
     cfg.batchSize = batch_size;
     cfg.concurrentMutation = true;
     cfg.rowFanoutMin = fanout_min;
+    cfg.writerLanes = writer_lanes;
+    cfg.writerCombining = combining;
     ParallelSearchEngine eng(*subject_sys, cfg);
     eng.start();
     ASSERT_EQ(eng.submitBatch(stream), stream.size());
@@ -290,6 +296,45 @@ TEST(ConcurrentMutationDifferential, MorePortsThanWorkers)
     // ports, so a busy port's deferrals must interleave with its
     // siblings' runs on the same thread.
     runDifferential(binaryVariant(), 9, 2, 4, 0, 0xc0ffee06);
+}
+
+// ---------------------------------------------------------------------
+// Writer-lane sharding x combining matrix.  Lanes spread ports across
+// independent writer threads (port % lanes); combining lets owners
+// stage follow-up mutation runs onto a checked-out port and the lane
+// drain whole backlogs as single bulk ingests.  Neither may perturb a
+// single response or the final tables.
+
+TEST(ConcurrentMutationDifferential, BinaryTwoLanesBatched)
+{
+    runDifferential(binaryVariant(), 6, 4, 8, 0, 0xc0ffee07, 2, true);
+}
+
+TEST(ConcurrentMutationDifferential, BinaryTwoLanesSerialNoCombining)
+{
+    runDifferential(binaryVariant(), 6, 4, 1, 0, 0xc0ffee08, 2, false);
+}
+
+TEST(ConcurrentMutationDifferential, BinaryFourLanesBatched)
+{
+    runDifferential(binaryVariant(), 9, 4, 8, 0, 0xc0ffee09, 4, true);
+}
+
+TEST(ConcurrentMutationDifferential, BinaryFourLanesNoCombining)
+{
+    runDifferential(binaryVariant(), 9, 4, 8, 0, 0xc0ffee0a, 4, false);
+}
+
+TEST(ConcurrentMutationDifferential, TernaryFanoutFourLanesCombining)
+{
+    // The full interleaving: shard stealing, batched runs, four writer
+    // lanes and staged combining in one ternary stream.
+    runDifferential(ternaryVariant(), 6, 4, 8, 2, 0xc0ffee0b, 4, true);
+}
+
+TEST(ConcurrentMutationDifferential, TernaryFanoutTwoLanesNoCombining)
+{
+    runDifferential(ternaryVariant(), 6, 4, 8, 2, 0xc0ffee0c, 2, false);
 }
 
 } // namespace

@@ -247,13 +247,15 @@ expectSameResponse(const PortResponse &got, const PortResponse &want,
 void
 runDifferential(const Variant &v, unsigned nports, unsigned workers,
                 std::size_t batch_size, unsigned fanout_min,
-                bool concurrent_mutation, uint64_t seed)
+                bool concurrent_mutation, uint64_t seed,
+                unsigned writer_lanes = 0, bool combining = true)
 {
     SCOPED_TRACE(::testing::Message()
                  << "variant " << v.name << " workers " << workers
                  << " batch " << batch_size << " fanoutMin "
                  << fanout_min << " writerLane " << concurrent_mutation
-                 << " seed " << seed);
+                 << " lanes " << writer_lanes << " combining "
+                 << combining << " seed " << seed);
     auto oracle_sys = buildSubsystem(v, nports, "oracle");
     auto subject_sys = buildSubsystem(v, nports, "subject");
     const std::vector<PortRequest> stream =
@@ -266,6 +268,8 @@ runDifferential(const Variant &v, unsigned nports, unsigned workers,
     cfg.batchSize = batch_size;
     cfg.rowFanoutMin = fanout_min;
     cfg.concurrentMutation = concurrent_mutation;
+    cfg.writerLanes = writer_lanes;
+    cfg.writerCombining = combining;
     cfg.prefilter = true;
     ParallelSearchEngine eng(*subject_sys, cfg);
     EXPECT_TRUE(eng.resolvedPrefilter());
@@ -346,6 +350,26 @@ TEST(PrefilterDifferential, LpmBatchedWorkers)
 TEST(PrefilterDifferential, LpmWriterLane)
 {
     runDifferential(lpmVariant(), 5, 2, 4, 0, true, 0x9f117e06);
+}
+
+TEST(PrefilterDifferential, BinaryCombinedWriterSections)
+{
+    // Writer combining folds a drained insert backlog into one bulk
+    // ingest -- one seqlock writer section per distinct row.  The
+    // counting filter's per-row increments and decrements inside those
+    // combined sections must leave exactly the same counts as the
+    // serial per-request path, so skip decisions stay one-sided.
+    runDifferential(binaryVariant(), 6, 4, 8, 0, true, 0x9f117e07, 2,
+                    true);
+}
+
+TEST(PrefilterDifferential, TernaryFourLanesCombinedWriterSections)
+{
+    // Multi-home duplication under four lanes: combined sections write
+    // several filter rows per record, and lane sharding spreads ports
+    // across writer threads while searches consult the filter.
+    runDifferential(ternaryVariant(), 6, 4, 8, 2, true, 0x9f117e08, 4,
+                    true);
 }
 
 TEST(PrefilterDifferential, PayloadsMatchUnfilteredOracle)

@@ -417,7 +417,7 @@ struct CacheFixture
     }
 };
 
-TEST(ResultCacheGeneration, RepeatSearchHitsUntilMutation)
+TEST(ResultCacheGeneration, RepeatSearchHitsUntilRowMutation)
 {
     CacheFixture f;
     const Key k = randomKey(f.rng, f.v, 1.0);
@@ -435,17 +435,36 @@ TEST(ResultCacheGeneration, RepeatSearchHitsUntilMutation)
     EXPECT_EQ(second.bucketsAccessed, first.bucketsAccessed);
     EXPECT_TRUE(second.key == first.key);
 
-    // Any mutation on the port -- here an insert of an unrelated key --
-    // conservatively invalidates the whole partition.
-    f.run(PortOp::Insert, randomKey(f.rng, f.v, 1.0), 1);
-    const uint64_t hits_before = f.eng->report().cacheHits;
+    // Invalidation is row-granular: a mutation whose home row shares
+    // no cache region with k's candidate rows leaves the cached entry
+    // servable.  (This fixture has 64 rows, so region == row.)
+    std::vector<uint64_t> scratch;
+    auto &db = f.sys->database(0);
+    const uint64_t mask_k = db.searchRegionMask(k, scratch);
+    ASSERT_NE(mask_k, 0u);
+    Key cold = randomKey(f.rng, f.v, 1.0);
+    while ((db.searchRegionMask(cold, scratch) & mask_k) != 0)
+        cold = randomKey(f.rng, f.v, 1.0);
+    f.run(PortOp::Insert, cold, 1);
+    uint64_t hits = f.eng->report().cacheHits;
     f.run(PortOp::Search, k);
-    EXPECT_EQ(f.eng->report().cacheHits, hits_before);
+    EXPECT_EQ(f.eng->report().cacheHits, hits + 1)
+        << "cold-row churn evicted a hot cached result";
     EXPECT_GE(f.eng->report().cacheInvalidations, 1u);
+
+    // ...while a mutation that lands in a covered region kills it.
+    Key warm = randomKey(f.rng, f.v, 1.0);
+    while ((db.searchRegionMask(warm, scratch) & mask_k) == 0 ||
+           warm == k)
+        warm = randomKey(f.rng, f.v, 1.0);
+    f.run(PortOp::Insert, warm, 2);
+    hits = f.eng->report().cacheHits;
+    f.run(PortOp::Search, k);
+    EXPECT_EQ(f.eng->report().cacheHits, hits); // miss: region bumped
 
     // ...and the refill after the miss serves the next repeat again.
     f.run(PortOp::Search, k);
-    EXPECT_EQ(f.eng->report().cacheHits, hits_before + 1);
+    EXPECT_EQ(f.eng->report().cacheHits, hits + 1);
 }
 
 TEST(ResultCacheGeneration, EraseNeverServesStaleHit)

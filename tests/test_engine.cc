@@ -1147,6 +1147,105 @@ TEST(Engine, RowFanoutMinEnvReReadAtEachConstruction)
         unsetenv("CARAM_ROW_FANOUT_MIN");
 }
 
+TEST(Engine, WriterLanesEnvReReadAtEachConstruction)
+{
+    // CARAM_WRITER_LANES must be consulted fresh by every engine
+    // construction, not latched process-wide by the first.
+    const char *old = std::getenv("CARAM_WRITER_LANES");
+    const std::string saved = old ? old : "";
+    const bool had = old != nullptr;
+    auto sys = buildLoaded(1, 10);
+    EngineConfig cfg;
+    cfg.workers = 1; // lanes exist only with threaded concurrentMutation
+    setenv("CARAM_WRITER_LANES", "4", 1);
+    {
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_EQ(eng.resolvedWriterLanes(), 4u);
+    }
+    setenv("CARAM_WRITER_LANES", "2", 1);
+    {
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_EQ(eng.resolvedWriterLanes(), 2u);
+    }
+    unsetenv("CARAM_WRITER_LANES");
+    {
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_EQ(eng.resolvedWriterLanes(), 1u);
+    }
+    // An explicit config value always beats the environment, and the
+    // count clamps to the [1, 16] lane range.
+    setenv("CARAM_WRITER_LANES", "8", 1);
+    {
+        EngineConfig forced = cfg;
+        forced.writerLanes = 3;
+        ParallelSearchEngine eng(*sys, forced);
+        EXPECT_EQ(eng.resolvedWriterLanes(), 3u);
+    }
+    {
+        EngineConfig forced = cfg;
+        forced.writerLanes = 64;
+        ParallelSearchEngine eng(*sys, forced);
+        EXPECT_EQ(eng.resolvedWriterLanes(), 16u);
+    }
+    // Inline mode has no writer lanes at all.
+    {
+        EngineConfig inline_cfg = cfg;
+        inline_cfg.workers = 0;
+        ParallelSearchEngine eng(*sys, inline_cfg);
+        EXPECT_EQ(eng.resolvedWriterLanes(), 0u);
+    }
+    if (had)
+        setenv("CARAM_WRITER_LANES", saved.c_str(), 1);
+    else
+        unsetenv("CARAM_WRITER_LANES");
+}
+
+TEST(Engine, ResultCacheEntriesEnvReReadAtEachConstruction)
+{
+    // CARAM_RESULT_CACHE_ENTRIES must be consulted fresh by every
+    // engine construction, not latched process-wide by the first.
+    const char *old = std::getenv("CARAM_RESULT_CACHE_ENTRIES");
+    const std::string saved = old ? old : "";
+    const bool had = old != nullptr;
+    auto sys = buildLoaded(1, 10);
+    EngineConfig cfg;
+    cfg.workers = 0;
+    setenv("CARAM_RESULT_CACHE_ENTRIES", "1024", 1);
+    {
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_EQ(eng.resolvedResultCacheEntries(), 1024u);
+    }
+    setenv("CARAM_RESULT_CACHE_ENTRIES", "2048", 1);
+    {
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_EQ(eng.resolvedResultCacheEntries(), 2048u);
+    }
+    unsetenv("CARAM_RESULT_CACHE_ENTRIES");
+    {
+        ParallelSearchEngine eng(*sys, cfg);
+        EXPECT_EQ(eng.resolvedResultCacheEntries(), 0u);
+    }
+    // An explicit config value always beats the environment --
+    // including an explicit 0, which pins the cache off.
+    setenv("CARAM_RESULT_CACHE_ENTRIES", "4096", 1);
+    {
+        EngineConfig forced = cfg;
+        forced.resultCacheEntries = 512;
+        ParallelSearchEngine eng(*sys, forced);
+        EXPECT_EQ(eng.resolvedResultCacheEntries(), 512u);
+    }
+    {
+        EngineConfig forced = cfg;
+        forced.resultCacheEntries = 0;
+        ParallelSearchEngine eng(*sys, forced);
+        EXPECT_EQ(eng.resolvedResultCacheEntries(), 0u);
+    }
+    if (had)
+        setenv("CARAM_RESULT_CACHE_ENTRIES", saved.c_str(), 1);
+    else
+        unsetenv("CARAM_RESULT_CACHE_ENTRIES");
+}
+
 TEST(Engine, ConcurrentMutationMixedOperationsMatchSerial)
 {
     // The writer-lane hand-off must be invisible to results: the same
