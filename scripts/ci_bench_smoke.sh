@@ -40,6 +40,17 @@
 # serial oracle; its 4-lane speedup is also compared against the
 # checked-in baseline.
 #
+# The maintenance section runs ext_maintenance, which self-gates on
+# the self-managing online maintenance engine: modeled foreground
+# throughput with the planner armed within 10% of a maintenance-free
+# engine on saturated mixed churn (the inflight backoff must engage),
+# result streams matching the serial oracle (bucketsAccessed
+# excluded), and an idle engine walking skew-inflated AMAL back to
+# within 5% of an offline rebuild() -- >= 1.5x of the excess recovered
+# with no drain and no live-table rebuild, every live key still
+# answering.  Its churn ratio and recovered AMAL are also compared
+# against the checked-in baseline (within 10%).
+#
 # The pre-filter section runs ext_prefilter, which self-gates on the
 # per-row counting pre-filter: >= 2x modeled-cycle reduction on
 # 90%-miss and 99%-miss binary uniform traffic, bit-identical filtered
@@ -67,6 +78,8 @@
 #       --json bench/baselines/BENCH_writer_lanes.baseline.json
 #   build/bench/ext_prefilter \
 #       --json bench/baselines/BENCH_prefilter.baseline.json
+#   build/bench/ext_maintenance \
+#       --json bench/baselines/BENCH_maintenance.baseline.json
 #
 # Usage: scripts/ci_bench_smoke.sh [build-dir]   (default build)
 set -euo pipefail
@@ -80,13 +93,14 @@ FANOUT_BASELINE="bench/baselines/BENCH_row_fanout.baseline.json"
 CACHE_BASELINE="bench/baselines/BENCH_result_cache.baseline.json"
 LANES_BASELINE="bench/baselines/BENCH_writer_lanes.baseline.json"
 PREFILTER_BASELINE="bench/baselines/BENCH_prefilter.baseline.json"
+MAINTENANCE_BASELINE="bench/baselines/BENCH_maintenance.baseline.json"
 MAX_REGRESSION="${MAX_REGRESSION:-2.0}"
 LOOKUPS="${LOOKUPS:-100000}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_match_path \
     ext_bulk_ingest ext_row_fanout ext_parallel_engine \
-    ext_writer_lanes ext_prefilter
+    ext_writer_lanes ext_prefilter ext_maintenance
 
 LOG_DIR="$BUILD_DIR/bench-logs"
 mkdir -p "$LOG_DIR"
@@ -139,6 +153,11 @@ run_bench prefilter \
     "$BUILD_DIR"/bench/ext_prefilter \
     --json "$BUILD_DIR"/BENCH_prefilter.json \
     --baseline "$PREFILTER_BASELINE"
+
+run_bench maintenance \
+    "$BUILD_DIR"/bench/ext_maintenance \
+    --json "$BUILD_DIR"/BENCH_maintenance.json \
+    --baseline "$MAINTENANCE_BASELINE"
 
 # ---------------------------------------------------------------------
 # Per-metric summary: one row per gate line, offending metrics last so

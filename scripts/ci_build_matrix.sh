@@ -58,6 +58,18 @@
 #      single PR 6 lane pin writerLanes = 1 explicitly, which always
 #      wins over the environment knob.
 #
+#   8. The SIMD build rerun with CARAM_MAINTENANCE=1: every
+#      concurrent-mutation engine whose config leaves
+#      EngineConfig::maintenance unset now runs the background
+#      maintenance planner, so spill migration, reach trimming and
+#      overflow adoption race the whole suite's mutation and search
+#      traffic -- every differential and invariance expectation must
+#      hold while records move between rows underneath the readers.
+#      Tests that assert exact placement, bucketsAccessed or modeled
+#      row-op counts pin maintenance = false explicitly, which always
+#      wins over the environment knob (and inline engines ignore the
+#      knob entirely).
+#
 # Usage: scripts/ci_build_matrix.sh [scalar-build-dir] [simd-build-dir]
 #        (defaults build-scalar and build)
 set -euo pipefail
@@ -96,5 +108,9 @@ CARAM_PREFILTER=1 ctest --test-dir "$SIMD_DIR" \
 echo "=== leg 7: SIMD build, 4 writer lanes + result cache forced ==="
 CARAM_WRITER_LANES=4 CARAM_RESULT_CACHE_ENTRIES=4096 \
     ctest --test-dir "$SIMD_DIR" --output-on-failure
+
+echo "=== leg 8: SIMD build, background maintenance forced on ==="
+CARAM_MAINTENANCE=1 ctest --test-dir "$SIMD_DIR" \
+    --output-on-failure
 
 echo "build matrix: all legs passed"

@@ -30,8 +30,15 @@
 # PrefilterUnit.*) and by
 # PrefilterConcurrent.StableKeysAlwaysHitUnderChurn, where reader
 # threads run the validated concurrent filter consult against
-# insert/erase/rebuildSwap churn on the same rows.  Any data race
-# fails the script.
+# insert/erase/rebuildSwap churn on the same rows.  The online
+# maintenance engine is raced by the maintenance differentials
+# (MaintenanceDifferential.*, whose legs run the background planner's
+# epoch-quiesced two-phase migrations, reach trims and overflow
+# adoption against randomized insert/erase/rebuild/search streams over
+# writer lanes, combining and the result cache) and by the online
+# suite (MaintenanceOnline.*, including the torn-migration legs that
+# race reader threads against injected mid-migration tears).  Any data
+# race fails the script.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default build-tsan)
 set -euo pipefail
@@ -43,7 +50,8 @@ cmake -B "$BUILD_DIR" -S . -DCARAM_TSAN=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --target test_concurrent_queue test_engine test_epoch \
     seqlock_concurrent concurrent_mutation_differential \
-    result_cache_differential prefilter_differential
+    result_cache_differential prefilter_differential \
+    maintenance_differential
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$BUILD_DIR" \
-    -R 'ConcurrentQueue|CompletionLatch|Engine|Epoch|SeqlockConcurrent|ConcurrentMutation|ResultCache|Prefilter' \
+    -R 'ConcurrentQueue|CompletionLatch|Engine|Epoch|SeqlockConcurrent|ConcurrentMutation|ResultCache|Prefilter|Maintenance' \
     --output-on-failure

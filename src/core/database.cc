@@ -102,6 +102,7 @@ Database::insertDetailed(const Record &record, int priority)
                     slice_->removePlacement(r);
                 return out;
             }
+            noteOverflowMutation(record.key);
             out.tcamCopies = 1;
             // The overflow slice is probed in parallel with the main
             // access; only its own probe depth can exceed one access.
@@ -139,12 +140,14 @@ Database::insertDetailed(const Record &record, int priority)
         else
             needs_overflow = true;
     }
-    if (needs_overflow &&
-        !overflow_->insert(record.key, record.data, priority)) {
-        // Overflow area exhausted: roll back and fail.
-        for (const InsertResult &r : placed)
-            slice_->removePlacement(r);
-        return out;
+    if (needs_overflow) {
+        if (!overflow_->insert(record.key, record.data, priority)) {
+            // Overflow area exhausted: roll back and fail.
+            for (const InsertResult &r : placed)
+                slice_->removePlacement(r);
+            return out;
+        }
+        noteOverflowMutation(record.key);
     }
     out.ok = true;
     out.copies = static_cast<unsigned>(placed.size());
@@ -442,13 +445,24 @@ Database::erase(const Key &key)
 {
     checkAccessible();
     unsigned removed = slice_->erase(key);
+    const unsigned main_removed = removed;
     if (overflow_) {
         while (overflow_->erase(key))
             ++removed;
     }
     if (overflowSlice_)
         removed += overflowSlice_->erase(key);
+    if (removed != main_removed)
+        noteOverflowMutation(key);
     return removed;
+}
+
+void
+Database::noteOverflowMutation(const Key &key)
+{
+    thread_local std::vector<uint64_t> scratch;
+    overflowDirtyRegions_.fetch_or(slice_->searchRegionMask(key, scratch),
+                                   std::memory_order_relaxed);
 }
 
 uint64_t

@@ -275,31 +275,51 @@ class Database
     }
 
     /** True when lookups consult a parallel overflow area (victim TCAM
-     *  or overflow slice) whose writes the main slice's row regions do
-     *  not cover.  Row-granular cache coherence degrades to whole-port
-     *  semantics on such databases. */
+     *  or overflow slice).  Overflow writes are folded into the main
+     *  slice's row regions through noteOverflowMutation(), so row
+     *  granular cache coherence stays precise on such databases. */
     bool hasOverflowArea() const { return overflow_ || overflowSlice_; }
 
-    /** Region coverage of a lookup (CaRamSlice::searchRegionMask) --
-     *  full coverage on databases with an overflow area, since an
-     *  overflow write can change any lookup's outcome. */
+    /**
+     * Region coverage of a lookup (CaRamSlice::searchRegionMask over
+     * the main slice).  The same coverage is sound for the overflow
+     * area: an overflow write that can change this lookup's outcome
+     * involves a record this key matches, and a matching record shares
+     * at least one candidate home row with the key (its stored value
+     * agrees with the key's on every mutually cared index bit), so the
+     * noteOverflowMutation() mask recorded at the write intersects the
+     * mask stamped here.
+     */
     uint64_t
     searchRegionMask(const Key &key, std::vector<uint64_t> &scratch)
     {
-        if (hasOverflowArea())
-            return ~uint64_t{0};
         return slice_->searchRegionMask(key, scratch);
     }
 
-    /** Drain the main slice's dirty-region accumulator
-     *  (CaRamSlice::takeDirtyRegionMask); full coverage on databases
-     *  with an overflow area, which mutations may have touched. */
+    /** Drain the dirty-region accumulators: the main slice's seqlock
+     *  writer sections plus every overflow-area write recorded through
+     *  noteOverflowMutation(). */
     uint64_t
     takeDirtyRegionMask()
     {
-        const uint64_t mask = slice_->takeDirtyRegionMask();
-        return hasOverflowArea() ? ~uint64_t{0} : mask;
+        uint64_t mask = slice_->takeDirtyRegionMask();
+        if (hasOverflowArea())
+            mask |=
+                overflowDirtyRegions_.exchange(0, std::memory_order_relaxed);
+        return mask;
     }
+
+    /**
+     * Record that the overflow area gained, lost, or modified a copy
+     * of @p key: ORs the key's *main-slice* region coverage into the
+     * overflow dirty accumulator, so takeDirtyRegionMask() invalidates
+     * exactly the regions whose lookups the write could affect (see
+     * searchRegionMask()).  Call from the mutation authority only --
+     * every Database overflow write path does, and the engine's
+     * maintenance adoption step does when it migrates an overflow
+     * record home.
+     */
+    void noteOverflowMutation(const Key &key);
 
     /** Placement statistics of the CA-RAM part. */
     LoadStats loadStats() const { return slice_->loadStats(); }
@@ -367,6 +387,11 @@ class Database
     /** Atomic: read by concurrent-search readers while the owner flips
      *  retention (powerState()/checkAccessible() vs setPowerState()). */
     std::atomic<PowerState> powerState_{PowerState::Active};
+    /** Main-slice region bits dirtied by overflow-area writes since the
+     *  last takeDirtyRegionMask() (see noteOverflowMutation()).  Atomic
+     *  only for the exchange pairing with the drain; writes come from
+     *  the single mutation authority. */
+    std::atomic<uint64_t> overflowDirtyRegions_{0};
 };
 
 } // namespace caram::core

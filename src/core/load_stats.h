@@ -43,6 +43,20 @@ struct LoadStats
      * likely, lookup cost = probe distance + 1.
      */
     double amalUniform() const;
+
+    /**
+     * Excess AMAL over the 1.0 floor of a perfectly packed table --
+     * the quantity online maintenance can actually reclaim (a fresh
+     * rebuild of a fitting table drives it to ~0).  The maintenance
+     * engine's recovery gates compare excess, not raw AMAL, so a
+     * nearly-ideal table does not mask a 2x chain-length regression.
+     */
+    double
+    excessAmal() const
+    {
+        const double amal = amalUniform();
+        return amal > 1.0 ? amal - 1.0 : 0.0;
+    }
 };
 
 } // namespace caram::core

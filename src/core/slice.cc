@@ -1409,6 +1409,99 @@ CaRamSlice::adoptRamContents()
     }
 }
 
+unsigned
+CaRamSlice::maintenanceScanRow(uint64_t row, std::vector<MaintenanceSlot> &out)
+{
+    out.clear();
+    if (row >= cfg.rows())
+        panic("maintenance scan beyond the row space");
+    BucketView b = bucket(row);
+    const unsigned max_d =
+        cfg.probe == ProbePolicy::None ? 0 : cfg.maxProbeDistance;
+    for (unsigned i = 0; i < b.slots(); ++i) {
+        if (!b.slotValid(i))
+            continue;
+        Key key = b.slotKey(i);
+        if (!key.fullySpecified())
+            continue;
+        const uint64_t home = idxGen->index(key.valueWords(), key.bits());
+        unsigned dist = ~0u;
+        for (unsigned d = 0; d <= max_d; ++d) {
+            if (probeRow(home, d, key) == row) {
+                dist = d;
+                break;
+            }
+        }
+        // Unattributable copy (RAM-mode store beyond the probe limit):
+        // leave it where it is.
+        if (dist == ~0u)
+            continue;
+        const uint64_t data = b.slotData(i);
+        out.push_back(MaintenanceSlot{i, Record{std::move(key), data}, home,
+                                      dist});
+    }
+    return static_cast<unsigned>(out.size());
+}
+
+bool
+CaRamSlice::maintenanceHasCloserSlot(uint64_t home, unsigned distance,
+                                     const Key &key)
+{
+    for (unsigned d = 0; d < distance; ++d) {
+        if (bucket(probeRow(home, d, key)).firstFreeSlot() >= 0)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+CaRamSlice::maintenanceTrimReach(uint64_t home)
+{
+    if (cfg.probe != ProbePolicy::Linear)
+        return 0;
+    BucketView home_bucket = bucket(home);
+    const unsigned cur = home_bucket.reach();
+    if (cur == 0)
+        return 0;
+    // Walk the (shared, key-independent) linear chain tail-first and
+    // keep the furthest distance whose row still holds a record that
+    // could belong to @p home.  A copy actually placed from @p home
+    // always lists @p home among its candidates, so the recomputed
+    // reach never under-sets.
+    unsigned new_reach = 0;
+    std::vector<uint64_t> cand;
+    for (unsigned d = cur; d >= 1 && new_reach == 0; --d) {
+        const uint64_t row = (home + d) % cfg.rows();
+        BucketView b = bucket(row);
+        for (unsigned i = 0; i < b.slots(); ++i) {
+            if (!b.slotValid(i))
+                continue;
+            const Key key = b.slotKey(i);
+            if (key.fullySpecified()) {
+                if (idxGen->index(key.valueWords(), key.bits()) == home) {
+                    new_reach = d;
+                    break;
+                }
+                continue;
+            }
+            idxGen->candidateIndices(key.valueWords(), key.careWords(),
+                                     key.bits(), cand);
+            if (std::find(cand.begin(), cand.end(), home) != cand.end()) {
+                new_reach = d;
+                break;
+            }
+        }
+    }
+    if (new_reach >= cur)
+        return 0;
+    {
+        const RowWriteGuard wg(*this, home);
+        home_bucket.setReach(new_reach);
+        filter_.setReach(home, new_reach);
+    }
+    return cur - new_reach;
+}
+
 LoadStats
 CaRamSlice::loadStats() const
 {

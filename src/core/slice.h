@@ -514,6 +514,57 @@ class CaRamSlice
     }
     /// @}
 
+    /// @name Online maintenance primitives (engine::MaintenanceEngine)
+    ///
+    /// All of these follow the same single-mutation-authority rule as
+    /// insert()/erase(): the caller must be the thread that owns this
+    /// slice's mutations (the engine runs them on the port's writer
+    /// lane).  Concurrent searchConcurrent() readers are safe
+    /// throughout -- every store happens inside a row seqlock writer
+    /// section, and the two-phase migration protocol (publish the new
+    /// copy, epoch-quiesce, then remove the old one) guarantees a
+    /// reader observes at least one complete copy at every instant.
+    /// @{
+    /** One stored copy surfaced by maintenanceScanRow(): where it
+     *  sits, which home bucket it is attributed to, and at what probe
+     *  distance.  Only fully specified keys are reported -- they have
+     *  exactly one candidate home, so home and distance are
+     *  recoverable from the raw array alone (duplicated ternary
+     *  copies are left where insert() put them). */
+    struct MaintenanceSlot
+    {
+        unsigned slot = 0;      ///< slot index within the scanned row
+        Record record;          ///< stored key + data
+        uint64_t home = 0;      ///< attributed home bucket
+        unsigned distance = 0;  ///< probe distance home -> scanned row
+    };
+
+    /** Enumerate the attributable copies stored in @p row into @p out
+     *  (cleared first).  Returns the number reported. */
+    unsigned maintenanceScanRow(uint64_t row,
+                                std::vector<MaintenanceSlot> &out);
+
+    /** True when some probe row of @p key at distance < @p distance
+     *  from @p home has a free slot -- i.e. a copy currently sitting
+     *  at @p distance could be migrated strictly closer to home. */
+    bool maintenanceHasCloserSlot(uint64_t home, unsigned distance,
+                                  const Key &key);
+
+    /**
+     * Shrink @p home's overflow reach to the furthest probe distance
+     * that still holds a copy attributable to @p home, after erases
+     * have hollowed out the chain tail.  Conservative: a distance
+     * stays alive while *any* record in its row lists @p home among
+     * its candidate buckets, so no reachable copy ever drops out of
+     * the walk (concurrent readers see either reach and find every
+     * copy either way).  Linear probing only -- SecondHash strides
+     * are key-dependent (the chain is not enumerable without the
+     * departed keys) and None never sets a reach.  Returns the number
+     * of distances trimmed (0 if nothing changed).
+     */
+    unsigned maintenanceTrimReach(uint64_t home);
+    /// @}
+
   private:
     /** Row probed at distance @p d from @p home for @p key. */
     uint64_t probeRow(uint64_t home, unsigned d, const Key &key) const;

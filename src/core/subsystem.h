@@ -38,6 +38,12 @@ enum class PortOp
     Insert,
     Erase,
     Rebuild,
+    /** Engine-internal: one background maintenance step (migrate /
+     *  trim / adopt; see engine::MaintenanceEngine).  Rides the port
+     *  request plumbing so the writer lane stays the single mutation
+     *  authority, but produces no PortResponse and never reaches
+     *  executePortRequest(), which panics on it. */
+    Maintenance,
 };
 
 /** A queued CAM-mode request submitted through a virtual port. */

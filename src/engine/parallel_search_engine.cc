@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <optional>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "engine/maintenance_engine.h"
 #include "sim/completion_latch.h"
 
 namespace caram::engine {
@@ -112,6 +114,29 @@ envPrefilter()
     return v != 0;
 }
 
+/** CARAM_MAINTENANCE, parsed fresh on every call like the knobs
+ *  above.  The forced-maintenance CI leg sets it to 1 so every engine
+ *  whose config leaves `maintenance` unset runs the whole suite with
+ *  the background maintenance engine active. */
+std::optional<bool>
+envMaintenance()
+{
+    const char *env = std::getenv("CARAM_MAINTENANCE");
+    if (!env || !*env)
+        return std::nullopt;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v > 1) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn(strprintf("CARAM_MAINTENANCE=%s is not 0 or 1; "
+                           "maintenance stays config-controlled",
+                           env));
+        return std::nullopt;
+    }
+    return v != 0;
+}
+
 } // namespace
 
 /** A request travelling through a worker queue, stamped at enqueue. */
@@ -177,6 +202,17 @@ struct ParallelSearchEngine::PortState
      */
     std::mutex stageMutex;
     std::deque<MutationRun> staged;
+    /** Cached Database::searchBandwidthMsps (bit-cast double), written
+     *  by refreshAnalyticBounds() at quiesced points and read by
+     *  report() -- the live computation would read non-atomic slice
+     *  load statistics under writer-lane/maintenance mutation. */
+    std::atomic<uint64_t> analyticBoundBits{0};
+    /** Pre-filter consult/skip totals (main + overflow slice), also
+     *  snapshot at quiesced points: the counters live on the slice
+     *  object itself, and a lane-executed rebuildSwap replaces that
+     *  object under report()'s feet. */
+    std::atomic<uint64_t> prefilterProbesSnap{0};
+    std::atomic<uint64_t> prefilterSkipsSnap{0};
 };
 
 /** One worker: its request queue and its private modeled clock. */
@@ -291,12 +327,26 @@ ParallelSearchEngine::ParallelSearchEngine(core::CaRamSubsystem &subsystem,
         sys->database(static_cast<unsigned>(p))
             .setPrefilterEnabled(prefilter_);
     }
+    // Maintenance: an explicit config value (including an explicit
+    // false, which pins it off) always wins over the environment.
+    // Inline mode has no background execution authority, so the knob
+    // is ignored there regardless of source.
+    bool maintenance = cfg.maintenance.value_or(false);
+    if (!cfg.maintenance.has_value()) {
+        if (const auto env = envMaintenance())
+            maintenance = *env;
+    }
+    if (cfg.workers == 0)
+        maintenance = false;
+    if (maintenance)
+        maintenance_ = std::make_unique<MaintenanceEngine>(*this);
     fanoutTasks = std::make_unique<sim::ConcurrentBoundedQueue<FanoutTask>>(
         std::max<std::size_t>(16,
                               std::size_t{workerCount} *
                                   cfg.rowFanoutMaxShards));
     for (std::size_t p = 0; p < sys->databaseCount(); ++p)
         ports.push_back(std::make_unique<PortState>());
+    refreshAnalyticBounds(); // pre-thread: nothing can be mutating yet
     for (unsigned w = 0; w < workerCount; ++w)
         workers.push_back(std::make_unique<Worker>(cfg.queueCapacity));
     if (cfg.concurrentMutation) {
@@ -336,6 +386,8 @@ ParallelSearchEngine::start()
         threads.emplace_back([this, w] { workerMain(w); });
     for (unsigned l = 0; l < writerLaneCount_; ++l)
         writerThreads.emplace_back([this, l] { writerMain(l); });
+    if (maintenance_)
+        maintenance_->start();
 }
 
 void
@@ -595,6 +647,37 @@ ParallelSearchEngine::execute(
     const core::PortRequest &request,
     std::chrono::steady_clock::time_point enqueued, unsigned worker_index)
 {
+    if (request.op == core::PortOp::Maintenance) {
+        // Engine-internal maintenance step: runs here -- on the port's
+        // execution authority, with the port checked out -- so the
+        // writer lane stays the single mutation authority.  No
+        // response, no per-port stats; the modeled row operations are
+        // charged to the executing thread so the interference shows up
+        // in modeled throughput.
+        core::Database &db = sys->database(request.port);
+        uint64_t row_ops = 0;
+        if (maintenance_ &&
+            db.powerState() == core::PowerState::Active)
+            row_ops = maintenance_->executeStep(db, request.port);
+        if (row_ops > 0) {
+            invalidateCache(request.port, /*wholePort=*/false);
+            const uint64_t cycles =
+                row_ops * std::max(1u, cfg.timing.minCycleGap);
+            workers[worker_index]->modeledCycles.fetch_add(
+                cycles, std::memory_order_relaxed);
+        }
+        return;
+    }
+    // A user Erase or Rebuild must not observe the transient duplicate
+    // of a tear-interrupted migration (the Erase would remove and
+    // count both copies; a Rebuild would repack them into two live
+    // records): retire the far copy first.
+    if (maintenance_ && (request.op == core::PortOp::Erase ||
+                         request.op == core::PortOp::Rebuild)) {
+        core::Database &db = sys->database(request.port);
+        if (db.powerState() == core::PowerState::Active)
+            maintenance_->completePending(db, request.port);
+    }
     if (request.op == core::PortOp::Search) {
         if (resultCache_ || rowFanoutMin_ > 0) {
             core::Database &db = sys->database(request.port);
@@ -1228,6 +1311,36 @@ ParallelSearchEngine::trySubmit(unsigned port, const Key &key,
     return true;
 }
 
+bool
+ParallelSearchEngine::submitMaintenanceStep(unsigned port)
+{
+    if (stopped || !running || port >= ports.size())
+        return false;
+    core::PortRequest req;
+    req.port = port;
+    req.op = core::PortOp::Maintenance;
+    // Counts toward inflight only -- drain() must cover an in-flight
+    // step (it mutates the table), but no response is produced, so the
+    // per-port submitted/completed counters stay foreground-only.
+    inflight.fetch_add(1, std::memory_order_acq_rel);
+    if (!workers[workerOf(port)]->queue.tryPush(
+            Job{req, std::chrono::steady_clock::now()})) {
+        noteCompletion();
+        return false;
+    }
+    ring(workerOf(port));
+    return true;
+}
+
+uint64_t
+ParallelSearchEngine::completedCount() const
+{
+    uint64_t done = 0;
+    for (const auto &port : ports)
+        done += port->stats.completed.load(std::memory_order_relaxed);
+    return done;
+}
+
 std::size_t
 ParallelSearchEngine::submitBatch(
     std::span<const core::PortRequest> requests)
@@ -1273,10 +1386,42 @@ ParallelSearchEngine::drain()
 {
     if (cfg.workers == 0 || !running)
         return; // inline mode is always drained
-    std::unique_lock<std::mutex> lock(drainMutex);
-    drainCv.wait(lock, [&] {
-        return inflight.load(std::memory_order_acquire) == 0;
-    });
+    // Pause the maintenance planner for the wait: its steps count
+    // toward inflight, so an unpaused planner could keep the count
+    // bouncing off zero indefinitely.
+    drainingFg_.store(true, std::memory_order_release);
+    {
+        std::unique_lock<std::mutex> lock(drainMutex);
+        drainCv.wait(lock, [&] {
+            return inflight.load(std::memory_order_acquire) == 0;
+        });
+    }
+    // Quiesced window: inflight is 0 (maintenance steps count toward
+    // it) and the paused planner cannot submit a new one until the
+    // flag below clears, so no thread is mutating the tables.
+    refreshAnalyticBounds();
+    drainingFg_.store(false, std::memory_order_release);
+}
+
+void
+ParallelSearchEngine::refreshAnalyticBounds()
+{
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+        core::Database &db = sys->database(static_cast<unsigned>(p));
+        const double bound = db.searchBandwidthMsps(cfg.timing);
+        ports[p]->analyticBoundBits.store(std::bit_cast<uint64_t>(bound),
+                                          std::memory_order_relaxed);
+        uint64_t probes = db.slice().prefilterProbes();
+        uint64_t skips = db.slice().prefilterSkips();
+        if (const core::CaRamSlice *ov = db.overflowSlice()) {
+            probes += ov->prefilterProbes();
+            skips += ov->prefilterSkips();
+        }
+        ports[p]->prefilterProbesSnap.store(probes,
+                                            std::memory_order_relaxed);
+        ports[p]->prefilterSkipsSnap.store(skips,
+                                           std::memory_order_relaxed);
+    }
 }
 
 void
@@ -1284,6 +1429,9 @@ ParallelSearchEngine::stop()
 {
     if (stopped)
         return;
+    // Planner first: no new maintenance steps once the drain starts.
+    if (maintenance_)
+        maintenance_->stopPlanner();
     if (running)
         drain();
     stopped = true;
@@ -1300,6 +1448,13 @@ ParallelSearchEngine::stop()
         t.join();
     writerThreads.clear();
     running = false;
+    // With every execution thread joined, retire any migration the
+    // tear hook left half-done so the stopped tables hold exactly one
+    // copy per record (peek() readers stay safe: this is the ordinary
+    // quiesce-then-remove phase 2).
+    if (maintenance_)
+        maintenance_->flushAllPending();
+    refreshAnalyticBounds(); // post-join: covers the flushed removals
 }
 
 std::optional<core::PortResponse>
@@ -1397,6 +1552,12 @@ ParallelSearchEngine::report() const
         out.cacheInvalidations += p->stats.cacheInvalidations.load(
             std::memory_order_relaxed);
     }
+    if (resultCache_) {
+        out.cacheWholePortInvalidations =
+            resultCache_->wholePortInvalidations();
+        out.cacheRegionInvalidations =
+            resultCache_->regionInvalidations();
+    }
     // cycles / f_clk[MHz] = microseconds; lookups per microsecond = Msps.
     if (max_cycles > 0)
         out.modeledMsps = static_cast<double>(out.completed) /
@@ -1408,18 +1569,44 @@ ParallelSearchEngine::report() const
         out.modeledSpeedup = out.modeledMsps / out.modeledSerialMsps;
     for (std::size_t p = 0; p < ports.size(); ++p) {
         core::Database &db = sys->database(static_cast<unsigned>(p));
-        out.analyticBoundMsps += db.searchBandwidthMsps(cfg.timing);
-        out.prefilterProbes += db.slice().prefilterProbes();
-        out.prefilterSkips += db.slice().prefilterSkips();
-        if (core::CaRamSlice *ov = db.overflowSlice()) {
-            out.prefilterProbes += ov->prefilterProbes();
-            out.prefilterSkips += ov->prefilterSkips();
+        // Inline mode computes the bound live (the caller is the only
+        // execution authority); threaded engines read the snapshot
+        // from the last quiesced point -- the live computation walks
+        // non-atomic load statistics that lanes and maintenance steps
+        // mutate.
+        if (cfg.workers == 0) {
+            out.analyticBoundMsps += db.searchBandwidthMsps(cfg.timing);
+            out.prefilterProbes += db.slice().prefilterProbes();
+            out.prefilterSkips += db.slice().prefilterSkips();
+            if (core::CaRamSlice *ov = db.overflowSlice()) {
+                out.prefilterProbes += ov->prefilterProbes();
+                out.prefilterSkips += ov->prefilterSkips();
+            }
+        } else {
+            out.analyticBoundMsps +=
+                std::bit_cast<double>(ports[p]->analyticBoundBits.load(
+                    std::memory_order_relaxed));
+            out.prefilterProbes += ports[p]->prefilterProbesSnap.load(
+                std::memory_order_relaxed);
+            out.prefilterSkips += ports[p]->prefilterSkipsSnap.load(
+                std::memory_order_relaxed);
         }
     }
     out.wallSeconds =
         wallEndNs.load(std::memory_order_acquire) / 1e9;
     if (out.wallSeconds > 0.0)
         out.wallMsps = out.completed / out.wallSeconds / 1e6;
+    if (maintenance_) {
+        out.maintenanceSteps = maintenance_->steps();
+        out.maintenanceSweeps = maintenance_->sweeps();
+        out.rowsMigrated = maintenance_->rowsMigrated();
+        out.overflowCompacted = maintenance_->overflowCompacted();
+        out.reachTrims = maintenance_->reachTrims();
+        out.tornMaintenanceSteps = maintenance_->tornSteps();
+        out.maintenanceBackoffs = maintenance_->backoffs();
+        out.amalBefore = maintenance_->amalBefore();
+        out.amalAfter = maintenance_->amalAfter();
+    }
     return out;
 }
 

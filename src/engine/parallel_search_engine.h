@@ -37,8 +37,10 @@
  * fields, zero modeled bucket accesses.  Invalidation is row-granular:
  * a fill is stamped with the lookup's candidate home-row region
  * coverage, and a mutation bumps only the region counters of the rows
- * it dirtied (whole-port for rebuilds and overflow-area databases), so
- * hot keys survive churn on cold rows while result streams stay
+ * it dirtied -- overflow-area writes fold into the spilling key's main
+ * regions (Database::noteOverflowMutation); only rebuilds still bump
+ * the whole port -- so hot keys survive churn on cold rows while
+ * result streams stay
  * bit-identical to the uncached engine on every stream, including
  * mixed mutation streams.
  *
@@ -214,10 +216,11 @@ struct EngineConfig
      * response -- bit-identical fields, zero modeled bucket accesses.
      * Invalidation is row-granular: fills are stamped with the
      * lookup's candidate home-row coverage and an Insert/Erase bumps
-     * only the region counters of the rows it actually dirtied
-     * (Rebuild, and every mutation on a database with a parallel
-     * overflow area, still bumps the whole port), so hot keys survive
-     * churn on cold rows.  nullopt (the default) defers to the
+     * only the region counters of the rows it actually dirtied --
+     * overflow-area writes fold into the spilling key's main-slice
+     * regions via Database::noteOverflowMutation (Rebuild still bumps
+     * the whole port), so hot keys survive churn on cold rows.
+     * nullopt (the default) defers to the
      * CARAM_RESULT_CACHE_ENTRIES environment variable, re-read at each
      * engine's construction like CARAM_ROW_FANOUT_MIN (see
      * resolvedResultCacheEntries()); an explicit value always wins, so
@@ -240,6 +243,29 @@ struct EngineConfig
      * pins the filter off even under the forced-filter CI leg.
      */
     std::optional<bool> prefilter{};
+
+    /**
+     * Online self-managing maintenance (engine/maintenance_engine.h):
+     * a background planner paces incremental table maintenance --
+     * migrating spilled records toward their home buckets as erase
+     * holes open, trimming hollowed-out overflow reaches, and adopting
+     * overflow-slice records back into the main table -- while
+     * searches and the writer lanes keep running.  Every step rides
+     * the existing mutation machinery (submitted as an internal
+     * request to the port's writer lane, reclaimed through the epoch
+     * domain, invalidating only the dirtied cache regions), so result
+     * streams stay bit-identical to a maintenance-free engine for
+     * keyed (unique fully-specified key) tables; see DESIGN.md
+     * section 4f for the interference-arbitration budget and the
+     * migration protocol.  nullopt (the default) defers to the
+     * CARAM_MAINTENANCE environment variable (0/1, re-read at each
+     * engine's construction like CARAM_ROW_FANOUT_MIN -- see
+     * resolvedMaintenance()); an explicit value always wins, so
+     * `false` pins maintenance off even under the forced CI leg.
+     * Ignored in inline mode (workers == 0): there is no background
+     * execution authority to ride.
+     */
+    std::optional<bool> maintenance{};
 };
 
 /**
@@ -288,7 +314,12 @@ struct EngineReport
     double modeledSerialMsps = 0.0;
     /** modeledMsps / modeledSerialMsps. */
     double modeledSpeedup = 0.0;
-    /** Sum of Database::searchBandwidthMsps over the served ports. */
+    /** Sum of Database::searchBandwidthMsps over the served ports.
+     *  Sampled at quiesced points (construction, drain(), stop()) --
+     *  not live -- because the bound reads non-atomic load statistics
+     *  that writer lanes and maintenance steps mutate; report() itself
+     *  stays safe to call any time.  Inline engines (workers == 0)
+     *  compute it live: the caller is the only execution authority. */
     double analyticBoundMsps = 0.0;
     /** Host wall-clock throughput (start() .. drain()), Msps. */
     double wallMsps = 0.0;
@@ -331,13 +362,52 @@ struct EngineReport
     uint64_t cacheMisses = 0;
     /** Per-port generation bumps charged by mutation runs. */
     uint64_t cacheInvalidations = 0;
+    /** Cache invalidations that had to bump a whole port's generation
+     *  (rebuilds and full-coverage masks).  Zero under row-local churn
+     *  -- including on overflow-area tables, whose writes fold into
+     *  the spilling key's main regions. */
+    uint64_t cacheWholePortInvalidations = 0;
+    /** Cache invalidations served by the precise region path. */
+    uint64_t cacheRegionInvalidations = 0;
     /** Rows the pre-filter was consulted for, summed over the served
-     *  databases (main + overflow slices). */
+     *  databases (main + overflow slices).  Like analyticBoundMsps,
+     *  threaded engines sample these two counters at quiesced points
+     *  (construction, drain(), stop()): they live on the slice object,
+     *  which a lane-executed rebuild replaces.  Inline engines read
+     *  them live. */
     uint64_t prefilterProbes = 0;
     /** Consulted rows the filter proved unable to match -- fetches
      *  (and their modeled cycles) that were never issued. */
     uint64_t prefilterSkips = 0;
+    /** Maintenance steps executed on the writer lanes (0 when
+     *  EngineConfig::maintenance is off). */
+    uint64_t maintenanceSteps = 0;
+    /** Full table sweeps the maintenance engine completed. */
+    uint64_t maintenanceSweeps = 0;
+    /** Spilled records migrated strictly closer to their home bucket
+     *  (erase holes filled). */
+    uint64_t rowsMigrated = 0;
+    /** Overflow-slice records adopted back into the main table. */
+    uint64_t overflowCompacted = 0;
+    /** Hollowed-out overflow reaches trimmed (probe distances no
+     *  longer walked by lookups). */
+    uint64_t reachTrims = 0;
+    /** Migration steps the tear-injection hook interrupted mid-step
+     *  (completed by a later step; readers saw a full copy
+     *  throughout). */
+    uint64_t tornMaintenanceSteps = 0;
+    /** Steps the planner withheld because foreground queue depth
+     *  exceeded the arbitration backoff threshold. */
+    uint64_t maintenanceBackoffs = 0;
+    /** Mean per-port database AMAL sampled at each port's first
+     *  maintenance step (0 when no step ran). */
+    double amalBefore = 0.0;
+    /** Mean per-port database AMAL sampled at each port's most recent
+     *  completed sweep (0 until a sweep completes). */
+    double amalAfter = 0.0;
 };
+
+class MaintenanceEngine;
 
 /** Shards a CaRamSubsystem's ports across worker threads. */
 class ParallelSearchEngine
@@ -437,6 +507,11 @@ class ParallelSearchEngine
      *  (config value, or CARAM_PREFILTER read at that moment). */
     bool resolvedPrefilter() const { return prefilter_; }
 
+    /** The maintenance setting this engine resolved at construction
+     *  (config value, or CARAM_MAINTENANCE read at that moment; always
+     *  false in inline mode). */
+    bool resolvedMaintenance() const { return maintenance_ != nullptr; }
+
     /** True when mutations route through the writer lanes (the config
      *  flag after the inline-mode override -- workers == 0 forces the
      *  serial path regardless of the default). */
@@ -464,6 +539,8 @@ class ParallelSearchEngine
     static constexpr unsigned kMaxFanoutShards = 32;
 
   private:
+    friend class MaintenanceEngine;
+
     struct PortState;
     struct Worker;
 
@@ -477,6 +554,13 @@ class ParallelSearchEngine
     /** Re-dispatch deferred jobs of @p index's ports whose writer-lane
      *  hand-off has completed.  Returns true when any job ran. */
     bool drainPending(unsigned index);
+    /** Recompute each port's cached analytic search-bandwidth bound
+     *  and pre-filter probe/skip totals.  Only callable while no
+     *  execution thread can be mutating the databases (construction,
+     *  the drained window inside drain(), after stop()'s joins): the
+     *  bound reads non-atomic slice load statistics, and the counters
+     *  live on slice objects that rebuilds replace. */
+    void refreshAnalyticBounds();
     /** True when some port of @p index has deferred jobs ready to run
      *  (hand-off finished). */
     bool pendingReady(unsigned index) const;
@@ -533,6 +617,15 @@ class ParallelSearchEngine
     void finishResponse(core::PortResponse resp,
                         std::chrono::steady_clock::time_point enqueued);
     void noteCompletion();
+    /** Enqueue one internal PortOp::Maintenance request for @p port
+     *  (called by the maintenance planner thread; non-blocking --
+     *  false when the owner's queue is full or the engine stopped).
+     *  The request counts toward `inflight` so drain() covers it, but
+     *  toward no per-port stats and no result stream. */
+    bool submitMaintenanceStep(unsigned port);
+    /** Total completed foreground requests across the ports (the
+     *  maintenance planner's foreground-progress signal). */
+    uint64_t completedCount() const;
 
     core::CaRamSubsystem *sys;
     EngineConfig cfg;
@@ -563,8 +656,17 @@ class ParallelSearchEngine
      *  read-side pin mutates only the domain's bookkeeping, never the
      *  engine). */
     mutable sim::EpochDomain epochDomain_;
+    /** Background maintenance (null = off; see
+     *  EngineConfig::maintenance).  Its planner thread paces
+     *  submitMaintenanceStep(); the steps themselves execute on the
+     *  writer lanes like any other mutation. */
+    std::unique_ptr<MaintenanceEngine> maintenance_;
     bool running = false;
     bool stopped = false;
+    /** True while drain() waits for inflight == 0: the maintenance
+     *  planner pauses so its steps cannot keep inflight nonzero
+     *  indefinitely. */
+    std::atomic<bool> drainingFg_{false};
 
     std::atomic<uint64_t> inflight{0};
     std::mutex drainMutex;

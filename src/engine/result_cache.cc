@@ -136,6 +136,7 @@ ResultCache::invalidate(unsigned port)
     // per-port busy-flag hand-off serializes the port's requests, so
     // no probe of that port can race the mutation at all.)
     generations_[port].value.fetch_add(1, std::memory_order_release);
+    wholePortInvalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -147,8 +148,11 @@ ResultCache::invalidateRegions(unsigned port, uint64_t regionMask)
         // Full coverage: one whole-port bump beats 64 region bumps and
         // invalidates mask-0 (legacy whole-port) entries too.
         generations_[port].value.fetch_add(1, std::memory_order_release);
+        wholePortInvalidations_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
+    if (regionMask != 0)
+        regionInvalidations_.fetch_add(1, std::memory_order_relaxed);
     std::atomic<uint64_t> *regions = regionGens_[port].value;
     for (uint64_t m = regionMask; m != 0; m &= m - 1) {
         regions[std::countr_zero(m)].fetch_add(

@@ -154,6 +154,26 @@ class ResultCache
     unsigned wayCount() const { return ways_; }
     std::size_t setsPerPort() const { return setsPerPort_; }
 
+    /** Invalidations that bumped a whole port's generation -- explicit
+     *  invalidate() calls plus invalidateRegions(~0) degradations.
+     *  The overflow-area regression test pins this at zero under
+     *  row-local churn: before overflow writes were folded into the
+     *  main slice's regions (Database::noteOverflowMutation), every
+     *  mutation on an overflow-area table degraded here. */
+    uint64_t
+    wholePortInvalidations() const
+    {
+        return wholePortInvalidations_.load(std::memory_order_relaxed);
+    }
+
+    /** Invalidations that bumped region counters only (the precise
+     *  path). */
+    uint64_t
+    regionInvalidations() const
+    {
+        return regionInvalidations_.load(std::memory_order_relaxed);
+    }
+
   private:
     /** Payload words per entry (see layout constants in the .cc). */
     static constexpr unsigned kPayloadWords = 22;
@@ -192,6 +212,10 @@ class ResultCache
     /** Per-set round-robin victim cursors (relaxed; only steer
      *  replacement, never correctness). */
     std::unique_ptr<std::atomic<uint32_t>[]> cursors_;
+    /** Observability: how often invalidation fell back to a whole-port
+     *  bump vs the precise region path. */
+    std::atomic<uint64_t> wholePortInvalidations_{0};
+    std::atomic<uint64_t> regionInvalidations_{0};
 };
 
 } // namespace caram::engine

@@ -174,6 +174,30 @@ class EpochDomain
             reclaim();
     }
 
+    /**
+     * Advance the global epoch without retiring an object and return the
+     * pre-advance stamp.  Pairs with quiescentSince(): a writer that
+     * publishes a change, then calls advance(), can later prove every
+     * reader that could have missed the publish has exited by checking
+     * quiescentSince(stamp).
+     */
+    uint64_t
+    advance()
+    {
+        return globalEpoch_.fetch_add(1, std::memory_order_seq_cst);
+    }
+
+    /**
+     * True once every reader pinned at or before @p stamp has exited.
+     * Readers entering after the advance() that produced @p stamp pin a
+     * strictly newer epoch and do not block quiescence.
+     */
+    bool
+    quiescentSince(uint64_t stamp) const
+    {
+        return minActiveEpoch() > stamp;
+    }
+
     /** Retired-but-not-yet-reclaimed object count (observability). */
     std::size_t
     pendingRetired() const

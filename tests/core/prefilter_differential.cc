@@ -239,8 +239,9 @@ expectSameResponse(const PortResponse &got, const PortResponse &want,
     EXPECT_EQ(got.ok, want.ok);
     EXPECT_EQ(got.hit, want.hit);
     EXPECT_EQ(got.data, want.data);
-    if (compare_accesses)
+    if (compare_accesses) {
         EXPECT_EQ(got.bucketsAccessed, want.bucketsAccessed);
+    }
     EXPECT_TRUE(got.key == want.key);
 }
 
@@ -271,6 +272,11 @@ runDifferential(const Variant &v, unsigned nports, unsigned workers,
     cfg.writerLanes = writer_lanes;
     cfg.writerCombining = combining;
     cfg.prefilter = true;
+    // bucketsAccessed is compared bit for bit against the serial
+    // oracle; pin background maintenance off (explicit config beats
+    // the CARAM_MAINTENANCE leg) -- maintenance-on prefilter coverage
+    // lives in maintenance_differential.cc.
+    cfg.maintenance = false;
     ParallelSearchEngine eng(*subject_sys, cfg);
     EXPECT_TRUE(eng.resolvedPrefilter());
     eng.start();
@@ -390,6 +396,7 @@ TEST(PrefilterDifferential, PayloadsMatchUnfilteredOracle)
         cfg.workers = 2;
         cfg.batchSize = 8;
         cfg.prefilter = true;
+        cfg.maintenance = false; // oracle-exact bucketsAccessed
         ParallelSearchEngine eng(*subject_sys, cfg);
         eng.start();
         ASSERT_EQ(eng.submitBatch(stream), stream.size());

@@ -269,6 +269,11 @@ runDifferential(const Variant &v, unsigned nports, unsigned workers,
     cfg.rowFanoutMin = fanout_min;
     cfg.resultCacheEntries = 4096;
     cfg.resultCacheWays = 4;
+    // bucketsAccessed is compared bit for bit against the serial
+    // oracle here; pin background maintenance off (explicit config
+    // beats the CARAM_MAINTENANCE leg) -- maintenance-on cache legs
+    // live in maintenance_differential.cc.
+    cfg.maintenance = false;
     ParallelSearchEngine eng(*subject_sys, cfg);
     eng.start();
     ASSERT_EQ(eng.submitBatch(stream), stream.size());
@@ -364,6 +369,7 @@ TEST(ResultCacheDifferential, BlockingMutationPath)
     cfg.batchSize = 8;
     cfg.concurrentMutation = false;
     cfg.resultCacheEntries = 4096;
+    cfg.maintenance = false; // oracle-exact bucketsAccessed (see above)
     ParallelSearchEngine eng(*subject_sys, cfg);
     eng.start();
     ASSERT_EQ(eng.submitBatch(stream), stream.size());
@@ -645,6 +651,169 @@ TEST(ResultCacheUnit, PortsAreIsolated)
     EXPECT_TRUE(cache.probe(0, k, out));
     cache.invalidate(0);
     EXPECT_FALSE(cache.probe(0, k, out));
+}
+
+TEST(ResultCacheUnit, InvalidationCountersClassifyPaths)
+{
+    // The observability counters split invalidations into the precise
+    // region path vs whole-port bumps (explicit invalidate() and the
+    // full-coverage degradation); a zero mask counts as neither.
+    ResultCache cache(256, 4, 2);
+    EXPECT_EQ(cache.wholePortInvalidations(), 0u);
+    EXPECT_EQ(cache.regionInvalidations(), 0u);
+    cache.invalidateRegions(0, 0b101);
+    EXPECT_EQ(cache.regionInvalidations(), 1u);
+    EXPECT_EQ(cache.wholePortInvalidations(), 0u);
+    cache.invalidateRegions(0, 0); // dirtied nothing: no-op
+    EXPECT_EQ(cache.regionInvalidations(), 1u);
+    cache.invalidateRegions(1, ~uint64_t{0}); // degrades to whole-port
+    EXPECT_EQ(cache.wholePortInvalidations(), 1u);
+    EXPECT_EQ(cache.regionInvalidations(), 1u);
+    cache.invalidate(0);
+    EXPECT_EQ(cache.wholePortInvalidations(), 2u);
+    EXPECT_EQ(cache.regionInvalidations(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Overflow-area region precision (Database::noteOverflowMutation):
+// writes that land in the parallel overflow slice dirty the spilling
+// key's *main-slice* regions instead of degrading the whole port.
+
+/** 64-row low-bits-indexed binary table with a tiny parallel overflow
+ *  slice; 2-slot buckets and no probing, so a bucket's third key
+ *  spills to the overflow area. */
+DatabaseConfig
+overflowDbConfig(const std::string &name)
+{
+    DatabaseConfig cfg;
+    cfg.name = name;
+    cfg.sliceShape.indexBits = 6;
+    cfg.sliceShape.logicalKeyBits = 32;
+    cfg.sliceShape.ternary = false;
+    cfg.sliceShape.slotsPerBucket = 2;
+    cfg.sliceShape.dataBits = 16;
+    cfg.sliceShape.maxProbeDistance = 0;
+    cfg.overflow = OverflowPolicy::ParallelSlice;
+    cfg.overflowIndexBits = 2;
+    cfg.overflowSlots = 4;
+    cfg.indexFactory = [](const core::SliceConfig &eff)
+        -> std::unique_ptr<hash::IndexGenerator> {
+        return std::make_unique<hash::LowBitsIndex>(eff.logicalKeyBits,
+                                                    eff.indexBits);
+    };
+    return cfg;
+}
+
+/** A key homing to @p bucket (low bits), distinguished by @p salt. */
+Key
+lowBitsKey(unsigned bucket, unsigned salt)
+{
+    return Key::fromUint((salt << 6) | bucket, 32);
+}
+
+TEST(OverflowRegionPrecision, OverflowMutationsDirtyPreciseRegions)
+{
+    auto sys = std::make_unique<CaRamSubsystem>(1024, 1024, true);
+    auto &db = sys->addDatabase(overflowDbConfig("overflow-regions"));
+    std::vector<uint64_t> scratch;
+
+    // Lookup coverage on an overflow-area table is the main slice's
+    // candidate rows -- not the pre-fix ~0 whole-port degradation.
+    const uint64_t mask_a = db.searchRegionMask(lowBitsKey(9, 1), scratch);
+    const uint64_t mask_b = db.searchRegionMask(lowBitsKey(40, 1), scratch);
+    EXPECT_NE(mask_a, 0u);
+    EXPECT_NE(mask_a, ~uint64_t{0});
+    EXPECT_EQ(mask_a & mask_b, 0u) << "distant buckets share coverage";
+
+    ASSERT_TRUE(db.insert(Record{lowBitsKey(9, 1), 1}));
+    ASSERT_TRUE(db.insert(Record{lowBitsKey(9, 2), 2}));
+    (void)db.takeDirtyRegionMask(); // drain the setup's dirt
+
+    // The third bucket-9 key spills to the overflow slice; the dirt it
+    // leaves must cover exactly the spilling key's main regions.
+    ASSERT_TRUE(db.insert(Record{lowBitsKey(9, 3), 3}));
+    ASSERT_EQ(db.overflowEntries(), 1u);
+    uint64_t dirty = db.takeDirtyRegionMask();
+    EXPECT_NE(dirty, 0u) << "overflow insert left no dirt";
+    EXPECT_NE(dirty, ~uint64_t{0});
+    EXPECT_NE(dirty & mask_a, 0u);
+    EXPECT_EQ(dirty & mask_b, 0u) << "overflow insert dirtied a "
+                                     "bucket it cannot affect";
+
+    // Same for an erase that removes the overflow copy.
+    ASSERT_EQ(db.erase(lowBitsKey(9, 3)), 1u);
+    ASSERT_EQ(db.overflowEntries(), 0u);
+    dirty = db.takeDirtyRegionMask();
+    EXPECT_NE(dirty, 0u) << "overflow erase left no dirt";
+    EXPECT_NE(dirty, ~uint64_t{0});
+    EXPECT_NE(dirty & mask_a, 0u);
+    EXPECT_EQ(dirty & mask_b, 0u);
+}
+
+TEST(OverflowRegionPrecision, HotKeysSurviveOverflowChurnOnColdRows)
+{
+    // Before noteOverflowMutation(), *every* mutation on an
+    // overflow-area table invalidated the whole port, so a hot key
+    // could never stay cached under churn.  Now overflow writes dirty
+    // only the spilling key's regions: churn confined to bucket 9 must
+    // leave a hot key in bucket 40 hitting on every repeat.
+    auto sys = std::make_unique<CaRamSubsystem>(1024, 1024, true);
+    auto &db = sys->addDatabase(overflowDbConfig("overflow-hot"));
+    const Key hot = lowBitsKey(40, 1);
+    ASSERT_TRUE(db.insert(Record{hot, 77}));
+    ASSERT_TRUE(db.insert(Record{lowBitsKey(9, 1), 1}));
+    ASSERT_TRUE(db.insert(Record{lowBitsKey(9, 2), 2})); // bucket full
+    // Drain the setup's dirt: otherwise the first engine mutation run
+    // inherits the hot key's own setup-insert regions and evicts the
+    // first fill.
+    (void)db.takeDirtyRegionMask();
+
+    uint64_t tag = 0;
+    std::vector<PortRequest> stream;
+    auto push = [&](PortOp op, const Key &key, uint64_t data = 0) {
+        PortRequest req;
+        req.port = 0;
+        req.op = op;
+        req.key = key;
+        req.data = data;
+        req.tag = ++tag;
+        stream.push_back(std::move(req));
+    };
+    push(PortOp::Search, hot); // fill
+    constexpr unsigned kRounds = 50;
+    for (unsigned i = 0; i < kRounds; ++i) {
+        // Every round writes the overflow slice twice (spill + erase)
+        // and re-asks the hot key.
+        push(PortOp::Insert, lowBitsKey(9, 3 + i), i);
+        push(PortOp::Erase, lowBitsKey(9, 3 + i));
+        push(PortOp::Search, hot);
+    }
+
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.resultCacheEntries = 1024;
+    cfg.maintenance = false; // isolate the overflow-write path
+    ParallelSearchEngine eng(*sys, cfg);
+    eng.start();
+    ASSERT_EQ(eng.submitBatch(stream), stream.size());
+    eng.drain();
+    eng.stop();
+
+    std::size_t hot_hits = 0;
+    while (auto r = eng.fetchResult(0)) {
+        if (r->op == PortOp::Search) {
+            EXPECT_TRUE(r->hit);
+            EXPECT_EQ(r->data, 77u);
+            ++hot_hits;
+        }
+    }
+    EXPECT_EQ(hot_hits, kRounds + 1u);
+    const EngineReport rep = eng.report();
+    EXPECT_EQ(rep.cacheHits, kRounds)
+        << "overflow churn on bucket 9 evicted the bucket-40 hot key";
+    EXPECT_EQ(rep.cacheWholePortInvalidations, 0u)
+        << "an overflow write degraded to a whole-port bump";
+    EXPECT_GT(rep.cacheRegionInvalidations, 0u);
 }
 
 } // namespace
